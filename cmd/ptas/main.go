@@ -1,0 +1,61 @@
+// ptas assembles simulator assembly sources and prints the linked image:
+// segment layout, entry point, and symbol table, with an optional
+// disassembly listing.
+//
+// Usage:
+//
+//	ptas [-d] file.s [file2.s ...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/asm"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "ptas:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("ptas", flag.ContinueOnError)
+	disasm := fs.Bool("d", false, "print a disassembly of the text segment")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() == 0 {
+		return fmt.Errorf("no input files")
+	}
+	sources := make([]asm.Source, 0, fs.NArg())
+	for _, path := range fs.Args() {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		sources = append(sources, asm.Source{Name: path, Text: string(src)})
+	}
+	im, err := asm.Assemble(sources...)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("entry %#08x\n", im.Entry)
+	for _, seg := range im.Segments {
+		fmt.Printf("segment %#08x  %d bytes\n", seg.Addr, len(seg.Data))
+	}
+	fmt.Println("\nsymbols:")
+	for _, s := range im.SortedSymbols() {
+		fmt.Printf("  %#08x  %s\n", s.Addr, s.Name)
+	}
+	if *disasm {
+		fmt.Println("\ntext:")
+		for _, line := range im.TextListing() {
+			fmt.Println("  " + line)
+		}
+	}
+	return nil
+}

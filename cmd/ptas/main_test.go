@@ -1,0 +1,34 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestAssembleListing(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "p.s")
+	os.WriteFile(src, []byte(".text\nmain:\n\tnop\n\tjr $ra\n.data\nmsg: .asciiz \"hi\"\n"), 0o644)
+	if err := run([]string{src}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-d", src}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("no input accepted")
+	}
+	if err := run([]string{"/nonexistent.s"}); err == nil {
+		t.Error("missing file accepted")
+	}
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.s")
+	os.WriteFile(bad, []byte("frobnicate $t0\n"), 0o644)
+	if err := run([]string{bad}); err == nil {
+		t.Error("bad assembly accepted")
+	}
+}

@@ -1,0 +1,79 @@
+// ptattack runs the paper's attack scenarios against the victim corpus
+// under a chosen detection policy and reports each outcome.
+//
+// Usage:
+//
+//	ptattack [-policy pointer|control|off] [scenario ...]
+//
+// With no scenario names, every scenario runs. Scenarios: exp1 exp2 exp3
+// wuftpd-noncontrol wuftpd-control nullhttpd-noncontrol nullhttpd-control
+// ghttpd-noncontrol ghttpd-control traceroute fn-intoverflow fn-authflag
+// fn-infoleak.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/attack"
+	"repro/internal/taint"
+)
+
+var scenarios = map[string]func(taint.Policy) (attack.Outcome, error){
+	"exp1":                  attack.Exp1StackSmash,
+	"exp2":                  attack.Exp2HeapCorruption,
+	"exp3":                  attack.Exp3FormatString,
+	"wuftpd-noncontrol":     attack.WuFTPDNonControl,
+	"wuftpd-control":        attack.WuFTPDControl,
+	"nullhttpd-noncontrol":  attack.NullHTTPDNonControl,
+	"nullhttpd-control":     attack.NullHTTPDControl,
+	"ghttpd-noncontrol":     attack.GHTTPDNonControl,
+	"ghttpd-control":        attack.GHTTPDControl,
+	"traceroute":            attack.TracerouteDoubleFree,
+	"fn-intoverflow":        attack.FNIntegerOverflowAttack,
+	"fn-authflag":           attack.FNAuthFlagAttack,
+	"fn-infoleak":           attack.FNInfoLeakAttack,
+	"fn-authflag-annotated": attack.AnnotatedAuthFlagAttack,
+	"env-overflow":          attack.EnvOverflowAttack,
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "ptattack:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("ptattack", flag.ContinueOnError)
+	policyName := fs.String("policy", "pointer", "detection policy: pointer, control, off")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	policy, ok := taint.ParsePolicy(*policyName)
+	if !ok {
+		return fmt.Errorf("unknown policy %q", *policyName)
+	}
+
+	names := fs.Args()
+	if len(names) == 0 {
+		for n := range scenarios {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+	}
+	for _, name := range names {
+		sc, ok := scenarios[name]
+		if !ok {
+			return fmt.Errorf("unknown scenario %q", name)
+		}
+		out, err := sc(policy)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		fmt.Printf("%-22s [%s]  %v\n", name, policy, out)
+	}
+	return nil
+}

@@ -1,0 +1,44 @@
+package main
+
+import "testing"
+
+func TestRunNamedScenario(t *testing.T) {
+	if err := run([]string{"exp1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-policy", "control", "exp1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-policy", "off", "exp2"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{"unknown-scenario"}); err == nil {
+		t.Error("unknown scenario accepted")
+	}
+	if err := run([]string{"-policy", "bogus", "exp1"}); err == nil {
+		t.Error("bad policy accepted")
+	}
+}
+
+func TestScenarioRegistryComplete(t *testing.T) {
+	// Every corpus attack should be reachable from the CLI.
+	want := []string{
+		"exp1", "exp2", "exp3",
+		"wuftpd-noncontrol", "wuftpd-control",
+		"nullhttpd-noncontrol", "nullhttpd-control",
+		"ghttpd-noncontrol", "ghttpd-control",
+		"traceroute", "env-overflow",
+		"fn-intoverflow", "fn-authflag", "fn-infoleak", "fn-authflag-annotated",
+	}
+	for _, name := range want {
+		if _, ok := scenarios[name]; !ok {
+			t.Errorf("scenario %q missing from the registry", name)
+		}
+	}
+	if len(scenarios) != len(want) {
+		t.Errorf("registry has %d scenarios, want %d", len(scenarios), len(want))
+	}
+}

@@ -1,0 +1,49 @@
+// ptcc compiles ptcc-C source files to assembly for the simulator's ISA.
+//
+// Usage:
+//
+//	ptcc [-o out.s] file.c [file2.c ...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cc"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "ptcc:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("ptcc", flag.ContinueOnError)
+	out := fs.String("o", "", "output file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() == 0 {
+		return fmt.Errorf("no input files")
+	}
+	units := make([]cc.Unit, 0, fs.NArg())
+	for _, path := range fs.Args() {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		units = append(units, cc.Unit{Name: path, Src: string(src)})
+	}
+	gen, err := cc.CompileProgram(units...)
+	if err != nil {
+		return err
+	}
+	if *out == "" {
+		fmt.Print(gen.Text)
+		return nil
+	}
+	return os.WriteFile(*out, []byte(gen.Text), 0o644)
+}

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestCompileToStdoutAndFile(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "p.c")
+	if err := os.WriteFile(src, []byte("int main() { return 3; }"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "p.s")
+	if err := run([]string{"-o", out, src}); err != nil {
+		t.Fatal(err)
+	}
+	text, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(text), "main:") || !strings.Contains(string(text), "jr $ra") {
+		t.Errorf("generated assembly missing expected content:\n%s", text)
+	}
+}
+
+func TestMultiUnitCompile(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.c")
+	b := filepath.Join(dir, "b.c")
+	os.WriteFile(a, []byte("int helper(int x);\nint main() { return helper(1); }"), 0o644)
+	os.WriteFile(b, []byte("int helper(int x) { return x + 1; }"), 0o644)
+	out := filepath.Join(dir, "ab.s")
+	if err := run([]string{"-o", out, a, b}); err != nil {
+		t.Fatal(err)
+	}
+	text, _ := os.ReadFile(out)
+	if !strings.Contains(string(text), "helper:") {
+		t.Errorf("linked unit missing helper:\n%s", text)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("no input files accepted")
+	}
+	if err := run([]string{"/nonexistent/x.c"}); err == nil {
+		t.Error("missing file accepted")
+	}
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.c")
+	os.WriteFile(bad, []byte("int main( {"), 0o644)
+	if err := run([]string{bad}); err == nil {
+		t.Error("bad source accepted")
+	}
+}

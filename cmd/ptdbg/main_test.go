@@ -1,0 +1,118 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func session(t *testing.T, progSrc, script string, flags ...string) string {
+	t.Helper()
+	dir := t.TempDir()
+	prog := filepath.Join(dir, "p.c")
+	if err := os.WriteFile(prog, []byte(progSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	args := append(flags, prog)
+	if err := run(args, strings.NewReader(script), &out); err != nil {
+		t.Fatalf("session: %v\noutput:\n%s", err, out.String())
+	}
+	return out.String()
+}
+
+func TestStepAndRegs(t *testing.T) {
+	out := session(t, `int main() { int x = 5; return x; }`, "s 3\nr\nq\n")
+	if !strings.Contains(out, "ptdbg:") || !strings.Contains(out, "entry") {
+		t.Errorf("missing banner:\n%s", out)
+	}
+	// Stepping traces disassembly with symbol attribution.
+	if !strings.Contains(out, "<_start") {
+		t.Errorf("missing location annotation:\n%s", out)
+	}
+	if !strings.Contains(out, "$sp") || !strings.Contains(out, "pc ") {
+		t.Errorf("register dump missing:\n%s", out)
+	}
+}
+
+func TestContinueToExit(t *testing.T) {
+	out := session(t, `int main() { puts("done!"); return 42; }`, "c\nq\n")
+	if !strings.Contains(out, "exited with status 42") {
+		t.Errorf("missing exit report:\n%s", out)
+	}
+	if !strings.Contains(out, "done!") {
+		t.Errorf("guest stdout not flushed:\n%s", out)
+	}
+}
+
+func TestBreakpointAndDump(t *testing.T) {
+	out := session(t, `
+		char banner[8] = "hi";
+		int helper() { return 3; }
+		int main() { return helper(); }
+	`, "b helper\nc\nx banner 8\nsym helper\nd 2\nq\n")
+	if !strings.Contains(out, "breakpoint hit") {
+		t.Errorf("breakpoint not hit:\n%s", out)
+	}
+	if !strings.Contains(out, "|hi") {
+		t.Errorf("memory dump missing banner:\n%s", out)
+	}
+	if !strings.Contains(out, "helper = 0x") {
+		t.Errorf("symbol lookup failed:\n%s", out)
+	}
+}
+
+func TestAlertSurfacesInDebugger(t *testing.T) {
+	dir := t.TempDir()
+	payload := filepath.Join(dir, "stdin")
+	os.WriteFile(payload, []byte(strings.Repeat("a", 24)), 0o644)
+	out := session(t, `
+		void v() { char b[8]; gets(b); }
+		int main() { v(); return 0; }
+	`, "c\nq\n", "-stdin", payload)
+	if !strings.Contains(out, "security alert") || !strings.Contains(out, "0x61616161") {
+		t.Errorf("alert not surfaced:\n%s", out)
+	}
+}
+
+func TestTaintedDumpMarks(t *testing.T) {
+	dir := t.TempDir()
+	payload := filepath.Join(dir, "stdin")
+	os.WriteFile(payload, []byte("XY"), 0o644)
+	out := session(t, `
+		char buf[8];
+		int main() { read(0, buf, 2); return 0; }
+	`, "c\nx buf 8\nq\n", "-stdin", payload)
+	if !strings.Contains(out, "58*59*") {
+		t.Errorf("tainted bytes not marked:\n%s", out)
+	}
+}
+
+func TestWatchCommand(t *testing.T) {
+	out := session(t, `int g; int main() { return 0; }`, "watch g 4 config\nq\n")
+	if !strings.Contains(out, `watching "config"`) {
+		t.Errorf("watch not registered:\n%s", out)
+	}
+}
+
+func TestDebuggerErrors(t *testing.T) {
+	if err := run(nil, strings.NewReader(""), &strings.Builder{}); err == nil {
+		t.Error("no program accepted")
+	}
+	var out strings.Builder
+	dir := t.TempDir()
+	prog := filepath.Join(dir, "p.c")
+	os.WriteFile(prog, []byte("int main() { return 0; }"), 0o644)
+	if err := run([]string{"-policy", "bogus", prog}, strings.NewReader(""), &out); err == nil {
+		t.Error("bad policy accepted")
+	}
+	// Unknown commands and bad operands report, not crash.
+	text := session(t, "int main() { return 0; }",
+		"frob\nb\nb nosuch\nx\nsym nosuch\nwatch g\nq\n")
+	for _, want := range []string{"unknown command", "usage: b", "no symbol", "usage: x"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("missing %q in:\n%s", want, text)
+		}
+	}
+}

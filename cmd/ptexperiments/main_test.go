@@ -1,0 +1,40 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestOneExperiment(t *testing.T) {
+	for _, id := range []string{"fig1", "table1"} {
+		r, err := one(id, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if r.Text == "" || r.Title == "" {
+			t.Errorf("%s: empty report", id)
+		}
+	}
+	r, err := one("fig2", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(r.Text, "0x61616161") {
+		t.Errorf("fig2 report missing detection value")
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	if _, err := one("bogus", 1); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	if err := run([]string{"bogus"}); err == nil {
+		t.Error("run with unknown id succeeded")
+	}
+}
+
+func TestRunSelected(t *testing.T) {
+	if err := run([]string{"table1"}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunCProgram(t *testing.T) {
+	prog := writeTemp(t, "ok.c", `int main() { puts("fine"); return 0; }`)
+	code, err := run([]string{prog})
+	if err != nil || code != 0 {
+		t.Fatalf("code=%d err=%v", code, err)
+	}
+}
+
+func TestRunExitCode(t *testing.T) {
+	prog := writeTemp(t, "seven.c", `int main() { return 7; }`)
+	code, err := run([]string{prog})
+	if err != nil || code != 7 {
+		t.Fatalf("code=%d err=%v", code, err)
+	}
+}
+
+func TestRunAlertExitsTwo(t *testing.T) {
+	prog := writeTemp(t, "vuln.c", `
+		void v() { char b[8]; gets(b); }
+		int main() { v(); return 0; }
+	`)
+	stdin := writeTemp(t, "payload", strings.Repeat("a", 24))
+	code, err := run([]string{"-stdin", stdin, prog})
+	if err != nil || code != 2 {
+		t.Fatalf("code=%d err=%v, want 2 (alert)", code, err)
+	}
+}
+
+func TestRunAsmWithStatsAndProfile(t *testing.T) {
+	prog := writeTemp(t, "p.s", `
+	.text
+	.entry _start
+	_start:
+		li $a0, 0
+		li $v0, 1
+		syscall
+	`)
+	code, err := run([]string{"-stats", "-profile", "-cache", prog})
+	if err != nil || code != 0 {
+		t.Fatalf("code=%d err=%v", code, err)
+	}
+}
+
+func TestRunGuestFilesAndArgs(t *testing.T) {
+	prog := writeTemp(t, "cat.c", `
+		int main(int argc, char **argv) {
+			if (argc < 2) return 1;
+			int fd = open(argv[1], 0);
+			if (fd == -1) return 2;
+			char buf[32];
+			int n = read(fd, buf, 31);
+			buf[n] = 0;
+			puts(buf);
+			return 0;
+		}
+	`)
+	host := writeTemp(t, "data.txt", "payload-bytes")
+	code, err := run([]string{"-file", "/data:" + host, prog, "/data"})
+	if err != nil || code != 0 {
+		t.Fatalf("code=%d err=%v", code, err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if _, err := run(nil); err == nil {
+		t.Error("no program accepted")
+	}
+	if _, err := run([]string{"-policy", "bogus", "x.c"}); err == nil {
+		t.Error("bad policy accepted")
+	}
+	prog := writeTemp(t, "p.c", "int main() { return 0; }")
+	if _, err := run([]string{"-file", "malformed", prog}); err == nil {
+		t.Error("bad -file accepted")
+	}
+	if _, err := run([]string{"/nonexistent.c"}); err == nil {
+		t.Error("missing program accepted")
+	}
+}

@@ -1,0 +1,11 @@
+// Package repro is a full-system Go reproduction of "Defeating Memory
+// Corruption Attacks via Pointer Taintedness Detection" (Chen, Xu, Nakka,
+// Kalbarczyk, Iyer; DSN 2005): a taint-tracking processor simulator, a
+// C-subset toolchain, an era-faithful runtime library and kernel, the
+// paper's vulnerable applications with scripted attackers, and harnesses
+// regenerating every table and figure of the evaluation.
+//
+// Start at internal/core for the library API, README.md for a tour, and
+// EXPERIMENTS.md for paper-vs-measured results. The root package holds
+// only this documentation and the benchmark suite (bench_test.go).
+package repro

@@ -1,0 +1,74 @@
+// Quickstart: compile a C program onto the pointer-taintedness machine,
+// watch taint flow from input into memory, and see the detector stop a
+// stack smash that the same binary, unprotected, would fall to.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"strings"
+
+	"repro/internal/core"
+)
+
+const hello = `
+int main() {
+	char name[32];
+	printf("who goes there? ");
+	gets(name);
+	printf("hello, %s!\n", name);
+	return 0;
+}
+`
+
+const vulnerable = `
+void greet() {
+	char buf[8];
+	gets(buf);            /* classic unbounded read */
+	printf("hi %s\n", buf);
+}
+int main() { greet(); return 0; }
+`
+
+func main() {
+	// 1. Ordinary run: input is tainted, output flows normally — tainted
+	//    *data* is fine; only tainted *pointers* alert.
+	m, err := core.BuildC(core.Config{}, hello)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m.SetStdin([]byte("alice\n"))
+	if err := m.Run(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(m.Stdout())
+	name := m.Symbols()["main"]
+	fmt.Printf("(main is at %#x; %d input bytes were tainted)\n\n",
+		name, m.InputStats().TaintedBytes)
+
+	// 2. The same machine stops a stack smash: 24 'a' bytes overrun the
+	//    8-byte buffer, taint the saved return address, and the JR
+	//    detector fires before control is hijacked.
+	victim, err := core.BuildC(core.Config{Policy: core.PointerTaintedness}, vulnerable)
+	if err != nil {
+		log.Fatal(err)
+	}
+	victim.SetStdin([]byte(strings.Repeat("a", 24) + "\n"))
+	runErr := victim.Run()
+	var alert *core.SecurityAlert
+	if errors.As(runErr, &alert) {
+		fmt.Println("attack detected:", alert)
+	} else {
+		log.Fatalf("expected a security alert, got %v", runErr)
+	}
+
+	// 3. Without protection the hijack lands (the machine crashes jumping
+	//    to 0x61616161 — in the wild this would be shellcode).
+	unprot, err := core.BuildC(core.Config{Policy: core.Off}, vulnerable)
+	if err != nil {
+		log.Fatal(err)
+	}
+	unprot.SetStdin([]byte(strings.Repeat("a", 24) + "\n"))
+	fmt.Println("unprotected run:", unprot.Run())
+}

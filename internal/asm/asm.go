@@ -1,0 +1,346 @@
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/isa"
+)
+
+// Source is one assembly translation unit.
+type Source struct {
+	Name string
+	Text string
+}
+
+// Assemble assembles and links the given sources into a single image. All
+// sources share one symbol namespace (a trivial static link); .text and
+// .data contributions are concatenated in source order.
+func Assemble(sources ...Source) (*Image, error) {
+	a := &assembler{symbols: make(map[string]symbol, 256)}
+	for _, src := range sources {
+		if err := a.pass1(src); err != nil {
+			return nil, err
+		}
+	}
+	return a.pass2()
+}
+
+// AssembleString assembles a single anonymous source.
+func AssembleString(text string) (*Image, error) {
+	return Assemble(Source{Name: "input.s", Text: text})
+}
+
+type section uint8
+
+const (
+	secText section = iota
+	secData
+)
+
+type symbol struct {
+	sec  section
+	off  uint32 // offset within section
+	file string
+	line int
+}
+
+// stmt is one size-determined statement awaiting pass-2 emission.
+type stmt struct {
+	file string
+	line int
+	sec  section
+	off  uint32 // section offset of first emitted byte
+	op   string
+	args []string
+	size uint32 // bytes emitted
+}
+
+type assembler struct {
+	symbols map[string]symbol
+	stmts   []stmt
+	textLen uint32
+	dataLen uint32
+	entry   string
+}
+
+func (a *assembler) cursor(sec section) *uint32 {
+	if sec == secText {
+		return &a.textLen
+	}
+	return &a.dataLen
+}
+
+// pass1 tokenizes src, defines labels, and sizes every statement.
+func (a *assembler) pass1(src Source) error {
+	sec := secText
+	lines := strings.Split(src.Text, "\n")
+	for i, raw := range lines {
+		lineNo := i + 1
+		line := stripComment(raw)
+		// Peel off any leading labels.
+		for {
+			trimmed := strings.TrimSpace(line)
+			if trimmed == "" {
+				line = ""
+				break
+			}
+			colon := labelEnd(trimmed)
+			if colon < 0 {
+				line = trimmed
+				break
+			}
+			name := trimmed[:colon]
+			if !validIdent(name) {
+				return errf(src.Name, lineNo, "invalid label %q", name)
+			}
+			if prev, dup := a.symbols[name]; dup {
+				return errf(src.Name, lineNo, "label %q redefined (first at %s:%d)",
+					name, prev.file, prev.line)
+			}
+			a.symbols[name] = symbol{sec: sec, off: *a.cursor(sec), file: src.Name, line: lineNo}
+			line = trimmed[colon+1:]
+		}
+		fields := splitOp(line)
+		if len(fields) == 0 {
+			continue
+		}
+		op, args := fields[0], fields[1:]
+		if strings.HasPrefix(op, ".") {
+			newSec, size, err := a.sizeDirective(src.Name, lineNo, sec, op, args)
+			if err != nil {
+				return err
+			}
+			if op == ".text" || op == ".data" {
+				sec = newSec
+				continue
+			}
+			if size == 0 && op != ".align" {
+				continue // non-emitting directive (.globl, .entry)
+			}
+			a.addStmt(src.Name, lineNo, sec, op, args, size)
+			continue
+		}
+		size, err := instrSize(src.Name, lineNo, op, args)
+		if err != nil {
+			return err
+		}
+		if sec != secText {
+			return errf(src.Name, lineNo, "instruction %q outside .text", op)
+		}
+		a.addStmt(src.Name, lineNo, sec, op, args, size)
+	}
+	return nil
+}
+
+func (a *assembler) addStmt(file string, line int, sec section, op string, args []string, size uint32) {
+	cur := a.cursor(sec)
+	a.stmts = append(a.stmts, stmt{
+		file: file, line: line, sec: sec, off: *cur, op: op, args: args, size: size,
+	})
+	*cur += size
+}
+
+// sizeDirective computes the emitted size of a directive and handles
+// section switches and .entry/.globl bookkeeping.
+func (a *assembler) sizeDirective(file string, line int, sec section, op string, args []string) (section, uint32, error) {
+	switch op {
+	case ".text":
+		return secText, 0, nil
+	case ".data":
+		return secData, 0, nil
+	case ".globl", ".global":
+		if len(args) != 1 {
+			return sec, 0, errf(file, line, "%s wants one symbol", op)
+		}
+		return sec, 0, nil
+	case ".entry":
+		if len(args) != 1 {
+			return sec, 0, errf(file, line, ".entry wants one symbol")
+		}
+		a.entry = args[0]
+		return sec, 0, nil
+	case ".word":
+		if len(args) == 0 {
+			return sec, 0, errf(file, line, ".word wants values")
+		}
+		pad := align4(*a.cursor(sec)) - *a.cursor(sec)
+		return sec, pad + 4*uint32(len(args)), nil
+	case ".half":
+		if len(args) == 0 {
+			return sec, 0, errf(file, line, ".half wants values")
+		}
+		pad := align2(*a.cursor(sec)) - *a.cursor(sec)
+		return sec, pad + 2*uint32(len(args)), nil
+	case ".byte":
+		if len(args) == 0 {
+			return sec, 0, errf(file, line, ".byte wants values")
+		}
+		return sec, uint32(len(args)), nil
+	case ".ascii", ".asciiz":
+		if len(args) != 1 {
+			return sec, 0, errf(file, line, "%s wants one string", op)
+		}
+		s, err := parseStringLit(args[0])
+		if err != nil {
+			return sec, 0, errf(file, line, "%v", err)
+		}
+		n := uint32(len(s))
+		if op == ".asciiz" {
+			n++
+		}
+		return sec, n, nil
+	case ".space":
+		if len(args) != 1 {
+			return sec, 0, errf(file, line, ".space wants a byte count")
+		}
+		n, err := strconv.ParseUint(args[0], 0, 32)
+		if err != nil {
+			return sec, 0, errf(file, line, ".space wants a byte count")
+		}
+		return sec, uint32(n), nil
+	case ".align":
+		if len(args) != 1 {
+			return sec, 0, errf(file, line, ".align wants an exponent")
+		}
+		n, err := strconv.ParseUint(args[0], 0, 5)
+		if err != nil {
+			return sec, 0, errf(file, line, "bad .align %q", args[0])
+		}
+		cur := *a.cursor(sec)
+		aligned := alignTo(cur, 1<<uint(n))
+		return sec, aligned - cur, nil
+	}
+	return sec, 0, errf(file, line, "unknown directive %q", op)
+}
+
+// instrSize returns how many bytes op expands to.
+func instrSize(file string, line int, op string, args []string) (uint32, error) {
+	switch op {
+	case "li":
+		if len(args) != 2 {
+			return 0, errf(file, line, "li wants rd, imm")
+		}
+		v, err := parseNumber(args[1])
+		if err != nil {
+			return 0, errf(file, line, "li immediate %q: %v", args[1], err)
+		}
+		if v >= -32768 && v <= 65535 {
+			return 4, nil
+		}
+		return 8, nil
+	case "la":
+		return 8, nil
+	case "bge", "bgt", "ble", "blt", "bgeu", "bgtu", "bleu", "bltu":
+		return 8, nil
+	case "lb", "lbu", "lh", "lhu", "lw", "sb", "sh", "sw":
+		if len(args) != 2 {
+			return 0, errf(file, line, "%s wants rt, addr", op)
+		}
+		if strings.Contains(args[1], "(") {
+			return 4, nil
+		}
+		return 8, nil // symbolic address: lui $at + access
+	}
+	if _, ok := isa.OpcodeByName(op); ok {
+		return 4, nil
+	}
+	switch op {
+	case "move", "neg", "not", "b", "beqz", "bnez", "seqz", "snez":
+		return 4, nil
+	}
+	return 0, errf(file, line, "unknown mnemonic %q", op)
+}
+
+// pass2 emits all statements into their segments and builds the image.
+func (a *assembler) pass2() (*Image, error) {
+	text := make([]byte, a.textLen)
+	data := make([]byte, a.dataLen)
+	im := &Image{
+		Symbols: make(map[string]uint32, len(a.symbols)),
+		DataEnd: DataBase + a.dataLen,
+	}
+	for name, s := range a.symbols {
+		im.Symbols[name] = a.symAddr(s)
+	}
+	for _, st := range a.stmts {
+		buf := text
+		base := uint32(TextBase)
+		if st.sec == secData {
+			buf, base = data, DataBase
+		}
+		if err := a.emit(st, buf[st.off:st.off+st.size], base+st.off); err != nil {
+			return nil, err
+		}
+	}
+	im.Segments = []Segment{
+		{Addr: TextBase, Data: text},
+		{Addr: DataBase, Data: data},
+	}
+	entryName := a.entry
+	if entryName == "" {
+		if _, ok := im.Symbols["_start"]; ok {
+			entryName = "_start"
+		} else if _, ok := im.Symbols["main"]; ok {
+			entryName = "main"
+		}
+	}
+	if entryName != "" {
+		e, ok := im.Symbols[entryName]
+		if !ok {
+			return nil, fmt.Errorf("entry symbol %q undefined", entryName)
+		}
+		im.Entry = e
+	} else {
+		im.Entry = TextBase
+	}
+	return im, nil
+}
+
+func (a *assembler) symAddr(s symbol) uint32 {
+	if s.sec == secText {
+		return TextBase + s.off
+	}
+	return DataBase + s.off
+}
+
+// resolve evaluates an expression operand: NUMBER, SYMBOL, SYMBOL+N,
+// SYMBOL-N.
+func (a *assembler) resolve(file string, line int, expr string) (uint32, error) {
+	expr = strings.TrimSpace(expr)
+	if expr == "" {
+		return 0, errf(file, line, "empty expression")
+	}
+	if v, err := parseNumber(expr); err == nil {
+		return uint32(v), nil
+	}
+	// SYMBOL, optionally +/- numeric offset.
+	name, off := expr, int64(0)
+	for i := 1; i < len(expr); i++ {
+		if expr[i] == '+' || expr[i] == '-' {
+			n, err := parseNumber(expr[i+1:])
+			if err != nil {
+				return 0, errf(file, line, "bad offset in %q", expr)
+			}
+			name = expr[:i]
+			if expr[i] == '-' {
+				off = -n
+			} else {
+				off = n
+			}
+			break
+		}
+	}
+	sym, ok := a.symbols[name]
+	if !ok {
+		return 0, errf(file, line, "undefined symbol %q", name)
+	}
+	return a.symAddr(sym) + uint32(off), nil
+}
+
+func align2(v uint32) uint32 { return (v + 1) &^ 1 }
+func align4(v uint32) uint32 { return (v + 3) &^ 3 }
+func alignTo(v, n uint32) uint32 {
+	return (v + n - 1) &^ (n - 1)
+}

@@ -1,0 +1,515 @@
+package asm
+
+import (
+	"encoding/binary"
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// textWords assembles src and returns the decoded text-segment instructions.
+func textWords(t *testing.T, src string) []isa.Instruction {
+	t.Helper()
+	im, err := AssembleString(src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	text := im.Segments[0]
+	out := make([]isa.Instruction, 0, len(text.Data)/4)
+	for i := 0; i+4 <= len(text.Data); i += 4 {
+		w := binary.LittleEndian.Uint32(text.Data[i:])
+		in, err := isa.Decode(w)
+		if err != nil {
+			t.Fatalf("decode word %d (%#08x): %v", i/4, w, err)
+		}
+		out = append(out, in)
+	}
+	return out
+}
+
+func TestBasicInstructions(t *testing.T) {
+	ins := textWords(t, `
+		.text
+	main:
+		add $t0, $t1, $t2
+		addi $sp, $sp, -16
+		lw $ra, 12($sp)
+		sw $a0, 0($sp)
+		sll $t0, $t0, 2
+		srav $t1, $t2, $t3
+		jr $ra
+		syscall
+		nop
+	`)
+	want := []isa.Instruction{
+		{Op: isa.OpADD, Rd: isa.RegT0, Rs: isa.RegT1, Rt: isa.RegT2},
+		{Op: isa.OpADDI, Rt: isa.RegSP, Rs: isa.RegSP, Imm: -16},
+		{Op: isa.OpLW, Rt: isa.RegRA, Rs: isa.RegSP, Imm: 12},
+		{Op: isa.OpSW, Rt: isa.RegA0, Rs: isa.RegSP, Imm: 0},
+		{Op: isa.OpSLL, Rd: isa.RegT0, Rt: isa.RegT0, Shamt: 2},
+		{Op: isa.OpSRAV, Rd: isa.RegT1, Rt: isa.RegT2, Rs: isa.RegT3},
+		{Op: isa.OpJR, Rs: isa.RegRA},
+		{Op: isa.OpSYSCALL},
+		{Op: isa.OpNOP},
+	}
+	if len(ins) != len(want) {
+		t.Fatalf("got %d instructions, want %d", len(ins), len(want))
+	}
+	for i := range want {
+		if ins[i] != want[i] {
+			t.Errorf("instr %d = %+v, want %+v", i, ins[i], want[i])
+		}
+	}
+}
+
+func TestLiExpansion(t *testing.T) {
+	ins := textWords(t, `
+		li $t0, 42
+		li $t1, -5
+		li $t2, 0xFFFF
+		li $t3, 0x10020000
+	`)
+	want := []isa.Instruction{
+		{Op: isa.OpORI, Rt: isa.RegT0, Rs: isa.RegZero, Imm: 42},
+		{Op: isa.OpADDIU, Rt: isa.RegT1, Rs: isa.RegZero, Imm: -5},
+		{Op: isa.OpORI, Rt: isa.RegT2, Rs: isa.RegZero, Imm: -1},
+		{Op: isa.OpLUI, Rt: isa.RegT3, Imm: 0x1002},
+		{Op: isa.OpORI, Rt: isa.RegT3, Rs: isa.RegT3, Imm: 0},
+	}
+	if len(ins) != len(want) {
+		t.Fatalf("got %d instructions, want %d: %+v", len(ins), len(want), ins)
+	}
+	for i := range want {
+		if ins[i] != want[i] {
+			t.Errorf("instr %d = %+v, want %+v", i, ins[i], want[i])
+		}
+	}
+}
+
+func TestLaAndSymbolicLoads(t *testing.T) {
+	im, err := AssembleString(`
+		.data
+	msg:	.asciiz "hi"
+		.align 2
+	val:	.word 7
+		.text
+	main:	la $a0, msg
+		lw $t0, val
+		sw $t0, val
+		jr $ra
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := im.Symbols["msg"]; got != DataBase {
+		t.Errorf("msg = %#x, want %#x", got, uint32(DataBase))
+	}
+	if got := im.Symbols["val"]; got != DataBase+4 {
+		t.Errorf("val = %#x, want %#x", got, uint32(DataBase+4))
+	}
+	text := im.Segments[0].Data
+	// la = lui $a0, hi; ori $a0, $a0, lo
+	in0, _ := isa.Decode(binary.LittleEndian.Uint32(text[0:]))
+	in1, _ := isa.Decode(binary.LittleEndian.Uint32(text[4:]))
+	if in0.Op != isa.OpLUI || in0.Rt != isa.RegA0 || uint16(in0.Imm) != 0x1000 {
+		t.Errorf("la hi = %+v", in0)
+	}
+	if in1.Op != isa.OpORI || in1.Rt != isa.RegA0 || in1.Rs != isa.RegA0 || in1.Imm != 0 {
+		t.Errorf("la lo = %+v", in1)
+	}
+	// lw $t0, val = lui $at, 0x1000; lw $t0, 4($at)
+	in2, _ := isa.Decode(binary.LittleEndian.Uint32(text[8:]))
+	in3, _ := isa.Decode(binary.LittleEndian.Uint32(text[12:]))
+	if in2.Op != isa.OpLUI || in2.Rt != isa.RegAT {
+		t.Errorf("lw hi = %+v", in2)
+	}
+	if in3.Op != isa.OpLW || in3.Rt != isa.RegT0 || in3.Rs != isa.RegAT || in3.Imm != 4 {
+		t.Errorf("lw lo = %+v", in3)
+	}
+}
+
+func TestSymbolicAddressSignCompensation(t *testing.T) {
+	// A symbol whose low half has bit 15 set requires hi+1 compensation.
+	im, err := AssembleString(`
+		.data
+		.space 0x9000
+	far:	.word 1
+		.text
+	main:	lw $t0, far
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := im.Segments[0].Data
+	in0, _ := isa.Decode(binary.LittleEndian.Uint32(text[0:]))
+	in1, _ := isa.Decode(binary.LittleEndian.Uint32(text[4:]))
+	// far = 0x10009000; lo = 0x9000 (negative as int16), hi must be 0x1001.
+	if uint16(in0.Imm) != 0x1001 {
+		t.Errorf("hi = %#x, want 0x1001", uint16(in0.Imm))
+	}
+	got := uint32(uint16(in0.Imm))<<16 + uint32(in1.Imm)
+	if got != im.Symbols["far"] {
+		t.Errorf("materialized %#x, want %#x", got, im.Symbols["far"])
+	}
+}
+
+func TestBranchesAndJumps(t *testing.T) {
+	ins := textWords(t, `
+	loop:	beq $t0, $t1, done
+		bne $t0, $zero, loop
+		b loop
+		beqz $v0, done
+		bnez $v0, loop
+		blez $a0, done
+		bgez $a0, loop
+		j loop
+		jal loop
+	done:	jr $ra
+	`)
+	// beq at 0: done is instr 9 (addr 36): off = (36-0-4)/4 = 8
+	if ins[0].Op != isa.OpBEQ || ins[0].Imm != 8 {
+		t.Errorf("beq = %+v", ins[0])
+	}
+	// bne at 4 -> loop(0): off = (0-4-4)/4 = -2
+	if ins[1].Op != isa.OpBNE || ins[1].Imm != -2 {
+		t.Errorf("bne = %+v", ins[1])
+	}
+	if ins[2].Op != isa.OpBEQ || ins[2].Rs != isa.RegZero || ins[2].Rt != isa.RegZero {
+		t.Errorf("b = %+v", ins[2])
+	}
+	if ins[7].Op != isa.OpJ || ins[7].Target != TextBase>>2 {
+		t.Errorf("j = %+v", ins[7])
+	}
+	if ins[8].Op != isa.OpJAL {
+		t.Errorf("jal = %+v", ins[8])
+	}
+}
+
+func TestCmpBranchExpansion(t *testing.T) {
+	ins := textWords(t, `
+	start:	bge $t0, $t1, start
+		bltu $a0, $a1, start
+	`)
+	if ins[0].Op != isa.OpSLT || ins[0].Rd != isa.RegAT || ins[0].Rs != isa.RegT0 || ins[0].Rt != isa.RegT1 {
+		t.Errorf("bge cmp = %+v", ins[0])
+	}
+	// branch at addr 4 -> start(0): off = (0-4-4)/4 = -2
+	if ins[1].Op != isa.OpBEQ || ins[1].Rs != isa.RegAT || ins[1].Imm != -2 {
+		t.Errorf("bge branch = %+v", ins[1])
+	}
+	if ins[2].Op != isa.OpSLTU {
+		t.Errorf("bltu cmp = %+v", ins[2])
+	}
+	if ins[3].Op != isa.OpBNE || ins[3].Imm != -4 {
+		t.Errorf("bltu branch = %+v", ins[3])
+	}
+}
+
+func TestDataDirectives(t *testing.T) {
+	im, err := AssembleString(`
+		.data
+	b1:	.byte 1, 2, 0xFF, 'a', '\n'
+	h1:	.half 0x1234, -2
+	w1:	.word 0xDEADBEEF, b1, w1+4
+	s1:	.ascii "ab"
+	s2:	.asciiz "c\x41\0d"
+	sp:	.space 3
+	al:	.align 2
+	w2:	.word 1
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := im.Segments[1].Data
+	wantPrefix := []byte{1, 2, 0xFF, 'a', '\n'}
+	for i, b := range wantPrefix {
+		if d[i] != b {
+			t.Errorf(".byte[%d] = %#x, want %#x", i, d[i], b)
+		}
+	}
+	// .half aligns to 6.
+	if got := binary.LittleEndian.Uint16(d[6:]); got != 0x1234 {
+		t.Errorf(".half[0] = %#x", got)
+	}
+	if got := int16(binary.LittleEndian.Uint16(d[8:])); got != -2 {
+		t.Errorf(".half[1] = %d", got)
+	}
+	// .word aligns to 12.
+	if got := binary.LittleEndian.Uint32(d[12:]); got != 0xDEADBEEF {
+		t.Errorf(".word[0] = %#x", got)
+	}
+	if got := binary.LittleEndian.Uint32(d[16:]); got != DataBase {
+		t.Errorf(".word[1] (symbol) = %#x, want %#x", got, uint32(DataBase))
+	}
+	if got := binary.LittleEndian.Uint32(d[20:]); got != im.Symbols["w1"]+4 {
+		t.Errorf(".word[2] (sym+off) = %#x", got)
+	}
+	if string(d[24:26]) != "ab" {
+		t.Errorf(".ascii = %q", d[24:26])
+	}
+	if string(d[26:31]) != "cA\x00d\x00" {
+		t.Errorf(".asciiz = %q", d[26:31])
+	}
+	// sp occupies 31..34; .align 2 pads to 36.
+	if got := im.Symbols["w2"]; got != DataBase+36 {
+		t.Errorf("w2 = %#x, want %#x", got, uint32(DataBase+36))
+	}
+	if im.DataEnd != DataBase+40 {
+		t.Errorf("DataEnd = %#x, want %#x", im.DataEnd, uint32(DataBase+40))
+	}
+}
+
+func TestEntryResolution(t *testing.T) {
+	im, err := AssembleString(".text\nfoo: nop\nmain: nop\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if im.Entry != im.Symbols["main"] {
+		t.Errorf("Entry = %#x, want main", im.Entry)
+	}
+	im, err = AssembleString(".text\n_start: nop\nmain: nop\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if im.Entry != im.Symbols["_start"] {
+		t.Errorf("Entry = %#x, want _start", im.Entry)
+	}
+	im, err = AssembleString(".entry foo\n.text\nfoo: nop\nmain: nop\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if im.Entry != im.Symbols["foo"] {
+		t.Errorf("Entry = %#x, want foo", im.Entry)
+	}
+}
+
+func TestMultiSourceLink(t *testing.T) {
+	im, err := Assemble(
+		Source{Name: "a.s", Text: ".text\nmain: jal helper\n jr $ra\n"},
+		Source{Name: "b.s", Text: ".text\nhelper: jr $ra\n.data\nshared: .word 9\n"},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := im.Symbols["helper"]; !ok {
+		t.Error("helper not in symbol table")
+	}
+	ins, _ := isa.Decode(binary.LittleEndian.Uint32(im.Segments[0].Data))
+	if got := isa.JumpTarget(TextBase, ins); got != im.Symbols["helper"] {
+		t.Errorf("jal target = %#x, want %#x", got, im.Symbols["helper"])
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		frag string
+	}{
+		{"bogus $t0", "unknown mnemonic"},
+		{".text\nlw $t0, nosuch\n", "undefined symbol"},
+		{"dup: nop\ndup: nop\n", "redefined"},
+		{"add $t0, $t1\n", "wants 3 operands"},
+		{"add $t0, $t1, $t9x\n", "bad register"},
+		{".data\nx: .word\n", ".word wants values"},
+		{".data\n.byte 999\n", "out of range"},
+		{".data\n.half 100000\n", "out of range"},
+		{"addi $t0, $t1, 70000\n", "out of 16-bit range"},
+		{"sll $t0, $t1, 32\n", "bad shift amount"},
+		{".data\nx: .ascii bad\n", "bad string literal"},
+		{"1bad: nop\n", "invalid label"},
+		{".entry nothere\nmain: nop\n", "undefined"},
+		{".frobnicate 2\n", "unknown directive"},
+		{"lw $t0, 99999($sp)\n", "offset 99999 out of range"},
+		{".data\ninstr_in_data: add $t0,$t0,$t0\n", "outside .text"},
+	}
+	for _, c := range cases {
+		_, err := AssembleString(c.src)
+		if err == nil {
+			t.Errorf("assembling %q succeeded, want error containing %q", c.src, c.frag)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("error for %q = %q, want substring %q", c.src, err, c.frag)
+		}
+	}
+}
+
+func TestErrorHasPosition(t *testing.T) {
+	_, err := Assemble(Source{Name: "prog.s", Text: "nop\nnop\nbogus\n"})
+	if err == nil {
+		t.Fatal("no error")
+	}
+	var ae *Error
+	if !strings.HasPrefix(err.Error(), "prog.s:3:") {
+		t.Errorf("error = %q, want prog.s:3: prefix", err)
+	}
+	_ = ae
+}
+
+func TestSymbolAt(t *testing.T) {
+	im, err := AssembleString(`
+	.text
+	main:	nop
+		nop
+	helper:	nop
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	name, off := im.SymbolAt(im.Symbols["main"] + 4)
+	if name != "main" || off != 4 {
+		t.Errorf("SymbolAt(main+4) = %q+%d", name, off)
+	}
+	name, off = im.SymbolAt(im.Symbols["helper"])
+	if name != "helper" || off != 0 {
+		t.Errorf("SymbolAt(helper) = %q+%d", name, off)
+	}
+	if name, _ := im.SymbolAt(0); name != "" {
+		t.Errorf("SymbolAt(0) = %q, want none", name)
+	}
+}
+
+func TestSortedSymbols(t *testing.T) {
+	im, err := AssembleString(".text\nzz: nop\naa: nop\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	syms := im.SortedSymbols()
+	if len(syms) != 2 || syms[0].Name != "zz" || syms[1].Name != "aa" {
+		t.Errorf("SortedSymbols = %+v", syms)
+	}
+}
+
+func TestCommentsAndFormatting(t *testing.T) {
+	ins := textWords(t, `
+	# full line comment
+	main: nop # trailing
+		li $t0, '#'   ; char containing comment marker
+		nop ; semicolon comment
+	`)
+	if len(ins) != 3 {
+		t.Fatalf("got %d instructions, want 3", len(ins))
+	}
+	if ins[1].Op != isa.OpORI || ins[1].Imm != '#' {
+		t.Errorf("li '#' = %+v", ins[1])
+	}
+}
+
+func TestMultipleLabelsOneLine(t *testing.T) {
+	im, err := AssembleString(".text\na: b: c: nop\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if im.Symbols["a"] != im.Symbols["b"] || im.Symbols["b"] != im.Symbols["c"] {
+		t.Error("stacked labels differ")
+	}
+}
+
+func TestJalrForms(t *testing.T) {
+	ins := textWords(t, "jalr $t9\njalr $s0, $t8\n")
+	if ins[0].Op != isa.OpJALR || ins[0].Rd != isa.RegRA || ins[0].Rs != isa.RegT9 {
+		t.Errorf("jalr one-op = %+v", ins[0])
+	}
+	if ins[1].Op != isa.OpJALR || ins[1].Rd != isa.RegS0 || ins[1].Rs != isa.RegT8 {
+		t.Errorf("jalr two-op = %+v", ins[1])
+	}
+}
+
+func TestPseudoOps(t *testing.T) {
+	ins := textWords(t, `
+		move $t0, $t1
+		neg $t2, $t3
+		not $t4, $t5
+		seqz $t6, $t7
+		snez $s0, $s1
+	`)
+	want := []isa.Instruction{
+		{Op: isa.OpADDU, Rd: isa.RegT0, Rs: isa.RegT1, Rt: isa.RegZero},
+		{Op: isa.OpSUB, Rd: isa.RegT2, Rs: isa.RegZero, Rt: isa.RegT3},
+		{Op: isa.OpNOR, Rd: isa.RegT4, Rs: isa.RegT5, Rt: isa.RegZero},
+		{Op: isa.OpSLTIU, Rt: isa.RegT6, Rs: isa.RegT7, Imm: 1},
+		{Op: isa.OpSLTU, Rd: isa.RegS0, Rs: isa.RegZero, Rt: isa.RegS1},
+	}
+	for i := range want {
+		if ins[i] != want[i] {
+			t.Errorf("instr %d = %+v, want %+v", i, ins[i], want[i])
+		}
+	}
+}
+
+func TestMemOperandForms(t *testing.T) {
+	ins := textWords(t, `
+		lw $t0, ($sp)
+		lb $t1, -1($fp)
+		sh $t2, 0x10($gp)
+	`)
+	if ins[0].Op != isa.OpLW || ins[0].Imm != 0 || ins[0].Rs != isa.RegSP {
+		t.Errorf("lw ($sp) = %+v", ins[0])
+	}
+	if ins[1].Op != isa.OpLB || ins[1].Imm != -1 || ins[1].Rs != isa.RegFP {
+		t.Errorf("lb -1($fp) = %+v", ins[1])
+	}
+	if ins[2].Op != isa.OpSH || ins[2].Imm != 16 || ins[2].Rs != isa.RegGP {
+		t.Errorf("sh 0x10($gp) = %+v", ins[2])
+	}
+}
+
+func TestTextListing(t *testing.T) {
+	im, err := AssembleString(".text\nmain:\n\tnop\n\tlw $ra, 4($sp)\n\tjr $ra\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := im.TextListing()
+	if len(lines) != 3 {
+		t.Fatalf("listing has %d lines", len(lines))
+	}
+	if !strings.Contains(lines[1], "lw $ra,4($sp)") {
+		t.Errorf("line 2 = %q", lines[1])
+	}
+	if !strings.HasPrefix(lines[0], "00400000:") {
+		t.Errorf("line 1 = %q", lines[0])
+	}
+	if (&Image{}).TextListing() != nil {
+		t.Error("empty image produced a listing")
+	}
+}
+
+func TestMoreAsmErrors(t *testing.T) {
+	cases := []struct{ src, frag string }{
+		{"jalr $t0, $t1, $t2\n", "jalr wants 1 or 2"},
+		{".align x\n", "bad .align"},
+		{".globl\n", "wants one symbol"},
+		{".entry\n", ".entry wants one symbol"},
+		{".data\n.ascii \"a\" \"b\"\n", "bad string literal"},
+		{".data\n.space -1\n", ".space wants a byte count"},
+		{"main: lw $t0, main\njr $ra\n", ""}, // symbolic load of a text label is fine
+		{"j 0x50000001\n", "not word-aligned"},
+		{".data\nw: .word nosuch+4\n", "undefined symbol"},
+		{".data\nw: .word w+z\n", "bad offset"},
+		{"beq $t0, $t1\n", "wants 3 operands"},
+		{"li $t0\n", "li wants rd, imm"},
+		{"li $t0, nonnumeric\n", "li immediate"},
+	}
+	for _, c := range cases {
+		_, err := AssembleString(c.src)
+		if c.frag == "" {
+			if err != nil {
+				t.Errorf("assembling %q failed: %v", c.src, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("assembling %q: err = %v, want %q", c.src, err, c.frag)
+		}
+	}
+}
+
+func TestMustEncodePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustEncode did not panic on an invalid instruction")
+		}
+	}()
+	isa.MustEncode(isa.Instruction{})
+}

@@ -1,0 +1,551 @@
+package asm
+
+import (
+	"encoding/binary"
+	"strings"
+
+	"repro/internal/isa"
+)
+
+// emit writes the pass-2 bytes for one statement into out (whose length is
+// the statement's pass-1 size). addr is the statement's absolute address.
+func (a *assembler) emit(st stmt, out []byte, addr uint32) error {
+	if strings.HasPrefix(st.op, ".") {
+		return a.emitDirective(st, out)
+	}
+	words, err := a.expand(st, addr)
+	if err != nil {
+		return err
+	}
+	if uint32(len(words)*4) != st.size {
+		return errf(st.file, st.line, "internal: %s sized %d bytes, emitted %d",
+			st.op, st.size, len(words)*4)
+	}
+	for i, w := range words {
+		binary.LittleEndian.PutUint32(out[i*4:], w)
+	}
+	return nil
+}
+
+func (a *assembler) emitDirective(st stmt, out []byte) error {
+	switch st.op {
+	case ".align":
+		return nil // padding already zero
+	case ".word":
+		pad := align4(st.off) - st.off
+		for i, arg := range st.args {
+			v, err := a.resolve(st.file, st.line, arg)
+			if err != nil {
+				return err
+			}
+			binary.LittleEndian.PutUint32(out[pad+uint32(i*4):], v)
+		}
+		return nil
+	case ".half":
+		pad := align2(st.off) - st.off
+		for i, arg := range st.args {
+			v, err := a.resolve(st.file, st.line, arg)
+			if err != nil {
+				return err
+			}
+			if int32(v) < -32768 || int32(v) > 65535 {
+				return errf(st.file, st.line, ".half value %d out of range", int32(v))
+			}
+			binary.LittleEndian.PutUint16(out[pad+uint32(i*2):], uint16(v))
+		}
+		return nil
+	case ".byte":
+		for i, arg := range st.args {
+			v, err := a.resolve(st.file, st.line, arg)
+			if err != nil {
+				return err
+			}
+			if int32(v) < -128 || int32(v) > 255 {
+				return errf(st.file, st.line, ".byte value %d out of range", int32(v))
+			}
+			out[i] = byte(v)
+		}
+		return nil
+	case ".ascii", ".asciiz":
+		s, err := parseStringLit(st.args[0])
+		if err != nil {
+			return errf(st.file, st.line, "%v", err)
+		}
+		copy(out, s)
+		return nil
+	case ".space":
+		return nil // zero-filled
+	}
+	return errf(st.file, st.line, "internal: unemittable directive %q", st.op)
+}
+
+// expand translates one mnemonic (real or pseudo) into machine words.
+func (a *assembler) expand(st stmt, addr uint32) ([]uint32, error) {
+	fail := func(format string, args ...any) ([]uint32, error) {
+		return nil, errf(st.file, st.line, format, args...)
+	}
+	reg := func(s string) (isa.Register, error) {
+		r, ok := isa.RegisterByName(strings.TrimSpace(s))
+		if !ok {
+			return 0, errf(st.file, st.line, "bad register %q", s)
+		}
+		return r, nil
+	}
+	need := func(n int) error {
+		if len(st.args) != n {
+			return errf(st.file, st.line, "%s wants %d operands, got %d", st.op, n, len(st.args))
+		}
+		return nil
+	}
+	one := func(in isa.Instruction) ([]uint32, error) {
+		w, err := isa.Encode(in)
+		if err != nil {
+			return fail("%v", err)
+		}
+		return []uint32{w}, nil
+	}
+
+	// Pseudo-instructions first.
+	switch st.op {
+	case "li":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err := reg(st.args[0])
+		if err != nil {
+			return nil, err
+		}
+		v, err := parseNumber(st.args[1])
+		if err != nil {
+			return fail("li immediate %q: %v", st.args[1], err)
+		}
+		return a.materialize(rd, uint32(v), v >= -32768 && v <= 65535)
+	case "la":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err := reg(st.args[0])
+		if err != nil {
+			return nil, err
+		}
+		v, err := a.resolve(st.file, st.line, st.args[1])
+		if err != nil {
+			return nil, err
+		}
+		return a.materialize(rd, v, false)
+	case "move":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err := reg(st.args[0])
+		if err != nil {
+			return nil, err
+		}
+		rs, err := reg(st.args[1])
+		if err != nil {
+			return nil, err
+		}
+		return one(isa.Instruction{Op: isa.OpADDU, Rd: rd, Rs: rs, Rt: isa.RegZero})
+	case "neg":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err := reg(st.args[0])
+		if err != nil {
+			return nil, err
+		}
+		rs, err := reg(st.args[1])
+		if err != nil {
+			return nil, err
+		}
+		return one(isa.Instruction{Op: isa.OpSUB, Rd: rd, Rs: isa.RegZero, Rt: rs})
+	case "not":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err := reg(st.args[0])
+		if err != nil {
+			return nil, err
+		}
+		rs, err := reg(st.args[1])
+		if err != nil {
+			return nil, err
+		}
+		return one(isa.Instruction{Op: isa.OpNOR, Rd: rd, Rs: rs, Rt: isa.RegZero})
+	case "b":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		off, err := a.branchOffset(st, addr, st.args[0])
+		if err != nil {
+			return nil, err
+		}
+		return one(isa.Instruction{Op: isa.OpBEQ, Rs: isa.RegZero, Rt: isa.RegZero, Imm: off})
+	case "beqz", "bnez":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rs, err := reg(st.args[0])
+		if err != nil {
+			return nil, err
+		}
+		off, err := a.branchOffset(st, addr, st.args[1])
+		if err != nil {
+			return nil, err
+		}
+		op := isa.OpBEQ
+		if st.op == "bnez" {
+			op = isa.OpBNE
+		}
+		return one(isa.Instruction{Op: op, Rs: rs, Rt: isa.RegZero, Imm: off})
+	case "seqz":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err := reg(st.args[0])
+		if err != nil {
+			return nil, err
+		}
+		rs, err := reg(st.args[1])
+		if err != nil {
+			return nil, err
+		}
+		return one(isa.Instruction{Op: isa.OpSLTIU, Rt: rd, Rs: rs, Imm: 1})
+	case "snez":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err := reg(st.args[0])
+		if err != nil {
+			return nil, err
+		}
+		rs, err := reg(st.args[1])
+		if err != nil {
+			return nil, err
+		}
+		return one(isa.Instruction{Op: isa.OpSLTU, Rd: rd, Rs: isa.RegZero, Rt: rs})
+	case "bge", "bgt", "ble", "blt", "bgeu", "bgtu", "bleu", "bltu":
+		return a.expandCmpBranch(st, addr)
+	}
+
+	op, ok := isa.OpcodeByName(st.op)
+	if !ok {
+		return fail("unknown mnemonic %q", st.op)
+	}
+	switch op.Kind() {
+	case isa.KindSystem:
+		if err := need(0); err != nil {
+			return nil, err
+		}
+		return one(isa.Instruction{Op: op})
+	case isa.KindLoad, isa.KindStore:
+		return a.expandMem(st, op)
+	case isa.KindJump:
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		target, err := a.resolve(st.file, st.line, st.args[0])
+		if err != nil {
+			return nil, err
+		}
+		if target&3 != 0 {
+			return fail("jump target %#x not word-aligned", target)
+		}
+		if (addr+4)&0xF0000000 != target&0xF0000000 {
+			return fail("jump target %#x out of region for pc %#x", target, addr)
+		}
+		return one(isa.Instruction{Op: op, Target: target >> 2 & (1<<26 - 1)})
+	case isa.KindJumpReg:
+		if op == isa.OpJR {
+			if err := need(1); err != nil {
+				return nil, err
+			}
+			rs, err := reg(st.args[0])
+			if err != nil {
+				return nil, err
+			}
+			return one(isa.Instruction{Op: op, Rs: rs})
+		}
+		// jalr rd, rs | jalr rs (rd defaults to $ra).
+		rd, rsArg := isa.RegRA, ""
+		switch len(st.args) {
+		case 1:
+			rsArg = st.args[0]
+		case 2:
+			r, err := reg(st.args[0])
+			if err != nil {
+				return nil, err
+			}
+			rd, rsArg = r, st.args[1]
+		default:
+			return fail("jalr wants 1 or 2 operands")
+		}
+		rs, err := reg(rsArg)
+		if err != nil {
+			return nil, err
+		}
+		return one(isa.Instruction{Op: op, Rd: rd, Rs: rs})
+	case isa.KindBranch:
+		switch op {
+		case isa.OpBEQ, isa.OpBNE:
+			if err := need(3); err != nil {
+				return nil, err
+			}
+			rs, err := reg(st.args[0])
+			if err != nil {
+				return nil, err
+			}
+			rt, err := reg(st.args[1])
+			if err != nil {
+				return nil, err
+			}
+			off, err := a.branchOffset(st, addr, st.args[2])
+			if err != nil {
+				return nil, err
+			}
+			return one(isa.Instruction{Op: op, Rs: rs, Rt: rt, Imm: off})
+		default: // blez/bgtz/bltz/bgez
+			if err := need(2); err != nil {
+				return nil, err
+			}
+			rs, err := reg(st.args[0])
+			if err != nil {
+				return nil, err
+			}
+			off, err := a.branchOffset(st, addr, st.args[1])
+			if err != nil {
+				return nil, err
+			}
+			return one(isa.Instruction{Op: op, Rs: rs, Imm: off})
+		}
+	case isa.KindShift:
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		rd, err := reg(st.args[0])
+		if err != nil {
+			return nil, err
+		}
+		rt, err := reg(st.args[1])
+		if err != nil {
+			return nil, err
+		}
+		switch op {
+		case isa.OpSLL, isa.OpSRL, isa.OpSRA:
+			n, err := parseNumber(st.args[2])
+			if err != nil || n < 0 || n > 31 {
+				return fail("bad shift amount %q", st.args[2])
+			}
+			return one(isa.Instruction{Op: op, Rd: rd, Rt: rt, Shamt: uint8(n)})
+		default:
+			rs, err := reg(st.args[2])
+			if err != nil {
+				return nil, err
+			}
+			return one(isa.Instruction{Op: op, Rd: rd, Rt: rt, Rs: rs})
+		}
+	}
+	// Remaining: three-register ALU, immediate ALU, compares, LUI.
+	switch op {
+	case isa.OpLUI:
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rt, err := reg(st.args[0])
+		if err != nil {
+			return nil, err
+		}
+		v, err := parseNumber(st.args[1])
+		if err != nil || v < -32768 || v > 65535 {
+			return fail("bad lui immediate %q", st.args[1])
+		}
+		return one(isa.Instruction{Op: op, Rt: rt, Imm: int32(int16(uint16(v)))})
+	case isa.OpADDI, isa.OpADDIU, isa.OpSLTI, isa.OpSLTIU, isa.OpANDI, isa.OpORI, isa.OpXORI:
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		rt, err := reg(st.args[0])
+		if err != nil {
+			return nil, err
+		}
+		rs, err := reg(st.args[1])
+		if err != nil {
+			return nil, err
+		}
+		v, err := parseNumber(st.args[2])
+		if err != nil || v < -32768 || v > 65535 {
+			return fail("immediate %q out of 16-bit range", st.args[2])
+		}
+		return one(isa.Instruction{Op: op, Rt: rt, Rs: rs, Imm: int32(int16(uint16(v)))})
+	}
+	if err := need(3); err != nil {
+		return nil, err
+	}
+	rd, err := reg(st.args[0])
+	if err != nil {
+		return nil, err
+	}
+	rs, err := reg(st.args[1])
+	if err != nil {
+		return nil, err
+	}
+	rt, err := reg(st.args[2])
+	if err != nil {
+		return nil, err
+	}
+	return one(isa.Instruction{Op: op, Rd: rd, Rs: rs, Rt: rt})
+}
+
+// materialize loads a 32-bit constant into rd: one ADDIU/ORI when short is
+// true, otherwise the canonical LUI+ORI pair (always 2 words).
+func (a *assembler) materialize(rd isa.Register, v uint32, short bool) ([]uint32, error) {
+	if short {
+		sv := int32(v)
+		var in isa.Instruction
+		if sv >= -32768 && sv < 0 {
+			in = isa.Instruction{Op: isa.OpADDIU, Rt: rd, Rs: isa.RegZero, Imm: sv}
+		} else {
+			in = isa.Instruction{Op: isa.OpORI, Rt: rd, Rs: isa.RegZero, Imm: int32(int16(uint16(v)))}
+		}
+		w, err := isa.Encode(in)
+		if err != nil {
+			return nil, err
+		}
+		return []uint32{w}, nil
+	}
+	hi, err := isa.Encode(isa.Instruction{Op: isa.OpLUI, Rt: rd, Imm: int32(int16(uint16(v >> 16)))})
+	if err != nil {
+		return nil, err
+	}
+	lo, err := isa.Encode(isa.Instruction{Op: isa.OpORI, Rt: rd, Rs: rd, Imm: int32(int16(uint16(v)))})
+	if err != nil {
+		return nil, err
+	}
+	return []uint32{hi, lo}, nil
+}
+
+// expandMem handles lb/lh/lw/sb/sh/sw in both "rt, off(rs)" and symbolic
+// "rt, sym[+off]" forms.
+func (a *assembler) expandMem(st stmt, op isa.Opcode) ([]uint32, error) {
+	if len(st.args) != 2 {
+		return nil, errf(st.file, st.line, "%s wants rt, addr", st.op)
+	}
+	rt, ok := isa.RegisterByName(strings.TrimSpace(st.args[0]))
+	if !ok {
+		return nil, errf(st.file, st.line, "bad register %q", st.args[0])
+	}
+	operand := strings.TrimSpace(st.args[1])
+	if i := strings.IndexByte(operand, '('); i >= 0 {
+		if !strings.HasSuffix(operand, ")") {
+			return nil, errf(st.file, st.line, "malformed address %q", operand)
+		}
+		base, ok := isa.RegisterByName(operand[i+1 : len(operand)-1])
+		if !ok {
+			return nil, errf(st.file, st.line, "bad base register in %q", operand)
+		}
+		off := int64(0)
+		if i > 0 {
+			var err error
+			off, err = parseNumber(operand[:i])
+			if err != nil {
+				return nil, errf(st.file, st.line, "bad offset in %q", operand)
+			}
+		}
+		if off < -32768 || off > 32767 {
+			return nil, errf(st.file, st.line, "offset %d out of range", off)
+		}
+		w, err := isa.Encode(isa.Instruction{Op: op, Rt: rt, Rs: base, Imm: int32(off)})
+		if err != nil {
+			return nil, err
+		}
+		return []uint32{w}, nil
+	}
+	// Symbolic: lui $at, %hi; op rt, %lo($at). Compensate for the sign
+	// extension of the low half by pre-adjusting the high half.
+	addr, err := a.resolve(st.file, st.line, operand)
+	if err != nil {
+		return nil, err
+	}
+	lo := uint16(addr)
+	hi := uint16(addr >> 16)
+	if int16(lo) < 0 {
+		hi++
+	}
+	luiW, err := isa.Encode(isa.Instruction{Op: isa.OpLUI, Rt: isa.RegAT, Imm: int32(int16(hi))})
+	if err != nil {
+		return nil, err
+	}
+	memW, err := isa.Encode(isa.Instruction{Op: op, Rt: rt, Rs: isa.RegAT, Imm: int32(int16(lo))})
+	if err != nil {
+		return nil, err
+	}
+	return []uint32{luiW, memW}, nil
+}
+
+// expandCmpBranch lowers the two-instruction comparison branches
+// (bge/bgt/ble/blt and unsigned variants) via $at.
+func (a *assembler) expandCmpBranch(st stmt, addr uint32) ([]uint32, error) {
+	if len(st.args) != 3 {
+		return nil, errf(st.file, st.line, "%s wants rs, rt, label", st.op)
+	}
+	rs, ok := isa.RegisterByName(strings.TrimSpace(st.args[0]))
+	if !ok {
+		return nil, errf(st.file, st.line, "bad register %q", st.args[0])
+	}
+	rt, ok := isa.RegisterByName(strings.TrimSpace(st.args[1]))
+	if !ok {
+		return nil, errf(st.file, st.line, "bad register %q", st.args[1])
+	}
+	slt := isa.OpSLT
+	if strings.HasSuffix(st.op, "u") {
+		slt = isa.OpSLTU
+	}
+	var cmp isa.Instruction
+	var branch isa.Opcode
+	switch strings.TrimSuffix(st.op, "u") {
+	case "bge": // !(rs < rt)
+		cmp = isa.Instruction{Op: slt, Rd: isa.RegAT, Rs: rs, Rt: rt}
+		branch = isa.OpBEQ
+	case "blt": // rs < rt
+		cmp = isa.Instruction{Op: slt, Rd: isa.RegAT, Rs: rs, Rt: rt}
+		branch = isa.OpBNE
+	case "bgt": // rt < rs
+		cmp = isa.Instruction{Op: slt, Rd: isa.RegAT, Rs: rt, Rt: rs}
+		branch = isa.OpBNE
+	case "ble": // !(rt < rs)
+		cmp = isa.Instruction{Op: slt, Rd: isa.RegAT, Rs: rt, Rt: rs}
+		branch = isa.OpBEQ
+	}
+	// The branch is the second word: offset is relative to addr+4.
+	off, err := a.branchOffset(st, addr+4, st.args[2])
+	if err != nil {
+		return nil, err
+	}
+	cmpW, err := isa.Encode(cmp)
+	if err != nil {
+		return nil, err
+	}
+	brW, err := isa.Encode(isa.Instruction{Op: branch, Rs: isa.RegAT, Rt: isa.RegZero, Imm: off})
+	if err != nil {
+		return nil, err
+	}
+	return []uint32{cmpW, brW}, nil
+}
+
+// branchOffset computes the signed word offset from the branch at addr to
+// the labeled target.
+func (a *assembler) branchOffset(st stmt, addr uint32, label string) (int32, error) {
+	target, err := a.resolve(st.file, st.line, label)
+	if err != nil {
+		return 0, err
+	}
+	diff := int64(target) - int64(addr) - 4
+	if diff&3 != 0 {
+		return 0, errf(st.file, st.line, "branch target %#x misaligned", target)
+	}
+	off := diff >> 2
+	if off < -32768 || off > 32767 {
+		return 0, errf(st.file, st.line, "branch to %q out of range (%d words)", label, off)
+	}
+	return int32(off), nil
+}

@@ -1,0 +1,36 @@
+package asm
+
+import "testing"
+
+// FuzzAssemble checks the assembler never panics on arbitrary source.
+func FuzzAssemble(f *testing.F) {
+	seeds := []string{
+		"main: nop\n",
+		".data\nx: .word 1, 2, 3\n.text\nla $t0, x\nlw $t1, 0($t0)\n",
+		".asciiz \"string with \\x00 escape\"",
+		"label-without-colon nop",
+		"add $t0, $t1",
+		"li $t0, 0xFFFFFFFF\nli $t1, -1\n",
+		".align 31\n",
+		".space 4294967295\n",
+		"beq $t0, $t1, nowhere\n",
+		": :: :::\n",
+		"\x00\x01\x02",
+		".entry missing\nmain: nop\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		im, err := AssembleString(src)
+		if err == nil {
+			// A successful assembly must produce a loadable image.
+			if len(im.Segments) != 2 {
+				t.Errorf("image has %d segments", len(im.Segments))
+			}
+			if im.Symbols == nil {
+				t.Error("nil symbol table")
+			}
+		}
+	})
+}

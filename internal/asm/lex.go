@@ -1,0 +1,226 @@
+package asm
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// stripComment removes '#' and ';' comments, respecting string and
+// character literals.
+func stripComment(line string) string {
+	inStr, inChar, esc := false, false, false
+	for i := 0; i < len(line); i++ {
+		c := line[i]
+		switch {
+		case esc:
+			esc = false
+		case c == '\\' && (inStr || inChar):
+			esc = true
+		case c == '"' && !inChar:
+			inStr = !inStr
+		case c == '\'' && !inStr:
+			inChar = !inChar
+		case (c == '#' || c == ';') && !inStr && !inChar:
+			return line[:i]
+		}
+	}
+	return line
+}
+
+// labelEnd returns the index of the colon terminating a leading label, or
+// -1 when the line does not begin with a label.
+func labelEnd(s string) int {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c == ':' {
+			return i
+		}
+		if !identChar(c) {
+			return -1
+		}
+	}
+	return -1
+}
+
+func identChar(c byte) bool {
+	return c == '_' || c == '.' ||
+		c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9'
+}
+
+func validIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	if s[0] >= '0' && s[0] <= '9' {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if !identChar(s[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// splitOp splits "op a, b, c" into ["op", "a", "b", "c"], keeping quoted
+// strings and parenthesized memory operands intact.
+func splitOp(line string) []string {
+	line = strings.TrimSpace(line)
+	if line == "" {
+		return nil
+	}
+	sp := strings.IndexAny(line, " \t")
+	if sp < 0 {
+		return []string{line}
+	}
+	op := line[:sp]
+	rest := strings.TrimSpace(line[sp+1:])
+	if rest == "" {
+		return []string{op}
+	}
+	args := splitArgs(rest)
+	out := make([]string, 0, 1+len(args))
+	out = append(out, op)
+	out = append(out, args...)
+	return out
+}
+
+// splitArgs splits a comma-separated operand list, respecting quotes.
+func splitArgs(s string) []string {
+	var out []string
+	depth := 0
+	inStr, inChar, esc := false, false, false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case esc:
+			esc = false
+		case c == '\\' && (inStr || inChar):
+			esc = true
+		case c == '"' && !inChar:
+			inStr = !inStr
+		case c == '\'' && !inStr:
+			inChar = !inChar
+		case inStr || inChar:
+		case c == '(':
+			depth++
+		case c == ')':
+			depth--
+		case c == ',' && depth == 0:
+			out = append(out, strings.TrimSpace(s[start:i]))
+			start = i + 1
+		}
+	}
+	out = append(out, strings.TrimSpace(s[start:]))
+	return out
+}
+
+// parseNumber parses decimal, hex (0x), octal (0o), binary (0b), negative,
+// and character-literal ('a', '\n') numeric operands.
+func parseNumber(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, errors.New("empty number")
+	}
+	if s[0] == '\'' {
+		c, err := parseCharLit(s)
+		return int64(c), err
+	}
+	neg := false
+	if s[0] == '+' || s[0] == '-' {
+		neg = s[0] == '-'
+		s = s[1:]
+	}
+	v, err := strconv.ParseUint(s, 0, 32)
+	if err != nil {
+		return 0, fmt.Errorf("bad number %q", s)
+	}
+	if neg {
+		return -int64(v), nil
+	}
+	return int64(v), nil
+}
+
+// parseCharLit parses 'x' and escape forms.
+func parseCharLit(s string) (byte, error) {
+	if len(s) < 3 || s[0] != '\'' || s[len(s)-1] != '\'' {
+		return 0, fmt.Errorf("bad character literal %q", s)
+	}
+	body := s[1 : len(s)-1]
+	if body[0] != '\\' {
+		if len(body) != 1 {
+			return 0, fmt.Errorf("bad character literal %q", s)
+		}
+		return body[0], nil
+	}
+	b, rest, err := parseEscape(body)
+	if err != nil || rest != "" {
+		return 0, fmt.Errorf("bad character literal %q", s)
+	}
+	return b, nil
+}
+
+// parseEscape decodes one backslash escape at the start of s, returning the
+// byte and the remainder.
+func parseEscape(s string) (byte, string, error) {
+	if len(s) < 2 || s[0] != '\\' {
+		return 0, "", fmt.Errorf("bad escape %q", s)
+	}
+	switch s[1] {
+	case 'n':
+		return '\n', s[2:], nil
+	case 't':
+		return '\t', s[2:], nil
+	case 'r':
+		return '\r', s[2:], nil
+	case '0':
+		return 0, s[2:], nil
+	case '\\':
+		return '\\', s[2:], nil
+	case '\'':
+		return '\'', s[2:], nil
+	case '"':
+		return '"', s[2:], nil
+	case 'x':
+		if len(s) < 4 {
+			return 0, "", fmt.Errorf("bad hex escape %q", s)
+		}
+		v, err := strconv.ParseUint(s[2:4], 16, 8)
+		if err != nil {
+			return 0, "", fmt.Errorf("bad hex escape %q", s)
+		}
+		return byte(v), s[4:], nil
+	}
+	return 0, "", fmt.Errorf("unknown escape %q", s)
+}
+
+// parseStringLit decodes a double-quoted string literal with escapes.
+func parseStringLit(s string) ([]byte, error) {
+	s = strings.TrimSpace(s)
+	if len(s) < 2 || s[0] != '"' || s[len(s)-1] != '"' {
+		return nil, fmt.Errorf("bad string literal %q", s)
+	}
+	body := s[1 : len(s)-1]
+	out := make([]byte, 0, len(body))
+	for len(body) > 0 {
+		if body[0] == '\\' {
+			b, rest, err := parseEscape(body)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, b)
+			body = rest
+			continue
+		}
+		if body[0] == '"' {
+			// An unescaped interior quote means this is not one literal.
+			return nil, fmt.Errorf("bad string literal %q", s)
+		}
+		out = append(out, body[0])
+		body = body[1:]
+	}
+	return out, nil
+}

@@ -1,0 +1,24 @@
+package attack
+
+import "sync"
+
+// calibration memoizes attacker-side probe results (payload walk
+// distances, frame addresses). A real attacker measures a local copy of
+// the victim binary once and reuses the numbers; re-probing per run would
+// only re-discover the same deterministic layout.
+var calibration sync.Map
+
+// calibrated returns the cached value for key, computing it with fn on
+// first use. Errors are not cached.
+func calibrated[T any](key string, fn func() (T, error)) (T, error) {
+	if v, ok := calibration.Load(key); ok {
+		return v.(T), nil
+	}
+	v, err := fn()
+	if err != nil {
+		var zero T
+		return zero, err
+	}
+	calibration.Store(key, v)
+	return v, nil
+}

@@ -1,0 +1,203 @@
+// Package attack drives the paper's attack scenarios against the program
+// corpus: it boots a victim program on the taint-tracking machine, plays
+// the attacker over the simulated network / stdin / argv, and reports
+// whether the detection policy fired, what the alert said, and — when the
+// policy missed — whether the compromise actually landed. It is the engine
+// behind the Section 5.1 evaluation (Fig. 2 detections, Table 2, and the
+// §5.1.2 coverage matrix).
+package attack
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/asm"
+	"repro/internal/cache"
+	"repro/internal/cpu"
+	"repro/internal/kernel"
+	"repro/internal/mem"
+	"repro/internal/netsim"
+	"repro/internal/progs"
+	"repro/internal/taint"
+)
+
+// DefaultBudget bounds one victim run.
+const DefaultBudget = 200_000_000
+
+// Machine is one booted victim instance.
+type Machine struct {
+	Image  *asm.Image
+	Kernel *kernel.Kernel
+	CPU    *cpu.CPU
+	Mem    *mem.Memory
+	Caches *cache.Hierarchy // nil without Options.WithCache
+
+	budget uint64
+}
+
+// Options configures a victim boot.
+type Options struct {
+	Policy taint.Policy
+	Prop   taint.Propagator
+	Args   []string // argv[1:]; argv[0] is the program name
+	Env    []string
+	Stdin  []byte
+	Files  map[string][]byte // preloaded filesystem contents
+	Budget uint64
+	// WithCache interposes the default L1/L2 hierarchy between the CPU and
+	// memory, so taint bits travel through cache lines (Section 4.1).
+	WithCache bool
+}
+
+// Boot compiles and loads a corpus program under the given options.
+func Boot(p progs.Program, opts Options) (*Machine, error) {
+	im, err := p.Build()
+	if err != nil {
+		return nil, fmt.Errorf("build %s: %w", p.Name, err)
+	}
+	return BootImage(p.Name, im, opts)
+}
+
+// BootImage loads a prebuilt image under the given options.
+func BootImage(name string, im *asm.Image, opts Options) (*Machine, error) {
+	k := kernel.New()
+	m := mem.New()
+	var bus cpu.Bus = m
+	var hier *cache.Hierarchy
+	if opts.WithCache {
+		var err error
+		hier, err = cache.NewDefaultHierarchy(m)
+		if err != nil {
+			return nil, fmt.Errorf("cache hierarchy: %w", err)
+		}
+		bus = hier
+	}
+	c := cpu.New(cpu.Config{
+		Bus:     bus,
+		Policy:  opts.Policy,
+		Prop:    opts.Prop,
+		Handler: k,
+		Image:   im,
+	})
+	c.LoadImage(m, im)
+	k.SetBreak(im.DataEnd)
+	k.SetArgs(c, append([]string{name}, opts.Args...), opts.Env)
+	if opts.Stdin != nil {
+		k.SetStdin(opts.Stdin)
+	}
+	for path, data := range opts.Files {
+		k.FS.WriteFile(path, data)
+	}
+	budget := opts.Budget
+	if budget == 0 {
+		budget = DefaultBudget
+	}
+	return &Machine{Image: im, Kernel: k, CPU: c, Mem: m, Caches: hier, budget: budget}, nil
+}
+
+// Sync flushes dirty cache lines to memory so host-side inspection of Mem
+// sees the guest's latest state.
+func (m *Machine) Sync() {
+	if m.Caches != nil {
+		m.Caches.FlushAll()
+	}
+}
+
+// Run executes until the guest exits, blocks on I/O, faults, or alerts.
+// A clean exit returns nil; a block returns *kernel.BlockedError.
+func (m *Machine) Run() error {
+	return m.CPU.Run(m.budget)
+}
+
+// RunToBlock runs and requires the guest to block (a server waiting for
+// the attacker); any other outcome is returned as an error.
+func (m *Machine) RunToBlock() error {
+	err := m.Run()
+	var blocked *kernel.BlockedError
+	if errors.As(err, &blocked) {
+		return nil
+	}
+	if err == nil {
+		return errors.New("guest exited instead of blocking")
+	}
+	return err
+}
+
+// Connect opens an attacker connection to a guest port.
+func (m *Machine) Connect(port uint16) (*netsim.Endpoint, error) {
+	return m.Kernel.Net.Connect(port)
+}
+
+// Transact sends input on ep, resumes the guest until it blocks again (or
+// terminates), and returns everything the guest wrote to the connection.
+// err is nil while the guest is merely waiting for more input.
+func (m *Machine) Transact(ep *netsim.Endpoint, input string) (string, error) {
+	if input != "" {
+		ep.SendString(input)
+	}
+	err := m.Run()
+	var blocked *kernel.BlockedError
+	if errors.As(err, &blocked) {
+		err = nil
+	}
+	return ep.RecvString(), err
+}
+
+// Symbol resolves a program symbol, failing loudly when missing.
+func (m *Machine) Symbol(name string) (uint32, error) {
+	a, ok := m.Image.Symbols[name]
+	if !ok {
+		return 0, fmt.Errorf("symbol %q not in image", name)
+	}
+	return a, nil
+}
+
+// Outcome classifies one attack run.
+type Outcome struct {
+	// Detected is true when the policy raised a security alert.
+	Detected bool
+	// Alert holds the alert when Detected.
+	Alert *cpu.SecurityAlert
+	// Crashed is true when the victim died on a machine fault (a hijack
+	// attempt that went off the rails rather than being detected).
+	Crashed bool
+	// Fault holds the fault when Crashed.
+	Fault *cpu.Fault
+	// Compromised is true when the attack's goal state was verified
+	// (privilege escalated, policy bypassed, memory corrupted).
+	Compromised bool
+	// Evidence describes the verified compromise or the alert.
+	Evidence string
+}
+
+// classify folds a terminal run error into an Outcome.
+func classify(err error) Outcome {
+	var out Outcome
+	var alert *cpu.SecurityAlert
+	var fault *cpu.Fault
+	switch {
+	case errors.As(err, &alert):
+		out.Detected = true
+		out.Alert = alert
+		out.Evidence = alert.Error()
+	case errors.As(err, &fault):
+		out.Crashed = true
+		out.Fault = fault
+		out.Evidence = fault.Error()
+	}
+	return out
+}
+
+// String renders the outcome for experiment tables.
+func (o Outcome) String() string {
+	switch {
+	case o.Detected:
+		return "DETECTED: " + o.Evidence
+	case o.Compromised:
+		return "COMPROMISED: " + o.Evidence
+	case o.Crashed:
+		return "CRASHED: " + o.Evidence
+	default:
+		return "no effect"
+	}
+}

@@ -1,0 +1,273 @@
+// Package cache models the simulator's cache hierarchy. Per Section 4.1 of
+// the paper, "L2 and L1 caches ... are also extended with the additional
+// taintedness bits": every cache line here stores a taint bit alongside each
+// data byte, so taint transport through the hierarchy is structural, not
+// bolted on. The hierarchy is functionally transparent — it implements the
+// same Bus port as raw memory — while collecting hit/miss/writeback
+// statistics and miss-latency cycles for the architectural-overhead
+// discussion (Section 5.4). Data accesses traverse the hierarchy;
+// instruction fetches are served from the CPU's predecode cache (the
+// paper's detection semantics concern the data path).
+package cache
+
+import (
+	"fmt"
+
+	"repro/internal/taint"
+)
+
+// Port is the memory interface a cache level sits on (identical to
+// cpu.Bus; redeclared locally to avoid an import cycle).
+type Port interface {
+	LoadByte(addr uint32) (byte, bool)
+	StoreByte(addr uint32, b byte, tainted bool)
+	LoadHalf(addr uint32) (uint16, taint.Vec, error)
+	StoreHalf(addr uint32, h uint16, vec taint.Vec) error
+	LoadWord(addr uint32) (uint32, taint.Vec, error)
+	StoreWord(addr uint32, w uint32, vec taint.Vec) error
+}
+
+// Config sizes one cache level.
+type Config struct {
+	Name     string
+	Size     int // total bytes
+	LineSize int // bytes per line, power of two
+	Ways     int // associativity
+	// MissPenalty is the cycle cost charged per miss at this level (the
+	// latency of going one level down). Zero disables timing.
+	MissPenalty uint64
+}
+
+// Stats counts cache events.
+type Stats struct {
+	Hits       uint64
+	Misses     uint64
+	Evictions  uint64
+	Writebacks uint64
+}
+
+// HitRate returns hits/(hits+misses), or 0 with no accesses.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+type line struct {
+	tag   uint32
+	valid bool
+	dirty bool
+	data  []byte
+	tnt   []bool
+	// lastUse orders LRU within a set.
+	lastUse uint64
+}
+
+// Cache is one write-back, write-allocate, LRU set-associative level.
+type Cache struct {
+	cfg     Config
+	lower   Port
+	sets    [][]line
+	setMask uint32
+	offMask uint32
+	offBits uint
+	clock   uint64
+	stats   Stats
+	penalty uint64 // accumulated miss-penalty cycles (drained by the CPU)
+}
+
+// New builds a cache level over lower. It panics only on configuration
+// errors (non-power-of-two geometry), which are programmer mistakes.
+func New(cfg Config, lower Port) (*Cache, error) {
+	if cfg.LineSize <= 0 || cfg.LineSize&(cfg.LineSize-1) != 0 {
+		return nil, fmt.Errorf("cache %s: line size %d not a power of two", cfg.Name, cfg.LineSize)
+	}
+	if cfg.Ways <= 0 || cfg.Size <= 0 || cfg.Size%(cfg.LineSize*cfg.Ways) != 0 {
+		return nil, fmt.Errorf("cache %s: size %d not divisible into %d-way sets of %d-byte lines",
+			cfg.Name, cfg.Size, cfg.Ways, cfg.LineSize)
+	}
+	numSets := cfg.Size / (cfg.LineSize * cfg.Ways)
+	if numSets&(numSets-1) != 0 {
+		return nil, fmt.Errorf("cache %s: %d sets not a power of two", cfg.Name, numSets)
+	}
+	sets := make([][]line, numSets)
+	for i := range sets {
+		ways := make([]line, cfg.Ways)
+		for j := range ways {
+			ways[j].data = make([]byte, cfg.LineSize)
+			ways[j].tnt = make([]bool, cfg.LineSize)
+		}
+		sets[i] = ways
+	}
+	offBits := uint(0)
+	for 1<<offBits < cfg.LineSize {
+		offBits++
+	}
+	return &Cache{
+		cfg:     cfg,
+		lower:   lower,
+		sets:    sets,
+		setMask: uint32(numSets - 1),
+		offMask: uint32(cfg.LineSize - 1),
+		offBits: offBits,
+	}, nil
+}
+
+// Stats returns a copy of the level's counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// DrainPenalty returns and clears the accumulated miss-penalty cycles.
+func (c *Cache) DrainPenalty() uint64 {
+	p := c.penalty
+	c.penalty = 0
+	return p
+}
+
+// Name returns the level's configured name.
+func (c *Cache) Name() string { return c.cfg.Name }
+
+func (c *Cache) index(addr uint32) (set uint32, tag uint32, off uint32) {
+	off = addr & c.offMask
+	set = (addr >> c.offBits) & c.setMask
+	tag = addr >> c.offBits >> setShift(c.setMask)
+	return set, tag, off
+}
+
+func setShift(mask uint32) uint {
+	n := uint(0)
+	for mask != 0 {
+		n++
+		mask >>= 1
+	}
+	return n
+}
+
+// lookup returns the line holding addr, filling on miss.
+func (c *Cache) lookup(addr uint32) *line {
+	set, tag, _ := c.index(addr)
+	c.clock++
+	ways := c.sets[set]
+	for i := range ways {
+		if ways[i].valid && ways[i].tag == tag {
+			c.stats.Hits++
+			ways[i].lastUse = c.clock
+			return &ways[i]
+		}
+	}
+	c.stats.Misses++
+	c.penalty += c.cfg.MissPenalty
+	// Choose victim: first invalid, else LRU.
+	victim := 0
+	for i := range ways {
+		if !ways[i].valid {
+			victim = i
+			break
+		}
+		if ways[i].lastUse < ways[victim].lastUse {
+			victim = i
+		}
+	}
+	v := &ways[victim]
+	if v.valid {
+		c.stats.Evictions++
+		if v.dirty {
+			c.writeback(set, v)
+		}
+	}
+	// Fill from lower level.
+	base := c.lineBase(set, tag)
+	for i := 0; i < c.cfg.LineSize; i++ {
+		v.data[i], v.tnt[i] = c.lower.LoadByte(base + uint32(i))
+	}
+	v.tag, v.valid, v.dirty, v.lastUse = tag, true, false, c.clock
+	return v
+}
+
+func (c *Cache) lineBase(set, tag uint32) uint32 {
+	return (tag<<setShift(c.setMask)|set)<<c.offBits | 0
+}
+
+func (c *Cache) writeback(set uint32, l *line) {
+	c.stats.Writebacks++
+	base := c.lineBase(set, l.tag)
+	for i := 0; i < c.cfg.LineSize; i++ {
+		c.lower.StoreByte(base+uint32(i), l.data[i], l.tnt[i])
+	}
+}
+
+// Flush writes all dirty lines back to the lower level (used at the end of
+// a run so raw memory is coherent for inspection).
+func (c *Cache) Flush() {
+	for set := range c.sets {
+		for i := range c.sets[set] {
+			l := &c.sets[set][i]
+			if l.valid && l.dirty {
+				c.writeback(uint32(set), l)
+				l.dirty = false
+			}
+		}
+	}
+}
+
+// LoadByte implements Port.
+func (c *Cache) LoadByte(addr uint32) (byte, bool) {
+	l := c.lookup(addr)
+	off := addr & c.offMask
+	return l.data[off], l.tnt[off]
+}
+
+// StoreByte implements Port.
+func (c *Cache) StoreByte(addr uint32, b byte, tainted bool) {
+	l := c.lookup(addr)
+	off := addr & c.offMask
+	l.data[off], l.tnt[off] = b, tainted
+	l.dirty = true
+}
+
+// LoadHalf implements Port.
+func (c *Cache) LoadHalf(addr uint32) (uint16, taint.Vec, error) {
+	if addr&1 != 0 {
+		return 0, taint.None, alignErr(addr, 2)
+	}
+	b0, t0 := c.LoadByte(addr)
+	b1, t1 := c.LoadByte(addr + 1)
+	return uint16(b0) | uint16(b1)<<8, taint.None.SetByte(0, t0).SetByte(1, t1), nil
+}
+
+// StoreHalf implements Port.
+func (c *Cache) StoreHalf(addr uint32, h uint16, vec taint.Vec) error {
+	if addr&1 != 0 {
+		return alignErr(addr, 2)
+	}
+	c.StoreByte(addr, byte(h), vec.Byte(0))
+	c.StoreByte(addr+1, byte(h>>8), vec.Byte(1))
+	return nil
+}
+
+// LoadWord implements Port.
+func (c *Cache) LoadWord(addr uint32) (uint32, taint.Vec, error) {
+	if addr&3 != 0 {
+		return 0, taint.None, alignErr(addr, 4)
+	}
+	var w uint32
+	var v taint.Vec
+	for i := uint32(0); i < 4; i++ {
+		b, t := c.LoadByte(addr + i)
+		w |= uint32(b) << (8 * i)
+		v = v.SetByte(int(i), t)
+	}
+	return w, v, nil
+}
+
+// StoreWord implements Port.
+func (c *Cache) StoreWord(addr uint32, w uint32, vec taint.Vec) error {
+	if addr&3 != 0 {
+		return alignErr(addr, 4)
+	}
+	for i := uint32(0); i < 4; i++ {
+		c.StoreByte(addr+i, byte(w>>(8*i)), vec.Byte(int(i)))
+	}
+	return nil
+}

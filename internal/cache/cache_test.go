@@ -1,0 +1,268 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/taint"
+)
+
+func mustCache(t *testing.T, cfg Config, lower Port) *Cache {
+	t.Helper()
+	c, err := New(cfg, lower)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestConfigValidation(t *testing.T) {
+	m := mem.New()
+	bad := []Config{
+		{Name: "x", Size: 100, LineSize: 3, Ways: 1},  // line not power of 2
+		{Name: "x", Size: 100, LineSize: 32, Ways: 1}, // size not divisible
+		{Name: "x", Size: 96, LineSize: 32, Ways: 1},  // 3 sets: not power of 2
+		{Name: "x", Size: 0, LineSize: 32, Ways: 1},   // zero size
+		{Name: "x", Size: 128, LineSize: 32, Ways: 0}, // zero ways
+		{Name: "x", Size: 128, LineSize: -4, Ways: 1}, // negative
+	}
+	for _, cfg := range bad {
+		if _, err := New(cfg, m); err == nil {
+			t.Errorf("config %+v accepted", cfg)
+		}
+	}
+	if _, err := New(Config{Name: "ok", Size: 128, LineSize: 32, Ways: 2}, m); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+func TestReadThroughAndWriteBack(t *testing.T) {
+	m := mem.New()
+	m.WriteBytes(0x1000, []byte{1, 2, 3, 4}, false)
+	c := mustCache(t, Config{Name: "L1", Size: 256, LineSize: 32, Ways: 2}, m)
+
+	b, tt := c.LoadByte(0x1000)
+	if b != 1 || tt {
+		t.Errorf("read-through byte = %d tainted=%v", b, tt)
+	}
+	// Write lands in the cache, not memory, until flushed.
+	c.StoreByte(0x1000, 99, true)
+	if got, _ := m.LoadByte(0x1000); got != 1 {
+		t.Errorf("write-back cache wrote through: memory byte = %d", got)
+	}
+	c.Flush()
+	got, gt := m.LoadByte(0x1000)
+	if got != 99 || !gt {
+		t.Errorf("after flush: byte=%d tainted=%v, want 99 tainted", got, gt)
+	}
+}
+
+func TestTaintTravelsThroughHierarchy(t *testing.T) {
+	m := mem.New()
+	h, err := NewHierarchy(
+		Config{Name: "L1", Size: 128, LineSize: 32, Ways: 2},
+		Config{Name: "L2", Size: 512, LineSize: 32, Ways: 2},
+		m,
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tainted word written via the hierarchy...
+	if err := h.StoreWord(0x2000, 0x61616161, taint.Word); err != nil {
+		t.Fatal(err)
+	}
+	// ...evict it by sweeping many conflicting lines...
+	for i := uint32(0); i < 64; i++ {
+		h.LoadByte(0x2000 + i*0x1000)
+	}
+	h.FlushAll()
+	// ...taint must have survived the trip to physical memory.
+	w, v, err := m.LoadWord(0x2000)
+	if err != nil || w != 0x61616161 || v != taint.Word {
+		t.Errorf("memory word = %#x vec=%v err=%v", w, v, err)
+	}
+	// And reads back tainted through a cold hierarchy.
+	h2, _ := NewDefaultHierarchy(m)
+	w, v, err = h2.LoadWord(0x2000)
+	if err != nil || w != 0x61616161 || v != taint.Word {
+		t.Errorf("reload word = %#x vec=%v err=%v", w, v, err)
+	}
+}
+
+func TestEvictionWritebackStats(t *testing.T) {
+	m := mem.New()
+	// Tiny direct-mapped cache: 2 sets of 1 way, 32B lines.
+	c := mustCache(t, Config{Name: "L1", Size: 64, LineSize: 32, Ways: 1}, m)
+	c.StoreByte(0x0000, 1, false) // miss, fill set 0
+	c.StoreByte(0x0040, 2, false) // conflict: evict dirty line, writeback
+	s := c.Stats()
+	if s.Misses != 2 {
+		t.Errorf("misses = %d, want 2", s.Misses)
+	}
+	if s.Evictions != 1 || s.Writebacks != 1 {
+		t.Errorf("evictions=%d writebacks=%d, want 1,1", s.Evictions, s.Writebacks)
+	}
+	if got, _ := m.LoadByte(0x0000); got != 1 {
+		t.Errorf("victim not written back: %d", got)
+	}
+	// Re-reading the first address refills from memory with the stored value.
+	if got, _ := c.LoadByte(0x0000); got != 1 {
+		t.Errorf("refill = %d, want 1", got)
+	}
+}
+
+func TestLRUReplacement(t *testing.T) {
+	m := mem.New()
+	// One set, 2 ways.
+	c := mustCache(t, Config{Name: "L1", Size: 64, LineSize: 32, Ways: 2}, m)
+	c.LoadByte(0x00) // A
+	c.LoadByte(0x40) // B; set now {A,B}
+	c.LoadByte(0x00) // touch A: B is LRU
+	c.LoadByte(0x80) // C evicts B
+	c.LoadByte(0x00) // A still resident: hit
+	s := c.Stats()
+	if s.Hits != 2 {
+		t.Errorf("hits = %d, want 2 (A touch + A re-access)", s.Hits)
+	}
+	if s.Misses != 3 {
+		t.Errorf("misses = %d, want 3", s.Misses)
+	}
+}
+
+func TestHitRate(t *testing.T) {
+	var s Stats
+	if s.HitRate() != 0 {
+		t.Error("empty HitRate != 0")
+	}
+	s = Stats{Hits: 3, Misses: 1}
+	if got := s.HitRate(); got != 0.75 {
+		t.Errorf("HitRate = %f", got)
+	}
+}
+
+func TestAlignmentFaultsPassThrough(t *testing.T) {
+	m := mem.New()
+	c := mustCache(t, Config{Name: "L1", Size: 128, LineSize: 32, Ways: 1}, m)
+	if _, _, err := c.LoadWord(1); err == nil {
+		t.Error("misaligned LoadWord accepted")
+	}
+	if err := c.StoreWord(2, 0, 0); err == nil {
+		t.Error("misaligned StoreWord accepted")
+	}
+	if _, _, err := c.LoadHalf(1); err == nil {
+		t.Error("misaligned LoadHalf accepted")
+	}
+	if err := c.StoreHalf(3, 0, 0); err == nil {
+		t.Error("misaligned StoreHalf accepted")
+	}
+}
+
+// Property: under an arbitrary access sequence, a cached memory is
+// observationally identical to a plain memory, for both data and taint.
+func TestRandomEquivalenceWithPlainMemory(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	plain := mem.New()
+	backing := mem.New()
+	h, err := NewHierarchy(
+		Config{Name: "L1", Size: 128, LineSize: 16, Ways: 2},
+		Config{Name: "L2", Size: 512, LineSize: 16, Ways: 2},
+		backing,
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Small address space to force heavy conflict traffic.
+	addr := func() uint32 { return uint32(rng.Intn(2048)) }
+	for i := 0; i < 20000; i++ {
+		switch rng.Intn(4) {
+		case 0:
+			a := addr()
+			b := byte(rng.Intn(256))
+			tt := rng.Intn(2) == 0
+			plain.StoreByte(a, b, tt)
+			h.StoreByte(a, b, tt)
+		case 1:
+			a := addr()
+			pb, pt := plain.LoadByte(a)
+			cb, ct := h.LoadByte(a)
+			if pb != cb || pt != ct {
+				t.Fatalf("iter %d: byte mismatch at %#x: plain=(%d,%v) cached=(%d,%v)",
+					i, a, pb, pt, cb, ct)
+			}
+		case 2:
+			a := addr() &^ 3
+			w := rng.Uint32()
+			v := taint.Vec(rng.Intn(16))
+			if err := plain.StoreWord(a, w, v); err != nil {
+				t.Fatal(err)
+			}
+			if err := h.StoreWord(a, w, v); err != nil {
+				t.Fatal(err)
+			}
+		case 3:
+			a := addr() &^ 3
+			pw, pv, _ := plain.LoadWord(a)
+			cw, cv, _ := h.LoadWord(a)
+			if pw != cw || pv != cv {
+				t.Fatalf("iter %d: word mismatch at %#x: plain=(%#x,%v) cached=(%#x,%v)",
+					i, a, pw, pv, cw, cv)
+			}
+		}
+	}
+	// After a final flush, the backing store equals the plain memory.
+	h.FlushAll()
+	for a := uint32(0); a < 2048; a++ {
+		pb, pt := plain.LoadByte(a)
+		bb, bt := backing.LoadByte(a)
+		if pb != bb || pt != bt {
+			t.Fatalf("post-flush mismatch at %#x: plain=(%d,%v) backing=(%d,%v)",
+				a, pb, pt, bb, bt)
+		}
+	}
+	l1, l2 := h.L1Stats(), h.L2Stats()
+	if l1.Hits+l1.Misses == 0 || l2.Hits+l2.Misses == 0 {
+		t.Error("cache levels recorded no traffic")
+	}
+	if h.Name() != "L1" {
+		t.Errorf("hierarchy front name = %q", h.Name())
+	}
+}
+
+func TestMissPenaltyAccounting(t *testing.T) {
+	m := mem.New()
+	c := mustCache(t, Config{Name: "L1", Size: 64, LineSize: 32, Ways: 1, MissPenalty: 7}, m)
+	c.LoadByte(0x00) // miss
+	c.LoadByte(0x01) // hit
+	c.LoadByte(0x40) // conflict miss
+	if got := c.DrainPenalty(); got != 14 {
+		t.Errorf("penalty = %d, want 14", got)
+	}
+	// Drained: subsequent reads start from zero.
+	if got := c.DrainPenalty(); got != 0 {
+		t.Errorf("second drain = %d", got)
+	}
+	// Zero-penalty config charges nothing.
+	c2 := mustCache(t, Config{Name: "L1", Size: 64, LineSize: 32, Ways: 1}, m)
+	c2.LoadByte(0)
+	if got := c2.DrainPenalty(); got != 0 {
+		t.Errorf("untimed cache charged %d", got)
+	}
+}
+
+func TestHierarchyPenalty(t *testing.T) {
+	m := mem.New()
+	h, err := NewHierarchy(
+		Config{Name: "L1", Size: 64, LineSize: 32, Ways: 1, MissPenalty: 2},
+		Config{Name: "L2", Size: 128, LineSize: 32, Ways: 1, MissPenalty: 10},
+		m,
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.LoadByte(0x00) // L1 miss + L2 miss: 12
+	h.LoadByte(0x01) // hit
+	if got := h.DrainPenalty(); got != 12 {
+		t.Errorf("hierarchy penalty = %d, want 12", got)
+	}
+}

@@ -1,0 +1,231 @@
+package cc
+
+// Pos is a source position for diagnostics.
+type Pos struct {
+	File string
+	Line int
+}
+
+// Node is the common interface of AST nodes.
+type Node interface{ Position() Pos }
+
+type base struct{ pos Pos }
+
+func (b base) Position() Pos { return b.pos }
+
+// Program is one translation unit.
+type Program struct {
+	Globals []*VarDecl
+	Funcs   []*FuncDecl
+}
+
+// VarDecl declares a global or local variable.
+type VarDecl struct {
+	base
+	Name     string
+	Type     *Type
+	Init     Expr   // scalar initializer, or nil
+	InitList []Expr // array initializer list, or nil
+}
+
+// Param is one function parameter.
+type Param struct {
+	Name string
+	Type *Type
+}
+
+// FuncDecl is a function definition (or a bodyless prototype).
+type FuncDecl struct {
+	base
+	Name     string
+	Ret      *Type
+	Params   []Param
+	Variadic bool
+	Body     *Block // nil for prototypes
+}
+
+// Statements.
+type (
+	// Block is a brace-enclosed statement list with its own scope.
+	Block struct {
+		base
+		Stmts []Stmt
+	}
+	// ExprStmt evaluates an expression for effect.
+	ExprStmt struct {
+		base
+		X Expr
+	}
+	// If is if/else.
+	If struct {
+		base
+		Cond Expr
+		Then Stmt
+		Else Stmt // may be nil
+	}
+	// While is a while loop.
+	While struct {
+		base
+		Cond Expr
+		Body Stmt
+	}
+	// DoWhile is a do { } while loop.
+	DoWhile struct {
+		base
+		Body Stmt
+		Cond Expr
+	}
+	// For is a for loop; any of Init/Cond/Post may be nil.
+	For struct {
+		base
+		Init Stmt // ExprStmt or LocalDecl
+		Cond Expr
+		Post Expr
+		Body Stmt
+	}
+	// Return returns from the enclosing function.
+	Return struct {
+		base
+		X Expr // nil for void return
+	}
+	// Break exits the innermost loop.
+	Break struct{ base }
+	// Continue resumes the innermost loop.
+	Continue struct{ base }
+	// LocalDecl declares a local variable.
+	LocalDecl struct {
+		base
+		Decl *VarDecl
+	}
+	// Switch dispatches on constant case labels (lowered to a compare
+	// chain); C fall-through semantics apply.
+	Switch struct {
+		base
+		X          Expr
+		Cases      []SwitchCase
+		Default    []Stmt
+		HasDefault bool
+	}
+)
+
+// SwitchCase is one labeled arm (possibly with several stacked labels).
+type SwitchCase struct {
+	Vals  []int64
+	Stmts []Stmt
+}
+
+// Stmt is implemented by all statement nodes.
+type Stmt interface {
+	Node
+	stmt()
+}
+
+func (*Block) stmt()     {}
+func (*ExprStmt) stmt()  {}
+func (*If) stmt()        {}
+func (*While) stmt()     {}
+func (*DoWhile) stmt()   {}
+func (*For) stmt()       {}
+func (*Return) stmt()    {}
+func (*Break) stmt()     {}
+func (*Continue) stmt()  {}
+func (*LocalDecl) stmt() {}
+func (*Switch) stmt()    {}
+
+// Expressions.
+type (
+	// Num is an integer literal.
+	Num struct {
+		base
+		Value int64
+	}
+	// Str is a string literal (decays to char*).
+	Str struct {
+		base
+		Value []byte
+	}
+	// Ident references a variable.
+	Ident struct {
+		base
+		Name string
+	}
+	// Unary is -x, !x, ~x, *x, &x, ++x, --x, x++, x--.
+	Unary struct {
+		base
+		Op      string
+		X       Expr
+		Postfix bool // for ++/--
+	}
+	// Binary is an arithmetic/relational/logical operation.
+	Binary struct {
+		base
+		Op   string
+		L, R Expr
+	}
+	// Assign is =, +=, -=, etc.
+	Assign struct {
+		base
+		Op   string // "=", "+=", ...
+		L, R Expr
+	}
+	// Cond is the ternary ?: operator.
+	Cond struct {
+		base
+		C, T, F Expr
+	}
+	// Call invokes a named function.
+	Call struct {
+		base
+		Name string
+		Args []Expr
+	}
+	// Index is array/pointer subscripting.
+	Index struct {
+		base
+		Arr, Idx Expr
+	}
+	// Cast converts between subset types.
+	Cast struct {
+		base
+		To *Type
+		X  Expr
+	}
+	// SizeofType is sizeof(type); sizeof expr parses to a Num during
+	// semantic analysis in codegen.
+	SizeofType struct {
+		base
+		T *Type
+	}
+	// SizeofExpr is sizeof(expression).
+	SizeofExpr struct {
+		base
+		X Expr
+	}
+	// Member accesses a struct field: x.f or p->f.
+	Member struct {
+		base
+		X     Expr
+		Name  string
+		Arrow bool
+	}
+)
+
+// Expr is implemented by all expression nodes.
+type Expr interface {
+	Node
+	expr()
+}
+
+func (*Num) expr()        {}
+func (*Str) expr()        {}
+func (*Ident) expr()      {}
+func (*Unary) expr()      {}
+func (*Binary) expr()     {}
+func (*Assign) expr()     {}
+func (*Cond) expr()       {}
+func (*Call) expr()       {}
+func (*Index) expr()      {}
+func (*Cast) expr()       {}
+func (*SizeofType) expr() {}
+func (*SizeofExpr) expr() {}
+func (*Member) expr()     {}

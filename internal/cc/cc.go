@@ -1,0 +1,70 @@
+package cc
+
+import (
+	"fmt"
+
+	"repro/internal/asm"
+)
+
+// Unit is one C translation unit.
+type Unit struct {
+	Name string
+	Src  string
+}
+
+// CompileUnits compiles several C units into assembler sources, one per
+// unit, suitable for asm.Assemble alongside runtime assembly sources.
+// Units share no symbols at the C level (each is compiled alone), but the
+// assembler links them into one namespace.
+func CompileUnits(units ...Unit) ([]asm.Source, error) {
+	out := make([]asm.Source, 0, len(units))
+	for _, u := range units {
+		text, err := Compile(u.Name, u.Src)
+		if err != nil {
+			return nil, fmt.Errorf("compile %s: %w", u.Name, err)
+		}
+		out = append(out, asm.Source{Name: u.Name + ".s", Text: text})
+	}
+	return out, nil
+}
+
+// CompileProgram compiles a set of C units that together form one program
+// (one shared symbol namespace: prototypes in one unit may be defined in
+// another). Returns a single assembler source.
+func CompileProgram(units ...Unit) (asm.Source, error) {
+	merged := &Program{}
+	for _, u := range units {
+		prog, err := Parse(u.Name, u.Src)
+		if err != nil {
+			return asm.Source{}, err
+		}
+		merged.Globals = append(merged.Globals, prog.Globals...)
+		mergeFuncs(merged, prog.Funcs)
+	}
+	text, err := Generate(merged)
+	if err != nil {
+		return asm.Source{}, err
+	}
+	return asm.Source{Name: "ptcc.s", Text: text}, nil
+}
+
+// mergeFuncs appends funcs, letting a definition supersede a prototype of
+// the same name (and dropping duplicate prototypes).
+func mergeFuncs(dst *Program, funcs []*FuncDecl) {
+	for _, fn := range funcs {
+		replaced := false
+		for i, old := range dst.Funcs {
+			if old.Name != fn.Name {
+				continue
+			}
+			if old.Body == nil {
+				dst.Funcs[i] = fn
+			}
+			replaced = true
+			break
+		}
+		if !replaced {
+			dst.Funcs = append(dst.Funcs, fn)
+		}
+	}
+}

@@ -1,0 +1,640 @@
+package cc
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/cpu"
+	"repro/internal/kernel"
+	"repro/internal/mem"
+)
+
+// testCrt0 is a minimal startup: call main(argc, argv, envp), exit(result).
+const testCrt0 = `
+.text
+.entry _start
+_start:
+	addiu $sp, $sp, -12
+	sw $a0, 0($sp)
+	sw $a1, 4($sp)
+	sw $a2, 8($sp)
+	jal main
+	move $a0, $v0
+	li $v0, 1
+	syscall
+`
+
+// compileRun compiles C source, runs it, and returns (exitCode, kernel, err).
+func compileRun(t *testing.T, src string, args ...string) (int32, *kernel.Kernel, error) {
+	t.Helper()
+	gen, err := CompileProgram(Unit{Name: "test.c", Src: src})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	im, err := asm.Assemble(asm.Source{Name: "crt0.s", Text: testCrt0}, gen)
+	if err != nil {
+		t.Fatalf("assemble: %v\n%s", err, gen.Text)
+	}
+	k := kernel.New()
+	m := mem.New()
+	c := cpu.New(cpu.Config{Bus: m, Handler: k, Image: im})
+	c.LoadImage(m, im)
+	k.SetBreak(im.DataEnd)
+	k.SetArgs(c, append([]string{"prog"}, args...), nil)
+	err = c.Run(50_000_000)
+	if err == nil {
+		return 0, k, nil
+	}
+	var ee *cpu.ExitError
+	if errors.As(err, &ee) {
+		return ee.Code, k, nil
+	}
+	return 0, k, err
+}
+
+// expectExit asserts the program exits with the given status.
+func expectExit(t *testing.T, src string, want int32) {
+	t.Helper()
+	got, _, err := compileRun(t, src)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if got != want {
+		t.Errorf("exit = %d, want %d", got, want)
+	}
+}
+
+func TestReturnConstant(t *testing.T) {
+	expectExit(t, "int main() { return 42; }", 42)
+}
+
+func TestArithmeticPrecedence(t *testing.T) {
+	expectExit(t, "int main() { return 2 + 3 * 4 - 10 / 2; }", 9)
+	expectExit(t, "int main() { return (2 + 3) * 4 % 7; }", 6)
+	expectExit(t, "int main() { return 1 << 4 | 3; }", 19)
+	expectExit(t, "int main() { return ~0 & 0xFF; }", 255)
+	expectExit(t, "int main() { return 100 >> 2 ^ 5; }", 28)
+	expectExit(t, "int main() { return -7 / 2; }", -3)
+	expectExit(t, "int main() { return -7 % 2; }", -1)
+}
+
+func TestComparisonsAndLogic(t *testing.T) {
+	expectExit(t, "int main() { return (3 < 5) + (5 <= 5) + (6 > 2) + (2 >= 3); }", 3)
+	expectExit(t, "int main() { return (3 == 3) + (3 != 3) * 10; }", 1)
+	expectExit(t, "int main() { return !0 + !5; }", 1)
+	expectExit(t, "int main() { return 1 && 2; }", 1)
+	expectExit(t, "int main() { return 0 || 0; }", 0)
+	// Signed vs unsigned comparison of -1 and 1.
+	expectExit(t, "int main() { int a = -1; return a < 1; }", 1)
+	expectExit(t, "int main() { unsigned a = -1; return a < 1u; }", 0)
+}
+
+func TestShortCircuitSideEffects(t *testing.T) {
+	expectExit(t, `
+		int hits;
+		int bump() { hits = hits + 1; return 1; }
+		int main() {
+			0 && bump();
+			1 || bump();
+			1 && bump();
+			0 || bump();
+			return hits;
+		}
+	`, 2)
+}
+
+func TestTernary(t *testing.T) {
+	expectExit(t, "int main() { return 5 > 3 ? 10 : 20; }", 10)
+	expectExit(t, "int main() { int x = 0; return x ? 10 : x == 0 ? 30 : 20; }", 30)
+}
+
+func TestLocalsAndAssignOps(t *testing.T) {
+	expectExit(t, `
+		int main() {
+			int a = 10;
+			a += 5; a -= 3; a *= 2; a /= 4; a %= 5;
+			a <<= 3; a |= 1; a ^= 2; a &= 0xFE; a >>= 1;
+			return a;
+		}
+	`, 5)
+}
+
+func TestIncDec(t *testing.T) {
+	expectExit(t, `
+		int main() {
+			int i = 5;
+			int a = i++;
+			int b = ++i;
+			int c = i--;
+			int d = --i;
+			return a*1000 + b*100 + c*10 + d;
+		}
+	`, 5775)
+}
+
+func TestWhileForDoWhile(t *testing.T) {
+	expectExit(t, `
+		int main() {
+			int s = 0;
+			int i = 0;
+			while (i < 5) { s += i; i++; }
+			for (int j = 0; j < 5; j++) s += j;
+			int k = 0;
+			do { s += 1; k++; } while (k < 3);
+			return s;
+		}
+	`, 23)
+}
+
+func TestBreakContinue(t *testing.T) {
+	expectExit(t, `
+		int main() {
+			int s = 0;
+			for (int i = 0; i < 10; i++) {
+				if (i == 3) continue;
+				if (i == 6) break;
+				s += i;
+			}
+			return s;
+		}
+	`, 12)
+}
+
+func TestRecursion(t *testing.T) {
+	expectExit(t, `
+		int fact(int n) { return n <= 1 ? 1 : n * fact(n - 1); }
+		int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }
+		int main() { return fact(5) + fib(10); }
+	`, 175)
+}
+
+func TestGlobals(t *testing.T) {
+	expectExit(t, `
+		int counter = 7;
+		int table[4] = {10, 20, 30, 40};
+		char flag = 'x';
+		char msg[8] = "hey";
+		char *greet = "hello";
+		int main() {
+			counter += table[2];
+			if (flag == 'x') counter += 1;
+			if (msg[1] == 'e') counter += 2;
+			if (greet[4] == 'o') counter += 3;
+			return counter;
+		}
+	`, 43)
+}
+
+func TestPointers(t *testing.T) {
+	expectExit(t, `
+		int main() {
+			int x = 5;
+			int *p = &x;
+			*p = 9;
+			int **pp = &p;
+			**pp += 1;
+			return x;
+		}
+	`, 10)
+}
+
+func TestPointerArithmetic(t *testing.T) {
+	expectExit(t, `
+		int main() {
+			int arr[5] = {1, 2, 3, 4, 5};
+			int *p = arr;
+			int s = *p;
+			p = p + 2;
+			s += *p;
+			p++;
+			s += *p;
+			s += *(arr + 4);
+			s += p - arr;
+			return s;
+		}
+	`, 16)
+}
+
+func TestCharPointerWalk(t *testing.T) {
+	expectExit(t, `
+		int main() {
+			char buf[8] = "abc";
+			char *p = buf;
+			int n = 0;
+			while (*p) { n++; p++; }
+			return n + buf[2];
+		}
+	`, 3+'c')
+}
+
+func TestArrayIndexing(t *testing.T) {
+	expectExit(t, `
+		int g[10];
+		int main() {
+			for (int i = 0; i < 10; i++) g[i] = i * i;
+			int s = 0;
+			for (int i = 0; i < 10; i++) s += g[i];
+			return s;
+		}
+	`, 285)
+}
+
+func TestFunctionArgsOnStack(t *testing.T) {
+	expectExit(t, `
+		int sum6(int a, int b, int c, int d, int e, int f) {
+			return a + 10*b + 100*c + d + e + f;
+		}
+		int main() { return sum6(1, 2, 3, 4, 5, 6); }
+	`, 336)
+}
+
+func TestVarargsPointerWalk(t *testing.T) {
+	// The va_list idiom the runtime's printf uses: a char* walking the
+	// caller's argument slots.
+	expectExit(t, `
+		int sum(int n, ...) {
+			int *ap = &n + 1;
+			int s = 0;
+			for (int i = 0; i < n; i++) { s += *ap; ap++; }
+			return s;
+		}
+		int main() { return sum(4, 10, 20, 30, 40); }
+	`, 100)
+}
+
+func TestSizeof(t *testing.T) {
+	expectExit(t, `
+		int main() {
+			int arr[6];
+			char buf[10];
+			return sizeof(int) + sizeof(char) + sizeof(int*) +
+			       sizeof arr + sizeof buf;
+		}
+	`, 4+1+4+24+10)
+}
+
+func TestCasts(t *testing.T) {
+	expectExit(t, `
+		int main() {
+			int x = 0x1FF;
+			char c = (char)x;        /* truncates to -1 */
+			unsigned u = (unsigned)c;
+			int *p = (int*)1000;
+			p = p + 1;
+			return (c == -1) + ((int)u == -1) + ((int)p == 1004);
+		}
+	`, 3)
+}
+
+func TestCastLvalueStore(t *testing.T) {
+	// The heap manager's idiom: *(int*)(p + off) = v.
+	expectExit(t, `
+		char heap[16];
+		int main() {
+			char *p = heap;
+			*(int*)(p + 4) = 0x01020304;
+			return heap[4] + heap[5] + heap[6] + heap[7];
+		}
+	`, 10)
+}
+
+func TestCharSignExtension(t *testing.T) {
+	expectExit(t, `
+		char g = 0xFF;
+		int main() {
+			int v = g;
+			return v == -1;
+		}
+	`, 1)
+}
+
+func TestGlobalPointerInit(t *testing.T) {
+	expectExit(t, `
+		char *names[3] = {0, 0, 0};
+		char *one = "one";
+		int main() {
+			names[0] = one;
+			names[1] = "two";
+			return (names[0][0] == 'o') + (names[1][2] == 'o');
+		}
+	`, 2)
+}
+
+func TestSyscallBuiltinWrite(t *testing.T) {
+	_, k, err := compileRun(t, `
+		int main() {
+			char *msg = "hi there\n";
+			__syscall(4, 1, (int)msg, 9);
+			return 0;
+		}
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.Stdout() != "hi there\n" {
+		t.Errorf("stdout = %q", k.Stdout())
+	}
+}
+
+func TestCommandLineArgs(t *testing.T) {
+	got, _, err := compileRun(t, `
+		int main(int argc, char **argv) {
+			if (argc != 3) return 1;
+			char *a = argv[1];
+			char *b = argv[2];
+			return a[0] + b[0];
+		}
+	`, "x", "y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 'x'+'y' {
+		t.Errorf("exit = %d", got)
+	}
+}
+
+func TestIntegerOverflowSemantics(t *testing.T) {
+	// unsigned -> int conversion keeps the bit pattern (the Table 4(A)
+	// vulnerability relies on this).
+	expectExit(t, `
+		int main() {
+			unsigned ui = 0x80000001;
+			int i = ui;
+			return i < 0;
+		}
+	`, 1)
+}
+
+func TestNestedScopes(t *testing.T) {
+	expectExit(t, `
+		int main() {
+			int x = 1;
+			{
+				int x = 2;
+				{ int x = 3; }
+			}
+			return x;
+		}
+	`, 1)
+}
+
+func TestDoubleDeclarationError(t *testing.T) {
+	_, err := Compile("t.c", "int main() { int x; int x; return 0; }")
+	if err == nil || !strings.Contains(err.Error(), "redefined") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		src, frag string
+	}{
+		{"int main() { return 1 }", "expected"},
+		{"int main() { break; }", "break outside loop"},
+		{"int main() { continue; }", "continue outside loop"},
+		{"int main() { undefined_var = 1; return 0; }", "undefined variable"},
+		{"int main() { 5 = 3; return 0; }", "not an lvalue"},
+		{"int main() { int x; return *x; }", "dereference of non-pointer"},
+		{"int x = y;", "not constant"},
+		{"int main() { return; } int main() { return 1; }", ""},
+		{"@", "unexpected character"},
+		{"int main() { char c = 'ab'; return 0; }", "character literal"},
+		{`int main() { char *s = "unterminated`, "unterminated"},
+		{"int f(int a); int main() { return f(1, 2); }", "want 1"},
+	}
+	for _, c := range cases {
+		_, err := Compile("t.c", c.src)
+		if c.frag == "" {
+			continue
+		}
+		if err == nil {
+			t.Errorf("compiling %q succeeded, want error %q", c.src, c.frag)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("error for %q = %q, want substring %q", c.src, err, c.frag)
+		}
+	}
+}
+
+func TestErrorsCarryPosition(t *testing.T) {
+	_, err := Compile("prog.c", "int main() {\n  oops = 1;\n}")
+	if err == nil {
+		t.Fatal("no error")
+	}
+	var ce *CompileError
+	if !errors.As(err, &ce) || ce.Pos.Line != 2 || ce.Pos.File != "prog.c" {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestStringLiteralConcat(t *testing.T) {
+	expectExit(t, `
+		int main() {
+			char *s = "ab" "cd";
+			return (s[2] == 'c') + (s[3] == 'd');
+		}
+	`, 2)
+}
+
+func TestCompileProgramMergesProtoAndDef(t *testing.T) {
+	got, _, err := compileRunUnits(t,
+		Unit{Name: "main.c", Src: "int helper(int x);\nint main() { return helper(20); }"},
+		Unit{Name: "lib.c", Src: "int helper(int x) { return x + 2; }"},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 22 {
+		t.Errorf("exit = %d", got)
+	}
+}
+
+func compileRunUnits(t *testing.T, units ...Unit) (int32, *kernel.Kernel, error) {
+	t.Helper()
+	gen, err := CompileProgram(units...)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	im, err := asm.Assemble(asm.Source{Name: "crt0.s", Text: testCrt0}, gen)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	k := kernel.New()
+	m := mem.New()
+	c := cpu.New(cpu.Config{Bus: m, Handler: k, Image: im})
+	c.LoadImage(m, im)
+	k.SetBreak(im.DataEnd)
+	k.SetArgs(c, []string{"prog"}, nil)
+	err = c.Run(50_000_000)
+	if err == nil {
+		return 0, k, nil
+	}
+	var ee *cpu.ExitError
+	if errors.As(err, &ee) {
+		return ee.Code, k, nil
+	}
+	return 0, k, err
+}
+
+func TestSwitchStatement(t *testing.T) {
+	expectExit(t, `
+		int classify(int c) {
+			switch (c) {
+			case 'a':
+			case 'e':
+				return 1;          /* vowel */
+			case '0':
+				return 2;
+			case -1:
+				return 3;
+			default:
+				return 0;
+			}
+		}
+		int main() {
+			return classify('a')*1000 + classify('e')*100 +
+			       classify('0')*10 + classify(-1) + classify('z')*10000;
+		}
+	`, 1123)
+}
+
+func TestSwitchFallthroughAndBreak(t *testing.T) {
+	expectExit(t, `
+		int main() {
+			int n = 0;
+			switch (2) {
+			case 1:
+				n += 1;
+			case 2:
+				n += 10;           /* entered here */
+			case 3:
+				n += 100;          /* falls through */
+				break;
+			case 4:
+				n += 1000;         /* not reached */
+			}
+			return n;
+		}
+	`, 110)
+}
+
+func TestSwitchNoDefaultNoMatch(t *testing.T) {
+	expectExit(t, `
+		int main() {
+			int n = 7;
+			switch (n) {
+			case 1: return 1;
+			case 2: return 2;
+			}
+			return 42;
+		}
+	`, 42)
+}
+
+func TestSwitchInsideLoop(t *testing.T) {
+	expectExit(t, `
+		int main() {
+			int odd = 0;
+			int sum = 0;
+			for (int i = 0; i < 10; i++) {
+				switch (i % 3) {
+				case 0:
+					continue;       /* targets the for loop */
+				case 1:
+					odd++;
+					break;          /* targets the switch */
+				default:
+					sum += i;
+				}
+				sum += 1;
+			}
+			return sum * 10 + odd;
+		}
+	`, 213)
+}
+
+func TestSwitchErrors(t *testing.T) {
+	cases := []struct{ src, frag string }{
+		{"int main() { switch (1) { int x; } return 0; }", "before the first case"},
+		{"int main() { switch (1) { case x: return 1; } }", "constant"},
+		{"int main() { switch (1) { default: return 1; default: return 2; } }", "duplicate default"},
+	}
+	for _, c := range cases {
+		if _, err := Compile("t.c", c.src); err == nil || !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("compiling %q: err = %v, want %q", c.src, err, c.frag)
+		}
+	}
+}
+
+func TestUnsignedChar(t *testing.T) {
+	expectExit(t, `
+		unsigned char g = 0xFF;
+		int main() {
+			int sign_extended = (char)0xFF;     /* -1 */
+			int zero_extended = g;              /* 255 */
+			unsigned char local = 0x80;
+			int v = local + 1;                  /* 129 */
+			unsigned char masked = (unsigned char)0x1FF;  /* 255 */
+			return (sign_extended == -1) + (zero_extended == 255) +
+			       (v == 129) + (masked == 255);
+		}
+	`, 4)
+}
+
+func TestUnsignedCharArray(t *testing.T) {
+	expectExit(t, `
+		int main() {
+			unsigned char buf[4] = {0xFF, 0x80, 1, 0};
+			int s = 0;
+			for (int i = 0; i < 4; i++) s += buf[i];
+			unsigned char *p = buf;
+			s += *p;                 /* 255 again, zero-extended */
+			return s == (255 + 128 + 1 + 0 + 255);
+		}
+	`, 1)
+}
+
+func TestMoreDiagnostics(t *testing.T) {
+	cases := []struct{ src, frag string }{
+		{"int main() { int a[3]; int b[3]; a = b; return 0; }", "cannot assign to an array"},
+		{"int main() { int x = {1, 2}; return x; }", "initializer list on non-array"},
+		{"int main() { char s[2] = \"toolong\"; return 0; }", "string too long"},
+		{"int main() { return &5; }", "not an lvalue"},
+		{"int main() { int a[2]; a[0] = \"str\"; return 0; }", ""},
+		{"int x[2] = {1, 2, 3, 4};", ""},
+		{"void f() { return 1; } int main() { f(); return 0; }", ""},
+		{"int main() { int v = sizeof(void); return v; }", ""},
+		{"char big[1] = \"xy\";", "string too long"},
+		{"int main() { (int)1 = 2; return 0; }", "cast lvalue must be a pointer"},
+		{"int v = \"str\";", "string initializer"},
+		{"int main() { unsigned u = 3000000000u; return u > 0u; }", ""},
+	}
+	for _, c := range cases {
+		_, err := Compile("t.c", c.src)
+		if c.frag == "" {
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("compiling %q: err = %v, want %q", c.src, err, c.frag)
+		}
+	}
+}
+
+func TestConstEvalForms(t *testing.T) {
+	expectExit(t, `
+		int a = 1 + 2 * 3;
+		int b = (1 << 4) | 3;
+		int c = ~0 & 15;
+		int d = -(-7);
+		int e = !0;
+		int f = 100 / 5 - 3;
+		int g = 0xF ^ 0x3;
+		int h = sizeof(int) + sizeof(char*);
+		int main() {
+			return a + b + c + d + e + f + g + h;
+		}
+	`, 7+19+15+7+1+17+12+8)
+}

@@ -1,0 +1,454 @@
+package cc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Compile parses and compiles one translation unit to assembly source for
+// the internal assembler. Link it with the runtime's crt0/libc sources via
+// asm.Assemble.
+func Compile(file, src string) (string, error) {
+	prog, err := Parse(file, src)
+	if err != nil {
+		return "", err
+	}
+	return Generate(prog)
+}
+
+// Generate lowers a parsed program to assembly text.
+func Generate(prog *Program) (string, error) {
+	g := &codegen{
+		globals: make(map[string]*Type),
+		funcs:   make(map[string]*FuncDecl),
+	}
+	for _, fn := range prog.Funcs {
+		g.funcs[fn.Name] = fn
+	}
+	for _, vd := range prog.Globals {
+		if _, dup := g.globals[vd.Name]; dup {
+			return "", errAt(vd.Position(), "global %q redefined", vd.Name)
+		}
+		g.globals[vd.Name] = vd.Type
+	}
+	g.emit(".text")
+	for _, fn := range prog.Funcs {
+		if fn.Body == nil {
+			continue
+		}
+		if err := g.genFunc(fn); err != nil {
+			return "", err
+		}
+	}
+	if err := g.genGlobals(prog.Globals); err != nil {
+		return "", err
+	}
+	g.genStrings()
+	return g.b.String(), nil
+}
+
+// localVar is a frame-resident variable.
+type localVar struct {
+	off     int32 // $fp-relative
+	typ     *Type
+	isParam bool
+}
+
+type codegen struct {
+	b       strings.Builder
+	globals map[string]*Type
+	funcs   map[string]*FuncDecl
+
+	strs   [][]byte // string literal pool
+	labelN int
+
+	// Per-function state.
+	fn        *FuncDecl
+	scopes    []map[string]localVar
+	frameSize int32
+	nextLocal int32 // bytes of locals allocated so far
+	retLabel  string
+	breakLbls []string
+	contLbls  []string
+}
+
+func (g *codegen) emit(format string, args ...any) {
+	fmt.Fprintf(&g.b, format+"\n", args...)
+}
+
+func (g *codegen) label() string {
+	g.labelN++
+	return fmt.Sprintf(".L%d", g.labelN)
+}
+
+func (g *codegen) strLabel(val []byte) string {
+	for i, s := range g.strs {
+		if string(s) == string(val) {
+			return fmt.Sprintf(".Lstr%d", i)
+		}
+	}
+	g.strs = append(g.strs, val)
+	return fmt.Sprintf(".Lstr%d", len(g.strs)-1)
+}
+
+// lookup resolves a name in the innermost scope outward.
+func (g *codegen) lookup(name string) (localVar, bool) {
+	for i := len(g.scopes) - 1; i >= 0; i-- {
+		if v, ok := g.scopes[i][name]; ok {
+			return v, true
+		}
+	}
+	return localVar{}, false
+}
+
+func (g *codegen) pushScope() { g.scopes = append(g.scopes, map[string]localVar{}) }
+func (g *codegen) popScope()  { g.scopes = g.scopes[:len(g.scopes)-1] }
+
+func align4i(n int32) int32 { return (n + 3) &^ 3 }
+
+// frameBytes walks a function body totaling local storage (no slot reuse
+// across sibling scopes: simple and predictable for attack layouts).
+func frameBytes(s Stmt) int32 {
+	var total int32
+	switch n := s.(type) {
+	case *Block:
+		for _, st := range n.Stmts {
+			total += frameBytes(st)
+		}
+	case *LocalDecl:
+		total += align4i(int32(n.Decl.Type.Size()))
+	case *If:
+		total += frameBytes(n.Then)
+		if n.Else != nil {
+			total += frameBytes(n.Else)
+		}
+	case *While:
+		total += frameBytes(n.Body)
+	case *DoWhile:
+		total += frameBytes(n.Body)
+	case *For:
+		if n.Init != nil {
+			total += frameBytes(n.Init)
+		}
+		total += frameBytes(n.Body)
+	case *Switch:
+		total += 4 // hidden slot for the switch value
+		for _, c := range n.Cases {
+			for _, st := range c.Stmts {
+				total += frameBytes(st)
+			}
+		}
+		for _, st := range n.Default {
+			total += frameBytes(st)
+		}
+	}
+	return total
+}
+
+func (g *codegen) genFunc(fn *FuncDecl) error {
+	g.fn = fn
+	g.scopes = nil
+	g.pushScope()
+	defer g.popScope()
+	for i, p := range fn.Params {
+		g.scopes[0][p.Name] = localVar{off: int32(4 * i), typ: p.Type, isParam: true}
+	}
+	locals := frameBytes(fn.Body)
+	g.frameSize = (8 + locals + 7) &^ 7
+	g.nextLocal = 0
+	g.retLabel = fmt.Sprintf(".Lret_%s", fn.Name)
+
+	g.emit("%s:", fn.Name)
+	g.emit("\taddiu $sp, $sp, -%d", g.frameSize)
+	g.emit("\tsw $ra, %d($sp)", g.frameSize-4)
+	g.emit("\tsw $fp, %d($sp)", g.frameSize-8)
+	g.emit("\taddiu $fp, $sp, %d", g.frameSize)
+	if err := g.genBlock(fn.Body); err != nil {
+		return err
+	}
+	// Implicit return 0 for non-void fall-through.
+	g.emit("\tli $v0, 0")
+	g.emit("%s:", g.retLabel)
+	g.emit("\tlw $ra, -4($fp)")
+	g.emit("\tmove $sp, $fp")
+	g.emit("\tlw $fp, -8($fp)")
+	g.emit("\tjr $ra")
+	return nil
+}
+
+func (g *codegen) genBlock(b *Block) error {
+	g.pushScope()
+	defer g.popScope()
+	for _, s := range b.Stmts {
+		if err := g.genStmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (g *codegen) genStmt(s Stmt) error {
+	switch n := s.(type) {
+	case *Block:
+		return g.genBlock(n)
+	case *LocalDecl:
+		return g.genLocalDecl(n)
+	case *ExprStmt:
+		_, err := g.genExpr(n.X)
+		return err
+	case *Return:
+		if n.X != nil {
+			if _, err := g.genExpr(n.X); err != nil {
+				return err
+			}
+			g.emit("\tmove $v0, $t0")
+		}
+		g.emit("\tj %s", g.retLabel)
+		return nil
+	case *If:
+		elseL, endL := g.label(), g.label()
+		if _, err := g.genExpr(n.Cond); err != nil {
+			return err
+		}
+		g.emit("\tbeqz $t0, %s", elseL)
+		if err := g.genStmt(n.Then); err != nil {
+			return err
+		}
+		g.emit("\tj %s", endL)
+		g.emit("%s:", elseL)
+		if n.Else != nil {
+			if err := g.genStmt(n.Else); err != nil {
+				return err
+			}
+		}
+		g.emit("%s:", endL)
+		return nil
+	case *While:
+		top, end := g.label(), g.label()
+		g.breakLbls = append(g.breakLbls, end)
+		g.contLbls = append(g.contLbls, top)
+		g.emit("%s:", top)
+		if _, err := g.genExpr(n.Cond); err != nil {
+			return err
+		}
+		g.emit("\tbeqz $t0, %s", end)
+		if err := g.genStmt(n.Body); err != nil {
+			return err
+		}
+		g.emit("\tj %s", top)
+		g.emit("%s:", end)
+		g.breakLbls = g.breakLbls[:len(g.breakLbls)-1]
+		g.contLbls = g.contLbls[:len(g.contLbls)-1]
+		return nil
+	case *DoWhile:
+		top, cont, end := g.label(), g.label(), g.label()
+		g.breakLbls = append(g.breakLbls, end)
+		g.contLbls = append(g.contLbls, cont)
+		g.emit("%s:", top)
+		if err := g.genStmt(n.Body); err != nil {
+			return err
+		}
+		g.emit("%s:", cont)
+		if _, err := g.genExpr(n.Cond); err != nil {
+			return err
+		}
+		g.emit("\tbnez $t0, %s", top)
+		g.emit("%s:", end)
+		g.breakLbls = g.breakLbls[:len(g.breakLbls)-1]
+		g.contLbls = g.contLbls[:len(g.contLbls)-1]
+		return nil
+	case *For:
+		g.pushScope()
+		defer g.popScope()
+		top, cont, end := g.label(), g.label(), g.label()
+		if n.Init != nil {
+			if err := g.genStmt(n.Init); err != nil {
+				return err
+			}
+		}
+		g.breakLbls = append(g.breakLbls, end)
+		g.contLbls = append(g.contLbls, cont)
+		g.emit("%s:", top)
+		if n.Cond != nil {
+			if _, err := g.genExpr(n.Cond); err != nil {
+				return err
+			}
+			g.emit("\tbeqz $t0, %s", end)
+		}
+		if err := g.genStmt(n.Body); err != nil {
+			return err
+		}
+		g.emit("%s:", cont)
+		if n.Post != nil {
+			if _, err := g.genExpr(n.Post); err != nil {
+				return err
+			}
+		}
+		g.emit("\tj %s", top)
+		g.emit("%s:", end)
+		g.breakLbls = g.breakLbls[:len(g.breakLbls)-1]
+		g.contLbls = g.contLbls[:len(g.contLbls)-1]
+		return nil
+	case *Break:
+		if len(g.breakLbls) == 0 {
+			return errAt(n.Position(), "break outside loop")
+		}
+		g.emit("\tj %s", g.breakLbls[len(g.breakLbls)-1])
+		return nil
+	case *Continue:
+		if len(g.contLbls) == 0 {
+			return errAt(n.Position(), "continue outside loop")
+		}
+		g.emit("\tj %s", g.contLbls[len(g.contLbls)-1])
+		return nil
+	case *Switch:
+		return g.genSwitch(n)
+	}
+	return errAt(s.Position(), "unsupported statement %T", s)
+}
+
+// genSwitch lowers a switch to a compare chain over a hidden frame slot,
+// with C fall-through between arms and break targeting the end label.
+func (g *codegen) genSwitch(n *Switch) error {
+	if _, err := g.genExpr(n.X); err != nil {
+		return err
+	}
+	g.nextLocal += 4
+	slot := -(8 + g.nextLocal)
+	g.emit("\tsw $t0, %d($fp)", slot)
+
+	end := g.label()
+	caseLbls := make([]string, len(n.Cases))
+	for i, c := range n.Cases {
+		caseLbls[i] = g.label()
+		for _, v := range c.Vals {
+			g.emit("\tlw $t1, %d($fp)", slot)
+			g.emit("\tli $t2, %d", int32(v))
+			g.emit("\tbeq $t1, $t2, %s", caseLbls[i])
+		}
+	}
+	defaultLbl := end
+	if n.HasDefault {
+		defaultLbl = g.label()
+	}
+	g.emit("\tj %s", defaultLbl)
+
+	g.breakLbls = append(g.breakLbls, end)
+	defer func() { g.breakLbls = g.breakLbls[:len(g.breakLbls)-1] }()
+	for i, c := range n.Cases {
+		g.emit("%s:", caseLbls[i])
+		g.pushScope()
+		for _, st := range c.Stmts {
+			if err := g.genStmt(st); err != nil {
+				g.popScope()
+				return err
+			}
+		}
+		g.popScope()
+	}
+	if n.HasDefault {
+		g.emit("%s:", defaultLbl)
+		g.pushScope()
+		for _, st := range n.Default {
+			if err := g.genStmt(st); err != nil {
+				g.popScope()
+				return err
+			}
+		}
+		g.popScope()
+	}
+	g.emit("%s:", end)
+	return nil
+}
+
+func (g *codegen) genLocalDecl(n *LocalDecl) error {
+	vd := n.Decl
+	size := align4i(int32(vd.Type.Size()))
+	g.nextLocal += size
+	off := -(8 + g.nextLocal)
+	scope := g.scopes[len(g.scopes)-1]
+	if _, dup := scope[vd.Name]; dup {
+		return errAt(n.Position(), "local %q redefined in this scope", vd.Name)
+	}
+	scope[vd.Name] = localVar{off: off, typ: vd.Type}
+	if vd.InitList != nil {
+		if vd.Type.Kind != TArray {
+			return errAt(n.Position(), "initializer list on non-array %q", vd.Name)
+		}
+		elem := vd.Type.Elem
+		for i, e := range vd.InitList {
+			if _, err := g.genExpr(e); err != nil {
+				return err
+			}
+			dst := off + int32(i*elem.Size())
+			g.emit("\t%s $t0, %d($fp)", storeOp(elem), dst)
+		}
+		return nil
+	}
+	if vd.Init != nil {
+		// char arrays may be initialized from a string literal.
+		if vd.Type.Kind == TArray {
+			str, ok := vd.Init.(*Str)
+			if !ok || !vd.Type.Elem.IsByte() {
+				return errAt(n.Position(), "unsupported array initializer for %q", vd.Name)
+			}
+			if len(str.Value)+1 > vd.Type.Size() {
+				return errAt(n.Position(), "string too long for %q", vd.Name)
+			}
+			lbl := g.strLabel(str.Value)
+			// Copy the literal (with NUL) into the frame.
+			g.emit("\tla $t1, %s", lbl)
+			for i := 0; i <= len(str.Value); i++ {
+				g.emit("\tlb $t0, %d($t1)", i)
+				g.emit("\tsb $t0, %d($fp)", off+int32(i))
+			}
+			return nil
+		}
+		if _, err := g.genExpr(vd.Init); err != nil {
+			return err
+		}
+		g.emit("\t%s $t0, %d($fp)", storeOp(vd.Type), off)
+	}
+	return nil
+}
+
+// push/pop of intermediate values.
+func (g *codegen) push() {
+	g.emit("\taddiu $sp, $sp, -4")
+	g.emit("\tsw $t0, 0($sp)")
+}
+
+func (g *codegen) popTo(reg string) {
+	g.emit("\tlw %s, 0($sp)", reg)
+	g.emit("\taddiu $sp, $sp, 4")
+}
+
+// loadOp returns the load mnemonic for a type: lb for signed char, lbu
+// for unsigned char, lw otherwise.
+func loadOp(t *Type) string {
+	switch t.Kind {
+	case TChar:
+		return "lb"
+	case TUChar:
+		return "lbu"
+	}
+	return "lw"
+}
+
+// storeOp returns the store mnemonic for a type.
+func storeOp(t *Type) string {
+	if t.IsByte() {
+		return "sb"
+	}
+	return "sw"
+}
+
+// load emits the typed load of *(t0) into t0.
+func (g *codegen) load(t *Type) {
+	g.emit("\t%s $t0, 0($t0)", loadOp(t))
+}
+
+// store emits the typed store of t0 into *(t1).
+func (g *codegen) store(t *Type) {
+	g.emit("\t%s $t0, 0($t1)", storeOp(t))
+}

@@ -1,0 +1,245 @@
+package cc
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/cpu"
+	"repro/internal/kernel"
+	"repro/internal/mem"
+)
+
+// diffExpr is a randomly generated expression that can render itself as C
+// source and evaluate itself with the machine's int32 semantics.
+type diffExpr interface {
+	c() string
+	eval(env map[string]int32) int32
+}
+
+type diffConst struct{ v int32 }
+
+func (d diffConst) c() string {
+	if d.v < 0 {
+		// Parenthesize negatives so they survive any operator context.
+		return fmt.Sprintf("(%d)", d.v)
+	}
+	return fmt.Sprintf("%d", d.v)
+}
+func (d diffConst) eval(map[string]int32) int32 { return d.v }
+
+type diffVar struct{ name string }
+
+func (d diffVar) c() string                       { return d.name }
+func (d diffVar) eval(env map[string]int32) int32 { return env[d.name] }
+
+type diffUnary struct {
+	op string
+	x  diffExpr
+}
+
+func (d diffUnary) c() string { return "(" + d.op + d.x.c() + ")" }
+func (d diffUnary) eval(env map[string]int32) int32 {
+	v := d.x.eval(env)
+	switch d.op {
+	case "-":
+		return -v
+	case "~":
+		return ^v
+	case "!":
+		if v == 0 {
+			return 1
+		}
+		return 0
+	}
+	panic("bad unary " + d.op)
+}
+
+type diffBinary struct {
+	op   string
+	l, r diffExpr
+}
+
+func (d diffBinary) c() string {
+	// Division and modulus guard against zero and INT_MIN/-1 exactly the
+	// way the generated C does: (r | 1) avoids zero; the machine defines
+	// INT_MIN / -1, but C doesn't, so keep the operand positive via &0xFFFF.
+	switch d.op {
+	case "/", "%":
+		return "(" + d.l.c() + " " + d.op + " ((" + d.r.c() + " & 0xFFFF) | 1))"
+	case "<<", ">>":
+		return "(" + d.l.c() + " " + d.op + " (" + d.r.c() + " & 15))"
+	}
+	return "(" + d.l.c() + " " + d.op + " " + d.r.c() + ")"
+}
+
+func (d diffBinary) eval(env map[string]int32) int32 {
+	l, r := d.l.eval(env), d.r.eval(env)
+	switch d.op {
+	case "+":
+		return l + r
+	case "-":
+		return l - r
+	case "*":
+		return l * r
+	case "/":
+		return l / (r&0xFFFF | 1)
+	case "%":
+		return l % (r&0xFFFF | 1)
+	case "&":
+		return l & r
+	case "|":
+		return l | r
+	case "^":
+		return l ^ r
+	case "<<":
+		return l << uint(r&15)
+	case ">>":
+		return l >> uint(r&15)
+	case "<":
+		return b2i(l < r)
+	case ">":
+		return b2i(l > r)
+	case "<=":
+		return b2i(l <= r)
+	case ">=":
+		return b2i(l >= r)
+	case "==":
+		return b2i(l == r)
+	case "!=":
+		return b2i(l != r)
+	case "&&":
+		return b2i(l != 0 && r != 0)
+	case "||":
+		return b2i(l != 0 || r != 0)
+	}
+	panic("bad binary " + d.op)
+}
+
+type diffCond struct{ c0, t, f diffExpr }
+
+func (d diffCond) c() string {
+	return "(" + d.c0.c() + " ? " + d.t.c() + " : " + d.f.c() + ")"
+}
+func (d diffCond) eval(env map[string]int32) int32 {
+	if d.c0.eval(env) != 0 {
+		return d.t.eval(env)
+	}
+	return d.f.eval(env)
+}
+
+func b2i(b bool) int32 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+var diffBinOps = []string{
+	"+", "-", "*", "/", "%", "&", "|", "^", "<<", ">>",
+	"<", ">", "<=", ">=", "==", "!=", "&&", "||",
+}
+
+var diffVars = []string{"a", "b", "c", "d"}
+
+// genDiffExpr builds a random expression of bounded depth.
+func genDiffExpr(rng *rand.Rand, depth int) diffExpr {
+	if depth == 0 || rng.Intn(5) == 0 {
+		if rng.Intn(2) == 0 {
+			return diffVar{name: diffVars[rng.Intn(len(diffVars))]}
+		}
+		switch rng.Intn(4) {
+		case 0:
+			return diffConst{v: int32(rng.Intn(16))}
+		case 1:
+			return diffConst{v: int32(rng.Intn(1 << 16))}
+		case 2:
+			return diffConst{v: -int32(rng.Intn(1 << 12))}
+		default:
+			return diffConst{v: rng.Int31()}
+		}
+	}
+	switch rng.Intn(6) {
+	case 0:
+		ops := []string{"-", "~", "!"}
+		return diffUnary{op: ops[rng.Intn(len(ops))], x: genDiffExpr(rng, depth-1)}
+	case 1:
+		return diffCond{
+			c0: genDiffExpr(rng, depth-1),
+			t:  genDiffExpr(rng, depth-1),
+			f:  genDiffExpr(rng, depth-1),
+		}
+	default:
+		return diffBinary{
+			op: diffBinOps[rng.Intn(len(diffBinOps))],
+			l:  genDiffExpr(rng, depth-1),
+			r:  genDiffExpr(rng, depth-1),
+		}
+	}
+}
+
+// TestDifferentialRandomExpressions compiles randomly generated expression
+// programs and checks the machine's result against a Go-side evaluator
+// with identical int32 semantics. Several expressions are batched per
+// program to amortize build time.
+func TestDifferentialRandomExpressions(t *testing.T) {
+	rng := rand.New(rand.NewSource(20050628)) // DSN 2005's opening day
+	const (
+		programs     = 12
+		exprsPerProg = 8
+	)
+	for pi := 0; pi < programs; pi++ {
+		env := map[string]int32{}
+		var decl strings.Builder
+		for _, v := range diffVars {
+			val := rng.Int31() - 1<<30
+			env[v] = val
+			fmt.Fprintf(&decl, "int %s = %d;\n", v, val)
+		}
+		exprs := make([]diffExpr, exprsPerProg)
+		var body strings.Builder
+		for i := range exprs {
+			exprs[i] = genDiffExpr(rng, 4)
+			fmt.Fprintf(&body, "results[%d] = %s;\n", i, exprs[i].c())
+		}
+		src := fmt.Sprintf(`
+			%s
+			int results[%d];
+			int main() {
+				%s
+				return 0;
+			}
+		`, decl.String(), exprsPerProg, body.String())
+
+		gen, err := CompileProgram(Unit{Name: "diff.c", Src: src})
+		if err != nil {
+			t.Fatalf("program %d compile: %v\nsource:\n%s", pi, err, src)
+		}
+		im, err := asm.Assemble(asm.Source{Name: "crt0.s", Text: testCrt0}, gen)
+		if err != nil {
+			t.Fatalf("program %d assemble: %v", pi, err)
+		}
+		k := kernel.New()
+		m := mem.New()
+		c := cpu.New(cpu.Config{Bus: m, Handler: k, Image: im})
+		c.LoadImage(m, im)
+		k.SetBreak(im.DataEnd)
+		if err := c.Run(10_000_000); err != nil {
+			t.Fatalf("program %d run: %v\nsource:\n%s", pi, err, src)
+		}
+		base := im.Symbols["results"]
+		for i, e := range exprs {
+			want := e.eval(env)
+			got, _, err := m.LoadWord(base + uint32(4*i))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if int32(got) != want {
+				t.Errorf("program %d expr %d:\n  %s\n  machine=%d go=%d",
+					pi, i, e.c(), int32(got), want)
+			}
+		}
+	}
+}

@@ -1,0 +1,1065 @@
+package cc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// typeOf statically determines an expression's type (no code emitted).
+func (g *codegen) typeOf(e Expr) (*Type, error) {
+	switch n := e.(type) {
+	case *Num:
+		return IntType, nil
+	case *Str:
+		return PtrTo(CharType), nil
+	case *Ident:
+		if v, ok := g.lookup(n.Name); ok {
+			return v.typ, nil
+		}
+		if t, ok := g.globals[n.Name]; ok {
+			return t, nil
+		}
+		return nil, errAt(n.Position(), "undefined variable %q", n.Name)
+	case *Unary:
+		switch n.Op {
+		case "*":
+			xt, err := g.typeOf(n.X)
+			if err != nil {
+				return nil, err
+			}
+			xt = xt.Decay()
+			if xt.Kind != TPtr {
+				return nil, errAt(n.Position(), "dereference of non-pointer %s", xt)
+			}
+			return xt.Elem, nil
+		case "&":
+			xt, err := g.typeOf(n.X)
+			if err != nil {
+				return nil, err
+			}
+			return PtrTo(xt), nil
+		case "!":
+			return IntType, nil
+		default:
+			xt, err := g.typeOf(n.X)
+			if err != nil {
+				return nil, err
+			}
+			return xt.Decay(), nil
+		}
+	case *Binary:
+		switch n.Op {
+		case "==", "!=", "<", ">", "<=", ">=", "&&", "||":
+			return IntType, nil
+		}
+		lt, err := g.typeOf(n.L)
+		if err != nil {
+			return nil, err
+		}
+		rt, err := g.typeOf(n.R)
+		if err != nil {
+			return nil, err
+		}
+		lt, rt = lt.Decay(), rt.Decay()
+		switch {
+		case lt.Kind == TPtr && rt.Kind == TPtr:
+			if n.Op == "-" {
+				return IntType, nil
+			}
+			return lt, nil
+		case lt.Kind == TPtr:
+			return lt, nil
+		case rt.Kind == TPtr:
+			return rt, nil
+		case lt.Kind == TUInt || rt.Kind == TUInt:
+			return UIntType, nil
+		default:
+			return IntType, nil
+		}
+	case *Assign:
+		return g.typeOf(n.L)
+	case *Cond:
+		return g.typeOf(n.T)
+	case *Call:
+		if fn, ok := g.funcs[n.Name]; ok {
+			return fn.Ret, nil
+		}
+		return IntType, nil // unknown (runtime-library) function: int
+	case *Index:
+		at, err := g.typeOf(n.Arr)
+		if err != nil {
+			return nil, err
+		}
+		at = at.Decay()
+		if at.Kind != TPtr {
+			return nil, errAt(n.Position(), "subscript of non-pointer %s", at)
+		}
+		return at.Elem, nil
+	case *Cast:
+		return n.To, nil
+	case *SizeofType, *SizeofExpr:
+		return UIntType, nil
+	case *Member:
+		f, err := g.memberField(n)
+		if err != nil {
+			return nil, err
+		}
+		return f.Type, nil
+	}
+	return nil, errAt(e.Position(), "cannot type expression %T", e)
+}
+
+// memberField resolves x.f / p->f to the struct field.
+func (g *codegen) memberField(n *Member) (StructField, error) {
+	xt, err := g.typeOf(n.X)
+	if err != nil {
+		return StructField{}, err
+	}
+	if n.Arrow {
+		xt = xt.Decay()
+		if xt.Kind != TPtr || xt.Elem.Kind != TStruct {
+			return StructField{}, errAt(n.Position(), "-> on non-struct-pointer %s", xt)
+		}
+		xt = xt.Elem
+	}
+	if xt.Kind != TStruct {
+		return StructField{}, errAt(n.Position(), ". on non-struct %s", xt)
+	}
+	f, ok := xt.Struct.Field(n.Name)
+	if !ok {
+		return StructField{}, errAt(n.Position(), "struct %s has no field %q", xt.Struct.Tag, n.Name)
+	}
+	return f, nil
+}
+
+// genAddr emits the lvalue address of e into $t0 and returns the object's
+// type.
+func (g *codegen) genAddr(e Expr) (*Type, error) {
+	switch n := e.(type) {
+	case *Ident:
+		if v, ok := g.lookup(n.Name); ok {
+			g.emit("\taddiu $t0, $fp, %d", v.off)
+			return v.typ, nil
+		}
+		if t, ok := g.globals[n.Name]; ok {
+			g.emit("\tla $t0, %s", n.Name)
+			return t, nil
+		}
+		return nil, errAt(n.Position(), "undefined variable %q", n.Name)
+	case *Unary:
+		if n.Op != "*" {
+			return nil, errAt(n.Position(), "expression is not an lvalue")
+		}
+		xt, err := g.genExpr(n.X)
+		if err != nil {
+			return nil, err
+		}
+		xt = xt.Decay()
+		if xt.Kind != TPtr {
+			return nil, errAt(n.Position(), "dereference of non-pointer %s", xt)
+		}
+		return xt.Elem, nil
+	case *Index:
+		return g.genIndexAddr(n)
+	case *Member:
+		f, err := g.memberField(n)
+		if err != nil {
+			return nil, err
+		}
+		if n.Arrow {
+			if _, err := g.genExpr(n.X); err != nil {
+				return nil, err
+			}
+		} else {
+			if _, err := g.genAddr(n.X); err != nil {
+				return nil, err
+			}
+		}
+		if f.Off != 0 {
+			g.emit("\taddiu $t0, $t0, %d", f.Off)
+		}
+		return f.Type, nil
+	case *Cast:
+		// (T*)x used as an lvalue target: the address is x's value.
+		if n.To.Kind != TPtr {
+			return nil, errAt(n.Position(), "cast lvalue must be a pointer type")
+		}
+		if _, err := g.genExpr(n.X); err != nil {
+			return nil, err
+		}
+		return n.To.Elem, nil
+	}
+	return nil, errAt(e.Position(), "expression is not an lvalue")
+}
+
+// genIndexAddr computes &arr[idx].
+func (g *codegen) genIndexAddr(n *Index) (*Type, error) {
+	at, err := g.typeOf(n.Arr)
+	if err != nil {
+		return nil, err
+	}
+	at = at.Decay()
+	if at.Kind != TPtr {
+		return nil, errAt(n.Position(), "subscript of non-pointer")
+	}
+	// Base address (array decays; pointer evaluates).
+	if _, err := g.genExpr(n.Arr); err != nil {
+		return nil, err
+	}
+	g.push()
+	if _, err := g.genExpr(n.Idx); err != nil {
+		return nil, err
+	}
+	g.scaleT0(at.Elem.Size())
+	g.popTo("$t1")
+	g.emit("\taddu $t0, $t1, $t0")
+	return at.Elem, nil
+}
+
+// scaleT0 multiplies $t0 by an element size.
+func (g *codegen) scaleT0(size int) {
+	switch size {
+	case 1:
+	case 2:
+		g.emit("\tsll $t0, $t0, 1")
+	case 4:
+		g.emit("\tsll $t0, $t0, 2")
+	default:
+		g.emit("\tli $t1, %d", size)
+		g.emit("\tmul $t0, $t0, $t1")
+	}
+}
+
+// genExpr emits code leaving e's value in $t0 and returns its type
+// (arrays decay to pointers in value position).
+func (g *codegen) genExpr(e Expr) (*Type, error) {
+	switch n := e.(type) {
+	case *Num:
+		g.emit("\tli $t0, %d", int32(n.Value))
+		return IntType, nil
+	case *Str:
+		g.emit("\tla $t0, %s", g.strLabel(n.Value))
+		return PtrTo(CharType), nil
+	case *Ident:
+		t, err := g.typeOf(n)
+		if err != nil {
+			return nil, err
+		}
+		if t.Kind == TArray {
+			return g.addrOfIdent(n)
+		}
+		if t.Kind == TStruct {
+			return nil, errAt(n.Position(), "struct values cannot be used directly; take &%s or a member", n.Name)
+		}
+		if v, ok := g.lookup(n.Name); ok {
+			if v.isParam {
+				g.emit("\tlw $t0, %d($fp)", v.off)
+			} else {
+				g.emit("\t%s $t0, %d($fp)", loadOp(v.typ), v.off)
+			}
+			return t, nil
+		}
+		g.emit("\t%s $t0, %s", loadOp(t), n.Name)
+		return t, nil
+	case *Unary:
+		return g.genUnary(n)
+	case *Binary:
+		return g.genBinary(n)
+	case *Assign:
+		return g.genAssign(n)
+	case *Cond:
+		elseL, endL := g.label(), g.label()
+		if _, err := g.genExpr(n.C); err != nil {
+			return nil, err
+		}
+		g.emit("\tbeqz $t0, %s", elseL)
+		t, err := g.genExpr(n.T)
+		if err != nil {
+			return nil, err
+		}
+		g.emit("\tj %s", endL)
+		g.emit("%s:", elseL)
+		if _, err := g.genExpr(n.F); err != nil {
+			return nil, err
+		}
+		g.emit("%s:", endL)
+		return t.Decay(), nil
+	case *Call:
+		return g.genCall(n)
+	case *Index:
+		t, err := g.genIndexAddr(n)
+		if err != nil {
+			return nil, err
+		}
+		if t.Kind == TArray {
+			return t.Decay(), nil // address of sub-array
+		}
+		g.load(t)
+		return t, nil
+	case *Cast:
+		xt, err := g.genExpr(n.X)
+		if err != nil {
+			return nil, err
+		}
+		// (char) of a wider value truncates then sign-extends; (unsigned
+		// char) masks to the low byte.
+		if n.To.Kind == TChar && xt.Kind != TChar {
+			g.emit("\tsll $t0, $t0, 24")
+			g.emit("\tsra $t0, $t0, 24")
+		} else if n.To.Kind == TUChar && xt.Kind != TUChar {
+			g.emit("\tandi $t0, $t0, 0xFF")
+		}
+		return n.To, nil
+	case *SizeofType:
+		g.emit("\tli $t0, %d", n.T.Size())
+		return UIntType, nil
+	case *SizeofExpr:
+		t, err := g.typeOf(n.X)
+		if err != nil {
+			return nil, err
+		}
+		g.emit("\tli $t0, %d", t.Size())
+		return UIntType, nil
+	case *Member:
+		f, err := g.memberField(n)
+		if err != nil {
+			return nil, err
+		}
+		if f.Type.Kind == TStruct {
+			return nil, errAt(n.Position(), "struct values cannot be loaded; take a member or a pointer")
+		}
+		// p->f loads with an immediate offset off the base pointer, so an
+		// alert reports the pointer value itself (the paper's
+		// "LW $3,0($3)" shape for B->fd).
+		if n.Arrow && f.Type.Kind != TArray {
+			if _, err := g.genExpr(n.X); err != nil {
+				return nil, err
+			}
+			g.emit("\t%s $t0, %d($t0)", loadOp(f.Type), f.Off)
+			return f.Type, nil
+		}
+		if _, err := g.genAddr(n); err != nil {
+			return nil, err
+		}
+		if f.Type.Kind == TArray {
+			return f.Type.Decay(), nil
+		}
+		g.load(f.Type)
+		return f.Type, nil
+	}
+	return nil, errAt(e.Position(), "cannot compile expression %T", e)
+}
+
+func (g *codegen) addrOfIdent(n *Ident) (*Type, error) {
+	t, err := g.genAddr(n)
+	if err != nil {
+		return nil, err
+	}
+	return t.Decay(), nil
+}
+
+func (g *codegen) genUnary(n *Unary) (*Type, error) {
+	switch n.Op {
+	case "-":
+		t, err := g.genExpr(n.X)
+		if err != nil {
+			return nil, err
+		}
+		g.emit("\tneg $t0, $t0")
+		return t.Decay(), nil
+	case "~":
+		t, err := g.genExpr(n.X)
+		if err != nil {
+			return nil, err
+		}
+		g.emit("\tnot $t0, $t0")
+		return t.Decay(), nil
+	case "!":
+		if _, err := g.genExpr(n.X); err != nil {
+			return nil, err
+		}
+		g.emit("\tseqz $t0, $t0")
+		return IntType, nil
+	case "*":
+		xt, err := g.typeOf(n.X)
+		if err != nil {
+			return nil, err
+		}
+		xt = xt.Decay()
+		if xt.Kind != TPtr {
+			return nil, errAt(n.Position(), "dereference of non-pointer %s", xt)
+		}
+		// Fold *(p + const) into an immediate-offset load so the base
+		// pointer stays the addressing register — matching how a real
+		// compiler emits struct-offset accesses (and how the paper's
+		// alerts read, e.g. "LW $3,0($3)" with $3 = B->fd).
+		if base, off, ok := g.ptrOffsetFold(n.X); ok && xt.Elem.Kind != TArray {
+			if _, err := g.genExpr(base); err != nil {
+				return nil, err
+			}
+			g.emit("\t%s $t0, %d($t0)", loadOp(xt.Elem), off)
+			return xt.Elem, nil
+		}
+		if _, err := g.genExpr(n.X); err != nil {
+			return nil, err
+		}
+		if xt.Elem.Kind == TArray {
+			return xt.Elem.Decay(), nil
+		}
+		g.load(xt.Elem)
+		return xt.Elem, nil
+	case "&":
+		t, err := g.genAddr(n.X)
+		if err != nil {
+			return nil, err
+		}
+		return PtrTo(t), nil
+	case "++", "--":
+		return g.genIncDec(n)
+	}
+	return nil, errAt(n.Position(), "unsupported unary %q", n.Op)
+}
+
+func (g *codegen) genIncDec(n *Unary) (*Type, error) {
+	t, err := g.genAddr(n.X)
+	if err != nil {
+		return nil, err
+	}
+	step := 1
+	if t.Kind == TPtr {
+		step = t.Elem.Size()
+	}
+	if n.Op == "--" {
+		step = -step
+	}
+	g.push() // address
+	g.popTo("$t1")
+	// t1 = addr; load old value.
+	g.emit("\t%s $t0, 0($t1)", loadOp(t))
+	if n.Postfix {
+		// Result is the old value; store the new one via $t2.
+		g.emit("\taddiu $t2, $t0, %d", step)
+		g.emit("\t%s $t2, 0($t1)", storeOp(t))
+	} else {
+		g.emit("\taddiu $t0, $t0, %d", step)
+		g.store(t)
+	}
+	return t.Decay(), nil
+}
+
+func (g *codegen) genBinary(n *Binary) (*Type, error) {
+	switch n.Op {
+	case "&&":
+		falseL, endL := g.label(), g.label()
+		if _, err := g.genExpr(n.L); err != nil {
+			return nil, err
+		}
+		g.emit("\tbeqz $t0, %s", falseL)
+		if _, err := g.genExpr(n.R); err != nil {
+			return nil, err
+		}
+		g.emit("\tbeqz $t0, %s", falseL)
+		g.emit("\tli $t0, 1")
+		g.emit("\tj %s", endL)
+		g.emit("%s:", falseL)
+		g.emit("\tli $t0, 0")
+		g.emit("%s:", endL)
+		return IntType, nil
+	case "||":
+		trueL, endL := g.label(), g.label()
+		if _, err := g.genExpr(n.L); err != nil {
+			return nil, err
+		}
+		g.emit("\tbnez $t0, %s", trueL)
+		if _, err := g.genExpr(n.R); err != nil {
+			return nil, err
+		}
+		g.emit("\tbnez $t0, %s", trueL)
+		g.emit("\tli $t0, 0")
+		g.emit("\tj %s", endL)
+		g.emit("%s:", trueL)
+		g.emit("\tli $t0, 1")
+		g.emit("%s:", endL)
+		return IntType, nil
+	}
+
+	lt, err := g.typeOf(n.L)
+	if err != nil {
+		return nil, err
+	}
+	rt, err := g.typeOf(n.R)
+	if err != nil {
+		return nil, err
+	}
+	lt, rt = lt.Decay(), rt.Decay()
+
+	if _, err := g.genExpr(n.L); err != nil {
+		return nil, err
+	}
+	// Pointer arithmetic scaling for ptr +/- int.
+	if (n.Op == "+" || n.Op == "-") && lt.Kind == TPtr && rt.Kind != TPtr {
+		g.push()
+		if _, err := g.genExpr(n.R); err != nil {
+			return nil, err
+		}
+		g.scaleT0(lt.Elem.Size())
+		g.popTo("$t1")
+		if n.Op == "+" {
+			g.emit("\taddu $t0, $t1, $t0")
+		} else {
+			g.emit("\tsubu $t0, $t1, $t0")
+		}
+		return lt, nil
+	}
+	if n.Op == "+" && rt.Kind == TPtr && lt.Kind != TPtr {
+		g.scaleT0(rt.Elem.Size())
+		g.push()
+		if _, err := g.genExpr(n.R); err != nil {
+			return nil, err
+		}
+		g.popTo("$t1")
+		g.emit("\taddu $t0, $t1, $t0")
+		return rt, nil
+	}
+	// Operand registers: lreg holds L, rreg holds R. When R is a simple
+	// operand (constant or scalar variable) it is evaluated directly into
+	// $t1, leaving L's value in $t0 with its load provenance intact — this
+	// is what lets a bounds-check compare untaint the checked variable's
+	// memory home, as register allocation does for the paper's binaries.
+	lreg, rreg := "$t1", "$t0"
+	if g.genSimpleTo("$t1", n.R) {
+		lreg, rreg = "$t0", "$t1"
+	} else {
+		g.push()
+		if _, err := g.genExpr(n.R); err != nil {
+			return nil, err
+		}
+		g.popTo("$t1") // t1 = L, t0 = R
+	}
+	if n.Op == "-" && lt.Kind == TPtr && rt.Kind == TPtr {
+		g.emit("\tsubu $t0, %s, %s", lreg, rreg)
+		switch lt.Elem.Size() {
+		case 1:
+		case 4:
+			g.emit("\tsra $t0, $t0, 2")
+		default:
+			g.emit("\tli $t1, %d", lt.Elem.Size())
+			g.emit("\tdiv $t0, $t0, $t1")
+		}
+		return IntType, nil
+	}
+
+	unsigned := lt.Kind == TUInt || rt.Kind == TUInt ||
+		lt.Kind == TPtr || rt.Kind == TPtr
+	resType := IntType
+	switch {
+	case lt.Kind == TPtr:
+		resType = lt
+	case rt.Kind == TPtr:
+		resType = rt
+	case unsigned:
+		resType = UIntType
+	}
+
+	switch n.Op {
+	case "+":
+		g.emit("\taddu $t0, %s, %s", lreg, rreg)
+	case "-":
+		g.emit("\tsubu $t0, %s, %s", lreg, rreg)
+	case "*":
+		g.emit("\tmul $t0, %s, %s", lreg, rreg)
+	case "/":
+		if unsigned {
+			g.emit("\tdivu $t0, %s, %s", lreg, rreg)
+		} else {
+			g.emit("\tdiv $t0, %s, %s", lreg, rreg)
+		}
+	case "%":
+		if unsigned {
+			g.emit("\tremu $t0, %s, %s", lreg, rreg)
+		} else {
+			g.emit("\trem $t0, %s, %s", lreg, rreg)
+		}
+	case "&":
+		g.emit("\tand $t0, %s, %s", lreg, rreg)
+	case "|":
+		g.emit("\tor $t0, %s, %s", lreg, rreg)
+	case "^":
+		g.emit("\txor $t0, %s, %s", lreg, rreg)
+	case "<<":
+		g.emit("\tsllv $t0, %s, %s", lreg, rreg)
+	case ">>":
+		if unsigned {
+			g.emit("\tsrlv $t0, %s, %s", lreg, rreg)
+		} else {
+			g.emit("\tsrav $t0, %s, %s", lreg, rreg)
+		}
+	case "==":
+		g.emit("\txor $t2, %s, %s", lreg, rreg)
+		g.emit("\tseqz $t0, $t2")
+		return IntType, nil
+	case "!=":
+		g.emit("\txor $t2, %s, %s", lreg, rreg)
+		g.emit("\tsnez $t0, $t2")
+		return IntType, nil
+	case "<":
+		g.cmp(unsigned, "$t2", lreg, rreg)
+		g.emit("\tmove $t0, $t2")
+		return IntType, nil
+	case ">":
+		g.cmp(unsigned, "$t2", rreg, lreg)
+		g.emit("\tmove $t0, $t2")
+		return IntType, nil
+	case "<=":
+		g.cmp(unsigned, "$t2", rreg, lreg) // t2 = R < L
+		g.emit("\txori $t0, $t2, 1")
+		return IntType, nil
+	case ">=":
+		g.cmp(unsigned, "$t2", lreg, rreg) // t2 = L < R
+		g.emit("\txori $t0, $t2, 1")
+		return IntType, nil
+	default:
+		return nil, errAt(n.Position(), "unsupported binary %q", n.Op)
+	}
+	return resType, nil
+}
+
+// ptrOffsetFold recognizes p + CONST (through pointer casts) and returns
+// the base pointer expression and the scaled byte offset, when the offset
+// fits a 16-bit load/store immediate.
+func (g *codegen) ptrOffsetFold(e Expr) (Expr, int32, bool) {
+	x := e
+	for {
+		c, ok := x.(*Cast)
+		if !ok || c.To.Kind != TPtr {
+			break
+		}
+		x = c.X
+	}
+	b, ok := x.(*Binary)
+	if !ok || (b.Op != "+" && b.Op != "-") {
+		return nil, 0, false
+	}
+	num, ok := b.R.(*Num)
+	if !ok {
+		return nil, 0, false
+	}
+	lt, err := g.typeOf(b.L)
+	if err != nil {
+		return nil, 0, false
+	}
+	lt = lt.Decay()
+	if lt.Kind != TPtr {
+		return nil, 0, false
+	}
+	off := num.Value * int64(lt.Elem.Size())
+	if b.Op == "-" {
+		off = -off
+	}
+	if off < -32768 || off > 32767 {
+		return nil, 0, false
+	}
+	return b.L, int32(off), true
+}
+
+// genSimpleTo evaluates e directly into reg when e is a simple operand —
+// an integer constant, a sizeof, or a scalar/array variable — without
+// touching $t0. Reports whether it emitted anything.
+func (g *codegen) genSimpleTo(reg string, e Expr) bool {
+	switch n := e.(type) {
+	case *Num:
+		g.emit("\tli %s, %d", reg, int32(n.Value))
+		return true
+	case *SizeofType:
+		g.emit("\tli %s, %d", reg, n.T.Size())
+		return true
+	case *Ident:
+		if v, ok := g.lookup(n.Name); ok {
+			switch {
+			case v.typ.Kind == TArray:
+				g.emit("\taddiu %s, $fp, %d", reg, v.off)
+			case v.isParam:
+				g.emit("\tlw %s, %d($fp)", reg, v.off)
+			default:
+				g.emit("\t%s %s, %d($fp)", loadOp(v.typ), reg, v.off)
+			}
+			return true
+		}
+		if t, ok := g.globals[n.Name]; ok {
+			if t.Kind == TArray {
+				g.emit("\tla %s, %s", reg, n.Name)
+			} else {
+				g.emit("\t%s %s, %s", loadOp(t), reg, n.Name)
+			}
+			return true
+		}
+		return false
+	}
+	return false
+}
+
+// cmp emits dst = (a < b) with the right signedness.
+func (g *codegen) cmp(unsigned bool, dst, a, b string) {
+	op := "slt"
+	if unsigned {
+		op = "sltu"
+	}
+	g.emit("\t%s %s, %s, %s", op, dst, a, b)
+}
+
+func (g *codegen) genAssign(n *Assign) (*Type, error) {
+	if n.Op == "=" {
+		// p->f = v stores with an immediate offset off the base pointer.
+		if mem, ok := n.L.(*Member); ok && mem.Arrow {
+			f, err := g.memberField(mem)
+			if err != nil {
+				return nil, err
+			}
+			if f.Type.Kind == TStruct || f.Type.Kind == TArray {
+				return nil, errAt(n.Position(), "cannot assign to aggregate field %q", f.Name)
+			}
+			if _, err := g.genExpr(mem.X); err != nil {
+				return nil, err
+			}
+			g.push()
+			if _, err := g.genExpr(n.R); err != nil {
+				return nil, err
+			}
+			g.popTo("$t1")
+			g.emit("\t%s $t0, %d($t1)", storeOp(f.Type), f.Off)
+			return f.Type, nil
+		}
+		// Fold *(p + const) = v into an immediate-offset store, keeping
+		// the base pointer as the addressing register.
+		if u, ok := n.L.(*Unary); ok && u.Op == "*" {
+			if base, off, ok := g.ptrOffsetFold(u.X); ok {
+				xt, err := g.typeOf(u.X)
+				if err != nil {
+					return nil, err
+				}
+				xt = xt.Decay()
+				if xt.Kind == TPtr && xt.Elem.Kind != TArray {
+					if _, err := g.genExpr(base); err != nil {
+						return nil, err
+					}
+					g.push()
+					if _, err := g.genExpr(n.R); err != nil {
+						return nil, err
+					}
+					g.popTo("$t1")
+					g.emit("\t%s $t0, %d($t1)", storeOp(xt.Elem), off)
+					return xt.Elem, nil
+				}
+			}
+		}
+		t, err := g.genAddr(n.L)
+		if err != nil {
+			return nil, err
+		}
+		if t.Kind == TArray {
+			return nil, errAt(n.Position(), "cannot assign to an array")
+		}
+		if t.Kind == TStruct {
+			return nil, errAt(n.Position(), "struct assignment is not supported; copy members")
+		}
+		g.push() // address
+		if _, err := g.genExpr(n.R); err != nil {
+			return nil, err
+		}
+		g.popTo("$t1")
+		g.store(t)
+		return t, nil
+	}
+	// Compound assignment: a op= b.
+	t, err := g.genAddr(n.L)
+	if err != nil {
+		return nil, err
+	}
+	g.push() // address
+	// Load current value.
+	g.emit("\t%s $t0, 0($t0)", loadOp(t))
+	g.push() // old value
+	rt, err := g.genExpr(n.R)
+	if err != nil {
+		return nil, err
+	}
+	// Pointer += integer scales.
+	if t.Kind == TPtr && (n.Op == "+=" || n.Op == "-=") && rt.Decay().Kind != TPtr {
+		g.scaleT0(t.Elem.Size())
+	}
+	g.popTo("$t1") // old value
+	unsigned := t.Kind == TUInt || t.Kind == TPtr || rt.Decay().Kind == TUInt
+	switch n.Op {
+	case "+=":
+		g.emit("\taddu $t0, $t1, $t0")
+	case "-=":
+		g.emit("\tsubu $t0, $t1, $t0")
+	case "*=":
+		g.emit("\tmul $t0, $t1, $t0")
+	case "/=":
+		if unsigned {
+			g.emit("\tdivu $t0, $t1, $t0")
+		} else {
+			g.emit("\tdiv $t0, $t1, $t0")
+		}
+	case "%=":
+		if unsigned {
+			g.emit("\tremu $t0, $t1, $t0")
+		} else {
+			g.emit("\trem $t0, $t1, $t0")
+		}
+	case "&=":
+		g.emit("\tand $t0, $t1, $t0")
+	case "|=":
+		g.emit("\tor $t0, $t1, $t0")
+	case "^=":
+		g.emit("\txor $t0, $t1, $t0")
+	case "<<=":
+		g.emit("\tsllv $t0, $t1, $t0")
+	case ">>=":
+		if unsigned {
+			g.emit("\tsrlv $t0, $t1, $t0")
+		} else {
+			g.emit("\tsrav $t0, $t1, $t0")
+		}
+	default:
+		return nil, errAt(n.Position(), "unsupported assignment %q", n.Op)
+	}
+	g.popTo("$t1") // address
+	g.store(t)
+	return t, nil
+}
+
+// genCall pushes arguments right-to-left at 4-byte slots (so varargs walk
+// upward from the last named parameter) and jumps.
+func (g *codegen) genCall(n *Call) (*Type, error) {
+	if n.Name == "__syscall" {
+		return g.genSyscall(n)
+	}
+	for i := len(n.Args) - 1; i >= 0; i-- {
+		if _, err := g.genExpr(n.Args[i]); err != nil {
+			return nil, err
+		}
+		g.push()
+	}
+	g.emit("\tjal %s", n.Name)
+	if len(n.Args) > 0 {
+		g.emit("\taddiu $sp, $sp, %d", 4*len(n.Args))
+	}
+	g.emit("\tmove $t0, $v0")
+	if fn, ok := g.funcs[n.Name]; ok {
+		if len(n.Args) < len(fn.Params) {
+			return nil, errAt(n.Position(), "call to %s with %d args, want %d",
+				n.Name, len(n.Args), len(fn.Params))
+		}
+		if !fn.Variadic && len(n.Args) > len(fn.Params) {
+			return nil, errAt(n.Position(), "call to %s with %d args, want %d",
+				n.Name, len(n.Args), len(fn.Params))
+		}
+		return fn.Ret, nil
+	}
+	return IntType, nil
+}
+
+// genSyscall lowers the __syscall(num, a0, a1, a2) builtin.
+func (g *codegen) genSyscall(n *Call) (*Type, error) {
+	if len(n.Args) != 4 {
+		return nil, errAt(n.Position(), "__syscall wants exactly 4 arguments")
+	}
+	for i := len(n.Args) - 1; i >= 0; i-- {
+		if _, err := g.genExpr(n.Args[i]); err != nil {
+			return nil, err
+		}
+		g.push()
+	}
+	g.emit("\tlw $v0, 0($sp)")
+	g.emit("\tlw $a0, 4($sp)")
+	g.emit("\tlw $a1, 8($sp)")
+	g.emit("\tlw $a2, 12($sp)")
+	g.emit("\tsyscall")
+	g.emit("\taddiu $sp, $sp, 16")
+	g.emit("\tmove $t0, $v0")
+	return IntType, nil
+}
+
+// genGlobals emits the .data section for global variables.
+func (g *codegen) genGlobals(globals []*VarDecl) error {
+	if len(globals) == 0 {
+		return nil
+	}
+	g.emit(".data")
+	for _, vd := range globals {
+		g.emit(".align 2")
+		g.emit("%s:", vd.Name)
+		if err := g.emitGlobalInit(vd); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (g *codegen) emitGlobalInit(vd *VarDecl) error {
+	t := vd.Type
+	switch {
+	case vd.InitList != nil:
+		if t.Kind != TArray {
+			return errAt(vd.Position(), "initializer list on non-array %q", vd.Name)
+		}
+		vals := make([]int64, 0, t.ArrLen)
+		for _, e := range vd.InitList {
+			v, err := constEval(e)
+			if err != nil {
+				return err
+			}
+			vals = append(vals, v)
+		}
+		for len(vals) < t.ArrLen {
+			vals = append(vals, 0)
+		}
+		directive := ".word"
+		if t.Elem.IsByte() {
+			directive = ".byte"
+		}
+		for _, v := range vals {
+			g.emit("\t%s %d", directive, v)
+		}
+		return nil
+	case vd.Init != nil:
+		if str, ok := vd.Init.(*Str); ok {
+			switch {
+			case t.Kind == TArray && t.Elem.IsByte():
+				if len(str.Value)+1 > t.Size() {
+					return errAt(vd.Position(), "string too long for %q", vd.Name)
+				}
+				g.emit("\t.asciiz %s", quoteAsm(str.Value))
+				if pad := t.Size() - len(str.Value) - 1; pad > 0 {
+					g.emit("\t.space %d", pad)
+				}
+				return nil
+			case t.Kind == TPtr && t.Elem.IsByte():
+				g.emit("\t.word %s", g.strLabel(str.Value))
+				return nil
+			}
+			return errAt(vd.Position(), "string initializer on %s", t)
+		}
+		v, err := constEval(vd.Init)
+		if err != nil {
+			return err
+		}
+		if t.IsByte() {
+			g.emit("\t.byte %d", v)
+		} else {
+			g.emit("\t.word %d", v)
+		}
+		return nil
+	default:
+		if t.Size() > 0 {
+			g.emit("\t.space %d", t.Size())
+		}
+		return nil
+	}
+}
+
+// constEval folds compile-time constant expressions for global
+// initializers.
+func constEval(e Expr) (int64, error) {
+	switch n := e.(type) {
+	case *Num:
+		return n.Value, nil
+	case *Unary:
+		v, err := constEval(n.X)
+		if err != nil {
+			return 0, err
+		}
+		switch n.Op {
+		case "-":
+			return -v, nil
+		case "~":
+			return ^v, nil
+		case "!":
+			if v == 0 {
+				return 1, nil
+			}
+			return 0, nil
+		}
+	case *Binary:
+		l, err := constEval(n.L)
+		if err != nil {
+			return 0, err
+		}
+		r, err := constEval(n.R)
+		if err != nil {
+			return 0, err
+		}
+		switch n.Op {
+		case "+":
+			return l + r, nil
+		case "-":
+			return l - r, nil
+		case "*":
+			return l * r, nil
+		case "/":
+			if r == 0 {
+				return 0, errAt(n.Position(), "division by zero in constant")
+			}
+			return l / r, nil
+		case "<<":
+			return l << uint(r&31), nil
+		case ">>":
+			return l >> uint(r&31), nil
+		case "|":
+			return l | r, nil
+		case "&":
+			return l & r, nil
+		case "^":
+			return l ^ r, nil
+		}
+	case *SizeofType:
+		return int64(n.T.Size()), nil
+	case *Cast:
+		return constEval(n.X)
+	}
+	return 0, errAt(e.Position(), "global initializer is not constant")
+}
+
+// genStrings emits the string literal pool.
+func (g *codegen) genStrings() {
+	if len(g.strs) == 0 {
+		return
+	}
+	g.emit(".data")
+	for i, s := range g.strs {
+		g.emit(".Lstr%d:", i)
+		g.emit("\t.asciiz %s", quoteAsm(s))
+	}
+}
+
+// quoteAsm renders bytes as an assembler string literal.
+func quoteAsm(s []byte) string {
+	var b strings.Builder
+	b.WriteByte('"')
+	for _, c := range s {
+		switch c {
+		case '\n':
+			b.WriteString(`\n`)
+		case '\t':
+			b.WriteString(`\t`)
+		case '\r':
+			b.WriteString(`\r`)
+		case 0:
+			b.WriteString(`\0`)
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		default:
+			if c < 32 || c > 126 {
+				fmt.Fprintf(&b, `\x%02x`, c)
+			} else {
+				b.WriteByte(c)
+			}
+		}
+	}
+	b.WriteByte('"')
+	return b.String()
+}

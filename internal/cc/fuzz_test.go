@@ -1,0 +1,40 @@
+package cc
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzCompile checks the compiler front-end never panics: any input either
+// compiles or produces a positioned diagnostic.
+func FuzzCompile(f *testing.F) {
+	seeds := []string{
+		"int main() { return 0; }",
+		"int main() { int x = 1 ? 2 : 3; return x; }",
+		"struct s { int a; struct s *n; }; int main() { return sizeof(struct s); }",
+		"int f(int a, ...) { return *(&a + 1); }",
+		"char *s = \"lit\\x41\";",
+		"int main() { switch (1) { case 1: break; default: ; } return 0; }",
+		"int main() { for (;;) break; while (0) {} do ; while (0); }",
+		"unsigned char b = 0xFF; int main() { return (int)b >> 2; }",
+		"int g[3] = {1,2,3}; int main() { return g[2]++; }",
+		"int main() { /* unterminated",
+		"int main() { \"unterminated",
+		"@#$%^&",
+		"int int int",
+		"struct { }",
+		"int main() { return ((((((((1)))))))); }",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		out, err := Compile("fuzz.c", src)
+		if err == nil && !strings.Contains(out, ".text") {
+			t.Errorf("successful compile produced no text section")
+		}
+		if err != nil && err.Error() == "" {
+			t.Error("empty error message")
+		}
+	})
+}

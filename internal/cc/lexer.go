@@ -1,0 +1,244 @@
+package cc
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// tokKind classifies tokens.
+type tokKind uint8
+
+const (
+	tkEOF tokKind = iota
+	tkIdent
+	tkNum
+	tkStr
+	tkChar
+	tkPunct
+	tkKeyword
+)
+
+type token struct {
+	kind tokKind
+	text string // ident name, punct text, keyword
+	num  int64  // tkNum / tkChar
+	str  []byte // tkStr
+	pos  Pos
+}
+
+var keywords = map[string]bool{
+	"int": true, "char": true, "unsigned": true, "void": true,
+	"if": true, "else": true, "while": true, "for": true, "do": true,
+	"return": true, "break": true, "continue": true, "sizeof": true,
+	"switch": true, "case": true, "default": true,
+	"struct": true,
+}
+
+// puncts are matched longest-first.
+var puncts = []string{
+	"<<=", ">>=", "...",
+	"==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+	"+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "++", "--", "->",
+	"+", "-", "*", "/", "%", "&", "|", "^", "~", "!", "<", ">", "=",
+	"(", ")", "{", "}", "[", "]", ",", ";", "?", ":", ".",
+}
+
+// CompileError is a ptcc diagnostic.
+type CompileError struct {
+	Pos Pos
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *CompileError) Error() string {
+	return fmt.Sprintf("%s:%d: %s", e.Pos.File, e.Pos.Line, e.Msg)
+}
+
+func errAt(pos Pos, format string, args ...any) error {
+	return &CompileError{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// lex tokenizes src.
+func lex(file, src string) ([]token, error) {
+	var toks []token
+	line := 1
+	i := 0
+	n := len(src)
+	pos := func() Pos { return Pos{File: file, Line: line} }
+	for i < n {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '/' && i+1 < n && src[i+1] == '/':
+			for i < n && src[i] != '\n' {
+				i++
+			}
+		case c == '/' && i+1 < n && src[i+1] == '*':
+			start := pos()
+			i += 2
+			for {
+				if i+1 >= n {
+					return nil, errAt(start, "unterminated block comment")
+				}
+				if src[i] == '\n' {
+					line++
+				}
+				if src[i] == '*' && src[i+1] == '/' {
+					i += 2
+					break
+				}
+				i++
+			}
+		case isIdentStart(c):
+			j := i + 1
+			for j < n && isIdentChar(src[j]) {
+				j++
+			}
+			word := src[i:j]
+			if keywords[word] {
+				toks = append(toks, token{kind: tkKeyword, text: word, pos: pos()})
+			} else {
+				toks = append(toks, token{kind: tkIdent, text: word, pos: pos()})
+			}
+			i = j
+		case c >= '0' && c <= '9':
+			j := i + 1
+			for j < n && (isIdentChar(src[j])) {
+				j++
+			}
+			lit := src[i:j]
+			v, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimSuffix(lit, "u"), "U"), 0, 33)
+			if err != nil {
+				return nil, errAt(pos(), "bad number literal %q", lit)
+			}
+			toks = append(toks, token{kind: tkNum, num: int64(v), pos: pos()})
+			i = j
+		case c == '"':
+			val, j, err := lexString(src, i, pos())
+			if err != nil {
+				return nil, err
+			}
+			toks = append(toks, token{kind: tkStr, str: val, pos: pos()})
+			i = j
+		case c == '\'':
+			val, j, err := lexCharLit(src, i, pos())
+			if err != nil {
+				return nil, err
+			}
+			toks = append(toks, token{kind: tkChar, num: int64(val), pos: pos()})
+			i = j
+		default:
+			matched := false
+			for _, p := range puncts {
+				if strings.HasPrefix(src[i:], p) {
+					toks = append(toks, token{kind: tkPunct, text: p, pos: pos()})
+					i += len(p)
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				return nil, errAt(pos(), "unexpected character %q", c)
+			}
+		}
+	}
+	toks = append(toks, token{kind: tkEOF, pos: pos()})
+	return toks, nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+func isIdentChar(c byte) bool {
+	return isIdentStart(c) || c >= '0' && c <= '9'
+}
+
+func lexString(src string, i int, pos Pos) ([]byte, int, error) {
+	var out []byte
+	j := i + 1
+	for {
+		if j >= len(src) {
+			return nil, 0, errAt(pos, "unterminated string literal")
+		}
+		c := src[j]
+		if c == '"' {
+			return out, j + 1, nil
+		}
+		if c == '\\' {
+			b, nj, err := lexEscape(src, j, pos)
+			if err != nil {
+				return nil, 0, err
+			}
+			out = append(out, b)
+			j = nj
+			continue
+		}
+		if c == '\n' {
+			return nil, 0, errAt(pos, "newline in string literal")
+		}
+		out = append(out, c)
+		j++
+	}
+}
+
+func lexCharLit(src string, i int, pos Pos) (byte, int, error) {
+	j := i + 1
+	if j >= len(src) {
+		return 0, 0, errAt(pos, "unterminated character literal")
+	}
+	var b byte
+	if src[j] == '\\' {
+		var err error
+		b, j, err = lexEscape(src, j, pos)
+		if err != nil {
+			return 0, 0, err
+		}
+	} else {
+		b = src[j]
+		j++
+	}
+	if j >= len(src) || src[j] != '\'' {
+		return 0, 0, errAt(pos, "unterminated character literal")
+	}
+	return b, j + 1, nil
+}
+
+// lexEscape decodes the escape starting at src[j]=='\\'; returns the byte
+// and the index past the escape.
+func lexEscape(src string, j int, pos Pos) (byte, int, error) {
+	if j+1 >= len(src) {
+		return 0, 0, errAt(pos, "bad escape at end of input")
+	}
+	switch src[j+1] {
+	case 'n':
+		return '\n', j + 2, nil
+	case 't':
+		return '\t', j + 2, nil
+	case 'r':
+		return '\r', j + 2, nil
+	case '0':
+		return 0, j + 2, nil
+	case '\\':
+		return '\\', j + 2, nil
+	case '\'':
+		return '\'', j + 2, nil
+	case '"':
+		return '"', j + 2, nil
+	case 'x':
+		if j+3 >= len(src) {
+			return 0, 0, errAt(pos, "bad hex escape")
+		}
+		v, err := strconv.ParseUint(src[j+2:j+4], 16, 8)
+		if err != nil {
+			return 0, 0, errAt(pos, "bad hex escape %q", src[j:j+4])
+		}
+		return byte(v), j + 4, nil
+	}
+	return 0, 0, errAt(pos, "unknown escape \\%c", src[j+1])
+}

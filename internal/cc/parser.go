@@ -1,0 +1,825 @@
+package cc
+
+import "fmt"
+
+// parser is a recursive-descent parser over the token stream.
+type parser struct {
+	toks    []token
+	i       int
+	structs map[string]*StructInfo
+}
+
+// Parse lexes and parses one translation unit.
+func Parse(file, src string) (*Program, error) {
+	toks, err := lex(file, src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, structs: make(map[string]*StructInfo)}
+	prog := &Program{}
+	for !p.at(tkEOF) {
+		if err := p.topLevel(prog); err != nil {
+			return nil, err
+		}
+	}
+	return prog, nil
+}
+
+func (p *parser) cur() token  { return p.toks[p.i] }
+func (p *parser) pos() Pos    { return p.cur().pos }
+func (p *parser) next() token { t := p.toks[p.i]; p.i++; return t }
+
+func (p *parser) at(k tokKind) bool { return p.cur().kind == k }
+
+func (p *parser) atPunct(s string) bool {
+	return p.cur().kind == tkPunct && p.cur().text == s
+}
+
+func (p *parser) atKeyword(s string) bool {
+	return p.cur().kind == tkKeyword && p.cur().text == s
+}
+
+func (p *parser) eatPunct(s string) bool {
+	if p.atPunct(s) {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectPunct(s string) error {
+	if !p.eatPunct(s) {
+		return errAt(p.pos(), "expected %q, found %q", s, p.describe())
+	}
+	return nil
+}
+
+func (p *parser) describe() string {
+	t := p.cur()
+	switch t.kind {
+	case tkEOF:
+		return "end of input"
+	case tkNum:
+		return fmt.Sprintf("%d", t.num)
+	case tkStr:
+		return fmt.Sprintf("%q", t.str)
+	case tkChar:
+		return fmt.Sprintf("'%c'", byte(t.num))
+	default:
+		return t.text
+	}
+}
+
+// atTypeStart reports whether the current token begins a type.
+func (p *parser) atTypeStart() bool {
+	return p.atKeyword("int") || p.atKeyword("char") ||
+		p.atKeyword("unsigned") || p.atKeyword("void") || p.atKeyword("struct")
+}
+
+// baseType parses int/char/unsigned[ int]/void.
+func (p *parser) baseType() (*Type, error) {
+	t := p.next()
+	switch t.text {
+	case "int":
+		return IntType, nil
+	case "char":
+		return CharType, nil
+	case "void":
+		return VoidType, nil
+	case "unsigned":
+		// optional following "int" or "char".
+		if p.atKeyword("int") {
+			p.next()
+			return UIntType, nil
+		}
+		if p.atKeyword("char") {
+			p.next()
+			return UCharType, nil
+		}
+		return UIntType, nil
+	case "struct":
+		return p.structType(t.pos)
+	}
+	return nil, errAt(t.pos, "expected type, found %q", t.text)
+}
+
+// structType parses "struct Tag" and, when followed by '{', the member
+// list defining it. Self-referential pointers work because the tag is
+// registered before the body is parsed.
+func (p *parser) structType(pos Pos) (*Type, error) {
+	tagTok := p.next()
+	if tagTok.kind != tkIdent {
+		return nil, errAt(tagTok.pos, "expected struct tag")
+	}
+	info := p.structs[tagTok.text]
+	if info == nil {
+		info = &StructInfo{Tag: tagTok.text}
+		p.structs[tagTok.text] = info
+	}
+	t := &Type{Kind: TStruct, Struct: info}
+	if !p.atPunct("{") {
+		return t, nil
+	}
+	if info.complete {
+		return nil, errAt(pos, "struct %q redefined", tagTok.text)
+	}
+	p.next() // '{'
+	for !p.atPunct("}") {
+		if p.at(tkEOF) {
+			return nil, errAt(p.pos(), "unexpected end of input in struct %q", tagTok.text)
+		}
+		ft, err := p.baseType()
+		if err != nil {
+			return nil, err
+		}
+		for {
+			fieldT := p.stars(ft)
+			nameTok := p.next()
+			if nameTok.kind != tkIdent {
+				return nil, errAt(nameTok.pos, "expected field name")
+			}
+			if p.eatPunct("[") {
+				szTok := p.next()
+				if szTok.kind != tkNum && szTok.kind != tkChar {
+					return nil, errAt(szTok.pos, "field array length must be a constant")
+				}
+				if err := p.expectPunct("]"); err != nil {
+					return nil, err
+				}
+				fieldT = ArrayOf(fieldT, int(szTok.num))
+			}
+			if fieldT.Kind == TStruct && !fieldT.Struct.complete {
+				return nil, errAt(nameTok.pos, "field %q has incomplete type struct %s",
+					nameTok.text, fieldT.Struct.Tag)
+			}
+			if _, dup := info.Field(nameTok.text); dup {
+				return nil, errAt(nameTok.pos, "duplicate field %q", nameTok.text)
+			}
+			info.Fields = append(info.Fields, StructField{Name: nameTok.text, Type: fieldT})
+			if p.eatPunct(",") {
+				continue
+			}
+			break
+		}
+		if err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+	}
+	p.next() // '}'
+	info.finalize()
+	return t, nil
+}
+
+// stars parses leading '*'s onto base.
+func (p *parser) stars(base *Type) *Type {
+	for p.eatPunct("*") {
+		base = PtrTo(base)
+	}
+	return base
+}
+
+// topLevel parses one global declaration or function definition.
+func (p *parser) topLevel(prog *Program) error {
+	start := p.pos()
+	base, err := p.baseType()
+	if err != nil {
+		return err
+	}
+	// A bare struct definition: "struct Tag { ... };"
+	if base.Kind == TStruct && p.eatPunct(";") {
+		return nil
+	}
+	for {
+		t := p.stars(base)
+		nameTok := p.next()
+		if nameTok.kind != tkIdent {
+			return errAt(nameTok.pos, "expected identifier, found %q", nameTok.text)
+		}
+		if p.atPunct("(") {
+			fn, err := p.funcRest(start, t, nameTok.text)
+			if err != nil {
+				return err
+			}
+			prog.Funcs = append(prog.Funcs, fn)
+			return nil
+		}
+		vd, err := p.varRest(start, t, nameTok.text)
+		if err != nil {
+			return err
+		}
+		prog.Globals = append(prog.Globals, vd)
+		if p.eatPunct(",") {
+			continue
+		}
+		return p.expectPunct(";")
+	}
+}
+
+// varRest parses the remainder of a variable declarator: optional array
+// bound and initializer.
+func (p *parser) varRest(pos Pos, t *Type, name string) (*VarDecl, error) {
+	if p.eatPunct("[") {
+		szTok := p.next()
+		if szTok.kind != tkNum && szTok.kind != tkChar {
+			return nil, errAt(szTok.pos, "array length must be a constant")
+		}
+		if err := p.expectPunct("]"); err != nil {
+			return nil, err
+		}
+		if szTok.num <= 0 {
+			return nil, errAt(szTok.pos, "array length must be positive")
+		}
+		t = ArrayOf(t, int(szTok.num))
+	}
+	vd := &VarDecl{base: base{pos: pos}, Name: name, Type: t}
+	if p.eatPunct("=") {
+		if p.atPunct("{") {
+			p.next()
+			for !p.atPunct("}") {
+				e, err := p.assignExpr()
+				if err != nil {
+					return nil, err
+				}
+				vd.InitList = append(vd.InitList, e)
+				if !p.eatPunct(",") {
+					break
+				}
+			}
+			if err := p.expectPunct("}"); err != nil {
+				return nil, err
+			}
+		} else {
+			e, err := p.assignExpr()
+			if err != nil {
+				return nil, err
+			}
+			vd.Init = e
+		}
+	}
+	return vd, nil
+}
+
+// funcRest parses parameters and the body.
+func (p *parser) funcRest(pos Pos, ret *Type, name string) (*FuncDecl, error) {
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	fn := &FuncDecl{base: base{pos: pos}, Name: name, Ret: ret}
+	if p.atKeyword("void") && p.toks[p.i+1].kind == tkPunct && p.toks[p.i+1].text == ")" {
+		p.next()
+	}
+	for !p.atPunct(")") {
+		if p.eatPunct("...") {
+			fn.Variadic = true
+			break
+		}
+		pt, err := p.baseType()
+		if err != nil {
+			return nil, err
+		}
+		pt = p.stars(pt)
+		nameTok := p.next()
+		if nameTok.kind != tkIdent {
+			return nil, errAt(nameTok.pos, "expected parameter name")
+		}
+		// Array parameters decay to pointers.
+		if p.eatPunct("[") {
+			if p.at(tkNum) {
+				p.next()
+			}
+			if err := p.expectPunct("]"); err != nil {
+				return nil, err
+			}
+			pt = PtrTo(pt)
+		}
+		fn.Params = append(fn.Params, Param{Name: nameTok.text, Type: pt})
+		if !p.eatPunct(",") {
+			break
+		}
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	if p.eatPunct(";") {
+		return fn, nil // prototype
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	fn.Body = body
+	return fn, nil
+}
+
+func (p *parser) block() (*Block, error) {
+	pos := p.pos()
+	if err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	b := &Block{base: base{pos: pos}}
+	for !p.atPunct("}") {
+		if p.at(tkEOF) {
+			return nil, errAt(p.pos(), "unexpected end of input in block")
+		}
+		s, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	p.next() // '}'
+	return b, nil
+}
+
+func (p *parser) statement() (Stmt, error) {
+	pos := p.pos()
+	switch {
+	case p.atPunct("{"):
+		return p.block()
+	case p.atPunct(";"):
+		p.next()
+		return &Block{base: base{pos: pos}}, nil
+	case p.atTypeStart():
+		decls, err := p.localDecl()
+		if err != nil {
+			return nil, err
+		}
+		return decls, nil
+	case p.atKeyword("if"):
+		p.next()
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		then, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		node := &If{base: base{pos: pos}, Cond: cond, Then: then}
+		if p.atKeyword("else") {
+			p.next()
+			node.Else, err = p.statement()
+			if err != nil {
+				return nil, err
+			}
+		}
+		return node, nil
+	case p.atKeyword("while"):
+		p.next()
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		return &While{base: base{pos: pos}, Cond: cond, Body: body}, nil
+	case p.atKeyword("do"):
+		p.next()
+		body, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		if !p.atKeyword("while") {
+			return nil, errAt(p.pos(), "expected while after do body")
+		}
+		p.next()
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		return &DoWhile{base: base{pos: pos}, Body: body, Cond: cond}, nil
+	case p.atKeyword("for"):
+		return p.forStmt(pos)
+	case p.atKeyword("switch"):
+		return p.switchStmt(pos)
+	case p.atKeyword("return"):
+		p.next()
+		node := &Return{base: base{pos: pos}}
+		if !p.atPunct(";") {
+			x, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			node.X = x
+		}
+		return node, p.expectPunct(";")
+	case p.atKeyword("break"):
+		p.next()
+		return &Break{base: base{pos: pos}}, p.expectPunct(";")
+	case p.atKeyword("continue"):
+		p.next()
+		return &Continue{base: base{pos: pos}}, p.expectPunct(";")
+	}
+	x, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	return &ExprStmt{base: base{pos: pos}, X: x}, p.expectPunct(";")
+}
+
+// localDecl parses "type declarator (= init)? (, declarator...)* ;" and
+// returns a Block of LocalDecls (to carry multiple declarators).
+func (p *parser) localDecl() (Stmt, error) {
+	pos := p.pos()
+	baseT, err := p.baseType()
+	if err != nil {
+		return nil, err
+	}
+	blk := &Block{base: base{pos: pos}}
+	for {
+		t := p.stars(baseT)
+		nameTok := p.next()
+		if nameTok.kind != tkIdent {
+			return nil, errAt(nameTok.pos, "expected identifier in declaration")
+		}
+		vd, err := p.varRest(nameTok.pos, t, nameTok.text)
+		if err != nil {
+			return nil, err
+		}
+		blk.Stmts = append(blk.Stmts, &LocalDecl{base: base{pos: nameTok.pos}, Decl: vd})
+		if p.eatPunct(",") {
+			continue
+		}
+		break
+	}
+	if err := p.expectPunct(";"); err != nil {
+		return nil, err
+	}
+	if len(blk.Stmts) == 1 {
+		return blk.Stmts[0], nil
+	}
+	return blk, nil
+}
+
+func (p *parser) forStmt(pos Pos) (Stmt, error) {
+	p.next() // for
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	node := &For{base: base{pos: pos}}
+	if !p.atPunct(";") {
+		if p.atTypeStart() {
+			init, err := p.localDecl()
+			if err != nil {
+				return nil, err
+			}
+			node.Init = init
+		} else {
+			x, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			node.Init = &ExprStmt{base: base{pos: pos}, X: x}
+			if err := p.expectPunct(";"); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		p.next()
+	}
+	if !p.atPunct(";") {
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		node.Cond = cond
+	}
+	if err := p.expectPunct(";"); err != nil {
+		return nil, err
+	}
+	if !p.atPunct(")") {
+		post, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		node.Post = post
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	body, err := p.statement()
+	if err != nil {
+		return nil, err
+	}
+	node.Body = body
+	return node, nil
+}
+
+// switchStmt parses switch (expr) { case K: ... default: ... }.
+func (p *parser) switchStmt(pos Pos) (Stmt, error) {
+	p.next() // switch
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	x, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	node := &Switch{base: base{pos: pos}, X: x}
+	var curStmts *[]Stmt
+	for !p.atPunct("}") {
+		switch {
+		case p.at(tkEOF):
+			return nil, errAt(p.pos(), "unexpected end of input in switch")
+		case p.atKeyword("case"):
+			p.next()
+			valTok := p.next()
+			var v int64
+			neg := false
+			if valTok.kind == tkPunct && valTok.text == "-" {
+				neg = true
+				valTok = p.next()
+			}
+			if valTok.kind != tkNum && valTok.kind != tkChar {
+				return nil, errAt(valTok.pos, "case label must be a constant")
+			}
+			v = valTok.num
+			if neg {
+				v = -v
+			}
+			if err := p.expectPunct(":"); err != nil {
+				return nil, err
+			}
+			// Stacked labels share the arm that follows.
+			if curStmts != nil && len(node.Cases) > 0 &&
+				curStmts == &node.Cases[len(node.Cases)-1].Stmts &&
+				len(node.Cases[len(node.Cases)-1].Stmts) == 0 {
+				node.Cases[len(node.Cases)-1].Vals = append(node.Cases[len(node.Cases)-1].Vals, v)
+				continue
+			}
+			node.Cases = append(node.Cases, SwitchCase{Vals: []int64{v}})
+			curStmts = &node.Cases[len(node.Cases)-1].Stmts
+		case p.atKeyword("default"):
+			p.next()
+			if err := p.expectPunct(":"); err != nil {
+				return nil, err
+			}
+			if node.HasDefault {
+				return nil, errAt(pos, "duplicate default label")
+			}
+			node.HasDefault = true
+			curStmts = &node.Default
+		default:
+			if curStmts == nil {
+				return nil, errAt(p.pos(), "statement before the first case label")
+			}
+			st, err := p.statement()
+			if err != nil {
+				return nil, err
+			}
+			*curStmts = append(*curStmts, st)
+		}
+	}
+	p.next() // '}'
+	return node, nil
+}
+
+// Expression parsing: precedence climbing.
+
+func (p *parser) expr() (Expr, error) { return p.assignExpr() }
+
+func (p *parser) assignExpr() (Expr, error) {
+	lhs, err := p.condExpr()
+	if err != nil {
+		return nil, err
+	}
+	ops := []string{"=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>="}
+	for _, op := range ops {
+		if p.atPunct(op) {
+			pos := p.pos()
+			p.next()
+			rhs, err := p.assignExpr() // right-associative
+			if err != nil {
+				return nil, err
+			}
+			return &Assign{base: base{pos: pos}, Op: op, L: lhs, R: rhs}, nil
+		}
+	}
+	return lhs, nil
+}
+
+func (p *parser) condExpr() (Expr, error) {
+	c, err := p.binaryExpr(0)
+	if err != nil {
+		return nil, err
+	}
+	if !p.atPunct("?") {
+		return c, nil
+	}
+	pos := p.pos()
+	p.next()
+	t, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct(":"); err != nil {
+		return nil, err
+	}
+	f, err := p.condExpr()
+	if err != nil {
+		return nil, err
+	}
+	return &Cond{base: base{pos: pos}, C: c, T: t, F: f}, nil
+}
+
+// binLevels orders binary operators from loosest to tightest.
+var binLevels = [][]string{
+	{"||"},
+	{"&&"},
+	{"|"},
+	{"^"},
+	{"&"},
+	{"==", "!="},
+	{"<", ">", "<=", ">="},
+	{"<<", ">>"},
+	{"+", "-"},
+	{"*", "/", "%"},
+}
+
+func (p *parser) binaryExpr(level int) (Expr, error) {
+	if level == len(binLevels) {
+		return p.unaryExpr()
+	}
+	lhs, err := p.binaryExpr(level + 1)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		matched := ""
+		for _, op := range binLevels[level] {
+			if p.atPunct(op) {
+				matched = op
+				break
+			}
+		}
+		if matched == "" {
+			return lhs, nil
+		}
+		pos := p.pos()
+		p.next()
+		rhs, err := p.binaryExpr(level + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &Binary{base: base{pos: pos}, Op: matched, L: lhs, R: rhs}
+	}
+}
+
+func (p *parser) unaryExpr() (Expr, error) {
+	pos := p.pos()
+	for _, op := range []string{"-", "!", "~", "*", "&", "++", "--"} {
+		if p.atPunct(op) {
+			p.next()
+			x, err := p.unaryExpr()
+			if err != nil {
+				return nil, err
+			}
+			return &Unary{base: base{pos: pos}, Op: op, X: x}, nil
+		}
+	}
+	if p.atKeyword("sizeof") {
+		p.next()
+		if p.atPunct("(") && p.toks[p.i+1].kind == tkKeyword && keywordIsType(p.toks[p.i+1].text) {
+			p.next() // '('
+			t, err := p.baseType()
+			if err != nil {
+				return nil, err
+			}
+			t = p.stars(t)
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			return &SizeofType{base: base{pos: pos}, T: t}, nil
+		}
+		x, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &SizeofExpr{base: base{pos: pos}, X: x}, nil
+	}
+	// Cast: '(' type ')' unary.
+	if p.atPunct("(") && p.toks[p.i+1].kind == tkKeyword && keywordIsType(p.toks[p.i+1].text) {
+		p.next() // '('
+		t, err := p.baseType()
+		if err != nil {
+			return nil, err
+		}
+		t = p.stars(t)
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		x, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &Cast{base: base{pos: pos}, To: t, X: x}, nil
+	}
+	return p.postfixExpr()
+}
+
+func keywordIsType(s string) bool {
+	return s == "int" || s == "char" || s == "unsigned" || s == "void" || s == "struct"
+}
+
+func (p *parser) postfixExpr() (Expr, error) {
+	x, err := p.primaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		pos := p.pos()
+		switch {
+		case p.eatPunct("["):
+			idx, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct("]"); err != nil {
+				return nil, err
+			}
+			x = &Index{base: base{pos: pos}, Arr: x, Idx: idx}
+		case p.atPunct("++") || p.atPunct("--"):
+			op := p.next().text
+			x = &Unary{base: base{pos: pos}, Op: op, X: x, Postfix: true}
+		case p.atPunct(".") || p.atPunct("->"):
+			arrow := p.next().text == "->"
+			nameTok := p.next()
+			if nameTok.kind != tkIdent {
+				return nil, errAt(nameTok.pos, "expected field name")
+			}
+			x = &Member{base: base{pos: pos}, X: x, Name: nameTok.text, Arrow: arrow}
+		default:
+			return x, nil
+		}
+	}
+}
+
+func (p *parser) primaryExpr() (Expr, error) {
+	t := p.next()
+	switch t.kind {
+	case tkNum, tkChar:
+		return &Num{base: base{pos: t.pos}, Value: t.num}, nil
+	case tkStr:
+		// Adjacent string literals concatenate.
+		val := t.str
+		for p.at(tkStr) {
+			val = append(val, p.next().str...)
+		}
+		return &Str{base: base{pos: t.pos}, Value: val}, nil
+	case tkIdent:
+		if p.atPunct("(") {
+			p.next()
+			call := &Call{base: base{pos: t.pos}, Name: t.text}
+			for !p.atPunct(")") {
+				arg, err := p.assignExpr()
+				if err != nil {
+					return nil, err
+				}
+				call.Args = append(call.Args, arg)
+				if !p.eatPunct(",") {
+					break
+				}
+			}
+			return call, p.expectPunct(")")
+		}
+		return &Ident{base: base{pos: t.pos}, Name: t.text}, nil
+	case tkPunct:
+		if t.text == "(" {
+			x, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			return x, p.expectPunct(")")
+		}
+	}
+	return nil, errAt(t.pos, "unexpected token %q in expression", t.text)
+}

@@ -1,0 +1,173 @@
+package cc
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStructBasics(t *testing.T) {
+	expectExit(t, `
+		struct point { int x; int y; };
+		struct point origin;
+		int main() {
+			origin.x = 3;
+			origin.y = 4;
+			struct point p;
+			p.x = origin.x * 10;
+			p.y = origin.y + p.x;
+			return p.x + p.y + origin.x;
+		}
+	`, 30+34+3)
+}
+
+func TestStructPointerArrow(t *testing.T) {
+	expectExit(t, `
+		struct pair { int a; int b; };
+		int swap(struct pair *p) {
+			int tmp = p->a;
+			p->a = p->b;
+			p->b = tmp;
+			return p->a;
+		}
+		int main() {
+			struct pair q;
+			q.a = 7;
+			q.b = 11;
+			int first = swap(&q);
+			return first * 100 + q.a * 10 + q.b;
+		}
+	`, 11*100+11*10+7)
+}
+
+func TestStructLayoutAndSizeof(t *testing.T) {
+	expectExit(t, `
+		struct mixed {
+			char tag;
+			int value;       /* aligned to 4 */
+			char name[6];
+			int *link;       /* aligned to 4 */
+		};
+		int main() {
+			/* tag@0, value@4, name@8..13, link@16 -> size 20 */
+			return sizeof(struct mixed);
+		}
+	`, 20)
+}
+
+func TestStructArrayField(t *testing.T) {
+	expectExit(t, `
+		struct rec { int id; char name[8]; };
+		struct rec table[3];
+		void copy(char *d, char *s) {
+			int i = 0;
+			while (s[i]) { d[i] = s[i]; i++; }
+			d[i] = 0;
+		}
+		int main() {
+			for (int i = 0; i < 3; i++) {
+				table[i].id = i * 10;
+				copy(table[i].name, "rec");
+				table[i].name[3] = '0' + i;
+				table[i].name[4] = 0;
+			}
+			int s = 0;
+			for (int i = 0; i < 3; i++) s += table[i].id;
+			return s + (table[2].name[3] == '2');
+		}
+	`, 31)
+}
+
+func TestSelfReferentialStruct(t *testing.T) {
+	// A linked list — the shape of the allocator's free chunks.
+	expectExit(t, `
+		struct node { int v; struct node *next; };
+		struct node a;
+		struct node b;
+		struct node c;
+		int main() {
+			a.v = 1; a.next = &b;
+			b.v = 2; b.next = &c;
+			c.v = 4; c.next = 0;
+			int s = 0;
+			struct node *p = &a;
+			while (p) {
+				s += p->v;
+				p = p->next;
+			}
+			return s;
+		}
+	`, 7)
+}
+
+func TestStructHeapChunkIdiom(t *testing.T) {
+	// The dlmalloc doubly linked list written with structs: the unlink
+	// B->fd->bk = B->bk compiles to loads/stores with immediate offsets
+	// off the link pointers, exactly the paper's alert shape.
+	expectExit(t, `
+		struct chunk { int size; struct chunk *fd; struct chunk *bk; };
+		struct chunk x;
+		struct chunk y;
+		struct chunk z;
+		int main() {
+			/* list: x <-> y <-> z */
+			x.fd = &y; y.bk = &x;
+			y.fd = &z; z.bk = &y;
+			/* unlink y */
+			y.fd->bk = y.bk;
+			y.bk->fd = y.fd;
+			return (x.fd == &z) + (z.bk == &x) * 2;
+		}
+	`, 3)
+}
+
+func TestStructErrors(t *testing.T) {
+	cases := []struct{ src, frag string }{
+		{"struct s { int x; }; int main() { struct s a; struct s b; a = b; return 0; }", "struct assignment"},
+		{"struct s { int x; }; int main() { struct s a; return a.y; }", "no field"},
+		{"struct s { int x; }; int main() { int v; return v.x; }", "on non-struct"},
+		{"struct s { int x; }; int main() { int *p; return p->x; }", "non-struct-pointer"},
+		{"struct s { int x; int x; }; int main() { return 0; }", "duplicate field"},
+		{"struct s { int x; }; struct s { int y; }; int main() { return 0; }", "redefined"},
+		{"struct s { struct s inner; }; int main() { return 0; }", "incomplete"},
+		{"struct s { int x; }; int main() { struct s a; f(a); return 0; }", "cannot be used directly"},
+	}
+	for _, c := range cases {
+		_, err := Compile("t.c", c.src)
+		if err == nil || !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("compiling %q: err = %v, want %q", c.src, err, c.frag)
+		}
+	}
+}
+
+func TestStructPointerInExpression(t *testing.T) {
+	expectExit(t, `
+		struct kv { char key[4]; int val; };
+		struct kv store[4];
+		int eq(char *a, char *b) {
+			int i = 0;
+			while (a[i] && a[i] == b[i]) i++;
+			return a[i] == b[i];
+		}
+		void copy(char *d, char *s) {
+			int i = 0;
+			while (s[i]) { d[i] = s[i]; i++; }
+			d[i] = 0;
+		}
+		struct kv *find(char *k) {
+			for (int i = 0; i < 4; i++) {
+				if (eq(store[i].key, k)) return &store[i];
+			}
+			return 0;
+		}
+		int main() {
+			copy(store[0].key, "aa");
+			store[0].val = 5;
+			copy(store[1].key, "bb");
+			store[1].val = 9;
+			struct kv *hit = find("bb");
+			if (!hit) return 255;
+			hit->val += 1;
+			return find("bb")->val;
+		}
+	`, 10)
+}

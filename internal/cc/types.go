@@ -1,0 +1,187 @@
+// Package cc implements ptcc, a small C-subset compiler targeting the
+// simulator's ISA. It exists so the paper's vulnerable applications and
+// benchmark workloads can be written at the same level as the originals —
+// C source compiled to binaries that run unmodified on the taint-tracking
+// machine — rather than hand-authored assembly.
+//
+// The subset: int / unsigned / char / void, pointers, one-dimensional
+// arrays, global and local variables, string and character literals, all C
+// operators (including assignment-ops, ?:, && / || with short-circuit),
+// if/else, while, do-while, for, break/continue/return, function
+// definitions with varargs. Structs, typedefs, floats, and the
+// preprocessor are intentionally out of scope; the runtime library
+// (internal/rtl) works at the pointer-arithmetic level, exactly as the
+// paper's attacks do.
+//
+// Calling convention (chosen so the paper's attack mechanics are faithful):
+// all arguments go on the stack, pushed by the caller at 4-byte slots in
+// ascending order ($sp+0 is the first argument); the callee's frame saves
+// $ra at $fp-4 and the caller's $fp at $fp-8, with locals below. A local
+// buffer overflow therefore runs over the saved frame pointer and return
+// address, and a varargs va_list is literally a walking pointer into the
+// caller's argument area — the `ap` of the paper's format-string analysis.
+package cc
+
+import "fmt"
+
+// TypeKind discriminates the subset's types.
+type TypeKind uint8
+
+// Type kinds.
+const (
+	TInt TypeKind = iota + 1
+	TUInt
+	TChar
+	TUChar
+	TVoid
+	TPtr
+	TArray
+	TStruct
+)
+
+// Type is a ptcc type.
+type Type struct {
+	Kind   TypeKind
+	Elem   *Type       // TPtr / TArray
+	ArrLen int         // TArray
+	Struct *StructInfo // TStruct
+}
+
+// StructInfo describes a struct layout. Fields are laid out in
+// declaration order with natural alignment (bytes at 1, everything else
+// at 4); the total size rounds up to 4.
+type StructInfo struct {
+	Tag      string
+	Fields   []StructField
+	ByteSize int
+	complete bool
+}
+
+// StructField is one member.
+type StructField struct {
+	Name string
+	Type *Type
+	Off  int
+}
+
+// Field looks up a member by name.
+func (si *StructInfo) Field(name string) (StructField, bool) {
+	for _, f := range si.Fields {
+		if f.Name == name {
+			return f, true
+		}
+	}
+	return StructField{}, false
+}
+
+// finalize computes offsets and the total size.
+func (si *StructInfo) finalize() {
+	off := 0
+	for i := range si.Fields {
+		sz := si.Fields[i].Type.Size()
+		align := 4
+		if si.Fields[i].Type.IsByte() || si.Fields[i].Type.Kind == TArray && si.Fields[i].Type.Elem.IsByte() {
+			align = 1
+		}
+		off = (off + align - 1) &^ (align - 1)
+		si.Fields[i].Off = off
+		off += sz
+	}
+	si.ByteSize = (off + 3) &^ 3
+	if si.ByteSize == 0 {
+		si.ByteSize = 4
+	}
+	si.complete = true
+}
+
+// Singleton base types.
+var (
+	IntType   = &Type{Kind: TInt}
+	UIntType  = &Type{Kind: TUInt}
+	CharType  = &Type{Kind: TChar}
+	UCharType = &Type{Kind: TUChar}
+	VoidType  = &Type{Kind: TVoid}
+)
+
+// PtrTo returns the pointer type to elem.
+func PtrTo(elem *Type) *Type { return &Type{Kind: TPtr, Elem: elem} }
+
+// ArrayOf returns the array type [n]elem.
+func ArrayOf(elem *Type, n int) *Type {
+	return &Type{Kind: TArray, Elem: elem, ArrLen: n}
+}
+
+// Size returns the storage size in bytes.
+func (t *Type) Size() int {
+	switch t.Kind {
+	case TChar, TUChar:
+		return 1
+	case TVoid:
+		return 0
+	case TArray:
+		return t.Elem.Size() * t.ArrLen
+	case TStruct:
+		return t.Struct.ByteSize
+	default:
+		return 4
+	}
+}
+
+// IsPointerish reports whether the type is a pointer or decays to one.
+func (t *Type) IsPointerish() bool { return t.Kind == TPtr || t.Kind == TArray }
+
+// IsInteger reports whether the type is an integer (int/unsigned/char).
+func (t *Type) IsInteger() bool {
+	return t.Kind == TInt || t.Kind == TUInt || t.Kind == TChar || t.Kind == TUChar
+}
+
+// IsByte reports whether the type occupies one byte.
+func (t *Type) IsByte() bool { return t.Kind == TChar || t.Kind == TUChar }
+
+// IsUnsigned reports whether comparisons/division on the type are unsigned.
+func (t *Type) IsUnsigned() bool { return t.Kind == TUInt || t.Kind == TUChar || t.Kind == TPtr }
+
+// Decay converts arrays to element pointers (C's usual conversion).
+func (t *Type) Decay() *Type {
+	if t.Kind == TArray {
+		return PtrTo(t.Elem)
+	}
+	return t
+}
+
+// String renders the type in C-ish syntax.
+func (t *Type) String() string {
+	switch t.Kind {
+	case TInt:
+		return "int"
+	case TUInt:
+		return "unsigned"
+	case TChar:
+		return "char"
+	case TUChar:
+		return "unsigned char"
+	case TVoid:
+		return "void"
+	case TPtr:
+		return t.Elem.String() + "*"
+	case TArray:
+		return fmt.Sprintf("%s[%d]", t.Elem, t.ArrLen)
+	case TStruct:
+		return "struct " + t.Struct.Tag
+	}
+	return "?"
+}
+
+// Equal reports structural type equality.
+func (t *Type) Equal(o *Type) bool {
+	if t == nil || o == nil {
+		return t == o
+	}
+	if t.Kind != o.Kind || t.ArrLen != o.ArrLen || t.Struct != o.Struct {
+		return false
+	}
+	if t.Elem == nil && o.Elem == nil {
+		return true
+	}
+	return t.Elem.Equal(o.Elem)
+}

@@ -1,0 +1,91 @@
+package cert
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDatasetSize(t *testing.T) {
+	// The paper analyzes 107 CERT advisories from 2000 through 2003.
+	if got := len(Advisories()); got != 107 {
+		t.Fatalf("dataset has %d advisories, want 107", got)
+	}
+}
+
+func TestMemoryCorruptionShareMatchesPaper(t *testing.T) {
+	// "These categories collectively account for 67% of the advisories."
+	share := MemoryCorruptionShare()
+	if math.Abs(share-0.67) > 0.01 {
+		t.Errorf("memory-corruption share = %.3f, want 0.67 +/- 0.01", share)
+	}
+}
+
+func TestBreakdownTotals(t *testing.T) {
+	counts := Breakdown()
+	total := 0
+	for _, c := range Categories() {
+		total += counts[c]
+	}
+	if total != 107 {
+		t.Errorf("breakdown sums to %d", total)
+	}
+	// Buffer overflow is the dominant class, as in Figure 1.
+	if counts[BufferOverflow] <= counts[FormatString] ||
+		counts[BufferOverflow] <= counts[HeapCorruption] ||
+		counts[BufferOverflow] <= counts[Other] {
+		t.Errorf("buffer overflow not dominant: %+v", counts)
+	}
+	for _, c := range Categories() {
+		if counts[c] == 0 {
+			t.Errorf("category %v empty", c)
+		}
+	}
+}
+
+func TestYearsAndIDs(t *testing.T) {
+	seen := map[string]bool{}
+	for _, a := range Advisories() {
+		if a.Year < 2000 || a.Year > 2003 {
+			t.Errorf("%s: year %d out of range", a.ID, a.Year)
+		}
+		if seen[a.ID] {
+			t.Errorf("duplicate advisory ID %s", a.ID)
+		}
+		seen[a.ID] = true
+		if a.Title == "" {
+			t.Errorf("%s has no title", a.ID)
+		}
+		if a.Category < BufferOverflow || a.Category > Other {
+			t.Errorf("%s has invalid category", a.ID)
+		}
+	}
+	years := ByYear()
+	if len(years) != 4 || years[0].Year != 2000 || years[3].Year != 2003 {
+		t.Errorf("ByYear = %+v", years)
+	}
+}
+
+func TestCategoryStrings(t *testing.T) {
+	for _, c := range Categories() {
+		if c.String() == "unknown" {
+			t.Errorf("category %d has no name", c)
+		}
+	}
+	if Category(0).String() != "unknown" {
+		t.Error("zero category should be unknown")
+	}
+	if Other.IsMemoryCorruption() {
+		t.Error("Other counted as memory corruption")
+	}
+	if !BufferOverflow.IsMemoryCorruption() || !Globbing.IsMemoryCorruption() {
+		t.Error("memory-corruption classes misclassified")
+	}
+}
+
+func TestAdvisoriesReturnsCopy(t *testing.T) {
+	a := Advisories()
+	a[0].ID = "mutated"
+	if Advisories()[0].ID == "mutated" {
+		t.Error("Advisories aliases the internal dataset")
+	}
+}

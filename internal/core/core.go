@@ -1,0 +1,278 @@
+// Package core is the library's public face: it assembles the
+// pointer-taintedness machine — CPU with per-byte taint datapath, cache
+// hierarchy, kernel with taint-initializing system calls, simulated
+// network — and compiles programs onto it from C-subset or assembly
+// source. It is the API a downstream user builds on; the internal
+// packages (isa, taint, mem, cache, cpu, asm, cc, rtl, kernel, netsim)
+// remain directly usable for finer control.
+//
+// Quickstart:
+//
+//	m, err := core.BuildC(core.Config{}, `
+//	    int main() { puts("hello"); return 0; }
+//	`)
+//	if err != nil { ... }
+//	err = m.Run()          // nil on a clean exit
+//	fmt.Print(m.Stdout())  // "hello\n"
+//
+// Security monitoring:
+//
+//	m, _ := core.BuildC(core.Config{Policy: core.PointerTaintedness}, src)
+//	m.SetStdin([]byte(attackPayload))
+//	var alert *core.SecurityAlert
+//	if errors.As(m.Run(), &alert) {
+//	    fmt.Println("attack stopped:", alert)
+//	}
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/asm"
+	"repro/internal/cache"
+	"repro/internal/cc"
+	"repro/internal/cpu"
+	"repro/internal/kernel"
+	"repro/internal/mem"
+	"repro/internal/netsim"
+	"repro/internal/rtl"
+	"repro/internal/taint"
+)
+
+// Policy re-exports the detection policies.
+type Policy = taint.Policy
+
+// Detection policies.
+const (
+	// Off tracks taint but never raises alerts.
+	Off = taint.PolicyOff
+	// ControlDataOnly alerts only on tainted control-transfer targets —
+	// the Minos / Secure Program Execution baseline.
+	ControlDataOnly = taint.PolicyControlDataOnly
+	// PointerTaintedness alerts on every dereference of a tainted word —
+	// the paper's mechanism and the default.
+	PointerTaintedness = taint.PolicyPointerTaintedness
+)
+
+// SecurityAlert re-exports the machine's security exception.
+type SecurityAlert = cpu.SecurityAlert
+
+// Fault re-exports non-security machine faults.
+type Fault = cpu.Fault
+
+// ExitError re-exports nonzero-status termination.
+type ExitError = cpu.ExitError
+
+// BlockedError re-exports the cooperative I/O wait state.
+type BlockedError = kernel.BlockedError
+
+// Rules re-exports the Table 1 propagation-rule configuration (zero value:
+// all paper rules active).
+type Rules = taint.Propagator
+
+// Config assembles a machine.
+type Config struct {
+	// Policy defaults to PointerTaintedness.
+	Policy Policy
+	// Rules configures Table 1 rule ablations.
+	Rules Rules
+	// WithCache interposes the L1/L2 hierarchy (taint bits ride the cache
+	// lines). Off by default: flat memory is faster to simulate.
+	WithCache bool
+	// Args are the guest's command-line arguments (argv[1:]; argv[0] is
+	// the program name). Argument bytes are tainted, per the paper.
+	Args []string
+	// Env is the guest's environment ("K=V"); also tainted.
+	Env []string
+	// ProgName is argv[0]; defaults to "a.out".
+	ProgName string
+	// Budget bounds the instruction count per Run call (default 200M).
+	Budget uint64
+	// NoLibc omits the bundled runtime library when building C sources
+	// (for fully freestanding programs).
+	NoLibc bool
+}
+
+// Machine is a ready-to-run guest.
+type Machine struct {
+	image  *asm.Image
+	kern   *kernel.Kernel
+	cpu    *cpu.CPU
+	mem    *mem.Memory
+	caches *cache.Hierarchy
+	budget uint64
+}
+
+// BuildC compiles C-subset sources (linked with the runtime library) and
+// boots them.
+func BuildC(cfg Config, sources ...string) (*Machine, error) {
+	units := make([]cc.Unit, len(sources))
+	for i, src := range sources {
+		units[i] = cc.Unit{Name: fmt.Sprintf("src%d.c", i), Src: src}
+	}
+	var im *asm.Image
+	var err error
+	if cfg.NoLibc {
+		var gen asm.Source
+		gen, err = cc.CompileProgram(units...)
+		if err == nil {
+			im, err = asm.Assemble(asm.Source{Name: "crt0.s", Text: rtl.Crt0}, gen)
+		}
+	} else {
+		im, err = rtl.Build(units...)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return BootImage(cfg, im)
+}
+
+// BuildASM assembles raw assembly sources and boots them.
+func BuildASM(cfg Config, sources ...string) (*Machine, error) {
+	srcs := make([]asm.Source, len(sources))
+	for i, s := range sources {
+		srcs[i] = asm.Source{Name: fmt.Sprintf("src%d.s", i), Text: s}
+	}
+	im, err := asm.Assemble(srcs...)
+	if err != nil {
+		return nil, err
+	}
+	return BootImage(cfg, im)
+}
+
+// BootImage boots a pre-assembled image.
+func BootImage(cfg Config, im *asm.Image) (*Machine, error) {
+	k := kernel.New()
+	physical := mem.New()
+	var bus cpu.Bus = physical
+	var hier *cache.Hierarchy
+	if cfg.WithCache {
+		var err error
+		hier, err = cache.NewDefaultHierarchy(physical)
+		if err != nil {
+			return nil, err
+		}
+		bus = hier
+	}
+	c := cpu.New(cpu.Config{
+		Bus:     bus,
+		Policy:  cfg.Policy,
+		Prop:    cfg.Rules,
+		Handler: k,
+		Image:   im,
+	})
+	c.LoadImage(physical, im)
+	k.SetBreak(im.DataEnd)
+	name := cfg.ProgName
+	if name == "" {
+		name = "a.out"
+	}
+	k.SetArgs(c, append([]string{name}, cfg.Args...), cfg.Env)
+	budget := cfg.Budget
+	if budget == 0 {
+		budget = 200_000_000
+	}
+	return &Machine{image: im, kern: k, cpu: c, mem: physical, caches: hier, budget: budget}, nil
+}
+
+// Run executes until the guest exits, blocks on I/O, faults, or an alert
+// fires. nil means a clean zero-status exit; *BlockedError means the guest
+// awaits input (feed it and Run again); *SecurityAlert is a detection.
+func (m *Machine) Run() error { return m.cpu.Run(m.budget) }
+
+// RunToBlock runs and requires the guest to block on I/O (servers).
+func (m *Machine) RunToBlock() error {
+	err := m.Run()
+	var blocked *BlockedError
+	if errors.As(err, &blocked) {
+		return nil
+	}
+	if err == nil {
+		return errors.New("guest exited instead of blocking")
+	}
+	return err
+}
+
+// SetStdin preloads the guest's standard input (tainted on read).
+func (m *Machine) SetStdin(data []byte) { m.kern.SetStdin(data) }
+
+// Stdout returns everything the guest wrote to fd 1.
+func (m *Machine) Stdout() string { return m.kern.Stdout() }
+
+// Stderr returns everything the guest wrote to fd 2.
+func (m *Machine) Stderr() string { return m.kern.Stderr() }
+
+// WriteFile seeds the guest filesystem.
+func (m *Machine) WriteFile(path string, data []byte) {
+	m.kern.FS.WriteFile(path, data)
+}
+
+// ReadFile reads back a guest file.
+func (m *Machine) ReadFile(path string) ([]byte, bool) {
+	return m.kern.FS.ReadFile(path)
+}
+
+// Connect opens a client connection to a listening guest port.
+func (m *Machine) Connect(port uint16) (*netsim.Endpoint, error) {
+	return m.kern.Net.Connect(port)
+}
+
+// Transact sends input, resumes the guest until it blocks again (or
+// terminates), and returns the guest's output on the connection. err is
+// nil while the guest merely awaits more input.
+func (m *Machine) Transact(ep *netsim.Endpoint, input string) (string, error) {
+	if input != "" {
+		ep.SendString(input)
+	}
+	err := m.Run()
+	var blocked *BlockedError
+	if errors.As(err, &blocked) {
+		err = nil
+	}
+	return ep.RecvString(), err
+}
+
+// Stats returns execution counters.
+func (m *Machine) Stats() cpu.Stats { return m.cpu.Stats() }
+
+// Pipeline returns the timing model's counters.
+func (m *Machine) Pipeline() cpu.PipelineStats { return m.cpu.Pipe() }
+
+// CacheStats returns (L1, L2) counters; zero values without WithCache.
+func (m *Machine) CacheStats() (cache.Stats, cache.Stats) {
+	if m.caches == nil {
+		return cache.Stats{}, cache.Stats{}
+	}
+	return m.caches.L1Stats(), m.caches.L2Stats()
+}
+
+// InputStats returns the kernel's taint-initialization counters.
+func (m *Machine) InputStats() kernel.InputStats { return m.kern.Stats() }
+
+// Symbols exposes the program's symbol table.
+func (m *Machine) Symbols() map[string]uint32 { return m.image.Symbols }
+
+// TaintedAt reports how many of the n bytes at addr are tainted (flushes
+// caches first so the view is coherent).
+func (m *Machine) TaintedAt(addr uint32, n int) int {
+	if m.caches != nil {
+		m.caches.FlushAll()
+	}
+	return m.mem.CountTainted(addr, n)
+}
+
+// Exited reports termination status.
+func (m *Machine) Exited() (bool, int32) { return m.cpu.Halted() }
+
+// EnableProfile turns on per-opcode instruction-mix counting; call before
+// Run.
+func (m *Machine) EnableProfile() { m.cpu.EnableProfile() }
+
+// SetTracer streams a disassembly trace of the first limit instructions
+// (0 = unlimited) to w.
+func (m *Machine) SetTracer(w io.Writer, limit uint64) { m.cpu.SetTracer(w, limit) }
+
+// Profile returns the instruction mix in descending count order.
+func (m *Machine) Profile() []cpu.OpcodeCount { return m.cpu.Profile() }

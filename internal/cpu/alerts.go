@@ -1,0 +1,70 @@
+package cpu
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/taint"
+)
+
+// Stage names the pipeline stage at which a detector fired (paper Section
+// 4.3: the JR detector sits after ID/EX, the load/store detector after
+// EX/MEM, and the exception is raised at retirement).
+type Stage string
+
+// Detector stages.
+const (
+	StageIDEX  Stage = "ID/EX"
+	StageEXMEM Stage = "EX/MEM"
+)
+
+// SecurityAlert is the security exception raised when a tainted word is
+// dereferenced. It is returned as an error from Step/Run; the embedding
+// kernel terminates the process, defeating the attack.
+type SecurityAlert struct {
+	Kind   taint.AlertKind
+	PC     uint32
+	Instr  isa.Instruction
+	Reg    isa.Register // the dereferenced register
+	Value  uint32       // its (attacker-controlled) value
+	Taint  taint.Vec
+	Stage  Stage  // detector placement
+	Symbol string // enclosing function, from the image symbol table
+	SymOff uint32
+	Instrs uint64 // instructions retired before the exception
+	Cycle  uint64 // pipeline cycle of retirement
+}
+
+// Error implements the error interface, formatting the alert like the
+// paper's Table 2 row: "44d7b0: sw $21,0($3)  $3=0x1002bc20".
+func (a *SecurityAlert) Error() string {
+	loc := ""
+	if a.Symbol != "" {
+		loc = fmt.Sprintf(" in %s+%#x", a.Symbol, a.SymOff)
+	}
+	return fmt.Sprintf("security alert (%v): %x: %s  %v=%#08x taint=%v%s",
+		a.Kind, a.PC, isa.Disassemble(a.Instr, a.PC), a.Reg, a.Value, a.Taint, loc)
+}
+
+// Fault is a non-security machine fault (bad instruction, misaligned
+// access, division by zero, runaway PC).
+type Fault struct {
+	PC     uint32
+	Reason string
+}
+
+// Error implements the error interface.
+func (f *Fault) Error() string {
+	return fmt.Sprintf("machine fault at %#08x: %s", f.PC, f.Reason)
+}
+
+// ExitError reports normal program termination through SYS_EXIT with a
+// nonzero status. A zero status returns nil from Run instead.
+type ExitError struct {
+	Code int32
+}
+
+// Error implements the error interface.
+func (e *ExitError) Error() string {
+	return fmt.Sprintf("program exited with status %d", e.Code)
+}

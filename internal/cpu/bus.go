@@ -1,0 +1,17 @@
+package cpu
+
+import "repro/internal/taint"
+
+// Bus is the memory port the execution engine issues accesses through.
+// *mem.Memory implements it directly; the cache hierarchy wraps one Bus in
+// another, so taint bits travel through every level (paper Section 4.1:
+// "the taintedness bits are passed through the memory hierarchy together
+// with the actual memory words").
+type Bus interface {
+	LoadByte(addr uint32) (byte, bool)
+	StoreByte(addr uint32, b byte, tainted bool)
+	LoadHalf(addr uint32) (uint16, taint.Vec, error)
+	StoreHalf(addr uint32, h uint16, vec taint.Vec) error
+	LoadWord(addr uint32) (uint32, taint.Vec, error)
+	StoreWord(addr uint32, w uint32, vec taint.Vec) error
+}

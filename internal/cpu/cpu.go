@@ -1,0 +1,628 @@
+// Package cpu implements the pointer-taintedness machine: a functional
+// 32-bit RISC execution engine whose register file and datapath carry
+// per-byte taint bits, with the three dereference detectors of the DSN 2005
+// paper (load address, store address, jump-register target) and a 5-stage
+// in-order pipeline timing model that places the detectors at the stages
+// described in Section 4.3.
+package cpu
+
+import (
+	"io"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+	"repro/internal/taint"
+)
+
+// nullPage is the size of the unmapped guard page at address zero; data
+// accesses and jumps below it raise a segmentation fault, so null-pointer
+// bugs crash as they would on a real OS.
+const nullPage = 0x1000
+
+// SyscallHandler executes the machine's system calls. On OpSYSCALL the CPU
+// invokes the handler with itself; the handler reads the syscall number
+// from $v0 and arguments from $a0-$a3, and may halt the machine.
+type SyscallHandler interface {
+	Syscall(c *CPU) error
+}
+
+// Config assembles a CPU.
+type Config struct {
+	// Bus is the memory port (required).
+	Bus Bus
+	// Policy selects the detection policy; defaults to pointer taintedness.
+	Policy taint.Policy
+	// Prop configures Table 1 propagation rule ablations.
+	Prop taint.Propagator
+	// Handler receives SYSCALL traps; nil makes SYSCALL a fault.
+	Handler SyscallHandler
+	// Image provides symbols for alert attribution (optional).
+	Image *asm.Image
+}
+
+// decodedSlot is one predecode-cache entry.
+type decodedSlot struct {
+	in    isa.Instruction
+	valid bool
+}
+
+// regHome records where a register's current value was loaded from. It
+// backs the compare-untaint write-through: when a compare instruction
+// untaints a register whose value still mirrors a memory location, the
+// location is untainted too. The paper's binaries keep validated values in
+// registers across uses (register allocation); our generated code reloads
+// them from memory, so without write-through a validated value would
+// re-acquire taint on reload and break the paper's zero-false-positive
+// behaviour. Any store overlapping the home, or any other write to the
+// register, invalidates the link.
+type regHome struct {
+	addr  uint32
+	width uint8
+	ok    bool
+}
+
+// CPU is one hardware thread of the simulated machine.
+type CPU struct {
+	regs     [isa.NumRegisters]uint32
+	regTaint [isa.NumRegisters]taint.Vec
+	regHomes [isa.NumRegisters]regHome
+	pc       uint32
+
+	bus     Bus
+	policy  taint.Policy
+	prop    taint.Propagator
+	handler SyscallHandler
+	image   *asm.Image
+
+	pipe  Pipeline
+	stats Stats
+
+	probes  map[uint32][]func(*CPU)
+	watches []TaintWatch
+	profile []uint64 // per-opcode retire counts when profiling is enabled
+
+	tracer     io.Writer
+	traceLimit uint64
+	traced     uint64
+
+	penalties PenaltySource // non-nil when the bus models miss latency
+
+	// Predecoded text segment: decoded[i] caches the instruction at
+	// textBase + 4i. Stores into the text range invalidate entries, so
+	// self-modifying code stays correct.
+	textBase uint32
+	decoded  []decodedSlot
+
+	halted   bool
+	exitCode int32
+}
+
+// New builds a CPU from cfg.
+func New(cfg Config) *CPU {
+	if cfg.Policy == 0 {
+		cfg.Policy = taint.PolicyPointerTaintedness
+	}
+	c := &CPU{
+		bus:     cfg.Bus,
+		policy:  cfg.Policy,
+		prop:    cfg.Prop,
+		handler: cfg.Handler,
+		image:   cfg.Image,
+	}
+	if ps, ok := cfg.Bus.(PenaltySource); ok {
+		c.penalties = ps
+	}
+	return c
+}
+
+// Reg returns the value of register r.
+func (c *CPU) Reg(r isa.Register) uint32 { return c.regs[r] }
+
+// RegTaint returns the taint vector of register r.
+func (c *CPU) RegTaint(r isa.Register) taint.Vec { return c.regTaint[r] }
+
+// SetReg writes value and taint to register r; writes to $zero are ignored.
+func (c *CPU) SetReg(r isa.Register, v uint32, t taint.Vec) {
+	if r == isa.RegZero {
+		return
+	}
+	c.regs[r] = v
+	c.regTaint[r] = t
+	c.regHomes[r].ok = false
+}
+
+// setHome links register r to the memory range its value was loaded from.
+func (c *CPU) setHome(r isa.Register, addr uint32, width int) {
+	if r == isa.RegZero {
+		return
+	}
+	c.regHomes[r] = regHome{addr: addr, width: uint8(width), ok: true}
+}
+
+// invalidateText drops predecode entries overlapped by a store (support
+// for self-modifying code; never hit by the corpus).
+func (c *CPU) invalidateText(addr uint32, width int) {
+	if c.decoded == nil {
+		return
+	}
+	for i := 0; i < width; i++ {
+		idx := (addr + uint32(i) - c.textBase) >> 2
+		if idx < uint32(len(c.decoded)) {
+			c.decoded[idx].valid = false
+		}
+	}
+}
+
+// invalidateHomes breaks register-to-memory links overlapping a store.
+func (c *CPU) invalidateHomes(addr uint32, width int) {
+	for i := range c.regHomes {
+		h := &c.regHomes[i]
+		if h.ok && addr < h.addr+uint32(h.width) && h.addr < addr+uint32(width) {
+			h.ok = false
+		}
+	}
+}
+
+// untaintWithHome clears a register's taint after validation (the Table 1
+// compare rule) and writes the untaint through to the value's memory home.
+func (c *CPU) untaintWithHome(r isa.Register) {
+	if r == isa.RegZero {
+		return
+	}
+	c.regTaint[r] = taint.None
+	h := c.regHomes[r]
+	if !h.ok {
+		return
+	}
+	for i := uint32(0); i < uint32(h.width); i++ {
+		b, _ := c.bus.LoadByte(h.addr + i)
+		c.bus.StoreByte(h.addr+i, b, false)
+	}
+}
+
+// PC returns the current program counter.
+func (c *CPU) PC() uint32 { return c.pc }
+
+// SetPC sets the program counter.
+func (c *CPU) SetPC(pc uint32) { c.pc = pc }
+
+// PenaltySource is implemented by memory ports that accumulate miss
+// latency (the cache hierarchy); the CPU drains it into the pipeline's
+// cycle count after each data access.
+type PenaltySource interface {
+	DrainPenalty() uint64
+}
+
+// Bus returns the CPU's memory port, for the kernel's copy-in/copy-out.
+func (c *CPU) Bus() Bus { return c.bus }
+
+// Policy returns the active detection policy.
+func (c *CPU) Policy() taint.Policy { return c.policy }
+
+// Stats returns a copy of the execution statistics.
+func (c *CPU) Stats() Stats { return c.stats }
+
+// AddProbe registers fn to run whenever execution reaches pc (before the
+// instruction executes). Probes are a host-side debugging/calibration
+// facility — the attack drivers use them the way a real attacker uses a
+// debugger on a local copy of the target binary.
+func (c *CPU) AddProbe(pc uint32, fn func(*CPU)) {
+	if c.probes == nil {
+		c.probes = make(map[uint32][]func(*CPU))
+	}
+	c.probes[pc] = append(c.probes[pc], fn)
+}
+
+// Halt stops the machine with the given exit status; the current Run call
+// returns after the instruction completes.
+func (c *CPU) Halt(code int32) {
+	c.halted = true
+	c.exitCode = code
+}
+
+// Halted reports whether the machine has exited, and the status.
+func (c *CPU) Halted() (bool, int32) { return c.halted, c.exitCode }
+
+// symbolFor attributes addr to a function for alert messages.
+func (c *CPU) symbolFor(addr uint32) (string, uint32) {
+	if c.image == nil {
+		return "", 0
+	}
+	return c.image.SymbolAt(addr)
+}
+
+func (c *CPU) alert(kind taint.AlertKind, stage Stage, in isa.Instruction, reg isa.Register) error {
+	sym, off := c.symbolFor(c.pc)
+	c.stats.Alerts++
+	return &SecurityAlert{
+		Kind:   kind,
+		PC:     c.pc,
+		Instr:  in,
+		Reg:    reg,
+		Value:  c.regs[reg],
+		Taint:  c.regTaint[reg],
+		Stage:  stage,
+		Symbol: sym,
+		SymOff: off,
+		Instrs: c.stats.Instructions,
+		Cycle:  c.pipe.Cycle(),
+	}
+}
+
+func (c *CPU) fault(reason string) error {
+	return &Fault{PC: c.pc, Reason: reason}
+}
+
+// Step executes one instruction. It returns a *SecurityAlert when a
+// detector fires, a *Fault on machine errors, or nil.
+func (c *CPU) Step() error {
+	if c.probes != nil {
+		for _, fn := range c.probes[c.pc] {
+			fn(c)
+		}
+	}
+	var in isa.Instruction
+	if idx := (c.pc - c.textBase) >> 2; c.decoded != nil && idx < uint32(len(c.decoded)) && c.decoded[idx].valid {
+		in = c.decoded[idx].in
+	} else {
+		word, _, err := c.bus.LoadWord(c.pc)
+		if err != nil {
+			return c.fault("instruction fetch: " + err.Error())
+		}
+		if word == 0 {
+			// Zeroed memory is not code: a wild jump lands here and
+			// crashes, as on a real machine with unmapped pages.
+			return c.fault("illegal instruction: null word")
+		}
+		in, err = isa.Decode(word)
+		if err != nil {
+			return c.fault("illegal instruction: " + err.Error())
+		}
+		if idx < uint32(len(c.decoded)) {
+			c.decoded[idx] = decodedSlot{in: in, valid: true}
+		}
+	}
+	if c.tracer != nil {
+		c.trace(in)
+	}
+	nextPC := c.pc + 4
+
+	switch in.Op.Kind() {
+	case isa.KindALU, isa.KindCompare:
+		c.execALU(in)
+	case isa.KindShift:
+		c.execShift(in)
+	case isa.KindLoad, isa.KindStore:
+		if err := c.execMem(in); err != nil {
+			return err
+		}
+		if c.penalties != nil {
+			c.pipe.MemoryPenalty(c.penalties.DrainPenalty())
+		}
+	case isa.KindBranch:
+		taken := c.execBranch(in)
+		if taken {
+			nextPC = isa.BranchTarget(c.pc, in)
+		}
+		c.pipe.Branch(taken)
+	case isa.KindJump:
+		if in.Op == isa.OpJAL {
+			c.SetReg(isa.RegRA, c.pc+4, taint.None)
+		}
+		nextPC = isa.JumpTarget(c.pc, in)
+		c.pipe.Jump()
+	case isa.KindJumpReg:
+		// Detector after ID/EX: the jump target register value is
+		// available; a tainted target marks the instruction malicious and
+		// the exception is raised at retirement (Section 4.3).
+		if kind, bad := c.policy.CheckJumpReg(c.regTaint[in.Rs]); bad {
+			c.pipe.Retire(in)
+			c.stats.Instructions++
+			if c.profile != nil {
+				c.profile[in.Op]++
+			}
+			return c.alert(kind, StageIDEX, in, in.Rs)
+		}
+		target := c.regs[in.Rs]
+		if in.Op == isa.OpJALR {
+			c.SetReg(in.Rd, c.pc+4, taint.None)
+		}
+		nextPC = target
+		c.pipe.Jump()
+	case isa.KindSystem:
+		switch in.Op {
+		case isa.OpSYSCALL:
+			if c.handler == nil {
+				return c.fault("syscall with no handler")
+			}
+			c.stats.Syscalls++
+			if err := c.handler.Syscall(c); err != nil {
+				return err
+			}
+		case isa.OpBREAK:
+			return c.fault("break instruction")
+		case isa.OpNOP:
+			// nothing
+		}
+	}
+
+	c.pipe.Retire(in)
+	c.stats.Instructions++
+	if c.profile != nil {
+		c.profile[in.Op]++
+	}
+	c.pc = nextPC
+	if c.pc&3 != 0 {
+		return c.fault("misaligned pc")
+	}
+	if c.pc < nullPage {
+		return c.fault("segmentation fault: jump into the null page")
+	}
+	return nil
+}
+
+// operand builds the taint.Operand view of a source register.
+func (c *CPU) operand(r isa.Register) taint.Operand {
+	return taint.Operand{Value: c.regs[r], Taint: c.regTaint[r], Reg: r}
+}
+
+func immOperand(v uint32) taint.Operand {
+	return taint.Operand{Value: v, Reg: taint.NoRegister, IsImm: true}
+}
+
+// execALU covers three-register ALU ops, immediates, LUI, and compares.
+func (c *CPU) execALU(in isa.Instruction) {
+	var a, b taint.Operand
+	var dst isa.Register
+	switch in.Op {
+	case isa.OpLUI:
+		a, b = immOperand(in.UImm()), immOperand(0)
+		dst = in.Rt
+	case isa.OpADDI, isa.OpADDIU, isa.OpSLTI:
+		a, b = c.operand(in.Rs), immOperand(uint32(in.Imm))
+		dst = in.Rt
+	case isa.OpSLTIU, isa.OpANDI, isa.OpORI, isa.OpXORI:
+		a, b = c.operand(in.Rs), immOperand(in.UImm())
+		dst = in.Rt
+	default:
+		a, b = c.operand(in.Rs), c.operand(in.Rt)
+		dst = in.Rd
+	}
+	val := aluValue(in, a.Value, b.Value)
+	res := c.prop.Propagate(in.Op, a, b)
+	if res.UntaintA && a.Reg != taint.NoRegister {
+		c.untaintWithHome(a.Reg)
+	}
+	if res.UntaintB && b.Reg != taint.NoRegister {
+		c.untaintWithHome(b.Reg)
+	}
+	c.SetReg(dst, val, res.Out)
+}
+
+// aluValue computes the data result of an ALU/compare instruction.
+func aluValue(in isa.Instruction, a, b uint32) uint32 {
+	switch in.Op {
+	case isa.OpADD, isa.OpADDU, isa.OpADDI, isa.OpADDIU:
+		return a + b
+	case isa.OpSUB, isa.OpSUBU:
+		return a - b
+	case isa.OpAND, isa.OpANDI:
+		return a & b
+	case isa.OpOR, isa.OpORI:
+		return a | b
+	case isa.OpXOR, isa.OpXORI:
+		return a ^ b
+	case isa.OpNOR:
+		return ^(a | b)
+	case isa.OpMUL:
+		return uint32(int32(a) * int32(b))
+	case isa.OpDIV:
+		if b == 0 {
+			return 0
+		}
+		if int32(a) == -1<<31 && int32(b) == -1 {
+			return 0x80000000
+		}
+		return uint32(int32(a) / int32(b))
+	case isa.OpDIVU:
+		if b == 0 {
+			return 0
+		}
+		return a / b
+	case isa.OpREM:
+		if b == 0 {
+			return 0
+		}
+		if int32(a) == -1<<31 && int32(b) == -1 {
+			return 0
+		}
+		return uint32(int32(a) % int32(b))
+	case isa.OpREMU:
+		if b == 0 {
+			return 0
+		}
+		return a % b
+	case isa.OpSLT, isa.OpSLTI:
+		if int32(a) < int32(b) {
+			return 1
+		}
+		return 0
+	case isa.OpSLTU, isa.OpSLTIU:
+		if a < b {
+			return 1
+		}
+		return 0
+	case isa.OpLUI:
+		return a << 16
+	}
+	return 0
+}
+
+// execShift covers immediate and variable shifts.
+func (c *CPU) execShift(in isa.Instruction) {
+	datum := c.operand(in.Rt)
+	var amount taint.Operand
+	if in.Op == isa.OpSLL || in.Op == isa.OpSRL || in.Op == isa.OpSRA {
+		amount = immOperand(uint32(in.Shamt))
+	} else {
+		amount = c.operand(in.Rs)
+	}
+	sh := amount.Value & 31
+	var val uint32
+	switch in.Op {
+	case isa.OpSLL, isa.OpSLLV:
+		val = datum.Value << sh
+	case isa.OpSRL, isa.OpSRLV:
+		val = datum.Value >> sh
+	case isa.OpSRA, isa.OpSRAV:
+		val = uint32(int32(datum.Value) >> sh)
+	}
+	res := c.prop.Propagate(in.Op, datum, amount)
+	c.SetReg(in.Rd, val, res.Out)
+}
+
+// execMem covers loads and stores, including the EX/MEM taintedness
+// detector for pointer dereferences.
+func (c *CPU) execMem(in isa.Instruction) error {
+	addrVec := c.regTaint[in.Rs] // imm offset is untainted; address taint is the base's
+	if kind, bad := c.policy.CheckMemAccess(in.Op, addrVec); bad {
+		c.pipe.Retire(in)
+		c.stats.Instructions++
+		return c.alert(kind, StageEXMEM, in, in.Rs)
+	}
+	addr := c.regs[in.Rs] + uint32(in.Imm)
+	if addr < nullPage {
+		return c.fault("segmentation fault: null-page access")
+	}
+	switch in.Op {
+	case isa.OpLB, isa.OpLBU:
+		b, tt := c.bus.LoadByte(addr)
+		var v uint32
+		var vec taint.Vec
+		if in.Op == isa.OpLB {
+			v = uint32(int32(int8(b)))
+			if tt {
+				// Sign-extension replicates the loaded byte; the
+				// replicated bytes derive from tainted data.
+				vec = taint.Word
+			}
+		} else {
+			v = uint32(b)
+			if tt {
+				vec = taint.ForWidth(1)
+			}
+		}
+		c.SetReg(in.Rt, v, vec)
+		c.setHome(in.Rt, addr, 1)
+		c.pipe.Load(in.Rt)
+		c.stats.Loads++
+	case isa.OpLH, isa.OpLHU:
+		h, hv, err := c.bus.LoadHalf(addr)
+		if err != nil {
+			return c.fault(err.Error())
+		}
+		var v uint32
+		vec := hv
+		if in.Op == isa.OpLH {
+			v = uint32(int32(int16(h)))
+			if hv.Byte(1) {
+				vec = taint.Word // sign bytes derive from the top loaded byte
+			}
+		} else {
+			v = uint32(h)
+		}
+		c.SetReg(in.Rt, v, vec)
+		c.setHome(in.Rt, addr, 2)
+		c.pipe.Load(in.Rt)
+		c.stats.Loads++
+	case isa.OpLW:
+		w, wv, err := c.bus.LoadWord(addr)
+		if err != nil {
+			return c.fault(err.Error())
+		}
+		c.SetReg(in.Rt, w, wv)
+		c.setHome(in.Rt, addr, 4)
+		c.pipe.Load(in.Rt)
+		c.stats.Loads++
+	case isa.OpSB:
+		if err := c.watchedStoreTaint(in.Op, addr, c.regTaint[in.Rt]); err != nil {
+			return err
+		}
+		c.bus.StoreByte(addr, byte(c.regs[in.Rt]), c.regTaint[in.Rt].Byte(0))
+		c.invalidateHomes(addr, 1)
+		c.invalidateText(addr, 1)
+		c.pipe.Store()
+		c.stats.Stores++
+	case isa.OpSH:
+		if err := c.watchedStoreTaint(in.Op, addr, c.regTaint[in.Rt]); err != nil {
+			return err
+		}
+		if err := c.bus.StoreHalf(addr, uint16(c.regs[in.Rt]), c.regTaint[in.Rt]); err != nil {
+			return c.fault(err.Error())
+		}
+		c.invalidateHomes(addr, 2)
+		c.invalidateText(addr, 2)
+		c.pipe.Store()
+		c.stats.Stores++
+	case isa.OpSW:
+		if err := c.watchedStoreTaint(in.Op, addr, c.regTaint[in.Rt]); err != nil {
+			return err
+		}
+		if err := c.bus.StoreWord(addr, c.regs[in.Rt], c.regTaint[in.Rt]); err != nil {
+			return c.fault(err.Error())
+		}
+		c.invalidateHomes(addr, 4)
+		c.invalidateText(addr, 4)
+		c.pipe.Store()
+		c.stats.Stores++
+	}
+	return nil
+}
+
+// execBranch evaluates the branch condition and applies the compare-untaint
+// rule to the tested registers.
+func (c *CPU) execBranch(in isa.Instruction) bool {
+	a, b := c.regs[in.Rs], c.regs[in.Rt]
+	var taken bool
+	switch in.Op {
+	case isa.OpBEQ:
+		taken = a == b
+	case isa.OpBNE:
+		taken = a != b
+	case isa.OpBLEZ:
+		taken = int32(a) <= 0
+	case isa.OpBGTZ:
+		taken = int32(a) > 0
+	case isa.OpBLTZ:
+		taken = int32(a) < 0
+	case isa.OpBGEZ:
+		taken = int32(a) >= 0
+	}
+	if c.prop.BranchUntaint() {
+		c.untaintWithHome(in.Rs)
+		if in.Op == isa.OpBEQ || in.Op == isa.OpBNE {
+			c.untaintWithHome(in.Rt)
+		}
+	}
+	c.stats.Branches++
+	return taken
+}
+
+// Run executes until the machine halts, a detector fires, a fault occurs,
+// or maxInstructions retire (0 means no budget — not recommended). It
+// returns nil on a clean exit with status 0, *ExitError on a nonzero exit,
+// and the alert or fault otherwise.
+func (c *CPU) Run(maxInstructions uint64) error {
+	for !c.halted {
+		if maxInstructions > 0 && c.stats.Instructions >= maxInstructions {
+			return c.fault("instruction budget exhausted")
+		}
+		if err := c.Step(); err != nil {
+			return err
+		}
+	}
+	if c.exitCode != 0 {
+		return &ExitError{Code: c.exitCode}
+	}
+	return nil
+}

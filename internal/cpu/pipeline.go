@@ -1,0 +1,123 @@
+package cpu
+
+import "repro/internal/isa"
+
+// Pipeline is a cycle-accounting model of the classic 5-stage in-order
+// pipeline (IF/ID/EX/MEM/WB) the paper's Figure 3 extends with the taint
+// datapath. It does not re-execute instructions — the functional engine
+// does that — but charges cycles for the structural events that matter to
+// the Section 5.4 overhead argument:
+//
+//   - 1 base cycle per retired instruction (single-issue, fully bypassed);
+//   - 1 stall cycle for a load-use hazard (a load's consumer in the next
+//     slot must wait for MEM);
+//   - 2 flush cycles for every taken branch and every jump (the fetched
+//     wrong-path instructions in IF and ID are squashed).
+//
+// The taint propagation itself charges zero cycles: as the paper argues,
+// the OR of taint bits runs in parallel with (and is faster than) the ALU
+// operation, and the detectors are single OR-gates off the ID/EX and
+// EX/MEM latches.
+type Pipeline struct {
+	cycles      uint64
+	stallCycles uint64
+	flushCycles uint64
+	memPenalty  uint64
+
+	lastWasLoad bool
+	lastLoadDst isa.Register
+}
+
+// Load records that the retiring instruction was a load writing dst.
+func (p *Pipeline) Load(dst isa.Register) {
+	p.lastWasLoad = true
+	p.lastLoadDst = dst
+}
+
+// Store records a retiring store (no writeback hazard).
+func (p *Pipeline) Store() {
+	p.lastWasLoad = false
+}
+
+// Branch records a conditional branch; taken branches flush two slots.
+func (p *Pipeline) Branch(taken bool) {
+	if taken {
+		p.cycles += 2
+		p.flushCycles += 2
+	}
+}
+
+// Jump records an unconditional control transfer (J/JAL/JR/JALR).
+func (p *Pipeline) Jump() {
+	p.cycles += 2
+	p.flushCycles += 2
+}
+
+// MemoryPenalty charges cache-miss latency cycles for the access that
+// just completed.
+func (p *Pipeline) MemoryPenalty(cycles uint64) {
+	p.cycles += cycles
+	p.memPenalty += cycles
+}
+
+// MemPenalties returns the cumulative cache-miss cycles charged.
+func (p *Pipeline) MemPenalties() uint64 { return p.memPenalty }
+
+// Retire charges the base cycle for in and applies the load-use hazard
+// check against the previous instruction.
+func (p *Pipeline) Retire(in isa.Instruction) {
+	p.cycles++
+	if p.lastWasLoad && p.lastLoadDst != isa.RegZero && usesReg(in, p.lastLoadDst) {
+		p.cycles++
+		p.stallCycles++
+	}
+	if !in.Op.IsLoad() {
+		p.lastWasLoad = false
+	}
+}
+
+// Cycle returns the cumulative cycle count.
+func (p *Pipeline) Cycle() uint64 { return p.cycles }
+
+// Stalls returns the load-use stall cycles charged.
+func (p *Pipeline) Stalls() uint64 { return p.stallCycles }
+
+// Flushes returns the control-flow flush cycles charged.
+func (p *Pipeline) Flushes() uint64 { return p.flushCycles }
+
+// usesReg reports whether in reads register r.
+func usesReg(in isa.Instruction, r isa.Register) bool {
+	switch in.Op.Kind() {
+	case isa.KindSystem:
+		return false
+	case isa.KindJump:
+		return false
+	case isa.KindJumpReg:
+		return in.Rs == r
+	case isa.KindLoad:
+		return in.Rs == r
+	case isa.KindStore:
+		return in.Rs == r || in.Rt == r
+	case isa.KindShift:
+		if in.Op == isa.OpSLL || in.Op == isa.OpSRL || in.Op == isa.OpSRA {
+			return in.Rt == r
+		}
+		return in.Rt == r || in.Rs == r
+	case isa.KindBranch:
+		switch in.Op {
+		case isa.OpBEQ, isa.OpBNE:
+			return in.Rs == r || in.Rt == r
+		default:
+			return in.Rs == r
+		}
+	}
+	// ALU / compare.
+	switch in.Op {
+	case isa.OpLUI:
+		return false
+	case isa.OpADDI, isa.OpADDIU, isa.OpSLTI, isa.OpSLTIU,
+		isa.OpANDI, isa.OpORI, isa.OpXORI:
+		return in.Rs == r
+	}
+	return in.Rs == r || in.Rt == r
+}

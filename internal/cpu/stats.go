@@ -1,0 +1,78 @@
+package cpu
+
+import (
+	"sort"
+
+	"repro/internal/isa"
+)
+
+// OpcodeCount is one row of an instruction-mix profile.
+type OpcodeCount struct {
+	Op    isa.Opcode
+	Count uint64
+}
+
+// EnableProfile turns on per-opcode retire counting (sim-profile style).
+func (c *CPU) EnableProfile() {
+	if c.profile == nil {
+		c.profile = make([]uint64, isa.NumOpcodes+1)
+	}
+}
+
+// Profile returns the instruction mix in descending count order; empty
+// unless EnableProfile was called before execution.
+func (c *CPU) Profile() []OpcodeCount {
+	if c.profile == nil {
+		return nil
+	}
+	out := make([]OpcodeCount, 0, len(c.profile))
+	for op, n := range c.profile {
+		if n > 0 {
+			out = append(out, OpcodeCount{Op: isa.Opcode(op), Count: n})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Op < out[j].Op
+	})
+	return out
+}
+
+// Stats aggregates execution counters for the evaluation harnesses
+// (Table 3's instruction counts, Section 5.4's overhead estimates).
+type Stats struct {
+	Instructions uint64
+	Loads        uint64
+	Stores       uint64
+	Branches     uint64
+	Syscalls     uint64
+	Alerts       uint64
+}
+
+// PipelineStats exposes the timing model's counters.
+type PipelineStats struct {
+	Cycles       uint64
+	Stalls       uint64
+	Flushes      uint64
+	MemPenalties uint64 // cache-miss latency cycles (zero on ideal memory)
+}
+
+// Pipe returns the CPU's pipeline counters.
+func (c *CPU) Pipe() PipelineStats {
+	return PipelineStats{
+		Cycles:       c.pipe.Cycle(),
+		Stalls:       c.pipe.Stalls(),
+		Flushes:      c.pipe.Flushes(),
+		MemPenalties: c.pipe.MemPenalties(),
+	}
+}
+
+// CPI returns cycles per instruction, or 0 before any instruction retires.
+func (s PipelineStats) CPI(instructions uint64) float64 {
+	if instructions == 0 {
+		return 0
+	}
+	return float64(s.Cycles) / float64(instructions)
+}

@@ -1,0 +1,70 @@
+package cpu
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/isa"
+)
+
+// SetTracer streams an execution trace to w: one line per retired
+// instruction with its address, disassembly, and — for register-writing
+// instructions — the destination's new value and taint. limit bounds the
+// number of traced instructions (0 = unlimited). Tracing is a debugging
+// facility; it does not perturb execution.
+func (c *CPU) SetTracer(w io.Writer, limit uint64) {
+	c.tracer = w
+	c.traceLimit = limit
+	c.traced = 0
+}
+
+// trace emits one line for the instruction about to execute.
+func (c *CPU) trace(in isa.Instruction) {
+	if c.traceLimit > 0 && c.traced >= c.traceLimit {
+		c.tracer = nil
+		return
+	}
+	c.traced++
+	fmt.Fprintf(c.tracer, "%08x  %-28s", c.pc, isa.Disassemble(in, c.pc))
+	if dst, ok := destReg(in); ok && dst != isa.RegZero {
+		// Shown pre-execution state is uninteresting; the post-state is
+		// printed by the next call. Print sources instead: the register
+		// operands with their taint.
+		fmt.Fprintf(c.tracer, "  %v=%#x/%v", in.Rs, c.regs[in.Rs], c.regTaint[in.Rs])
+		if usesRt(in) {
+			fmt.Fprintf(c.tracer, " %v=%#x/%v", in.Rt, c.regs[in.Rt], c.regTaint[in.Rt])
+		}
+	} else if in.Op.IsJumpReg() {
+		fmt.Fprintf(c.tracer, "  %v=%#x/%v", in.Rs, c.regs[in.Rs], c.regTaint[in.Rs])
+	}
+	fmt.Fprintln(c.tracer)
+}
+
+// destReg reports the register an instruction writes, if any.
+func destReg(in isa.Instruction) (isa.Register, bool) {
+	switch in.Op.Kind() {
+	case isa.KindALU, isa.KindCompare, isa.KindShift:
+		switch in.Op.Format() {
+		case isa.FormatR:
+			return in.Rd, true
+		default:
+			return in.Rt, true
+		}
+	case isa.KindLoad:
+		return in.Rt, true
+	}
+	return 0, false
+}
+
+// usesRt reports whether the instruction reads Rt as a source.
+func usesRt(in isa.Instruction) bool {
+	switch in.Op.Kind() {
+	case isa.KindALU, isa.KindCompare:
+		return in.Op.Format() == isa.FormatR
+	case isa.KindShift, isa.KindStore:
+		return true
+	case isa.KindBranch:
+		return in.Op == isa.OpBEQ || in.Op == isa.OpBNE
+	}
+	return false
+}

@@ -1,0 +1,107 @@
+package cpu
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/taint"
+)
+
+// TaintWatch is an annotated memory region that must never become tainted
+// — the extension sketched at the end of the paper's Section 5.3: "ask the
+// programmer to annotate important data structures that should never be
+// tainted... whenever an annotated structure becomes tainted, an alert is
+// raised." Watches trade the architecture's transparency for coverage of
+// the Table 4 false negatives (e.g. the authentication flag).
+type TaintWatch struct {
+	Addr uint32
+	Len  uint32
+	Name string
+}
+
+// WatchViolation is the security exception raised when tainted data is
+// written into an annotated region.
+type WatchViolation struct {
+	Watch  TaintWatch
+	PC     uint32
+	Addr   uint32 // the tainted byte's address
+	Symbol string
+	SymOff uint32
+}
+
+// Error implements the error interface.
+func (w *WatchViolation) Error() string {
+	loc := ""
+	if w.Symbol != "" {
+		loc = fmt.Sprintf(" in %s+%#x", w.Symbol, w.SymOff)
+	}
+	return fmt.Sprintf("security alert (annotated-region-tainted): %x: tainted write to %q at %#08x%s",
+		w.PC, w.Watch.Name, w.Addr, loc)
+}
+
+// AddTaintWatch annotates [addr, addr+n) as never-tainted. Guests register
+// watches through the SYS_ANNOTATE system call; hosts may add them
+// directly.
+func (c *CPU) AddTaintWatch(addr, n uint32, name string) {
+	c.watches = append(c.watches, TaintWatch{Addr: addr, Len: n, Name: name})
+}
+
+// TaintWatches returns the registered annotations.
+func (c *CPU) TaintWatches() []TaintWatch {
+	out := make([]TaintWatch, len(c.watches))
+	copy(out, c.watches)
+	return out
+}
+
+// checkWatches raises a violation when a store writes tainted bytes into
+// an annotated region. width is the store width; vec the store's taint.
+func (c *CPU) checkWatches(addr uint32, width int, vec taint.Vec) error {
+	for _, w := range c.watches {
+		for i := 0; i < width; i++ {
+			a := addr + uint32(i)
+			if a >= w.Addr && a < w.Addr+w.Len && vec.Byte(i) {
+				sym, off := c.symbolFor(c.pc)
+				c.stats.Alerts++
+				return &WatchViolation{
+					Watch: w, PC: c.pc, Addr: a, Symbol: sym, SymOff: off,
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// CheckHostTaintWrite lets the kernel consult the watches on its copy-out
+// path (input landing directly inside an annotated region is equally a
+// violation). All n bytes are tainted. Returns nil when no watch is
+// registered or none is hit.
+func (c *CPU) CheckHostTaintWrite(addr uint32, n int) error {
+	if len(c.watches) == 0 {
+		return nil
+	}
+	for _, w := range c.watches {
+		for i := 0; i < n; i++ {
+			a := addr + uint32(i)
+			if a >= w.Addr && a < w.Addr+w.Len {
+				sym, off := c.symbolFor(c.pc)
+				c.stats.Alerts++
+				return &WatchViolation{
+					Watch: w, PC: c.pc, Addr: a, Symbol: sym, SymOff: off,
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// watchedStoreTaint is a fast-path guard used by execMem.
+func (c *CPU) watchedStoreTaint(op isa.Opcode, addr uint32, vec taint.Vec) error {
+	if len(c.watches) == 0 || !vec.Any() {
+		return nil
+	}
+	width := op.MemWidth()
+	if width == 0 {
+		return nil
+	}
+	return c.checkWatches(addr, width, vec)
+}

@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cert"
+)
+
+// Fig1Result is the CERT advisory breakdown behind Figure 1.
+type Fig1Result struct {
+	Total                 int
+	Counts                map[cert.Category]int
+	MemoryCorruptionShare float64
+	Years                 []cert.YearCount
+}
+
+// Fig1 tallies the 2000-2003 advisory dataset.
+func Fig1() Fig1Result {
+	return Fig1Result{
+		Total:                 len(cert.Advisories()),
+		Counts:                cert.Breakdown(),
+		MemoryCorruptionShare: cert.MemoryCorruptionShare(),
+		Years:                 cert.ByYear(),
+	}
+}
+
+// Format renders the breakdown with a text bar chart.
+func (r Fig1Result) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "CERT advisories 2000-2003: %d total\n\n", r.Total)
+	for _, c := range cert.Categories() {
+		n := r.Counts[c]
+		pct := 100 * float64(n) / float64(r.Total)
+		fmt.Fprintf(&b, "  %-17s %3d (%5.1f%%) %s\n", c, n, pct, strings.Repeat("#", n))
+	}
+	fmt.Fprintf(&b, "\nmemory-corruption classes: %.1f%% of advisories (paper: 67%%)\n",
+		100*r.MemoryCorruptionShare)
+	for _, y := range r.Years {
+		fmt.Fprintf(&b, "  %d: %d advisories\n", y.Year, y.Count)
+	}
+	return b.String()
+}

@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/attack"
+	"repro/internal/taint"
+)
+
+// Fig2Row is one synthetic attack detection (paper §5.1.1).
+type Fig2Row struct {
+	Program   string
+	Attack    string
+	Input     string
+	Outcome   attack.Outcome
+	PaperNote string
+}
+
+// Fig2Result collects the three Figure 2 detections.
+type Fig2Result struct {
+	Rows []Fig2Row
+}
+
+// Fig2 runs the three synthetic attacks under pointer taintedness.
+func Fig2() (Fig2Result, error) {
+	var res Fig2Result
+	out, err := attack.Exp1StackSmash(taint.PolicyPointerTaintedness)
+	if err != nil {
+		return res, err
+	}
+	res.Rows = append(res.Rows, Fig2Row{
+		Program:   "exp1",
+		Attack:    "stack buffer overflow",
+		Input:     `24 x "a"`,
+		Outcome:   out,
+		PaperNote: "paper: alert at JR $31, tainted 0x61616161",
+	})
+	out, err = attack.Exp2HeapCorruption(taint.PolicyPointerTaintedness)
+	if err != nil {
+		return res, err
+	}
+	res.Rows = append(res.Rows, Fig2Row{
+		Program:   "exp2",
+		Attack:    "heap corruption (free-chunk links)",
+		Input:     "24-byte overflow over the adjacent free chunk",
+		Outcome:   out,
+		PaperNote: "paper: alert at LW inside free()",
+	})
+	out, err = attack.Exp3FormatString(taint.PolicyPointerTaintedness)
+	if err != nil {
+		return res, err
+	}
+	res.Rows = append(res.Rows, Fig2Row{
+		Program:   "exp3",
+		Attack:    "format string %n",
+		Input:     `"abcd" + %x walk + %n over a socket`,
+		Outcome:   out,
+		PaperNote: "paper: alert at SW in vfprintf, tainted 0x64636261",
+	})
+	return res, nil
+}
+
+// Format renders the detection table.
+func (r Fig2Result) Format() string {
+	var b strings.Builder
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%s (%s)\n  input:  %s\n  result: %v\n  %s\n\n",
+			row.Program, row.Attack, row.Input, row.Outcome, row.PaperNote)
+	}
+	return b.String()
+}
+
+// Fig3Result demonstrates the Figure 3 detector placement: which pipeline
+// stage flags each attack class, and that the exception is raised at
+// retirement.
+type Fig3Result struct {
+	Rows []Fig3Row
+}
+
+// Fig3Row is one detector placement observation.
+type Fig3Row struct {
+	Attack     string
+	Instr      string
+	Stage      string
+	Cycle      uint64
+	Instrs     uint64
+	Dereferenc string
+}
+
+// Fig3 reruns the JR-class and store-class attacks, recording the stage
+// annotations the pipeline attaches to the alerts.
+func Fig3() (Fig3Result, error) {
+	var res Fig3Result
+	jr, err := attack.Exp1StackSmash(taint.PolicyPointerTaintedness)
+	if err != nil {
+		return res, err
+	}
+	st, err := attack.Exp3FormatString(taint.PolicyPointerTaintedness)
+	if err != nil {
+		return res, err
+	}
+	ld, err := attack.Exp2HeapCorruption(taint.PolicyPointerTaintedness)
+	if err != nil {
+		return res, err
+	}
+	for _, c := range []struct {
+		name string
+		out  attack.Outcome
+	}{
+		{"control transfer (exp1)", jr},
+		{"store dereference (exp3)", st},
+		{"load dereference (exp2)", ld},
+	} {
+		if c.out.Alert == nil {
+			return res, fmt.Errorf("%s: no alert", c.name)
+		}
+		res.Rows = append(res.Rows, Fig3Row{
+			Attack:     c.name,
+			Instr:      c.out.Alert.Instr.Op.Name(),
+			Stage:      string(c.out.Alert.Stage),
+			Cycle:      c.out.Alert.Cycle,
+			Instrs:     c.out.Alert.Instrs,
+			Dereferenc: fmt.Sprintf("%v=%#x", c.out.Alert.Reg, c.out.Alert.Value),
+		})
+	}
+	return res, nil
+}
+
+// Format renders the placement table.
+func (r Fig3Result) Format() string {
+	t := &table{header: []string{"attack", "instruction", "detector stage", "retire cycle", "instrs retired", "tainted register"}}
+	for _, row := range r.Rows {
+		t.add(row.Attack, row.Instr, row.Stage,
+			fmt.Sprintf("%d", row.Cycle), fmt.Sprintf("%d", row.Instrs), row.Dereferenc)
+	}
+	return t.String() + "\nJR detector after ID/EX; load/store detector after EX/MEM; exception at retirement (Section 4.3).\n"
+}

@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/attack"
+	"repro/internal/progs"
+	"repro/internal/taint"
+)
+
+// OverheadRow is one workload's Section 5.4 measurement.
+type OverheadRow struct {
+	Program        string
+	Instructions   uint64
+	Cycles         uint64
+	CPI            float64
+	CyclesBaseline uint64 // same run with detection off: identical by design
+	MemPenalty     uint64 // cache-miss latency cycles within Cycles
+	TaintedBytes   uint64
+	KernelOverhead float64 // tainted bytes / instructions, as a percentage
+	L1HitRate      float64
+	L2HitRate      float64
+}
+
+// OverheadResult is the Section 5.4 reproduction.
+type OverheadResult struct {
+	Rows []OverheadRow
+}
+
+// Overhead measures, per SPEC analogue: pipeline cycles with the taint
+// datapath active vs. the detection-off baseline (identical — the taint
+// logic is off the critical path), the kernel's taint-initialization
+// instruction overhead (paper: 0.002%-0.2%), and cache behaviour with
+// taint bits riding the hierarchy.
+func Overhead(scale int) (OverheadResult, error) {
+	var res OverheadResult
+	for _, p := range progs.SpecSuite() {
+		input := progs.SpecInput(p.Name, scale)
+		// Run 1: full pointer-taintedness machine with caches.
+		m, err := attack.Boot(p, attack.Options{
+			Policy:    taint.PolicyPointerTaintedness,
+			Files:     map[string][]byte{"/input": input},
+			Budget:    2_000_000_000,
+			WithCache: true,
+		})
+		if err != nil {
+			return res, err
+		}
+		if err := m.Run(); err != nil {
+			return res, fmt.Errorf("%s with taint: %w", p.Name, err)
+		}
+		// Run 2: detection and taint initialization off.
+		m2, err := attack.Boot(p, attack.Options{
+			Policy:    taint.PolicyOff,
+			Files:     map[string][]byte{"/input": input},
+			Budget:    2_000_000_000,
+			WithCache: true,
+		})
+		if err != nil {
+			return res, err
+		}
+		m2.Kernel.TaintInputs = false
+		if err := m2.Run(); err != nil {
+			return res, fmt.Errorf("%s baseline: %w", p.Name, err)
+		}
+		stats := m.CPU.Stats()
+		pipe := m.CPU.Pipe()
+		row := OverheadRow{
+			Program:        p.Name,
+			Instructions:   stats.Instructions,
+			Cycles:         pipe.Cycles,
+			CPI:            pipe.CPI(stats.Instructions),
+			CyclesBaseline: m2.CPU.Pipe().Cycles,
+			MemPenalty:     pipe.MemPenalties,
+			TaintedBytes:   m.Kernel.Stats().TaintedBytes,
+			L1HitRate:      m.Caches.L1Stats().HitRate(),
+			L2HitRate:      m.Caches.L2Stats().HitRate(),
+		}
+		if stats.Instructions > 0 {
+			row.KernelOverhead = 100 * float64(row.TaintedBytes) / float64(stats.Instructions)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Format renders the overhead table.
+func (r OverheadResult) Format() string {
+	t := &table{header: []string{
+		"program", "instrs", "cycles (taint on)", "cycles (off)", "CPI",
+		"miss cycles", "tainted bytes", "kernel ovhd %", "L1 hit", "L2 hit",
+	}}
+	for _, row := range r.Rows {
+		t.add(row.Program,
+			fmt.Sprintf("%d", row.Instructions),
+			fmt.Sprintf("%d", row.Cycles),
+			fmt.Sprintf("%d", row.CyclesBaseline),
+			fmt.Sprintf("%.3f", row.CPI),
+			fmt.Sprintf("%d", row.MemPenalty),
+			fmt.Sprintf("%d", row.TaintedBytes),
+			fmt.Sprintf("%.4f", row.KernelOverhead),
+			fmt.Sprintf("%.3f", row.L1HitRate),
+			fmt.Sprintf("%.3f", row.L2HitRate))
+	}
+	var b strings.Builder
+	b.WriteString(t.String())
+	b.WriteString("\ncycle counts with the taint datapath equal the detection-off baseline: the\n" +
+		"propagation OR logic and detector gates are off the critical path (Section 5.4).\n" +
+		"kernel overhead approximates one extra instruction per tainted input byte.\n")
+	return b.String()
+}

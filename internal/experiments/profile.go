@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/attack"
+	"repro/internal/progs"
+	"repro/internal/taint"
+)
+
+// ProfileRow is one workload's instruction mix (top opcodes).
+type ProfileRow struct {
+	Program string
+	Total   uint64
+	Top     []OpShare
+}
+
+// OpShare is one opcode's share of retired instructions.
+type OpShare struct {
+	Op    string
+	Count uint64
+	Share float64
+}
+
+// ProfileResult is the sim-profile-style instruction-mix report for the
+// SPEC analogues — supporting evidence that the workloads exercise a
+// realistic mix (loads/stores/branches/ALU), not synthetic filler.
+type ProfileResult struct {
+	Rows []ProfileRow
+}
+
+// Profile runs each SPEC analogue with opcode counting enabled.
+func Profile(scale int) (ProfileResult, error) {
+	var res ProfileResult
+	for _, p := range progs.SpecSuite() {
+		m, err := attack.Boot(p, attack.Options{
+			Policy: taint.PolicyPointerTaintedness,
+			Files:  map[string][]byte{"/input": progs.SpecInput(p.Name, scale)},
+			Budget: 2_000_000_000,
+		})
+		if err != nil {
+			return res, err
+		}
+		m.CPU.EnableProfile()
+		if err := m.Run(); err != nil {
+			return res, fmt.Errorf("%s: %w", p.Name, err)
+		}
+		row := ProfileRow{Program: p.Name, Total: m.CPU.Stats().Instructions}
+		for i, oc := range m.CPU.Profile() {
+			if i == 8 {
+				break
+			}
+			row.Top = append(row.Top, OpShare{
+				Op:    oc.Op.Name(),
+				Count: oc.Count,
+				Share: float64(oc.Count) / float64(row.Total),
+			})
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Format renders the mixes.
+func (r ProfileResult) Format() string {
+	var b strings.Builder
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%s (%d instructions):", row.Program, row.Total)
+		for _, s := range row.Top {
+			fmt.Fprintf(&b, "  %s %.1f%%", s.Op, 100*s.Share)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

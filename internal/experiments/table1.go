@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/isa"
+	"repro/internal/taint"
+)
+
+// Table1Row demonstrates one propagation rule with a concrete example.
+type Table1Row struct {
+	Rule    string
+	Example string
+	In      string
+	Out     string
+}
+
+// Table1Result is the executable rendering of the paper's Table 1.
+type Table1Result struct {
+	Rows []Table1Row
+}
+
+// Table1 exercises every Table 1 rule through the Propagator and records
+// inputs and outputs.
+func Table1() Table1Result {
+	var p taint.Propagator
+	regOp := func(v uint32, t taint.Vec, r isa.Register) taint.Operand {
+		return taint.Operand{Value: v, Taint: t, Reg: r}
+	}
+	imm := func(v uint32) taint.Operand {
+		return taint.Operand{Value: v, Reg: taint.NoRegister, IsImm: true}
+	}
+	var rows []Table1Row
+
+	// Default rule: OR of source taintedness.
+	res := p.Propagate(isa.OpADD, regOp(1, 0b0011, 8), regOp(2, 0b1000, 9))
+	rows = append(rows, Table1Row{
+		Rule:    "ALU (default): taint(R1) = taint(R2) | taint(R3)",
+		Example: "add r1, r2, r3",
+		In:      fmt.Sprintf("r2=%v r3=%v", taint.Vec(0b0011), taint.Vec(0b1000)),
+		Out:     fmt.Sprintf("r1=%v", res.Out),
+	})
+
+	// Shift: adjacent-byte smear along the shift direction.
+	res = p.Propagate(isa.OpSLL, regOp(0xAB, 0b0001, 8), imm(8))
+	rows = append(rows, Table1Row{
+		Rule:    "shift: taint smears to the adjacent byte in shift direction",
+		Example: "sll r1, r2, 8",
+		In:      fmt.Sprintf("r2=%v", taint.Vec(0b0001)),
+		Out:     fmt.Sprintf("r1=%v", res.Out),
+	})
+
+	// AND with an untainted zero byte untaints the lane.
+	res = p.Propagate(isa.OpAND, regOp(0x61616161, taint.Word, 8), regOp(0xFFFF00FF, taint.None, 9))
+	rows = append(rows, Table1Row{
+		Rule:    "and: byte AND-ed with an untainted zero is untainted",
+		Example: "and r1, r2, r3 (r3=0xffff00ff clean)",
+		In:      fmt.Sprintf("r2=%v", taint.Word),
+		Out:     fmt.Sprintf("r1=%v", res.Out),
+	})
+
+	// XOR r1,r2,r2 zero idiom clears taint.
+	res = p.Propagate(isa.OpXOR, regOp(7, taint.Word, 9), regOp(7, taint.Word, 9))
+	rows = append(rows, Table1Row{
+		Rule:    "xor r1,r2,r2: constant zero, taint cleared",
+		Example: "xor r1, r2, r2",
+		In:      fmt.Sprintf("r2=%v", taint.Word),
+		Out:     fmt.Sprintf("r1=%v", res.Out),
+	})
+
+	// Compare untaints its operands.
+	res = p.Propagate(isa.OpSLT, regOp(5, taint.Word, 8), regOp(10, taint.Word, 9))
+	rows = append(rows, Table1Row{
+		Rule:    "compare: operands untainted (validation code is trusted)",
+		Example: "slt r1, r2, r3",
+		In:      fmt.Sprintf("r2=%v r3=%v", taint.Word, taint.Word),
+		Out: fmt.Sprintf("r1=%v, untaint r2=%v r3=%v",
+			res.Out, res.UntaintA, res.UntaintB),
+	})
+
+	return Table1Result{Rows: rows}
+}
+
+// Format renders the rule table.
+func (r Table1Result) Format() string {
+	var b strings.Builder
+	t := &table{header: []string{"rule", "example", "source taint", "result"}}
+	for _, row := range r.Rows {
+		t.add(row.Rule, row.Example, row.In, row.Out)
+	}
+	b.WriteString(t.String())
+	return b.String()
+}

@@ -1,0 +1,51 @@
+package isa
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Disassemble renders a decoded instruction as assembly text. pc is the
+// instruction's own address, used to resolve PC-relative branch targets.
+func Disassemble(in Instruction, pc uint32) string {
+	var b strings.Builder
+	b.WriteString(in.Op.Name())
+	operands := disasmOperands(in, pc)
+	if operands != "" {
+		b.WriteByte(' ')
+		b.WriteString(operands)
+	}
+	return b.String()
+}
+
+func disasmOperands(in Instruction, pc uint32) string {
+	switch in.Op {
+	case OpNOP, OpSYSCALL, OpBREAK:
+		return ""
+	case OpSLL, OpSRL, OpSRA:
+		return fmt.Sprintf("%v,%v,%d", in.Rd, in.Rt, in.Shamt)
+	case OpSLLV, OpSRLV, OpSRAV:
+		return fmt.Sprintf("%v,%v,%v", in.Rd, in.Rt, in.Rs)
+	case OpJR:
+		return in.Rs.String()
+	case OpJALR:
+		return fmt.Sprintf("%v,%v", in.Rd, in.Rs)
+	case OpJ, OpJAL:
+		return "0x" + strconv.FormatUint(uint64(JumpTarget(pc, in)), 16)
+	case OpBEQ, OpBNE:
+		return fmt.Sprintf("%v,%v,0x%x", in.Rs, in.Rt, BranchTarget(pc, in))
+	case OpBLEZ, OpBGTZ, OpBLTZ, OpBGEZ:
+		return fmt.Sprintf("%v,0x%x", in.Rs, BranchTarget(pc, in))
+	case OpLUI:
+		return fmt.Sprintf("%v,0x%x", in.Rt, uint16(in.Imm))
+	case OpANDI, OpORI, OpXORI:
+		return fmt.Sprintf("%v,%v,0x%x", in.Rt, in.Rs, uint16(in.Imm))
+	case OpADDI, OpADDIU, OpSLTI, OpSLTIU:
+		return fmt.Sprintf("%v,%v,%d", in.Rt, in.Rs, in.Imm)
+	case OpLB, OpLBU, OpLH, OpLHU, OpLW, OpSB, OpSH, OpSW:
+		return fmt.Sprintf("%v,%d(%v)", in.Rt, in.Imm, in.Rs)
+	default: // three-register ALU
+		return fmt.Sprintf("%v,%v,%v", in.Rd, in.Rs, in.Rt)
+	}
+}

@@ -1,0 +1,128 @@
+package isa
+
+import "fmt"
+
+// Field layout (MIPS-classic):
+//
+//	R: op[31:26]=0 rs[25:21] rt[20:16] rd[15:11] shamt[10:6] funct[5:0]
+//	I: op[31:26]   rs[25:21] rt[20:16] imm[15:0]
+//	J: op[31:26]   target[25:0]
+//
+// REGIMM (op=1) encodes BLTZ/BGEZ via the rt field.
+
+// Encode packs a decoded instruction into its 32-bit machine word.
+func Encode(in Instruction) (uint32, error) {
+	if in.Op <= OpInvalid || in.Op >= numOpcodes {
+		return 0, fmt.Errorf("encode: invalid opcode %d", in.Op)
+	}
+	info := opTable[in.Op]
+	switch info.format {
+	case FormatR:
+		return uint32(primR)<<26 |
+			uint32(in.Rs&31)<<21 |
+			uint32(in.Rt&31)<<16 |
+			uint32(in.Rd&31)<<11 |
+			uint32(in.Shamt&31)<<6 |
+			uint32(info.funct&63), nil
+	case FormatI:
+		rt := uint32(in.Rt & 31)
+		if info.primary == primREGIMM {
+			rt = uint32(info.regimm)
+		}
+		return uint32(info.primary)<<26 |
+			uint32(in.Rs&31)<<21 |
+			rt<<16 |
+			uint32(uint16(in.Imm)), nil
+	case FormatJ:
+		if in.Target > 1<<26-1 {
+			return 0, fmt.Errorf("encode: jump target %#x out of range", in.Target)
+		}
+		return uint32(info.primary)<<26 | in.Target, nil
+	}
+	return 0, fmt.Errorf("encode: opcode %v has no format", in.Op)
+}
+
+// MustEncode is Encode for statically known-valid instructions; it panics on
+// error and is intended for tests and internal code generation tables.
+func MustEncode(in Instruction) uint32 {
+	w, err := Encode(in)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// decode lookup tables, built once from opTable.
+var (
+	functToOp  [64]Opcode
+	primToOp   [64]Opcode
+	regimmToOp [32]Opcode
+)
+
+func init() {
+	for op := OpInvalid + 1; op < numOpcodes; op++ {
+		info := opTable[op]
+		switch {
+		case info.format == FormatR:
+			functToOp[info.funct] = op
+		case info.primary == primREGIMM:
+			regimmToOp[info.regimm] = op
+		default:
+			primToOp[info.primary] = op
+		}
+	}
+}
+
+// Decode unpacks a 32-bit machine word into a decoded instruction.
+func Decode(word uint32) (Instruction, error) {
+	prim := word >> 26
+	switch prim {
+	case primR:
+		funct := word & 63
+		op := functToOp[funct]
+		if op == OpInvalid {
+			return Instruction{}, fmt.Errorf("decode: unknown funct %d in %#08x", funct, word)
+		}
+		return Instruction{
+			Op:    op,
+			Rs:    Register(word >> 21 & 31),
+			Rt:    Register(word >> 16 & 31),
+			Rd:    Register(word >> 11 & 31),
+			Shamt: uint8(word >> 6 & 31),
+		}, nil
+	case primREGIMM:
+		rt := word >> 16 & 31
+		op := regimmToOp[rt]
+		if op == OpInvalid {
+			return Instruction{}, fmt.Errorf("decode: unknown regimm rt %d in %#08x", rt, word)
+		}
+		return Instruction{
+			Op:  op,
+			Rs:  Register(word >> 21 & 31),
+			Imm: int32(int16(word)),
+		}, nil
+	}
+	op := primToOp[prim]
+	if op == OpInvalid {
+		return Instruction{}, fmt.Errorf("decode: unknown opcode %d in %#08x", prim, word)
+	}
+	if opTable[op].format == FormatJ {
+		return Instruction{Op: op, Target: word & (1<<26 - 1)}, nil
+	}
+	return Instruction{
+		Op:  op,
+		Rs:  Register(word >> 21 & 31),
+		Rt:  Register(word >> 16 & 31),
+		Imm: int32(int16(word)),
+	}, nil
+}
+
+// BranchTarget computes the byte address a taken branch at pc transfers to.
+func BranchTarget(pc uint32, in Instruction) uint32 {
+	return pc + 4 + uint32(in.Imm)<<2
+}
+
+// JumpTarget computes the byte address a J/JAL at pc transfers to.
+func JumpTarget(pc uint32, in Instruction) uint32 {
+	return (pc+4)&0xF0000000 | in.Target<<2
+}

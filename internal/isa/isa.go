@@ -1,0 +1,387 @@
+// Package isa defines the 32-bit RISC instruction set architecture used by
+// the pointer-taintedness simulator. The ISA is modeled on the MIPS-like
+// SimpleScalar PISA used in the DSN 2005 paper: fixed 32-bit instructions in
+// R/I/J formats, 32 general-purpose registers, little-endian byte order, and
+// no branch delay slots (a deliberate simplification; the taint semantics do
+// not depend on delay slots).
+package isa
+
+import "fmt"
+
+// WordSize is the machine word size in bytes.
+const WordSize = 4
+
+// Register is a general-purpose register number in [0, 31].
+type Register uint8
+
+// Conventional register assignments (MIPS o32-style names).
+const (
+	RegZero Register = 0 // hardwired zero
+	RegAT   Register = 1 // assembler temporary
+	RegV0   Register = 2 // return value / syscall number
+	RegV1   Register = 3 // return value (second word)
+	RegA0   Register = 4 // argument 0
+	RegA1   Register = 5 // argument 1
+	RegA2   Register = 6 // argument 2
+	RegA3   Register = 7 // argument 3
+	RegT0   Register = 8 // caller-saved temporaries
+	RegT1   Register = 9
+	RegT2   Register = 10
+	RegT3   Register = 11
+	RegT4   Register = 12
+	RegT5   Register = 13
+	RegT6   Register = 14
+	RegT7   Register = 15
+	RegS0   Register = 16 // callee-saved
+	RegS1   Register = 17
+	RegS2   Register = 18
+	RegS3   Register = 19
+	RegS4   Register = 20
+	RegS5   Register = 21
+	RegS6   Register = 22
+	RegS7   Register = 23
+	RegT8   Register = 24
+	RegT9   Register = 25
+	RegK0   Register = 26 // reserved for kernel
+	RegK1   Register = 27
+	RegGP   Register = 28 // global pointer
+	RegSP   Register = 29 // stack pointer
+	RegFP   Register = 30 // frame pointer
+	RegRA   Register = 31 // return address
+)
+
+// NumRegisters is the size of the architectural register file.
+const NumRegisters = 32
+
+var regNames = [NumRegisters]string{
+	"zero", "at", "v0", "v1", "a0", "a1", "a2", "a3",
+	"t0", "t1", "t2", "t3", "t4", "t5", "t6", "t7",
+	"s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7",
+	"t8", "t9", "k0", "k1", "gp", "sp", "fp", "ra",
+}
+
+// Name returns the conventional assembly name of r, e.g. "sp" for register 29.
+func (r Register) Name() string {
+	if int(r) < len(regNames) {
+		return regNames[r]
+	}
+	return fmt.Sprintf("r%d", uint8(r))
+}
+
+// String implements fmt.Stringer, rendering the register with a '$' sigil.
+func (r Register) String() string { return "$" + r.Name() }
+
+// RegisterByName resolves an assembly register name ("sp", "r29", "29",
+// with or without a leading '$') to its number.
+func RegisterByName(name string) (Register, bool) {
+	hadSigil := len(name) > 0 && name[0] == '$'
+	if hadSigil {
+		name = name[1:]
+	}
+	for i, n := range regNames {
+		if n == name {
+			return Register(i), true
+		}
+	}
+	// Numeric forms: "r13" anywhere, or "13" only with the '$' sigil —
+	// a bare number must stay an immediate, not a register.
+	digits := name
+	if len(name) > 1 && (name[0] == 'r' || name[0] == 'R') {
+		digits = name[1:]
+	} else if !hadSigil {
+		return 0, false
+	}
+	v := 0
+	if digits == "" {
+		return 0, false
+	}
+	for _, c := range digits {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		v = v*10 + int(c-'0')
+		if v >= NumRegisters {
+			return 0, false
+		}
+	}
+	return Register(v), true
+}
+
+// Format describes the bit layout of an instruction word.
+type Format uint8
+
+// Instruction encoding formats.
+const (
+	FormatR Format = iota + 1 // opcode 0: rs, rt, rd, shamt, funct
+	FormatI                   // rs, rt, 16-bit immediate
+	FormatJ                   // 26-bit target
+)
+
+// Kind classifies an opcode by its role in the taint datapath. The
+// propagation and detection rules of the paper's Table 1 and Section 4.3 are
+// keyed off this classification: loads and stores transport taint and are
+// pointer-dereference points, compares untaint their operands, shifts smear
+// taint to adjacent bytes, and register jumps are control-transfer
+// dereference points.
+type Kind uint8
+
+// Opcode kinds.
+const (
+	KindALU     Kind = iota + 1 // default OR-merge propagation
+	KindShift                   // adjacent-byte taint smear (Table 1)
+	KindCompare                 // untaints operands (Table 1)
+	KindLoad                    // memory -> register, address is a pointer
+	KindStore                   // register -> memory, address is a pointer
+	KindBranch                  // conditional PC-relative; compare semantics
+	KindJump                    // unconditional absolute (immediate target)
+	KindJumpReg                 // jump to register value: dereference point
+	KindSystem                  // syscall / break / nop
+)
+
+// Opcode identifies a machine operation independent of its encoding.
+type Opcode uint8
+
+// Machine opcodes.
+const (
+	OpInvalid Opcode = iota
+
+	// R-type ALU.
+	OpADD
+	OpADDU
+	OpSUB
+	OpSUBU
+	OpAND
+	OpOR
+	OpXOR
+	OpNOR
+	OpSLT
+	OpSLTU
+	OpMUL
+	OpDIV
+	OpDIVU
+	OpREM
+	OpREMU
+
+	// Shifts.
+	OpSLL
+	OpSRL
+	OpSRA
+	OpSLLV
+	OpSRLV
+	OpSRAV
+
+	// Immediate ALU.
+	OpADDI
+	OpADDIU
+	OpSLTI
+	OpSLTIU
+	OpANDI
+	OpORI
+	OpXORI
+	OpLUI
+
+	// Memory.
+	OpLB
+	OpLBU
+	OpLH
+	OpLHU
+	OpLW
+	OpSB
+	OpSH
+	OpSW
+
+	// Control flow.
+	OpBEQ
+	OpBNE
+	OpBLEZ
+	OpBGTZ
+	OpBLTZ
+	OpBGEZ
+	OpJ
+	OpJAL
+	OpJR
+	OpJALR
+
+	// System.
+	OpSYSCALL
+	OpBREAK
+	OpNOP
+
+	numOpcodes
+)
+
+// NumOpcodes is the number of defined opcodes (excluding OpInvalid).
+const NumOpcodes = int(numOpcodes) - 1
+
+// opInfo is the static metadata for one opcode.
+type opInfo struct {
+	name   string
+	format Format
+	kind   Kind
+	// funct is the R-type function code; primary is the major opcode field
+	// for I/J-type (and 0 for R-type, 1 for REGIMM branches).
+	funct   uint8
+	primary uint8
+	regimm  uint8 // rt field selector for REGIMM (BLTZ/BGEZ)
+}
+
+// Major opcode field values.
+const (
+	primR      = 0
+	primREGIMM = 1
+)
+
+var opTable = [numOpcodes]opInfo{
+	OpADD:  {name: "add", format: FormatR, kind: KindALU, funct: 32},
+	OpADDU: {name: "addu", format: FormatR, kind: KindALU, funct: 33},
+	OpSUB:  {name: "sub", format: FormatR, kind: KindALU, funct: 34},
+	OpSUBU: {name: "subu", format: FormatR, kind: KindALU, funct: 35},
+	OpAND:  {name: "and", format: FormatR, kind: KindALU, funct: 36},
+	OpOR:   {name: "or", format: FormatR, kind: KindALU, funct: 37},
+	OpXOR:  {name: "xor", format: FormatR, kind: KindALU, funct: 38},
+	OpNOR:  {name: "nor", format: FormatR, kind: KindALU, funct: 39},
+	OpSLT:  {name: "slt", format: FormatR, kind: KindCompare, funct: 42},
+	OpSLTU: {name: "sltu", format: FormatR, kind: KindCompare, funct: 43},
+	OpMUL:  {name: "mul", format: FormatR, kind: KindALU, funct: 24},
+	OpDIV:  {name: "div", format: FormatR, kind: KindALU, funct: 26},
+	OpDIVU: {name: "divu", format: FormatR, kind: KindALU, funct: 27},
+	OpREM:  {name: "rem", format: FormatR, kind: KindALU, funct: 28},
+	OpREMU: {name: "remu", format: FormatR, kind: KindALU, funct: 29},
+	OpSLL:  {name: "sll", format: FormatR, kind: KindShift, funct: 0},
+	OpSRL:  {name: "srl", format: FormatR, kind: KindShift, funct: 2},
+	OpSRA:  {name: "sra", format: FormatR, kind: KindShift, funct: 3},
+	OpSLLV: {name: "sllv", format: FormatR, kind: KindShift, funct: 4},
+	OpSRLV: {name: "srlv", format: FormatR, kind: KindShift, funct: 6},
+	OpSRAV: {name: "srav", format: FormatR, kind: KindShift, funct: 7},
+	OpJR:   {name: "jr", format: FormatR, kind: KindJumpReg, funct: 8},
+	OpJALR: {name: "jalr", format: FormatR, kind: KindJumpReg, funct: 9},
+	OpSYSCALL: {name: "syscall", format: FormatR, kind: KindSystem,
+		funct: 12},
+	OpBREAK: {name: "break", format: FormatR, kind: KindSystem, funct: 13},
+	OpNOP:   {name: "nop", format: FormatR, kind: KindSystem, funct: 63},
+
+	OpBEQ:  {name: "beq", format: FormatI, kind: KindBranch, primary: 4},
+	OpBNE:  {name: "bne", format: FormatI, kind: KindBranch, primary: 5},
+	OpBLEZ: {name: "blez", format: FormatI, kind: KindBranch, primary: 6},
+	OpBGTZ: {name: "bgtz", format: FormatI, kind: KindBranch, primary: 7},
+	OpBLTZ: {name: "bltz", format: FormatI, kind: KindBranch,
+		primary: primREGIMM, regimm: 0},
+	OpBGEZ: {name: "bgez", format: FormatI, kind: KindBranch,
+		primary: primREGIMM, regimm: 1},
+
+	OpADDI:  {name: "addi", format: FormatI, kind: KindALU, primary: 8},
+	OpADDIU: {name: "addiu", format: FormatI, kind: KindALU, primary: 9},
+	OpSLTI:  {name: "slti", format: FormatI, kind: KindCompare, primary: 10},
+	OpSLTIU: {name: "sltiu", format: FormatI, kind: KindCompare, primary: 11},
+	OpANDI:  {name: "andi", format: FormatI, kind: KindALU, primary: 12},
+	OpORI:   {name: "ori", format: FormatI, kind: KindALU, primary: 13},
+	OpXORI:  {name: "xori", format: FormatI, kind: KindALU, primary: 14},
+	OpLUI:   {name: "lui", format: FormatI, kind: KindALU, primary: 15},
+
+	OpLB:  {name: "lb", format: FormatI, kind: KindLoad, primary: 32},
+	OpLH:  {name: "lh", format: FormatI, kind: KindLoad, primary: 33},
+	OpLW:  {name: "lw", format: FormatI, kind: KindLoad, primary: 35},
+	OpLBU: {name: "lbu", format: FormatI, kind: KindLoad, primary: 36},
+	OpLHU: {name: "lhu", format: FormatI, kind: KindLoad, primary: 37},
+	OpSB:  {name: "sb", format: FormatI, kind: KindStore, primary: 40},
+	OpSH:  {name: "sh", format: FormatI, kind: KindStore, primary: 41},
+	OpSW:  {name: "sw", format: FormatI, kind: KindStore, primary: 43},
+
+	OpJ:   {name: "j", format: FormatJ, kind: KindJump, primary: 2},
+	OpJAL: {name: "jal", format: FormatJ, kind: KindJump, primary: 3},
+}
+
+// Name returns the assembly mnemonic of the opcode.
+func (o Opcode) Name() string {
+	if o > OpInvalid && o < numOpcodes {
+		return opTable[o].name
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// String implements fmt.Stringer.
+func (o Opcode) String() string { return o.Name() }
+
+// Format returns the encoding format of the opcode.
+func (o Opcode) Format() Format {
+	if o > OpInvalid && o < numOpcodes {
+		return opTable[o].format
+	}
+	return 0
+}
+
+// Kind returns the taint-datapath classification of the opcode.
+func (o Opcode) Kind() Kind {
+	if o > OpInvalid && o < numOpcodes {
+		return opTable[o].kind
+	}
+	return 0
+}
+
+// IsLoad reports whether the opcode reads memory through a pointer.
+func (o Opcode) IsLoad() bool { return o.Kind() == KindLoad }
+
+// IsStore reports whether the opcode writes memory through a pointer.
+func (o Opcode) IsStore() bool { return o.Kind() == KindStore }
+
+// IsMemory reports whether the opcode dereferences a data pointer.
+func (o Opcode) IsMemory() bool { return o.IsLoad() || o.IsStore() }
+
+// IsJumpReg reports whether the opcode transfers control to a register value.
+func (o Opcode) IsJumpReg() bool { return o.Kind() == KindJumpReg }
+
+// IsBranch reports whether the opcode is a conditional branch.
+func (o Opcode) IsBranch() bool { return o.Kind() == KindBranch }
+
+// MemWidth returns the access width in bytes for load/store opcodes, or 0.
+func (o Opcode) MemWidth() int {
+	switch o {
+	case OpLB, OpLBU, OpSB:
+		return 1
+	case OpLH, OpLHU, OpSH:
+		return 2
+	case OpLW, OpSW:
+		return 4
+	}
+	return 0
+}
+
+// OpcodeByName resolves an assembly mnemonic to its opcode.
+func OpcodeByName(name string) (Opcode, bool) {
+	op, ok := opsByName[name]
+	return op, ok
+}
+
+var opsByName = buildOpsByName()
+
+func buildOpsByName() map[string]Opcode {
+	m := make(map[string]Opcode, NumOpcodes)
+	for op := OpInvalid + 1; op < numOpcodes; op++ {
+		m[opTable[op].name] = op
+	}
+	return m
+}
+
+// Opcodes returns every defined opcode, in declaration order.
+func Opcodes() []Opcode {
+	out := make([]Opcode, 0, NumOpcodes)
+	for op := OpInvalid + 1; op < numOpcodes; op++ {
+		out = append(out, op)
+	}
+	return out
+}
+
+// Instruction is a decoded machine instruction.
+type Instruction struct {
+	Op     Opcode
+	Rs     Register // first source
+	Rt     Register // second source (R-type) or source/dest (I-type)
+	Rd     Register // destination (R-type)
+	Shamt  uint8    // shift amount for immediate shifts
+	Imm    int32    // sign-extended 16-bit immediate (I-type)
+	Target uint32   // 26-bit jump target (J-type), word-aligned byte address >> 2
+}
+
+// UImm returns the immediate zero-extended, as used by ANDI/ORI/XORI/LUI and
+// unsigned comparisons.
+func (in Instruction) UImm() uint32 { return uint32(uint16(in.Imm)) }

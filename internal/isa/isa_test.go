@@ -1,0 +1,301 @@
+package isa
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRegisterNames(t *testing.T) {
+	cases := []struct {
+		reg  Register
+		name string
+	}{
+		{RegZero, "zero"}, {RegSP, "sp"}, {RegFP, "fp"}, {RegRA, "ra"},
+		{RegV0, "v0"}, {RegA0, "a0"}, {RegT0, "t0"}, {RegS7, "s7"},
+		{RegGP, "gp"}, {RegK1, "k1"}, {RegAT, "at"}, {RegT9, "t9"},
+	}
+	for _, c := range cases {
+		if got := c.reg.Name(); got != c.name {
+			t.Errorf("Register(%d).Name() = %q, want %q", c.reg, got, c.name)
+		}
+		if got := c.reg.String(); got != "$"+c.name {
+			t.Errorf("Register(%d).String() = %q, want %q", c.reg, got, "$"+c.name)
+		}
+	}
+}
+
+func TestRegisterByName(t *testing.T) {
+	for i := 0; i < NumRegisters; i++ {
+		want := Register(i)
+		for _, form := range []string{want.Name(), "$" + want.Name()} {
+			got, ok := RegisterByName(form)
+			if !ok || got != want {
+				t.Errorf("RegisterByName(%q) = %v,%v, want %v,true", form, got, ok, want)
+			}
+		}
+	}
+	// Numeric forms.
+	if r, ok := RegisterByName("$29"); !ok || r != RegSP {
+		t.Errorf("RegisterByName($29) = %v,%v", r, ok)
+	}
+	if r, ok := RegisterByName("r31"); !ok || r != RegRA {
+		t.Errorf("RegisterByName(r31) = %v,%v", r, ok)
+	}
+	for _, bad := range []string{"", "$", "x9", "r32", "99", "spx"} {
+		if _, ok := RegisterByName(bad); ok {
+			t.Errorf("RegisterByName(%q) unexpectedly succeeded", bad)
+		}
+	}
+}
+
+func TestOpcodeMetadataComplete(t *testing.T) {
+	for _, op := range Opcodes() {
+		if op.Name() == "" {
+			t.Errorf("opcode %d has no name", op)
+		}
+		if op.Format() == 0 {
+			t.Errorf("opcode %v has no format", op)
+		}
+		if op.Kind() == 0 {
+			t.Errorf("opcode %v has no kind", op)
+		}
+		got, ok := OpcodeByName(op.Name())
+		if !ok || got != op {
+			t.Errorf("OpcodeByName(%q) = %v,%v, want %v", op.Name(), got, ok, op)
+		}
+	}
+	if _, ok := OpcodeByName("frobnicate"); ok {
+		t.Error("OpcodeByName accepted an unknown mnemonic")
+	}
+}
+
+func TestOpcodeKinds(t *testing.T) {
+	cases := []struct {
+		op   Opcode
+		kind Kind
+	}{
+		{OpADD, KindALU}, {OpXOR, KindALU}, {OpLUI, KindALU},
+		{OpSLL, KindShift}, {OpSRAV, KindShift},
+		{OpSLT, KindCompare}, {OpSLTIU, KindCompare},
+		{OpLW, KindLoad}, {OpLBU, KindLoad},
+		{OpSW, KindStore}, {OpSB, KindStore},
+		{OpBEQ, KindBranch}, {OpBGEZ, KindBranch},
+		{OpJ, KindJump}, {OpJAL, KindJump},
+		{OpJR, KindJumpReg}, {OpJALR, KindJumpReg},
+		{OpSYSCALL, KindSystem}, {OpNOP, KindSystem},
+	}
+	for _, c := range cases {
+		if got := c.op.Kind(); got != c.kind {
+			t.Errorf("%v.Kind() = %v, want %v", c.op, got, c.kind)
+		}
+	}
+}
+
+func TestMemWidth(t *testing.T) {
+	widths := map[Opcode]int{
+		OpLB: 1, OpLBU: 1, OpSB: 1,
+		OpLH: 2, OpLHU: 2, OpSH: 2,
+		OpLW: 4, OpSW: 4,
+		OpADD: 0, OpJR: 0, OpBEQ: 0,
+	}
+	for op, want := range widths {
+		if got := op.MemWidth(); got != want {
+			t.Errorf("%v.MemWidth() = %d, want %d", op, got, want)
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	cases := []Instruction{
+		{Op: OpADD, Rd: RegT0, Rs: RegT1, Rt: RegT2},
+		{Op: OpSUBU, Rd: RegV0, Rs: RegA0, Rt: RegA1},
+		{Op: OpSLL, Rd: RegT0, Rt: RegT1, Shamt: 31},
+		{Op: OpSRAV, Rd: RegT3, Rt: RegT4, Rs: RegT5},
+		{Op: OpJR, Rs: RegRA},
+		{Op: OpJALR, Rd: RegRA, Rs: RegT9},
+		{Op: OpSYSCALL},
+		{Op: OpBREAK},
+		{Op: OpNOP},
+		{Op: OpADDI, Rt: RegT0, Rs: RegSP, Imm: -32},
+		{Op: OpADDIU, Rt: RegSP, Rs: RegSP, Imm: 32767},
+		{Op: OpANDI, Rt: RegT0, Rs: RegT0, Imm: int32(int16(-1))},
+		{Op: OpLUI, Rt: RegGP, Imm: int32(int16(0x1002))},
+		{Op: OpLW, Rt: RegT0, Rs: RegSP, Imm: 4},
+		{Op: OpSW, Rt: RegRA, Rs: RegSP, Imm: -4},
+		{Op: OpLB, Rt: RegT0, Rs: RegA0, Imm: 0},
+		{Op: OpSH, Rt: RegT1, Rs: RegA1, Imm: 2},
+		{Op: OpBEQ, Rs: RegT0, Rt: RegZero, Imm: -16},
+		{Op: OpBNE, Rs: RegA0, Rt: RegA1, Imm: 255},
+		{Op: OpBLEZ, Rs: RegV0, Imm: 3},
+		{Op: OpBGTZ, Rs: RegV0, Imm: 3},
+		{Op: OpBLTZ, Rs: RegT0, Imm: -1},
+		{Op: OpBGEZ, Rs: RegT0, Imm: 7},
+		{Op: OpJ, Target: 0x12345},
+		{Op: OpJAL, Target: 1<<26 - 1},
+		{Op: OpSLT, Rd: RegT0, Rs: RegT1, Rt: RegT2},
+		{Op: OpSLTIU, Rt: RegT0, Rs: RegT1, Imm: 100},
+	}
+	for _, want := range cases {
+		word, err := Encode(want)
+		if err != nil {
+			t.Fatalf("Encode(%+v): %v", want, err)
+		}
+		got, err := Decode(word)
+		if err != nil {
+			t.Fatalf("Decode(%#08x) of %+v: %v", word, want, err)
+		}
+		if normalize(got) != normalize(want) {
+			t.Errorf("round trip %+v -> %#08x -> %+v", want, word, got)
+		}
+	}
+}
+
+// normalize zeroes the fields an encoding legitimately discards for the
+// instruction's format, so round-trip comparison is exact.
+func normalize(in Instruction) Instruction {
+	switch in.Op.Format() {
+	case FormatR:
+		in.Imm, in.Target = 0, 0
+		switch in.Op {
+		case OpSLL, OpSRL, OpSRA: // rs unused
+			in.Rs = 0
+		case OpJR:
+			in.Rt, in.Rd, in.Shamt = 0, 0, 0
+		case OpJALR:
+			in.Rt, in.Shamt = 0, 0
+		case OpSYSCALL, OpBREAK, OpNOP:
+			in.Rs, in.Rt, in.Rd, in.Shamt = 0, 0, 0, 0
+		default:
+			in.Shamt = 0
+		}
+	case FormatI:
+		in.Rd, in.Shamt, in.Target = 0, 0, 0
+		switch in.Op {
+		case OpBLEZ, OpBGTZ, OpBLTZ, OpBGEZ:
+			in.Rt = 0
+		}
+	case FormatJ:
+		in.Rs, in.Rt, in.Rd, in.Shamt, in.Imm = 0, 0, 0, 0, 0
+	}
+	return in
+}
+
+func TestEncodeErrors(t *testing.T) {
+	if _, err := Encode(Instruction{Op: OpInvalid}); err == nil {
+		t.Error("Encode(OpInvalid) succeeded")
+	}
+	if _, err := Encode(Instruction{Op: Opcode(200)}); err == nil {
+		t.Error("Encode(bogus opcode) succeeded")
+	}
+	if _, err := Encode(Instruction{Op: OpJ, Target: 1 << 26}); err == nil {
+		t.Error("Encode(J with oversized target) succeeded")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	bad := []uint32{
+		uint32(primR)<<26 | 47,         // undefined funct
+		uint32(primREGIMM)<<26 | 5<<16, // undefined regimm rt
+		uint32(20) << 26,               // undefined primary opcode
+	}
+	for _, w := range bad {
+		if _, err := Decode(w); err == nil {
+			t.Errorf("Decode(%#08x) succeeded, want error", w)
+		}
+	}
+}
+
+func TestBranchAndJumpTargets(t *testing.T) {
+	in := Instruction{Op: OpBEQ, Imm: 4}
+	if got := BranchTarget(0x1000, in); got != 0x1014 {
+		t.Errorf("BranchTarget forward = %#x, want 0x1014", got)
+	}
+	in.Imm = -2
+	if got := BranchTarget(0x1000, in); got != 0xFFC {
+		t.Errorf("BranchTarget backward = %#x, want 0xffc", got)
+	}
+	j := Instruction{Op: OpJ, Target: 0x40000 >> 2}
+	if got := JumpTarget(0x1000, j); got != 0x40000 {
+		t.Errorf("JumpTarget = %#x, want 0x40000", got)
+	}
+	// High nibble of PC+4 is preserved.
+	if got := JumpTarget(0x70001000, j); got != 0x70040000 {
+		t.Errorf("JumpTarget high-pc = %#x, want 0x70040000", got)
+	}
+}
+
+func TestDisassembleSamples(t *testing.T) {
+	cases := []struct {
+		in   Instruction
+		pc   uint32
+		want string
+	}{
+		{Instruction{Op: OpADD, Rd: RegT0, Rs: RegT1, Rt: RegT2}, 0, "add $t0,$t1,$t2"},
+		{Instruction{Op: OpSLL, Rd: RegT0, Rt: RegT1, Shamt: 2}, 0, "sll $t0,$t1,2"},
+		{Instruction{Op: OpJR, Rs: RegRA}, 0, "jr $ra"},
+		{Instruction{Op: OpLW, Rt: RegT0, Rs: RegSP, Imm: 8}, 0, "lw $t0,8($sp)"},
+		{Instruction{Op: OpSW, Rt: RegRA, Rs: RegSP, Imm: -4}, 0, "sw $ra,-4($sp)"},
+		{Instruction{Op: OpBEQ, Rs: RegT0, Rt: RegZero, Imm: 1}, 0x100, "beq $t0,$zero,0x108"},
+		{Instruction{Op: OpLUI, Rt: RegGP, Imm: 0x1002}, 0, "lui $gp,0x1002"},
+		{Instruction{Op: OpORI, Rt: RegT0, Rs: RegT0, Imm: -0x43E0 /* 0xBC20 as int16 */}, 0, "ori $t0,$t0,0xbc20"},
+		{Instruction{Op: OpADDI, Rt: RegSP, Rs: RegSP, Imm: -16}, 0, "addi $sp,$sp,-16"},
+		{Instruction{Op: OpJ, Target: 0x2000 >> 2}, 0, "j 0x2000"},
+		{Instruction{Op: OpSYSCALL}, 0, "syscall"},
+		{Instruction{Op: OpNOP}, 0, "nop"},
+		{Instruction{Op: OpBGEZ, Rs: RegV0, Imm: 2}, 0x20, "bgez $v0,0x2c"},
+		{Instruction{Op: OpJALR, Rd: RegRA, Rs: RegT9}, 0, "jalr $ra,$t9"},
+		{Instruction{Op: OpSLLV, Rd: RegT0, Rt: RegT1, Rs: RegT2}, 0, "sllv $t0,$t1,$t2"},
+	}
+	for _, c := range cases {
+		if got := Disassemble(c.in, c.pc); got != c.want {
+			t.Errorf("Disassemble(%+v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+// TestQuickEncodeDecode property: any instruction built from valid fields
+// survives an encode/decode round trip modulo format normalization.
+func TestQuickEncodeDecode(t *testing.T) {
+	ops := Opcodes()
+	f := func(opIdx, rs, rt, rd, shamt uint8, imm int16, target uint32) bool {
+		in := Instruction{
+			Op:     ops[int(opIdx)%len(ops)],
+			Rs:     Register(rs % 32),
+			Rt:     Register(rt % 32),
+			Rd:     Register(rd % 32),
+			Shamt:  shamt % 32,
+			Imm:    int32(imm),
+			Target: target % (1 << 26),
+		}
+		word, err := Encode(in)
+		if err != nil {
+			return false
+		}
+		out, err := Decode(word)
+		if err != nil {
+			return false
+		}
+		return normalize(out) == normalize(in)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickDecodeNeverPanics property: Decode tolerates arbitrary words.
+func TestQuickDecodeNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 20000; i++ {
+		w := rng.Uint32()
+		in, err := Decode(w)
+		if err != nil {
+			continue
+		}
+		// Whatever decodes must disassemble and re-encode.
+		_ = Disassemble(in, 0x1000)
+		if _, err := Encode(in); err != nil {
+			t.Fatalf("re-encode of decoded %#08x (%+v) failed: %v", w, in, err)
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package kernel
+
+import (
+	"repro/internal/asm"
+	"repro/internal/cpu"
+	"repro/internal/isa"
+	"repro/internal/taint"
+)
+
+// SetArgs lays out the process's command-line arguments and environment
+// strings below the stack top and points the entry registers at them:
+// $a0 = argc, $a1 = argv, $a2 = envp. Both argv and environment string
+// bytes are marked tainted — the paper lists "command line arguments and
+// environmental variables" among the external taint sources — while the
+// pointer arrays themselves are kernel-built and untainted. $sp is moved
+// below the block.
+func (k *Kernel) SetArgs(c *cpu.CPU, args, env []string) {
+	bus := c.Bus()
+	taintArgs := k.TaintInputs
+
+	// Compute layout: strings first (top-down), then the NULL-terminated
+	// envp and argv pointer arrays, all below StackTop.
+	addr := uint32(asm.StackTop)
+	strAddr := make([]uint32, 0, len(args)+len(env))
+	writeString := func(s string) {
+		n := uint32(len(s) + 1)
+		addr -= n
+		for i := 0; i < len(s); i++ {
+			bus.StoreByte(addr+uint32(i), s[i], taintArgs)
+		}
+		bus.StoreByte(addr+uint32(len(s)), 0, false)
+		if taintArgs {
+			k.stats.TaintedBytes += uint64(len(s))
+		}
+		strAddr = append(strAddr, addr)
+	}
+	for _, a := range args {
+		writeString(a)
+	}
+	for _, e := range env {
+		writeString(e)
+	}
+	addr &^= 3 // align for the pointer arrays
+
+	// envp array.
+	addr -= uint32(4 * (len(env) + 1))
+	envp := addr
+	for i := range env {
+		mustStoreWord(bus, envp+uint32(4*i), strAddr[len(args)+i])
+	}
+	mustStoreWord(bus, envp+uint32(4*len(env)), 0)
+
+	// argv array.
+	addr -= uint32(4 * (len(args) + 1))
+	argv := addr
+	for i := range args {
+		mustStoreWord(bus, argv+uint32(4*i), strAddr[i])
+	}
+	mustStoreWord(bus, argv+uint32(4*len(args)), 0)
+
+	sp := addr &^ 7 // keep the stack 8-byte aligned
+	c.SetReg(isa.RegA0, uint32(len(args)), taint.None)
+	c.SetReg(isa.RegA1, argv, taint.None)
+	c.SetReg(isa.RegA2, envp, taint.None)
+	c.SetReg(isa.RegSP, sp, taint.None)
+	c.SetReg(isa.RegFP, sp, taint.None)
+}
+
+func mustStoreWord(bus cpu.Bus, addr, v uint32) {
+	// The layout code only produces aligned addresses; an error here is a
+	// kernel bug, surfaced as a zeroed pointer rather than a panic.
+	_ = bus.StoreWord(addr, v, taint.None)
+}

@@ -1,0 +1,446 @@
+// Package kernel implements the simulated operating system under the
+// pointer-taintedness machine: system calls over an in-memory filesystem
+// and the netsim socket fabric. Its defining job is taint initialization
+// (paper Section 4.4): every byte delivered to user space through SYS_READ
+// or SYS_RECV — file, stdin, network — is marked tainted on copy-out, as
+// are command-line arguments and environment strings at process startup.
+package kernel
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/cpu"
+	"repro/internal/isa"
+	"repro/internal/netsim"
+	"repro/internal/taint"
+)
+
+// System call numbers (the machine's ABI; $v0 selects, $a0-$a2 carry
+// arguments, $v0 returns the result, -1 on error).
+const (
+	SysExit    = 1
+	SysRead    = 3
+	SysWrite   = 4
+	SysOpen    = 5
+	SysClose   = 6
+	SysUnlink  = 10
+	SysBrk     = 17
+	SysSetUID  = 23
+	SysGetUID  = 24
+	SysSocket  = 30
+	SysBind    = 31
+	SysListen  = 32
+	SysAccept  = 33
+	SysRecv    = 34
+	SysSend    = 35
+	SysGetEUID = 49
+	SysSetEUID = 50
+	// SysAnnotate registers [a0, a0+a1) as a never-tainted region whose
+	// name is the string at a2 — the programmer-annotation extension of
+	// the paper's Section 5.3.
+	SysAnnotate = 61
+)
+
+// Standard descriptors.
+const (
+	FDStdin  = 0
+	FDStdout = 1
+	FDStderr = 2
+)
+
+// BlockedError is returned by CPU.Run when the guest would block on I/O
+// (accept with no pending connection, recv/read on an empty open stream).
+// The host driver services the wait — injecting input or connecting — and
+// resumes the machine; the blocked syscall instruction re-executes.
+type BlockedError struct {
+	FD int32
+	Op string
+}
+
+// Error implements the error interface.
+func (e *BlockedError) Error() string {
+	return fmt.Sprintf("guest blocked: %s on fd %d", e.Op, e.FD)
+}
+
+// fdesc is one open descriptor.
+type fdesc struct {
+	file     *file
+	listener *netsim.Listener
+	conn     *netsim.Conn
+	std      int // 1=stdout 2=stderr
+	stdin    bool
+}
+
+// InputStats feeds the Table 3 "total number of input bytes" column and the
+// Section 5.4 kernel-overhead estimate.
+type InputStats struct {
+	BytesRead    uint64 // bytes delivered by SYS_READ/SYS_RECV
+	TaintedBytes uint64 // of those, bytes marked tainted
+}
+
+// Kernel is the machine's operating system instance.
+type Kernel struct {
+	FS  *FS
+	Net *netsim.Network
+
+	// TaintInputs controls taint initialization; true reproduces the paper,
+	// false is the "taint tracking disabled" baseline for overhead runs.
+	TaintInputs bool
+
+	fds    map[int32]*fdesc
+	nextFD int32
+
+	brkStart uint32
+	brk      uint32
+
+	ruid, euid int32
+
+	stdin    []byte
+	stdinPos int
+
+	stdout bytes.Buffer
+	stderr bytes.Buffer
+
+	stats InputStats
+}
+
+// New builds a kernel with an empty filesystem and network, root
+// credentials (the paper's victims are root daemons), and taint
+// initialization enabled.
+func New() *Kernel {
+	k := &Kernel{
+		FS:          NewFS(),
+		Net:         netsim.New(),
+		TaintInputs: true,
+		fds:         make(map[int32]*fdesc),
+		nextFD:      3,
+	}
+	return k
+}
+
+// SetBreak initializes the program break (heap start), normally to the
+// image's DataEnd rounded up to a page.
+func (k *Kernel) SetBreak(addr uint32) {
+	aligned := (addr + 0xFFF) &^ 0xFFF
+	k.brkStart, k.brk = aligned, aligned
+}
+
+// Break returns the current program break.
+func (k *Kernel) Break() uint32 { return k.brk }
+
+// SetStdin preloads the guest's standard input (tainted on read).
+func (k *Kernel) SetStdin(data []byte) {
+	k.stdin = append([]byte(nil), data...)
+	k.stdinPos = 0
+}
+
+// Stdout returns everything the guest has written to fd 1.
+func (k *Kernel) Stdout() string { return k.stdout.String() }
+
+// Stderr returns everything the guest has written to fd 2.
+func (k *Kernel) Stderr() string { return k.stderr.String() }
+
+// UID returns the process's real and effective user IDs.
+func (k *Kernel) UID() (ruid, euid int32) { return k.ruid, k.euid }
+
+// SetUID sets the process credentials directly (test/driver use).
+func (k *Kernel) SetUID(ruid, euid int32) { k.ruid, k.euid = ruid, euid }
+
+// Stats returns the input-byte counters.
+func (k *Kernel) Stats() InputStats { return k.stats }
+
+var _ cpu.SyscallHandler = (*Kernel)(nil)
+
+// Syscall dispatches one system call on behalf of c.
+func (k *Kernel) Syscall(c *cpu.CPU) error {
+	num := c.Reg(isa.RegV0)
+	a0 := c.Reg(isa.RegA0)
+	a1 := c.Reg(isa.RegA1)
+	a2 := c.Reg(isa.RegA2)
+	ret := func(v int32) {
+		c.SetReg(isa.RegV0, uint32(v), taint.None)
+	}
+	switch num {
+	case SysExit:
+		c.Halt(int32(a0))
+		return nil
+	case SysRead:
+		return k.sysRead(c, int32(a0), a1, a2)
+	case SysWrite:
+		return k.sysWrite(c, int32(a0), a1, a2)
+	case SysOpen:
+		ret(k.sysOpen(c, a0, a1))
+		return nil
+	case SysClose:
+		ret(k.sysClose(int32(a0)))
+		return nil
+	case SysUnlink:
+		if k.FS.Remove(k.readCString(c, a0)) {
+			ret(0)
+		} else {
+			ret(-1)
+		}
+		return nil
+	case SysBrk:
+		if a0 != 0 && a0 >= k.brkStart {
+			k.brk = a0
+		}
+		c.SetReg(isa.RegV0, k.brk, taint.None)
+		return nil
+	case SysGetUID:
+		ret(k.ruid)
+		return nil
+	case SysGetEUID:
+		ret(k.euid)
+		return nil
+	case SysSetUID:
+		if k.euid == 0 {
+			k.ruid, k.euid = int32(a0), int32(a0)
+			ret(0)
+		} else {
+			ret(-1)
+		}
+		return nil
+	case SysSetEUID:
+		if k.euid == 0 || k.ruid == 0 || int32(a0) == k.ruid {
+			k.euid = int32(a0)
+			ret(0)
+		} else {
+			ret(-1)
+		}
+		return nil
+	case SysSocket:
+		fd := k.alloc(&fdesc{})
+		ret(fd)
+		return nil
+	case SysBind:
+		ret(k.sysBind(int32(a0), uint16(a1)))
+		return nil
+	case SysListen:
+		// Listening state is established at bind time in this kernel.
+		if d := k.fds[int32(a0)]; d == nil || d.listener == nil {
+			ret(-1)
+		} else {
+			ret(0)
+		}
+		return nil
+	case SysAccept:
+		return k.sysAccept(c, int32(a0))
+	case SysRecv:
+		return k.sysRead(c, int32(a0), a1, a2)
+	case SysSend:
+		return k.sysWrite(c, int32(a0), a1, a2)
+	case SysAnnotate:
+		name := k.readCString(c, a2)
+		c.AddTaintWatch(a0, a1, name)
+		ret(0)
+		return nil
+	}
+	return &cpu.Fault{PC: c.PC(), Reason: fmt.Sprintf("unknown syscall %d", num)}
+}
+
+func (k *Kernel) alloc(d *fdesc) int32 {
+	fd := k.nextFD
+	k.nextFD++
+	k.fds[fd] = d
+	return fd
+}
+
+func (k *Kernel) lookup(fd int32) *fdesc {
+	switch fd {
+	case FDStdin:
+		return &fdesc{stdin: true}
+	case FDStdout:
+		return &fdesc{std: 1}
+	case FDStderr:
+		return &fdesc{std: 2}
+	}
+	return k.fds[fd]
+}
+
+// copyOut writes host bytes into guest memory via the CPU's bus (so the
+// data and its taint bits travel through the cache hierarchy), marking
+// every byte tainted when the kernel's taint initialization is on. This is
+// the hardware RT-register mechanism of Section 4.4.
+func (k *Kernel) copyOut(c *cpu.CPU, addr uint32, data []byte, tainted bool) error {
+	t := tainted && k.TaintInputs
+	if t {
+		if err := c.CheckHostTaintWrite(addr, len(data)); err != nil {
+			return err
+		}
+	}
+	bus := c.Bus()
+	for i, b := range data {
+		bus.StoreByte(addr+uint32(i), b, t)
+	}
+	if t {
+		k.stats.TaintedBytes += uint64(len(data))
+	}
+	return nil
+}
+
+// copyIn reads guest memory (values only; the kernel trusts nothing about
+// taint on the outbound path).
+func (k *Kernel) copyIn(c *cpu.CPU, addr uint32, n int) []byte {
+	bus := c.Bus()
+	out := make([]byte, n)
+	for i := range out {
+		out[i], _ = bus.LoadByte(addr + uint32(i))
+	}
+	return out
+}
+
+// readCString reads a NUL-terminated guest string (bounded).
+func (k *Kernel) readCString(c *cpu.CPU, addr uint32) string {
+	const maxPath = 4096
+	bus := c.Bus()
+	var buf []byte
+	for i := 0; i < maxPath; i++ {
+		b, _ := bus.LoadByte(addr + uint32(i))
+		if b == 0 {
+			break
+		}
+		buf = append(buf, b)
+	}
+	return string(buf)
+}
+
+func (k *Kernel) sysRead(c *cpu.CPU, fd int32, buf, n uint32) error {
+	d := k.lookup(fd)
+	if d == nil {
+		c.SetReg(isa.RegV0, uint32(0xFFFFFFFF), taint.None)
+		return nil
+	}
+	tmp := make([]byte, n)
+	switch {
+	case d.stdin:
+		if k.stdinPos >= len(k.stdin) {
+			c.SetReg(isa.RegV0, 0, taint.None) // EOF
+			return nil
+		}
+		cnt := copy(tmp, k.stdin[k.stdinPos:])
+		k.stdinPos += cnt
+		if err := k.copyOut(c, buf, tmp[:cnt], true); err != nil {
+			return err
+		}
+		k.stats.BytesRead += uint64(cnt)
+		c.SetReg(isa.RegV0, uint32(cnt), taint.None)
+		return nil
+	case d.file != nil:
+		if !d.file.rd {
+			c.SetReg(isa.RegV0, uint32(0xFFFFFFFF), taint.None)
+			return nil
+		}
+		cnt := d.file.read(tmp)
+		if err := k.copyOut(c, buf, tmp[:cnt], true); err != nil {
+			return err
+		}
+		k.stats.BytesRead += uint64(cnt)
+		c.SetReg(isa.RegV0, uint32(cnt), taint.None)
+		return nil
+	case d.conn != nil:
+		cnt, eof, ok := d.conn.In.Read(tmp)
+		if !ok {
+			return &BlockedError{FD: fd, Op: "recv"}
+		}
+		if eof {
+			c.SetReg(isa.RegV0, 0, taint.None)
+			return nil
+		}
+		if err := k.copyOut(c, buf, tmp[:cnt], true); err != nil {
+			return err
+		}
+		k.stats.BytesRead += uint64(cnt)
+		c.SetReg(isa.RegV0, uint32(cnt), taint.None)
+		return nil
+	}
+	c.SetReg(isa.RegV0, uint32(0xFFFFFFFF), taint.None)
+	return nil
+}
+
+func (k *Kernel) sysWrite(c *cpu.CPU, fd int32, buf, n uint32) error {
+	d := k.lookup(fd)
+	if d == nil {
+		c.SetReg(isa.RegV0, uint32(0xFFFFFFFF), taint.None)
+		return nil
+	}
+	data := k.copyIn(c, buf, int(n))
+	switch {
+	case d.std == 1:
+		k.stdout.Write(data)
+	case d.std == 2:
+		k.stderr.Write(data)
+	case d.file != nil && d.file.wr:
+		d.file.write(data)
+	case d.conn != nil:
+		d.conn.Out.Write(data)
+	default:
+		c.SetReg(isa.RegV0, uint32(0xFFFFFFFF), taint.None)
+		return nil
+	}
+	c.SetReg(isa.RegV0, n, taint.None)
+	return nil
+}
+
+func (k *Kernel) sysOpen(c *cpu.CPU, pathPtr, flags uint32) int32 {
+	path := k.readCString(c, pathPtr)
+	exists := k.FS.Exists(path)
+	if !exists {
+		if flags&OCreat == 0 {
+			return -1
+		}
+		k.FS.WriteFile(path, nil)
+	} else if flags&OTrunc != 0 {
+		k.FS.WriteFile(path, nil)
+	}
+	mode := flags & 3
+	f := &file{
+		fs:      k.FS,
+		path:    path,
+		rd:      mode == ORdOnly || mode == ORdWr,
+		wr:      mode == OWrOnly || mode == ORdWr,
+		appendW: flags&OAppend != 0,
+	}
+	return k.alloc(&fdesc{file: f})
+}
+
+func (k *Kernel) sysClose(fd int32) int32 {
+	d, ok := k.fds[fd]
+	if !ok {
+		return -1
+	}
+	if d.listener != nil {
+		k.Net.Unbind(d.listener.Port)
+	}
+	delete(k.fds, fd)
+	return 0
+}
+
+func (k *Kernel) sysBind(fd int32, port uint16) int32 {
+	d := k.fds[fd]
+	if d == nil || d.listener != nil || d.conn != nil {
+		return -1
+	}
+	l, err := k.Net.Listen(port)
+	if err != nil {
+		return -1
+	}
+	d.listener = l
+	return 0
+}
+
+func (k *Kernel) sysAccept(c *cpu.CPU, fd int32) error {
+	d := k.fds[fd]
+	if d == nil || d.listener == nil {
+		c.SetReg(isa.RegV0, uint32(0xFFFFFFFF), taint.None)
+		return nil
+	}
+	conn := d.listener.Accept()
+	if conn == nil {
+		return &BlockedError{FD: fd, Op: "accept"}
+	}
+	nfd := k.alloc(&fdesc{conn: conn})
+	c.SetReg(isa.RegV0, uint32(nfd), taint.None)
+	return nil
+}

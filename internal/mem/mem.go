@@ -1,0 +1,212 @@
+// Package mem provides the simulator's physical memory: a sparse paged
+// 32-bit address space in which every byte carries a taintedness bit, per
+// the extended memory model of the DSN 2005 paper (Section 4.1).
+package mem
+
+import (
+	"fmt"
+
+	"repro/internal/taint"
+)
+
+// PageSize is the size of one allocation unit of the sparse memory.
+const PageSize = 4096
+
+const pageShift = 12
+
+// page is one resident page: data bytes plus a taint bit per byte.
+type page struct {
+	data  [PageSize]byte
+	taint [PageSize / 8]byte // bitset, 1 bit per byte
+}
+
+func (p *page) tainted(off uint32) bool {
+	return p.taint[off>>3]&(1<<(off&7)) != 0
+}
+
+func (p *page) setTaint(off uint32, t bool) {
+	if t {
+		p.taint[off>>3] |= 1 << (off & 7)
+	} else {
+		p.taint[off>>3] &^= 1 << (off & 7)
+	}
+}
+
+// AlignmentError reports a misaligned halfword or word access; the CPU
+// converts it into a machine fault.
+type AlignmentError struct {
+	Addr  uint32
+	Width int
+}
+
+// Error implements the error interface.
+func (e *AlignmentError) Error() string {
+	return fmt.Sprintf("unaligned %d-byte access at %#08x", e.Width, e.Addr)
+}
+
+// Memory is a sparse, byte-taint-shadowed 32-bit address space. Reads of
+// never-written pages return zero, untainted bytes (fresh pages are clean).
+// Memory is little-endian. It is not safe for concurrent use; the machine
+// is single-core.
+type Memory struct {
+	pages map[uint32]*page
+
+	// taintedStores counts bytes written with taint set, an input to the
+	// paper's Section 5.4 software-overhead estimate.
+	taintedStores uint64
+}
+
+// New returns an empty memory.
+func New() *Memory {
+	return &Memory{pages: make(map[uint32]*page, 64)}
+}
+
+func (m *Memory) pageFor(addr uint32, create bool) *page {
+	pn := addr >> pageShift
+	p := m.pages[pn]
+	if p == nil && create {
+		p = &page{}
+		m.pages[pn] = p
+	}
+	return p
+}
+
+// LoadByte returns the byte at addr and its taintedness.
+func (m *Memory) LoadByte(addr uint32) (byte, bool) {
+	p := m.pageFor(addr, false)
+	if p == nil {
+		return 0, false
+	}
+	off := addr & (PageSize - 1)
+	return p.data[off], p.tainted(off)
+}
+
+// StoreByte stores one byte and its taintedness at addr.
+func (m *Memory) StoreByte(addr uint32, b byte, tainted bool) {
+	p := m.pageFor(addr, true)
+	off := addr & (PageSize - 1)
+	p.data[off] = b
+	p.setTaint(off, tainted)
+	if tainted {
+		m.taintedStores++
+	}
+}
+
+// LoadHalf returns the little-endian halfword at addr with its taint vector
+// in the low two lanes.
+func (m *Memory) LoadHalf(addr uint32) (uint16, taint.Vec, error) {
+	if addr&1 != 0 {
+		return 0, taint.None, &AlignmentError{Addr: addr, Width: 2}
+	}
+	b0, t0 := m.LoadByte(addr)
+	b1, t1 := m.LoadByte(addr + 1)
+	v := taint.None.SetByte(0, t0).SetByte(1, t1)
+	return uint16(b0) | uint16(b1)<<8, v, nil
+}
+
+// StoreHalf stores a little-endian halfword; lanes 0-1 of vec supply taint.
+func (m *Memory) StoreHalf(addr uint32, h uint16, vec taint.Vec) error {
+	if addr&1 != 0 {
+		return &AlignmentError{Addr: addr, Width: 2}
+	}
+	m.StoreByte(addr, byte(h), vec.Byte(0))
+	m.StoreByte(addr+1, byte(h>>8), vec.Byte(1))
+	return nil
+}
+
+// LoadWord returns the little-endian word at addr and its 4-lane taint.
+func (m *Memory) LoadWord(addr uint32) (uint32, taint.Vec, error) {
+	if addr&3 != 0 {
+		return 0, taint.None, &AlignmentError{Addr: addr, Width: 4}
+	}
+	var w uint32
+	var v taint.Vec
+	for i := uint32(0); i < 4; i++ {
+		b, t := m.LoadByte(addr + i)
+		w |= uint32(b) << (8 * i)
+		v = v.SetByte(int(i), t)
+	}
+	return w, v, nil
+}
+
+// StoreWord stores a little-endian word with its 4-lane taint.
+func (m *Memory) StoreWord(addr uint32, w uint32, vec taint.Vec) error {
+	if addr&3 != 0 {
+		return &AlignmentError{Addr: addr, Width: 4}
+	}
+	for i := uint32(0); i < 4; i++ {
+		m.StoreByte(addr+i, byte(w>>(8*i)), vec.Byte(int(i)))
+	}
+	return nil
+}
+
+// ReadBytes copies n bytes starting at addr; taints[i] reports the
+// taintedness of byte i.
+func (m *Memory) ReadBytes(addr uint32, n int) (data []byte, taints []bool) {
+	data = make([]byte, n)
+	taints = make([]bool, n)
+	for i := 0; i < n; i++ {
+		data[i], taints[i] = m.LoadByte(addr + uint32(i))
+	}
+	return data, taints
+}
+
+// WriteBytes stores data at addr with uniform taintedness.
+func (m *Memory) WriteBytes(addr uint32, data []byte, tainted bool) {
+	for i, b := range data {
+		m.StoreByte(addr+uint32(i), b, tainted)
+	}
+}
+
+// ReadCString reads a NUL-terminated string starting at addr, up to max
+// bytes (to bound runaway reads of corrupted memory).
+func (m *Memory) ReadCString(addr uint32, max int) string {
+	buf := make([]byte, 0, 32)
+	for i := 0; i < max; i++ {
+		b, _ := m.LoadByte(addr + uint32(i))
+		if b == 0 {
+			break
+		}
+		buf = append(buf, b)
+	}
+	return string(buf)
+}
+
+// TaintRange marks n bytes starting at addr as tainted without changing
+// their values — the kernel's taint-initialization primitive (Section 4.4).
+func (m *Memory) TaintRange(addr uint32, n int) {
+	for i := 0; i < n; i++ {
+		a := addr + uint32(i)
+		p := m.pageFor(a, true)
+		p.setTaint(a&(PageSize-1), true)
+		m.taintedStores++
+	}
+}
+
+// UntaintRange clears the taint of n bytes starting at addr.
+func (m *Memory) UntaintRange(addr uint32, n int) {
+	for i := 0; i < n; i++ {
+		a := addr + uint32(i)
+		if p := m.pageFor(a, false); p != nil {
+			p.setTaint(a&(PageSize-1), false)
+		}
+	}
+}
+
+// TaintedBytesWritten returns the cumulative count of taint-set byte writes,
+// including TaintRange marks; it feeds the kernel-overhead estimate.
+func (m *Memory) TaintedBytesWritten() uint64 { return m.taintedStores }
+
+// ResidentBytes returns the amount of allocated (touched) memory.
+func (m *Memory) ResidentBytes() int { return len(m.pages) * PageSize }
+
+// CountTainted returns how many bytes in [addr, addr+n) are tainted.
+func (m *Memory) CountTainted(addr uint32, n int) int {
+	c := 0
+	for i := 0; i < n; i++ {
+		if _, t := m.LoadByte(addr + uint32(i)); t {
+			c++
+		}
+	}
+	return c
+}

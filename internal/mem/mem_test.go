@@ -1,0 +1,208 @@
+package mem
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/taint"
+)
+
+func TestFreshMemoryIsCleanZero(t *testing.T) {
+	m := New()
+	b, tt := m.LoadByte(0x1000)
+	if b != 0 || tt {
+		t.Errorf("fresh byte = %d tainted=%v", b, tt)
+	}
+	w, v, err := m.LoadWord(0x7FFF0000)
+	if err != nil || w != 0 || v != taint.None {
+		t.Errorf("fresh word = %d %v %v", w, v, err)
+	}
+}
+
+func TestByteRoundTrip(t *testing.T) {
+	m := New()
+	m.StoreByte(0x2000, 0x61, true)
+	m.StoreByte(0x2001, 0x62, false)
+	b, tt := m.LoadByte(0x2000)
+	if b != 0x61 || !tt {
+		t.Errorf("byte 0 = %#x tainted=%v", b, tt)
+	}
+	b, tt = m.LoadByte(0x2001)
+	if b != 0x62 || tt {
+		t.Errorf("byte 1 = %#x tainted=%v", b, tt)
+	}
+}
+
+func TestWordLittleEndianAndTaintLanes(t *testing.T) {
+	m := New()
+	if err := m.StoreWord(0x100, 0x64636261, 0b0101); err != nil {
+		t.Fatal(err)
+	}
+	// Little-endian: byte 0 is 0x61 ("a").
+	if b, tt := m.LoadByte(0x100); b != 0x61 || !tt {
+		t.Errorf("lane0 = %#x tainted=%v", b, tt)
+	}
+	if b, tt := m.LoadByte(0x101); b != 0x62 || tt {
+		t.Errorf("lane1 = %#x tainted=%v", b, tt)
+	}
+	if b, tt := m.LoadByte(0x103); b != 0x64 || tt {
+		t.Errorf("lane3 = %#x tainted=%v", b, tt)
+	}
+	w, v, err := m.LoadWord(0x100)
+	if err != nil || w != 0x64636261 || v != 0b0101 {
+		t.Errorf("word = %#x vec=%v err=%v", w, v, err)
+	}
+}
+
+func TestHalfAccess(t *testing.T) {
+	m := New()
+	if err := m.StoreHalf(0x200, 0xBC20, 0b10); err != nil {
+		t.Fatal(err)
+	}
+	h, v, err := m.LoadHalf(0x200)
+	if err != nil || h != 0xBC20 || v != 0b10 {
+		t.Errorf("half = %#x vec=%v err=%v", h, v, err)
+	}
+}
+
+func TestAlignmentFaults(t *testing.T) {
+	m := New()
+	var ae *AlignmentError
+	if _, _, err := m.LoadWord(0x101); !errors.As(err, &ae) || ae.Addr != 0x101 || ae.Width != 4 {
+		t.Errorf("LoadWord misaligned: %v", err)
+	}
+	if err := m.StoreWord(0x102, 1, 0); !errors.As(err, &ae) {
+		t.Errorf("StoreWord misaligned: %v", err)
+	}
+	if _, _, err := m.LoadHalf(0x101); !errors.As(err, &ae) || ae.Width != 2 {
+		t.Errorf("LoadHalf misaligned: %v", err)
+	}
+	if err := m.StoreHalf(0x103, 1, 0); !errors.As(err, &ae) {
+		t.Errorf("StoreHalf misaligned: %v", err)
+	}
+	if ae.Error() == "" {
+		t.Error("empty AlignmentError message")
+	}
+}
+
+func TestCrossPageAccess(t *testing.T) {
+	m := New()
+	addr := uint32(PageSize - 2)
+	if err := m.StoreWord(addr&^3, 0xA1B2C3D4, taint.Word); err != nil {
+		t.Fatal(err)
+	}
+	w, v, err := m.LoadWord(addr &^ 3)
+	if err != nil || w != 0xA1B2C3D4 || v != taint.Word {
+		t.Errorf("cross-page word = %#x %v %v", w, v, err)
+	}
+	m.WriteBytes(PageSize-3, []byte{1, 2, 3, 4, 5, 6}, true)
+	data, taints := m.ReadBytes(PageSize-3, 6)
+	for i, b := range data {
+		if b != byte(i+1) || !taints[i] {
+			t.Errorf("cross-page byte %d = %d tainted=%v", i, b, taints[i])
+		}
+	}
+}
+
+func TestWriteBytesAndCString(t *testing.T) {
+	m := New()
+	m.WriteBytes(0x3000, []byte("site exec\x00"), true)
+	if got := m.ReadCString(0x3000, 64); got != "site exec" {
+		t.Errorf("ReadCString = %q", got)
+	}
+	// max bound is respected for non-terminated data.
+	m.WriteBytes(0x4000, []byte("aaaa"), false)
+	if got := m.ReadCString(0x4000, 2); got != "aa" {
+		t.Errorf("bounded ReadCString = %q", got)
+	}
+}
+
+func TestTaintRange(t *testing.T) {
+	m := New()
+	m.WriteBytes(0x500, []byte{10, 20, 30, 40}, false)
+	m.TaintRange(0x501, 2)
+	want := []bool{false, true, true, false}
+	_, taints := m.ReadBytes(0x500, 4)
+	for i := range want {
+		if taints[i] != want[i] {
+			t.Errorf("taint[%d] = %v, want %v", i, taints[i], want[i])
+		}
+	}
+	if got := m.CountTainted(0x500, 4); got != 2 {
+		t.Errorf("CountTainted = %d, want 2", got)
+	}
+	m.UntaintRange(0x500, 4)
+	if got := m.CountTainted(0x500, 4); got != 0 {
+		t.Errorf("after UntaintRange, CountTainted = %d", got)
+	}
+	// Untainting unmapped memory is a no-op, not a crash.
+	m.UntaintRange(0x9000000, 8)
+}
+
+func TestTaintedBytesWrittenCounter(t *testing.T) {
+	m := New()
+	m.WriteBytes(0x100, []byte{1, 2, 3}, true)
+	m.WriteBytes(0x200, []byte{1, 2, 3}, false)
+	m.TaintRange(0x300, 5)
+	if got := m.TaintedBytesWritten(); got != 8 {
+		t.Errorf("TaintedBytesWritten = %d, want 8", got)
+	}
+}
+
+func TestResidentBytes(t *testing.T) {
+	m := New()
+	if m.ResidentBytes() != 0 {
+		t.Errorf("fresh ResidentBytes = %d", m.ResidentBytes())
+	}
+	m.StoreByte(0, 1, false)
+	m.StoreByte(PageSize*10, 1, false)
+	if got := m.ResidentBytes(); got != 2*PageSize {
+		t.Errorf("ResidentBytes = %d, want %d", got, 2*PageSize)
+	}
+	// Reads do not allocate.
+	m.LoadByte(PageSize * 100)
+	if got := m.ResidentBytes(); got != 2*PageSize {
+		t.Errorf("ResidentBytes after read = %d", got)
+	}
+}
+
+// Property: a word written with any taint vector reads back identically,
+// value and taint, at any aligned address.
+func TestQuickWordRoundTrip(t *testing.T) {
+	m := New()
+	f := func(addr, val uint32, vec uint8) bool {
+		a := addr &^ 3
+		v := taint.Vec(vec) & 0xF
+		if err := m.StoreWord(a, val, v); err != nil {
+			return false
+		}
+		w, tv, err := m.LoadWord(a)
+		return err == nil && w == val && tv == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: byte-wise reads agree with word reads (endianness coherence).
+func TestQuickByteWordCoherence(t *testing.T) {
+	m := New()
+	f := func(addr, val uint32, vec uint8) bool {
+		a := addr &^ 3
+		v := taint.Vec(vec) & 0xF
+		if err := m.StoreWord(a, val, v); err != nil {
+			return false
+		}
+		for i := uint32(0); i < 4; i++ {
+			b, tt := m.LoadByte(a + i)
+			if b != byte(val>>(8*i)) || tt != v.Byte(int(i)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,143 @@
+package netsim
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestStreamReadWrite(t *testing.T) {
+	var s Stream
+	buf := make([]byte, 4)
+	if n, eof, ok := s.Read(buf); n != 0 || eof || ok {
+		t.Errorf("empty open stream: n=%d eof=%v ok=%v", n, eof, ok)
+	}
+	s.Write([]byte("hello"))
+	if s.Len() != 5 {
+		t.Errorf("Len = %d", s.Len())
+	}
+	n, eof, ok := s.Read(buf)
+	if n != 4 || eof || !ok || string(buf[:n]) != "hell" {
+		t.Errorf("first read: n=%d eof=%v ok=%v data=%q", n, eof, ok, buf[:n])
+	}
+	n, _, _ = s.Read(buf)
+	if n != 1 || buf[0] != 'o' {
+		t.Errorf("second read: n=%d data=%q", n, buf[:n])
+	}
+	// Drained and open: would block again.
+	if _, _, ok := s.Read(buf); ok {
+		t.Error("drained open stream reported data")
+	}
+	s.Close()
+	if !s.Closed() {
+		t.Error("Closed() = false")
+	}
+	if n, eof, ok := s.Read(buf); n != 0 || !eof || !ok {
+		t.Errorf("closed stream: n=%d eof=%v ok=%v", n, eof, ok)
+	}
+}
+
+func TestStreamDrainsBeforeEOF(t *testing.T) {
+	var s Stream
+	s.Write([]byte("ab"))
+	s.Close()
+	buf := make([]byte, 8)
+	n, eof, ok := s.Read(buf)
+	if n != 2 || eof || !ok {
+		t.Errorf("pre-EOF drain: n=%d eof=%v ok=%v", n, eof, ok)
+	}
+	if n, eof, _ := s.Read(buf); n != 0 || !eof {
+		t.Errorf("EOF after drain: n=%d eof=%v", n, eof)
+	}
+}
+
+func TestListenConnectAccept(t *testing.T) {
+	n := New()
+	l, err := n.Listen(21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Accept() != nil {
+		t.Error("accept on empty listener returned a conn")
+	}
+	if l.Pending() != 0 {
+		t.Error("pending != 0")
+	}
+	ep, err := n.Connect(21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Pending() != 1 {
+		t.Error("pending != 1 after connect")
+	}
+	conn := l.Accept()
+	if conn == nil {
+		t.Fatal("accept returned nil with a pending conn")
+	}
+	// Client -> server.
+	ep.SendString("USER alice\r\n")
+	buf := make([]byte, 64)
+	cnt, _, ok := conn.In.Read(buf)
+	if !ok || string(buf[:cnt]) != "USER alice\r\n" {
+		t.Errorf("server read %q ok=%v", buf[:cnt], ok)
+	}
+	// Server -> client.
+	conn.Out.Write([]byte("331 Password required\r\n"))
+	if got := ep.RecvString(); got != "331 Password required\r\n" {
+		t.Errorf("client read %q", got)
+	}
+	// Half-close from the client.
+	ep.Close()
+	if cnt, eof, _ := conn.In.Read(buf); cnt != 0 || !eof {
+		t.Errorf("after client close: n=%d eof=%v", cnt, eof)
+	}
+}
+
+func TestBindConflictAndRefusal(t *testing.T) {
+	n := New()
+	if _, err := n.Listen(80); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Listen(80); !errors.Is(err, ErrPortInUse) {
+		t.Errorf("double bind: %v", err)
+	}
+	if _, err := n.Connect(8080); err == nil {
+		t.Error("connect to unbound port succeeded")
+	}
+	n.Unbind(80)
+	if _, err := n.Listen(80); err != nil {
+		t.Errorf("rebind after unbind: %v", err)
+	}
+}
+
+func TestMultipleConnections(t *testing.T) {
+	n := New()
+	l, _ := n.Listen(8080)
+	e1, _ := n.Connect(8080)
+	e2, _ := n.Connect(8080)
+	e1.SendString("one")
+	e2.SendString("two")
+	c1 := l.Accept()
+	c2 := l.Accept()
+	buf := make([]byte, 8)
+	cnt, _, _ := c1.In.Read(buf)
+	if string(buf[:cnt]) != "one" {
+		t.Errorf("c1 = %q", buf[:cnt])
+	}
+	cnt, _, _ = c2.In.Read(buf)
+	if string(buf[:cnt]) != "two" {
+		t.Errorf("c2 = %q", buf[:cnt])
+	}
+	if l.Accept() != nil {
+		t.Error("third accept returned a conn")
+	}
+}
+
+func TestEndpointRecvEmpty(t *testing.T) {
+	n := New()
+	l, _ := n.Listen(1)
+	ep, _ := n.Connect(1)
+	_ = l.Accept()
+	if got := ep.Recv(); len(got) != 0 {
+		t.Errorf("Recv on empty = %q", got)
+	}
+}

@@ -1,0 +1,73 @@
+package progs
+
+// GHTTPD models the gazos-httpd Log() stack buffer overflow (SecurityFocus
+// BID 5960): the request line is copied into a 200-byte stack buffer with
+// no bound. The paper's non-control-data attack overwrites the URL
+// *pointer* local — after the "/.." path-traversal policy check has passed
+// — redirecting it at an illegitimate URL elsewhere in the request; the
+// classic control-data attack overwrites the saved return address.
+const GHTTPD = `
+void respond(int fd, char *status, char *body) {
+	fputs("HTTP/1.0 ", fd);
+	fputs(status, fd);
+	fputs("\r\n\r\n", fd);
+	fputs(body, fd);
+	fputs("\n", fd);
+}
+
+/* serve dereferences the URL: with a corrupted pointer this is where the
+   tainted load-byte (LB) fires, as in the paper. */
+void serve(int conn, char *url) {
+	if (strncmp(url, "/cgi-bin/", 9) == 0) {
+		fputs("HTTP/1.0 200 OK\r\n\r\nEXEC ", conn);
+		fputs(url, conn);
+		fputs("\n", conn);
+		return;
+	}
+	respond(conn, "200 OK", "<html>index</html>");
+}
+
+void handle(int conn, char *req) {
+	char *url;             /* first local: sits just below the saved fp */
+	char buf[200];         /* the Log() buffer */
+	char *sp;
+
+	if (strncmp(req, "GET ", 4) != 0) {
+		respond(conn, "501 Not Implemented", "bad method");
+		return;
+	}
+	url = req + 4;
+	sp = strchr(url, ' ');
+	if (sp) *sp = 0;
+
+	/* Security policy: no path traversal outside the web root. */
+	if (strstr(url, "/..")) {
+		respond(conn, "403 Forbidden", "path traversal rejected");
+		return;
+	}
+
+	/* Log the request line (the vulnerable copy: first line of req into a
+	   200-byte buffer, no bound — overruns url and beyond). */
+	int i = 0;
+	while (req[i] && req[i] != '\n') {
+		buf[i] = req[i];   /* VULN */
+		i++;
+	}
+	buf[i] = 0;
+
+	serve(conn, url);
+}
+
+int main() {
+	int fd = socket();
+	bind(fd, 8080);
+	listen(fd, 5);
+	int conn = accept(fd);
+	char req[600];
+	int n = recv(conn, req, 599, 0);
+	if (n == -1) return 1;
+	req[n] = 0;
+	handle(conn, req);
+	return 0;
+}
+`

@@ -1,0 +1,136 @@
+package progs
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// SpecInput generates the deterministic reference input for a SPEC
+// analogue workload, sized by scale (1 = the default test case). The
+// generators are seeded constants, so every run of Table 3 sees identical
+// bytes — like SPEC's fixed input sets.
+func SpecInput(name string, scale int) []byte {
+	if scale < 1 {
+		scale = 1
+	}
+	switch name {
+	case "bzip2s":
+		return genMixedBytes(3000*scale, 11)
+	case "gccs":
+		return genExpressions(60*scale, 13)
+	case "gzips":
+		return genCompressibleText(6000*scale, 17)
+	case "mcfs":
+		return genGraph(96, 600*scale, 19)
+	case "parsers":
+		return genProse(4000*scale, 23)
+	case "vprs":
+		return genNetlist(120, 120*scale, 29)
+	}
+	return nil
+}
+
+// genMixedBytes emits bytes with runs and skewed symbol frequencies (good
+// MTF/RLE fodder).
+func genMixedBytes(n int, seed int64) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]byte, 0, n)
+	for len(out) < n {
+		sym := byte(rng.Intn(64))
+		if rng.Intn(4) == 0 {
+			sym = byte(rng.Intn(256))
+		}
+		run := 1 + rng.Intn(6)
+		for i := 0; i < run && len(out) < n; i++ {
+			out = append(out, sym)
+		}
+	}
+	return out
+}
+
+// genExpressions emits one arithmetic expression per line.
+func genExpressions(lines int, seed int64) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	var b strings.Builder
+	var gen func(depth int)
+	gen = func(depth int) {
+		if depth == 0 || rng.Intn(3) == 0 {
+			fmt.Fprintf(&b, "%d", rng.Intn(500))
+			return
+		}
+		b.WriteByte('(')
+		gen(depth - 1)
+		b.WriteByte(" +-*/"[1+rng.Intn(4)])
+		gen(depth - 1)
+		b.WriteByte(')')
+	}
+	for i := 0; i < lines; i++ {
+		gen(3)
+		b.WriteByte('\n')
+	}
+	return []byte(b.String())
+}
+
+// genCompressibleText emits text with repeated phrases (LZ77 fodder).
+func genCompressibleText(n int, seed int64) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	phrases := []string{
+		"the quick brown fox ", "pointer taintedness ", "memory corruption ",
+		"security exception ", "buffer overflow ", "format string ",
+	}
+	var b strings.Builder
+	for b.Len() < n {
+		b.WriteString(phrases[rng.Intn(len(phrases))])
+		if rng.Intn(5) == 0 {
+			fmt.Fprintf(&b, "%d ", rng.Intn(10000))
+		}
+	}
+	return []byte(b.String()[:n])
+}
+
+// genGraph emits "u v cost" arc lines over nodes in [0, nodes).
+func genGraph(nodes, arcs int, seed int64) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	var b strings.Builder
+	// A backbone guaranteeing reachability, then random arcs.
+	for v := 1; v < nodes; v++ {
+		fmt.Fprintf(&b, "%d %d %d\n", rng.Intn(v), v, 1+rng.Intn(50))
+	}
+	for i := nodes - 1; i < arcs; i++ {
+		fmt.Fprintf(&b, "%d %d %d\n", rng.Intn(nodes), rng.Intn(nodes), 1+rng.Intn(100))
+	}
+	return []byte(b.String())
+}
+
+// genProse emits sentence-shaped word text.
+func genProse(n int, seed int64) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	words := []string{
+		"tainted", "pointer", "alert", "memory", "register", "stack",
+		"heap", "format", "buffer", "attack", "daemon", "packet",
+		"system", "value", "address", "input",
+	}
+	var b strings.Builder
+	for b.Len() < n {
+		k := 4 + rng.Intn(9)
+		for i := 0; i < k; i++ {
+			b.WriteString(words[rng.Intn(len(words))])
+			if i < k-1 {
+				b.WriteByte(' ')
+			}
+		}
+		b.WriteString(". ")
+	}
+	return []byte(b.String()[:n])
+}
+
+// genNetlist emits "a b" net lines over cells in [0, cells).
+func genNetlist(cells, nets int, seed int64) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	var b strings.Builder
+	for i := 0; i < nets; i++ {
+		fmt.Fprintf(&b, "%d %d\n", rng.Intn(cells), rng.Intn(cells))
+	}
+	return []byte(b.String())
+}

@@ -1,0 +1,93 @@
+package progs
+
+// NullHTTPD models the Null HTTPD remote heap overflow (SecurityFocus BID
+// 5774): a POST request with a negative Content-Length makes the server
+// size its body buffer as 1024+ContentLength while reading the actual body
+// bytes unbounded, overflowing the heap chunk into the adjacent free
+// chunk's links. Freeing the buffer then unlinks the corrupted chunk —
+// an arbitrary-word write. The paper's non-control-data attack redirects
+// that write at the CGI-BIN path configuration so "/bin/sh" becomes an
+// approved CGI program; the classic control-data attack aims it at the
+// handler's saved return address.
+const NullHTTPD = `
+char cgipath[16] = "/cgi";   /* CGI root */
+int cgi_unrestricted = 0;    /* config word: the non-control-data target.
+                                Nonzero disables the CGI root check — the
+                                word-granular equivalent of the paper's
+                                CGI-BIN = "/bin" overwrite. */
+
+void respond(int fd, char *status, char *body) {
+	fputs("HTTP/1.0 ", fd);
+	fputs(status, fd);
+	fputs("\r\n\r\n", fd);
+	fputs(body, fd);
+	fputs("\n", fd);
+}
+
+/* run_request dispatches one parsed request. CGI execution is modeled by
+   the EXEC response line; a real server would fork/exec the path. */
+void run_request(int fd, char *method, char *url) {
+	if (cgi_unrestricted || strncmp(url, cgipath, strlen(cgipath)) == 0) {
+		fputs("HTTP/1.0 200 OK\r\n\r\nEXEC ", fd);
+		fputs(url, fd);
+		fputs("\n", fd);
+		return;
+	}
+	respond(fd, "200 OK", "<html>welcome</html>");
+}
+
+/* handle reads one request; returns 0 on connection end. */
+int handle(int conn) {
+	char line[256];
+	char method[8];
+	char url[128];
+	if (readline(conn, line, 256) == -1) return 0;
+	/* Parse "METHOD URL HTTP/x". */
+	int i = 0;
+	while (line[i] && line[i] != ' ' && i < 7) { method[i] = line[i]; i++; }
+	method[i] = 0;
+	while (line[i] == ' ') i++;
+	int j = 0;
+	while (line[i] && line[i] != ' ' && j < 127) { url[j] = line[i]; i++; j++; }
+	url[j] = 0;
+
+	/* Headers. */
+	int contentlen = 0;
+	while (readline(conn, line, 256) > 0) {
+		if (strncmp(line, "Content-Length:", 15) == 0) {
+			contentlen = atoi(line + 15);
+		}
+	}
+
+	if (strcmp(method, "POST") == 0) {
+		char *scratch = malloc(256);    /* per-request work area */
+		free(scratch);                  /* ...freed before body handling */
+		/* VULN: negative Content-Length shrinks the allocation... */
+		char *postdata = calloc(1024 + contentlen);
+		int off = 0;
+		int n;
+		/* ...while the body is read until the client stops sending. */
+		while ((n = recv(conn, postdata + off, 128, 0)) > 0) {
+			off = off + n;
+			if (off > 7936) break;
+		}
+		run_request(conn, method, url);
+		free(postdata);                 /* unlink of the corrupted chunk */
+		return 1;
+	}
+	run_request(conn, method, url);
+	return 1;
+}
+
+int main() {
+	int fd = socket();
+	bind(fd, 80);
+	listen(fd, 5);
+	while (1) {
+		int conn = accept(fd);
+		while (handle(conn)) {}
+		close(conn);
+	}
+	return 0;
+}
+`

@@ -1,0 +1,92 @@
+package progs
+
+import (
+	"sync"
+
+	"repro/internal/asm"
+	"repro/internal/cc"
+	"repro/internal/rtl"
+)
+
+// Program is one corpus entry.
+type Program struct {
+	// Name is the corpus identifier (e.g. "exp1", "wuftpd").
+	Name string
+	// Source is the ptcc C source.
+	Source string
+	// Description summarizes the vulnerability or workload.
+	Description string
+}
+
+// imageCache memoizes built images: corpus sources are constants and an
+// Image is read-only after assembly, so every Boot can share one build.
+var imageCache sync.Map
+
+// Build compiles a corpus program against the runtime library. Results
+// are cached per program name.
+func (p Program) Build() (*asm.Image, error) {
+	if im, ok := imageCache.Load(p.Name); ok {
+		return im.(*asm.Image), nil
+	}
+	im, err := rtl.Build(cc.Unit{Name: p.Name + ".c", Src: p.Source})
+	if err != nil {
+		return nil, err
+	}
+	imageCache.Store(p.Name, im)
+	return im, nil
+}
+
+// Synthetic returns the Figure 2 vulnerable programs.
+func Synthetic() []Program {
+	return []Program{
+		{Name: "exp1", Source: Exp1, Description: "stack buffer overflow (Fig. 2)"},
+		{Name: "exp2", Source: Exp2, Description: "heap corruption via free-chunk links (Fig. 2)"},
+		{Name: "exp3", Source: Exp3, Description: "format string %n write (Fig. 2)"},
+	}
+}
+
+// FalseNegatives returns the Table 4 scenarios the mechanism cannot catch.
+func FalseNegatives() []Program {
+	return []Program{
+		{Name: "fn-intoverflow", Source: FNIntegerOverflow,
+			Description: "integer overflow past a flawed bounds check (Table 4A)"},
+		{Name: "fn-authflag", Source: FNAuthFlag,
+			Description: "buffer overflow of an adjacent auth flag (Table 4B)"},
+		{Name: "fn-infoleak", Source: FNInfoLeak,
+			Description: "format-string %x information leak (Table 4C)"},
+		{Name: "fn-authflag-annotated", Source: FNAuthFlagAnnotated,
+			Description: "Table 4B with the Section 5.3 annotation extension"},
+	}
+}
+
+// Applications returns the Section 5.1.2 real-world target analogues.
+func Applications() []Program {
+	return []Program{
+		{Name: "wuftpd", Source: WuFTPD, Description: "WU-FTPD SITE EXEC format string (BID 1387)"},
+		{Name: "nullhttpd", Source: NullHTTPD, Description: "Null HTTPD negative Content-Length heap overflow (BID 5774)"},
+		{Name: "ghttpd", Source: GHTTPD, Description: "GHTTPD Log() stack overflow (BID 5960)"},
+		{Name: "traceroute", Source: Traceroute, Description: "LBNL traceroute double free (BID 1739)"},
+		{Name: "envutil", Source: EnvUtil, Description: "environment-variable stack overflow (env taint source)"},
+		{Name: "wuftpd-patched", Source: WuFTPDPatched, Description: "WU-FTPD with the upstream fixes applied"},
+	}
+}
+
+// ByName finds a corpus program.
+func ByName(name string) (Program, bool) {
+	for _, p := range All() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Program{}, false
+}
+
+// All returns the complete corpus.
+func All() []Program {
+	var out []Program
+	out = append(out, Synthetic()...)
+	out = append(out, FalseNegatives()...)
+	out = append(out, Applications()...)
+	out = append(out, SpecSuite()...)
+	return out
+}

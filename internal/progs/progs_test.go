@@ -1,0 +1,170 @@
+package progs_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/attack"
+	"repro/internal/progs"
+	"repro/internal/taint"
+)
+
+func TestCorpusCompiles(t *testing.T) {
+	for _, p := range progs.All() {
+		if _, err := p.Build(); err != nil {
+			t.Errorf("%s does not build: %v", p.Name, err)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, ok := progs.ByName("exp1"); !ok {
+		t.Error("exp1 missing")
+	}
+	if _, ok := progs.ByName("nonesuch"); ok {
+		t.Error("nonesuch found")
+	}
+	if len(progs.All()) < 13 {
+		t.Errorf("corpus has %d programs, want >= 13", len(progs.All()))
+	}
+}
+
+// TestSyntheticBenign runs the Fig. 2 programs with harmless input: no
+// alerts, normal completion.
+func TestSyntheticBenign(t *testing.T) {
+	cases := []struct {
+		name  string
+		stdin string
+		want  string
+	}{
+		{"exp1", "hello\n", "exp1 returned normally"},
+		{"exp2", "short\n", "exp2 returned normally"},
+	}
+	for _, c := range cases {
+		p, _ := progs.ByName(c.name)
+		m, err := attack.Boot(p, attack.Options{
+			Policy: taint.PolicyPointerTaintedness,
+			Stdin:  []byte(c.stdin),
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if err := m.Run(); err != nil {
+			t.Errorf("%s benign run: %v", c.name, err)
+			continue
+		}
+		if !strings.Contains(m.Kernel.Stdout(), c.want) {
+			t.Errorf("%s stdout = %q", c.name, m.Kernel.Stdout())
+		}
+	}
+	// exp3 with a harmless (non-%n) request.
+	p, _ := progs.ByName("exp3")
+	m, err := attack.Boot(p, attack.Options{Policy: taint.PolicyPointerTaintedness})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RunToBlock(); err != nil {
+		t.Fatal(err)
+	}
+	ep, err := m.Connect(9000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, runErr := m.Transact(ep, "hello from a benign client")
+	if runErr != nil {
+		t.Fatalf("exp3 benign: %v", runErr)
+	}
+	// exp3's printf goes to stdout (paper Fig. 2: printf(buf)).
+	if !strings.Contains(m.Kernel.Stdout(), "hello from a benign client") {
+		t.Errorf("exp3 printed %q", m.Kernel.Stdout())
+	}
+}
+
+// specExpect pins the deterministic output of each SPEC analogue on the
+// scale-1 reference input — both a correctness check of the workload and
+// regression protection for the Table 3 rows.
+var specExpect = map[string]string{
+	"bzip2s":  "bzip2s: in=3000",
+	"gccs":    "gccs: lines=60",
+	"gzips":   "gzips: in=6000",
+	"mcfs":    "mcfs: arcs=",
+	"parsers": "parsers: tokens=",
+	"vprs":    "vprs: cells=",
+}
+
+func TestSpecWorkloadsRunCleanly(t *testing.T) {
+	for _, p := range progs.SpecSuite() {
+		input := progs.SpecInput(p.Name, 1)
+		if len(input) == 0 {
+			t.Fatalf("no input generator for %s", p.Name)
+		}
+		m, err := attack.Boot(p, attack.Options{
+			Policy: taint.PolicyPointerTaintedness,
+			Files:  map[string][]byte{"/input": input},
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		if err := m.Run(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+			continue
+		}
+		outText := m.Kernel.Stdout()
+		if !strings.Contains(outText, specExpect[p.Name]) {
+			t.Errorf("%s output = %q, want prefix %q", p.Name, outText, specExpect[p.Name])
+		}
+		if alerts := m.CPU.Stats().Alerts; alerts != 0 {
+			t.Errorf("%s raised %d alerts on benign input", p.Name, alerts)
+		}
+		if ins := m.CPU.Stats().Instructions; ins < 100_000 {
+			t.Errorf("%s executed only %d instructions; workload too trivial", p.Name, ins)
+		}
+		t.Logf("%s: %d instructions, %d input bytes, output %q",
+			p.Name, m.CPU.Stats().Instructions, len(input), strings.TrimSpace(outText))
+	}
+}
+
+// TestSpecOutputsStable verifies determinism: two runs produce identical
+// output and instruction counts.
+func TestSpecOutputsStable(t *testing.T) {
+	p, _ := progs.ByName("gzips")
+	var outs []string
+	var counts []uint64
+	for i := 0; i < 2; i++ {
+		m, err := attack.Boot(p, attack.Options{
+			Policy: taint.PolicyPointerTaintedness,
+			Files:  map[string][]byte{"/input": progs.SpecInput("gzips", 1)},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Run(); err != nil {
+			t.Fatal(err)
+		}
+		outs = append(outs, m.Kernel.Stdout())
+		counts = append(counts, m.CPU.Stats().Instructions)
+	}
+	if outs[0] != outs[1] || counts[0] != counts[1] {
+		t.Errorf("nondeterministic workload: %q/%d vs %q/%d", outs[0], counts[0], outs[1], counts[1])
+	}
+}
+
+func TestSpecInputsDeterministic(t *testing.T) {
+	for _, p := range progs.SpecSuite() {
+		a := progs.SpecInput(p.Name, 1)
+		b := progs.SpecInput(p.Name, 1)
+		if string(a) != string(b) {
+			t.Errorf("%s input generator is nondeterministic", p.Name)
+		}
+		big := progs.SpecInput(p.Name, 3)
+		if len(big) <= len(a) {
+			t.Errorf("%s scale 3 not larger than scale 1", p.Name)
+		}
+	}
+	if progs.SpecInput("unknown", 1) != nil {
+		t.Error("unknown workload produced input")
+	}
+	if progs.SpecInput("bzip2s", 0) == nil {
+		t.Error("scale 0 not clamped")
+	}
+}

@@ -1,0 +1,417 @@
+package progs
+
+// SpecSuite returns the six SPEC 2000 INT analogue workloads used for the
+// Table 3 false-positive evaluation. Each reads its input file through
+// SYS_READ (so every input byte enters tainted) and pushes the data
+// through heavy computation — including the validated-table-lookup pattern
+// the compare-untaint rule exists for — without ever using input bytes as
+// pointers. The paper's claim under reproduction: zero alerts.
+func SpecSuite() []Program {
+	return []Program{
+		{Name: "bzip2s", Source: SpecBzip2, Description: "RLE + move-to-front compressor (BZIP2 analogue)"},
+		{Name: "gccs", Source: SpecGCC, Description: "expression compiler + stack VM (GCC analogue)"},
+		{Name: "gzips", Source: SpecGzip, Description: "LZ77 window compressor (GZIP analogue)"},
+		{Name: "mcfs", Source: SpecMCF, Description: "Bellman-Ford network optimizer (MCF analogue)"},
+		{Name: "parsers", Source: SpecParser, Description: "tokenizer + word-frequency table (PARSER analogue)"},
+		{Name: "vprs", Source: SpecVPR, Description: "simulated-annealing placer (VPR analogue)"},
+	}
+}
+
+// SpecBzip2 is the BZIP2 analogue: run-length encoding over a move-to-front
+// transform, plus a byte histogram for an entropy estimate.
+const SpecBzip2 = `
+char inbuf[4096];
+char mtfbuf[4096];
+int hist[256];
+char mtf[256];
+
+int main() {
+	int fd = open("/input", 0);
+	if (fd == -1) { puts("no input"); return 1; }
+	for (int i = 0; i < 256; i++) mtf[i] = i;
+	int total = 0;
+	int outbytes = 0;
+	int n;
+	while ((n = read(fd, inbuf, 4096)) > 0) {
+		/* Move-to-front transform. */
+		for (int i = 0; i < n; i++) {
+			int c = inbuf[i] & 0xFF;
+			int j = 0;
+			while ((mtf[j] & 0xFF) != c) j++;
+			mtfbuf[i] = j;
+			while (j > 0) { mtf[j] = mtf[j - 1]; j--; }
+			mtf[0] = c;
+			/* Histogram with a validated index. */
+			if (c >= 0 && c < 256) hist[c] = hist[c] + 1;
+		}
+		/* Run-length encode the MTF output. */
+		int i = 0;
+		while (i < n) {
+			int run = 1;
+			while (i + run < n && mtfbuf[i + run] == mtfbuf[i] && run < 255) run++;
+			if (run > 3) outbytes = outbytes + 3;
+			else outbytes = outbytes + run;
+			i = i + run;
+		}
+		total = total + n;
+	}
+	close(fd);
+	int used = 0;
+	for (int i = 0; i < 256; i++) {
+		if (hist[i]) used++;
+	}
+	printf("bzip2s: in=%d out=%d symbols=%d\n", total, outbytes, used);
+	return 0;
+}
+`
+
+// SpecGCC is the GCC analogue: it compiles arithmetic expressions (one per
+// line) into a tiny three-op bytecode and runs them on a stack VM.
+const SpecGCC = `
+char line[512];
+int code[1024];
+int ncode;
+char *src;
+
+/* recursive-descent compiler: expr := term (('+'|'-') term)*
+   term := factor (('*'|'/') factor)*   factor := NUM | '(' expr ')' */
+void emit(int op, int arg) {
+	code[ncode] = op;
+	code[ncode + 1] = arg;
+	ncode = ncode + 2;
+}
+
+void cexpr();
+
+void cfactor() {
+	while (*src == ' ') src++;
+	if (*src == '(') {
+		src++;
+		cexpr();
+		if (*src == ')') src++;
+		return;
+	}
+	int v = 0;
+	while (*src >= '0' && *src <= '9') {
+		v = v * 10 + (*src - '0');
+		src++;
+	}
+	emit(1, v);               /* PUSH v */
+}
+
+void cterm() {
+	cfactor();
+	while (1) {
+		while (*src == ' ') src++;
+		if (*src == '*') { src++; cfactor(); emit(3, 0); }
+		else if (*src == '/') { src++; cfactor(); emit(4, 0); }
+		else return;
+	}
+}
+
+void cexpr() {
+	cterm();
+	while (1) {
+		while (*src == ' ') src++;
+		if (*src == '+') { src++; cterm(); emit(5, 0); }
+		else if (*src == '-') { src++; cterm(); emit(6, 0); }
+		else return;
+	}
+}
+
+int stack[256];
+
+int runvm() {
+	int sp = 0;
+	for (int pc = 0; pc < ncode; pc = pc + 2) {
+		int op = code[pc];
+		if (op == 1) { stack[sp] = code[pc + 1]; sp++; }
+		else if (op == 3) { sp--; stack[sp - 1] = stack[sp - 1] * stack[sp]; }
+		else if (op == 4) { sp--; if (stack[sp]) stack[sp - 1] = stack[sp - 1] / stack[sp]; }
+		else if (op == 5) { sp--; stack[sp - 1] = stack[sp - 1] + stack[sp]; }
+		else if (op == 6) { sp--; stack[sp - 1] = stack[sp - 1] - stack[sp]; }
+	}
+	if (sp > 0) return stack[sp - 1];
+	return 0;
+}
+
+int main() {
+	int fd = open("/input", 0);
+	if (fd == -1) { puts("no input"); return 1; }
+	int sum = 0;
+	int lines = 0;
+	int ops = 0;
+	while (readline(fd, line, 512) != -1) {
+		if (line[0] == 0) continue;
+		ncode = 0;
+		src = line;
+		cexpr();
+		sum = sum + runvm();
+		ops = ops + ncode / 2;
+		lines++;
+	}
+	close(fd);
+	printf("gccs: lines=%d ops=%d sum=%d\n", lines, ops, sum);
+	return 0;
+}
+`
+
+// SpecGzip is the GZIP analogue: greedy LZ77 with a 4K window and a hash
+// head table (the validated-index pattern on tainted hash values).
+const SpecGzip = `
+char win[8192];
+int head[1024];
+
+int main() {
+	int fd = open("/input", 0);
+	if (fd == -1) { puts("no input"); return 1; }
+	for (int i = 0; i < 1024; i++) head[i] = -1;
+	int n = read(fd, win, 8192);
+	close(fd);
+	if (n == -1) n = 0;
+	int pos = 0;
+	int literals = 0;
+	int matches = 0;
+	int outbits = 0;
+	while (pos < n - 2) {
+		int h = ((win[pos] & 0xFF) * 33 + (win[pos + 1] & 0xFF)) & 1023;
+		int cand = -1;
+		if (h >= 0 && h < 1024) {
+			cand = head[h];
+			head[h] = pos;
+		}
+		int len = 0;
+		if (cand >= 0 && cand < pos) {
+			while (len < 255 && pos + len < n && win[cand + len] == win[pos + len]) len++;
+		}
+		if (len >= 3) {
+			matches++;
+			outbits = outbits + 24;
+			pos = pos + len;
+		} else {
+			literals++;
+			outbits = outbits + 9;
+			pos++;
+		}
+	}
+	while (pos < n) { literals++; outbits = outbits + 9; pos++; }
+	printf("gzips: in=%d lit=%d match=%d outbits=%d\n", n, literals, matches, outbits);
+	return 0;
+}
+`
+
+// SpecMCF is the MCF analogue: it parses an arc list and runs Bellman-Ford
+// relaxation rounds to price out the network.
+const SpecMCF = `
+int from[2048];
+int to[2048];
+int cost[2048];
+int dist[256];
+char line[128];
+
+int main() {
+	int fd = open("/input", 0);
+	if (fd == -1) { puts("no input"); return 1; }
+	int narcs = 0;
+	int nnodes = 0;
+	while (readline(fd, line, 128) != -1 && narcs < 2048) {
+		/* "u v c" triples */
+		char *p = line;
+		int u = atoi(p);
+		while (*p && *p != ' ') p++;
+		while (*p == ' ') p++;
+		int v = atoi(p);
+		while (*p && *p != ' ') p++;
+		while (*p == ' ') p++;
+		int c = atoi(p);
+		if (u < 0 || u > 255 || v < 0 || v > 255) continue;
+		from[narcs] = u;
+		to[narcs] = v;
+		cost[narcs] = c;
+		narcs++;
+		if (u >= nnodes) nnodes = u + 1;
+		if (v >= nnodes) nnodes = v + 1;
+	}
+	close(fd);
+	for (int i = 1; i < nnodes; i++) dist[i] = 1000000;
+	int relaxed = 1;
+	int rounds = 0;
+	while (relaxed && rounds < nnodes) {
+		relaxed = 0;
+		for (int a = 0; a < narcs; a++) {
+			int nd = dist[from[a]] + cost[a];
+			if (nd < dist[to[a]]) {
+				dist[to[a]] = nd;
+				relaxed = 1;
+			}
+		}
+		rounds++;
+	}
+	int total = 0;
+	int reach = 0;
+	for (int i = 0; i < nnodes; i++) {
+		if (dist[i] < 1000000) { total = total + dist[i]; reach++; }
+	}
+	printf("mcfs: arcs=%d nodes=%d rounds=%d reach=%d cost=%d\n",
+	       narcs, nnodes, rounds, reach, total);
+	return 0;
+}
+`
+
+// SpecParser is the PARSER analogue: it tokenizes text and maintains a
+// chained-hash word-frequency table with string keys.
+const SpecParser = `
+char words[16384];
+int woff;
+int wstart[1024];
+int wcount[1024];
+int wnext[1024];
+int nwords;
+int buckets[256];
+char buf[4096];
+char tok[64];
+
+int lookup(char *t) {
+	int h = 0;
+	for (int i = 0; t[i]; i++) h = (h * 31 + (t[i] & 0xFF)) & 255;
+	if (h < 0 || h > 255) return -1;
+	int w = buckets[h];
+	while (w != -1) {
+		if (strcmp(words + wstart[w], t) == 0) return w;
+		w = wnext[w];
+	}
+	if (nwords >= 1024) return -1;
+	w = nwords;
+	nwords++;
+	wstart[w] = woff;
+	strcpy(words + woff, t);
+	woff = woff + strlen(t) + 1;
+	wcount[w] = 0;
+	wnext[w] = buckets[h];
+	buckets[h] = w;
+	return w;
+}
+
+int main() {
+	int fd = open("/input", 0);
+	if (fd == -1) { puts("no input"); return 1; }
+	for (int i = 0; i < 256; i++) buckets[i] = -1;
+	int n;
+	int ntok = 0;
+	int sentences = 0;
+	while ((n = read(fd, buf, 4096)) > 0) {
+		int ti = 0;
+		for (int i = 0; i < n; i++) {
+			int c = buf[i] & 0xFF;
+			int alpha = 0;
+			if (c >= 'a' && c <= 'z') alpha = 1;
+			if (c >= 'A' && c <= 'Z') alpha = 1;
+			if (alpha && ti < 63) {
+				tok[ti] = c;
+				ti++;
+			} else {
+				if (ti > 0) {
+					tok[ti] = 0;
+					int w = lookup(tok);
+					if (w != -1) wcount[w] = wcount[w] + 1;
+					ntok++;
+					ti = 0;
+				}
+				if (c == '.') sentences++;
+			}
+		}
+		if (ti > 0) {
+			tok[ti] = 0;
+			int w = lookup(tok);
+			if (w != -1) wcount[w] = wcount[w] + 1;
+			ntok++;
+		}
+	}
+	close(fd);
+	int maxc = 0;
+	for (int w = 0; w < nwords; w++) {
+		if (wcount[w] > maxc) maxc = wcount[w];
+	}
+	printf("parsers: tokens=%d distinct=%d sentences=%d maxfreq=%d\n",
+	       ntok, nwords, sentences, maxc);
+	return 0;
+}
+`
+
+// SpecVPR is the VPR analogue: simulated-annealing placement of cells on a
+// grid, minimizing net wirelength, with an LCG random source seeded from
+// the input.
+const SpecVPR = `
+int cellx[256];
+int celly[256];
+int neta[512];
+int netb[512];
+char line[128];
+unsigned seed;
+
+unsigned lcg() {
+	seed = seed * 1103515245u + 12345u;
+	return (seed / 65536u) % 32768u;
+}
+
+int wirelen(int nnets) {
+	int total = 0;
+	for (int i = 0; i < nnets; i++) {
+		int dx = cellx[neta[i]] - cellx[netb[i]];
+		int dy = celly[neta[i]] - celly[netb[i]];
+		if (dx < 0) dx = 0 - dx;
+		if (dy < 0) dy = 0 - dy;
+		total = total + dx + dy;
+	}
+	return total;
+}
+
+int main() {
+	int fd = open("/input", 0);
+	if (fd == -1) { puts("no input"); return 1; }
+	int ncells = 0;
+	int nnets = 0;
+	seed = 12345u;
+	while (readline(fd, line, 128) != -1 && nnets < 512) {
+		int a = atoi(line);
+		char *p = line;
+		while (*p && *p != ' ') p++;
+		int b = atoi(p);
+		if (a < 0 || a > 255 || b < 0 || b > 255) continue;
+		neta[nnets] = a;
+		netb[nnets] = b;
+		nnets++;
+		if (a >= ncells) ncells = a + 1;
+		if (b >= ncells) ncells = b + 1;
+		seed = seed + (unsigned)(a * 7 + b);
+	}
+	close(fd);
+	for (int i = 0; i < ncells; i++) {
+		cellx[i] = (int)(lcg() % 64u);
+		celly[i] = (int)(lcg() % 64u);
+	}
+	int cur = wirelen(nnets);
+	int initial = cur;
+	int accepted = 0;
+	for (int iter = 0; iter < 1200; iter++) {
+		int c = (int)(lcg() % (unsigned)ncells);
+		if (c < 0 || c >= ncells) continue;
+		int ox = cellx[c];
+		int oy = celly[c];
+		cellx[c] = (int)(lcg() % 64u);
+		celly[c] = (int)(lcg() % 64u);
+		int next = wirelen(nnets);
+		int temp = 1200 - iter;
+		if (next <= cur + temp / 100) {
+			cur = next;
+			accepted++;
+		} else {
+			cellx[c] = ox;
+			celly[c] = oy;
+		}
+	}
+	printf("vprs: cells=%d nets=%d initial=%d final=%d accepted=%d\n",
+	       ncells, nnets, initial, cur, accepted);
+	return 0;
+}
+`

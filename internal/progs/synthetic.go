@@ -1,0 +1,185 @@
+// Package progs holds the simulator's program corpus, written in the ptcc
+// C subset: the paper's Figure 2 synthetic vulnerable functions, the Table
+// 4 false-negative scenarios, re-implementations of the four real-world
+// targets of Section 5.1.2 (WU-FTPD, NULL-HTTPD, GHTTPD, traceroute), and
+// the six SPEC 2000 analogue workloads of Table 3.
+package progs
+
+// Exp1 is Figure 2's stack buffer overflow: a 10-byte stack buffer filled
+// by scanf("%s"). Overflowing input runs over the saved frame pointer and
+// return address; the tainted return address trips the JR detector when
+// exp1 returns (paper Section 5.1.1: alert at "JR $31" with the tainted
+// value 0x61616161 for an input of 24 'a' characters).
+const Exp1 = `
+void exp1() {
+	char buf[10];
+	scanstr(buf);          /* scanf("%s", buf) */
+}
+
+int main() {
+	exp1();
+	puts("exp1 returned normally");
+	return 0;
+}
+`
+
+// Exp2 is Figure 2's heap corruption: an 8-byte heap buffer overflows into
+// the adjacent free chunk's header and fd/bk links. When the buffer is
+// freed, free()'s forward coalescing unlinks the corrupted chunk and
+// dereferences the attacker-controlled fd (paper: alert at a load inside
+// free() with the tainted value 0x61616161).
+const Exp2 = `
+int main() {
+	char *buf = malloc(8);
+	char *b = malloc(8);   /* chunk B, adjacent to buf's chunk */
+	free(b);               /* B joins the free list: fd/bk live in B */
+	scanstr(buf);          /* overflow buf into B's header and links */
+	free(buf);             /* coalesce -> unlink(B) -> tainted fd deref */
+	puts("exp2 returned normally");
+	return 0;
+}
+`
+
+// Exp3 is Figure 2's format string vulnerability: a network service that
+// passes the received buffer straight to printf. A %n directive makes
+// vfprintf dereference a word of the attacker's input as a store target
+// (paper: alert at a store in vfprintf with the tainted value 0x64636261,
+// the leading "abcd" of the input).
+const Exp3 = `
+void exp3(int s) {
+	char buf[100];
+	int n = recv(s, buf, 100, 0);
+	if (n == -1) return;
+	buf[n] = 0;
+	printf(buf);           /* VULN: should be printf("%s", buf) */
+}
+
+int main() {
+	int fd = socket();
+	bind(fd, 9000);
+	listen(fd, 1);
+	int conn = accept(fd);
+	exp3(conn);
+	puts("");
+	puts("exp3 returned normally");
+	return 0;
+}
+`
+
+// FNIntegerOverflow is Table 4(A): a flawed bounds check on a signed copy
+// of an unsigned input. The compare untaints the index (the validation
+// rule), so a huge unsigned value that wraps negative indexes out of
+// bounds without any tainted-pointer dereference — a designed false
+// negative for the paper's mechanism.
+const FNIntegerOverflow = `
+int secret = 7777;         /* sits just below array: array[-1] reaches it */
+int array[10];
+
+int main() {
+	char buf[32];
+	gets(buf);
+	unsigned ui = 0;
+	/* parse an unsigned decimal (atoi would clamp at '-') */
+	char *p = buf;
+	while (*p >= '0' && *p <= '9') {
+		ui = ui * 10u + (unsigned)(*p - '0');
+		p++;
+	}
+	int i = ui;            /* signed reinterpretation */
+	if (i > 9) {           /* flawed: misses negative i */
+		puts("rejected");
+		return 1;
+	}
+	array[i] = 1234;       /* i may be negative: out-of-bounds write */
+	printf("stored at %d secret=%d\n", i, secret);
+	return 0;
+}
+`
+
+// FNAuthFlag is Table 4(B): a buffer overflow that corrupts an adjacent
+// authentication flag. No pointer is tainted, so no policy detects it; the
+// attacker gains access without credentials.
+const FNAuthFlag = `
+int do_auth(char *pass) {
+	return strcmp(pass, "s3cr3t") == 0;
+}
+
+int main() {
+	int auth = 0;          /* first local: highest address, nearest $fp */
+	char pass[16];
+	char buf[32];          /* lowest: overflow runs up through pass to auth */
+	readline(0, pass, 16);
+	auth = do_auth(pass);  /* attacker sends a wrong password: auth = 0 */
+	gets(buf);             /* VULN: second input overflows into auth */
+	if (auth) {
+		puts("access granted");
+		return 0;
+	}
+	puts("access denied");
+	return 1;
+}
+`
+
+// FNInfoLeak is Table 4(C): a format string that only reads (%x) leaks
+// stack contents — here a secret key adjacent to the input buffer —
+// without dereferencing any tainted pointer.
+const FNInfoLeak = `
+void leak() {
+	int secret_key = 0x5EC2E7;
+	char buf[64];
+	gets(buf);
+	printf(buf);           /* VULN: %x directives read the stack */
+	putchar('\n');
+	if (secret_key) {}
+}
+
+int main() {
+	leak();
+	return 0;
+}
+`
+
+// FNAuthFlagAnnotated is FNAuthFlag with the paper's Section 5.3 extension
+// applied: the authentication flag is annotated as never-tainted, so the
+// overflow that silently escaped detection in Table 4(B) now raises an
+// alert the moment tainted input reaches the flag.
+const FNAuthFlagAnnotated = `
+int do_auth(char *pass) {
+	return strcmp(pass, "s3cr3t") == 0;
+}
+
+int main() {
+	int auth = 0;
+	char pass[16];
+	char buf[32];
+	__annotate((char*)&auth, 4, "auth-flag");
+	readline(0, pass, 16);
+	auth = do_auth(pass);
+	gets(buf);             /* the same overflow as Table 4(B) */
+	if (auth) {
+		puts("access granted");
+		return 0;
+	}
+	puts("access denied");
+	return 1;
+}
+`
+
+// EnvUtil is a setuid-utility-shaped victim that copies an environment
+// variable into a fixed stack buffer — the classic TERM/HOME overflow
+// family. It demonstrates the paper's remaining taint source: environment
+// strings are marked tainted at process startup, so the smashed return
+// address is caught at JR like any other.
+const EnvUtil = `
+int main() {
+	char term[16];
+	char *val = getenv("TERM");
+	if (!val) {
+		puts("TERM not set");
+		return 1;
+	}
+	strcpy(term, val);     /* VULN: unbounded copy of environment data */
+	printf("terminal: %s\n", term);
+	return 0;
+}
+`

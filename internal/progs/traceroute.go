@@ -1,0 +1,50 @@
+package progs
+
+// Traceroute models the LBNL traceroute heap corruption (SecurityFocus BID
+// 1739, CVE-2000-0968): parsing "-g x -g y" calls savestr(), which manages
+// its own preallocated pool, and free()s the pool after each gateway —
+// so the second -g both writes attacker bytes over the freed chunk's
+// fd/bk links and triggers a second free() of the same chunk. The
+// double-free consolidation then dereferences command-line bytes as a
+// pointer (the paper's alert: a store inside free() on a tainted word
+// built from the argument text).
+const Traceroute = `
+char *savestr_pool;
+int savestr_off;
+
+/* savestr: amortizes malloc by carving strings out of one pool — the
+   LBNL utility routine at the root of the CVE. */
+char *savestr(char *s) {
+	if (!savestr_pool) {
+		savestr_pool = malloc(64);
+		savestr_off = 0;
+	}
+	char *dst = savestr_pool + savestr_off;
+	strcpy(dst, s);
+	savestr_off = savestr_off + strlen(s) + 1;
+	return dst;
+}
+
+char *gateways[8];
+int ngateways;
+
+int main(int argc, char **argv) {
+	for (int i = 1; i < argc; i++) {
+		if (strcmp(argv[i], "-g") == 0) {
+			i++;
+			if (i >= argc) {
+				puts("usage: traceroute [-g gateway] host");
+				return 2;
+			}
+			char *g = savestr(argv[i]);
+			gateways[ngateways] = g;
+			ngateways = ngateways + 1;
+			/* BUG: releases savestr's pool after each gateway; the
+			   second -g frees the same chunk again. */
+			free(savestr_pool);
+		}
+	}
+	printf("traceroute with %d gateway(s)\n", ngateways);
+	return 0;
+}
+`

@@ -1,0 +1,186 @@
+package progs
+
+// WuFTPD models the Washington University FTP daemon with the Site Exec
+// Command Format String Vulnerability (SecurityFocus BID 1387, the paper's
+// Table 2 target): the SITE EXEC argument reaches a printf-family function
+// as the format string. The non-control-data attack of Section 5.1.2
+// overwrites the integer holding the logged-in user's ID to escalate to a
+// privileged account, then uploads a backdoor /etc/passwd entry via STOR.
+//
+// A second, classic stack overflow in the CWD handler (WU-FTPD also had
+// overflow CVEs, e.g. CVE-1999-0878) provides the control-data attack for
+// the coverage matrix: a long path smashes do_cwd's return address.
+//
+// The large pad array pushes the uid word past offset 0x10000 of the data
+// segment so that no byte of its address is NUL/CR/LF — the same
+// constraint the paper's attacker faced when choosing 0x1002bc20.
+const WuFTPD = `
+char __bss_pad[69632];     /* address hygiene for the uid word (see above) */
+int logged_in = 0;
+int uid = 1000;            /* the non-control-data target */
+char username[32];
+
+void reply(int fd, char *msg) {
+	fputs(msg, fd);
+	fputs("\r\n", fd);
+}
+
+/* SITE EXEC handler. The command text ends up as the format argument of
+   fprintf — the CVE-2000-0573 shape. */
+void site_exec(int fd, char *cmd) {
+	char msg[128];
+	strcpy(msg, "200-");
+	strcat(msg, cmd);
+	fprintf(fd, msg);      /* VULN: user-controlled format string */
+	fputs("\r\n", fd);
+	reply(fd, "200 (end of exec)");
+}
+
+/* CWD handler with an unbounded copy into a fixed stack buffer. */
+void do_cwd(int fd, char *path) {
+	char dir[64];
+	strcpy(dir, path);     /* VULN: stack smash */
+	reply(fd, "250 CWD command successful");
+}
+
+/* STOR: privileged upload. UIDs below 100 are system accounts and may
+   replace system files. */
+void do_stor(int fd, char *path) {
+	if (uid >= 100) {
+		reply(fd, "550 Permission denied");
+		return;
+	}
+	char content[256];
+	if (readline(fd, content, 256) == -1) {
+		reply(fd, "426 Transfer aborted");
+		return;
+	}
+	int out = open(path, 0x241);   /* O_WRONLY|O_CREAT|O_TRUNC */
+	write(out, content, strlen(content));
+	close(out);
+	reply(fd, "226 Transfer complete");
+}
+
+void session(int conn) {
+	char line[512];
+	while (readline(conn, line, 512) != -1) {
+		if (strncmp(line, "USER ", 5) == 0) {
+			strncpy(username, line + 5, 31);
+			reply(conn, "331 Password required for user1 .");
+		} else if (strncmp(line, "PASS ", 5) == 0) {
+			logged_in = 1;
+			uid = 1000;
+			reply(conn, "230 User user1 logged in.");
+		} else if (strncmp(line, "SITE EXEC ", 10) == 0) {
+			if (logged_in) site_exec(conn, line + 10);
+			else reply(conn, "530 Please login with USER and PASS.");
+		} else if (strncmp(line, "CWD ", 4) == 0) {
+			if (logged_in) do_cwd(conn, line + 4);
+			else reply(conn, "530 Please login with USER and PASS.");
+		} else if (strncmp(line, "STOR ", 5) == 0) {
+			if (logged_in) do_stor(conn, line + 5);
+			else reply(conn, "530 Please login with USER and PASS.");
+		} else if (strncmp(line, "QUIT", 4) == 0) {
+			reply(conn, "221 Goodbye.");
+			return;
+		} else {
+			reply(conn, "500 Unknown command.");
+		}
+	}
+}
+
+int main() {
+	int fd = socket();
+	bind(fd, 21);
+	listen(fd, 5);
+	int conn = accept(fd);
+	reply(conn, "220 FTP server (Version wu-2.6.0(60) Mon Nov 29 10:37:55 CST 2004) ready.");
+	session(conn);
+	return 0;
+}
+`
+
+// WuFTPDPatched is the fixed daemon: SITE EXEC passes the command as data
+// ("%s") instead of as the format string — the actual upstream fix shape —
+// and CWD bounds its copy. The attack payloads that compromise WuFTPD are
+// inert against it, under every policy.
+const WuFTPDPatched = `
+char __bss_pad[69632];
+int logged_in = 0;
+int uid = 1000;
+char username[32];
+
+void reply(int fd, char *msg) {
+	fputs(msg, fd);
+	fputs("\r\n", fd);
+}
+
+/* FIXED: the user text is an argument, never the format. */
+void site_exec(int fd, char *cmd) {
+	fprintf(fd, "200-%s", cmd);
+	fputs("\r\n", fd);
+	reply(fd, "200 (end of exec)");
+}
+
+/* FIXED: bounded copy. */
+void do_cwd(int fd, char *path) {
+	char dir[64];
+	strncpy(dir, path, 63);
+	dir[63] = 0;
+	reply(fd, "250 CWD command successful");
+}
+
+void do_stor(int fd, char *path) {
+	if (uid >= 100) {
+		reply(fd, "550 Permission denied");
+		return;
+	}
+	char content[256];
+	if (readline(fd, content, 256) == -1) {
+		reply(fd, "426 Transfer aborted");
+		return;
+	}
+	int out = open(path, 0x241);
+	write(out, content, strlen(content));
+	close(out);
+	reply(fd, "226 Transfer complete");
+}
+
+void session(int conn) {
+	char line[512];
+	while (readline(conn, line, 512) != -1) {
+		if (strncmp(line, "USER ", 5) == 0) {
+			strncpy(username, line + 5, 31);
+			reply(conn, "331 Password required for user1 .");
+		} else if (strncmp(line, "PASS ", 5) == 0) {
+			logged_in = 1;
+			uid = 1000;
+			reply(conn, "230 User user1 logged in.");
+		} else if (strncmp(line, "SITE EXEC ", 10) == 0) {
+			if (logged_in) site_exec(conn, line + 10);
+			else reply(conn, "530 Please login with USER and PASS.");
+		} else if (strncmp(line, "CWD ", 4) == 0) {
+			if (logged_in) do_cwd(conn, line + 4);
+			else reply(conn, "530 Please login with USER and PASS.");
+		} else if (strncmp(line, "STOR ", 5) == 0) {
+			if (logged_in) do_stor(conn, line + 5);
+			else reply(conn, "530 Please login with USER and PASS.");
+		} else if (strncmp(line, "QUIT", 4) == 0) {
+			reply(conn, "221 Goodbye.");
+			return;
+		} else {
+			reply(conn, "500 Unknown command.");
+		}
+	}
+}
+
+int main() {
+	int fd = socket();
+	bind(fd, 21);
+	listen(fd, 5);
+	int conn = accept(fd);
+	reply(conn, "220 FTP server (Version wu-2.6.1(1) patched) ready.");
+	session(conn);
+	return 0;
+}
+`

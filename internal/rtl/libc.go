@@ -1,0 +1,482 @@
+package rtl
+
+// LibC is the runtime library source, in the ptcc C subset. Mirrors the
+// 2001-era glibc behaviours the paper's attacks depend on: an unlink-based
+// free(), a %n-capable vfprintf whose argument pointer walks the caller's
+// stack, and unbounded gets/scanstr readers.
+const LibC = `
+/* ---------- system call wrappers ---------- */
+
+int exit(int code) { return __syscall(1, code, 0, 0); }
+int read(int fd, char *buf, int n) { return __syscall(3, fd, (int)buf, n); }
+int write(int fd, char *buf, int n) { return __syscall(4, fd, (int)buf, n); }
+int open(char *path, int flags) { return __syscall(5, (int)path, flags, 0); }
+int close(int fd) { return __syscall(6, fd, 0, 0); }
+int unlink(char *path) { return __syscall(10, (int)path, 0, 0); }
+int getuid() { return __syscall(24, 0, 0, 0); }
+int setuid(int uid) { return __syscall(23, uid, 0, 0); }
+int geteuid() { return __syscall(49, 0, 0, 0); }
+int seteuid(int uid) { return __syscall(50, uid, 0, 0); }
+int socket() { return __syscall(30, 0, 0, 0); }
+int bind(int fd, int port) { return __syscall(31, fd, port, 0); }
+int listen(int fd, int backlog) { return __syscall(32, fd, backlog, 0); }
+int accept(int fd) { return __syscall(33, fd, 0, 0); }
+int recv(int fd, char *buf, int n, int flags) { return __syscall(34, fd, (int)buf, n); }
+int send(int fd, char *buf, int n, int flags) { return __syscall(35, fd, (int)buf, n); }
+
+/* __annotate: mark [p, p+n) as a never-tainted region named name (the
+   paper's Section 5.3 annotation extension). Any tainted byte later
+   written into the region raises a security exception. */
+int __annotate(char *p, int n, char *name) { return __syscall(61, (int)p, n, (int)name); }
+
+/* ---------- string / memory ---------- */
+
+int strlen(char *s) {
+	int n = 0;
+	while (s[n]) n++;
+	return n;
+}
+
+char *strcpy(char *dst, char *src) {
+	int i = 0;
+	while (src[i]) { dst[i] = src[i]; i++; }
+	dst[i] = 0;
+	return dst;
+}
+
+char *strncpy(char *dst, char *src, int n) {
+	int i = 0;
+	while (i < n && src[i]) { dst[i] = src[i]; i++; }
+	while (i < n) { dst[i] = 0; i++; }
+	return dst;
+}
+
+char *strcat(char *dst, char *src) {
+	strcpy(dst + strlen(dst), src);
+	return dst;
+}
+
+int strcmp(char *a, char *b) {
+	int i = 0;
+	while (a[i] && a[i] == b[i]) i++;
+	return (a[i] & 0xFF) - (b[i] & 0xFF);
+}
+
+int strncmp(char *a, char *b, int n) {
+	int i = 0;
+	if (n == 0) return 0;
+	while (i < n - 1 && a[i] && a[i] == b[i]) i++;
+	return (a[i] & 0xFF) - (b[i] & 0xFF);
+}
+
+char *strchr(char *s, int c) {
+	while (*s) {
+		if ((*s & 0xFF) == c) return s;
+		s++;
+	}
+	if (c == 0) return s;
+	return 0;
+}
+
+char *strstr(char *hay, char *needle) {
+	int n = strlen(needle);
+	if (n == 0) return hay;
+	while (*hay) {
+		if (strncmp(hay, needle, n) == 0) return hay;
+		hay++;
+	}
+	return 0;
+}
+
+char *memcpy(char *dst, char *src, int n) {
+	for (int i = 0; i < n; i++) dst[i] = src[i];
+	return dst;
+}
+
+char *memset(char *dst, int c, int n) {
+	for (int i = 0; i < n; i++) dst[i] = c;
+	return dst;
+}
+
+int memcmp(char *a, char *b, int n) {
+	for (int i = 0; i < n; i++) {
+		if (a[i] != b[i]) return (a[i] & 0xFF) - (b[i] & 0xFF);
+	}
+	return 0;
+}
+
+char *strncat(char *dst, char *src, int n) {
+	int d = strlen(dst);
+	int i = 0;
+	while (i < n && src[i]) { dst[d + i] = src[i]; i++; }
+	dst[d + i] = 0;
+	return dst;
+}
+
+char *strrchr(char *s, int c) {
+	char *last = 0;
+	while (*s) {
+		if ((*s & 0xFF) == c) last = s;
+		s++;
+	}
+	if (c == 0) return s;
+	return last;
+}
+
+int abs(int v) {
+	if (v < 0) return 0 - v;
+	return v;
+}
+
+int isdigit(int c) { return c >= '0' && c <= '9'; }
+int isspace(int c) { return c == ' ' || c == '\t' || c == '\n' || c == '\r'; }
+int isalpha(int c) {
+	if (c >= 'a' && c <= 'z') return 1;
+	return c >= 'A' && c <= 'Z';
+}
+int toupper(int c) {
+	if (c >= 'a' && c <= 'z') return c - 32;
+	return c;
+}
+int tolower(int c) {
+	if (c >= 'A' && c <= 'Z') return c + 32;
+	return c;
+}
+
+int atoi(char *s) {
+	int neg = 0;
+	int v = 0;
+	while (*s == ' ' || *s == '\t') s++;
+	if (*s == '-') { neg = 1; s++; }
+	while (*s >= '0' && *s <= '9') {
+		v = v * 10 + (*s - '0');
+		s++;
+	}
+	if (neg) return 0 - v;
+	return v;
+}
+
+/* ---------- buffered-free stdio ---------- */
+
+int fgetc(int fd) {
+	char b;
+	int n = read(fd, &b, 1);
+	if (n == 0) return -1;
+	if (n == -1) return -1;
+	return b & 0xFF;
+}
+
+int fputc(int c, int fd) {
+	char b = c;
+	write(fd, &b, 1);
+	return c & 0xFF;
+}
+
+int putchar(int c) { return fputc(c, 1); }
+
+int fputs(char *s, int fd) {
+	return write(fd, s, strlen(s));
+}
+
+int puts(char *s) {
+	fputs(s, 1);
+	return fputc('\n', 1);
+}
+
+/* gets: unbounded read from stdin — the classic stack-smash entry point. */
+char *gets(char *s) {
+	int i = 0;
+	while (1) {
+		int c = fgetc(0);
+		if (c == -1) break;
+		if (c == '\n') break;
+		s[i] = c;
+		i++;
+	}
+	s[i] = 0;
+	return s;
+}
+
+/* scanstr: scanf("%s", s) — skips leading whitespace then reads an
+   unbounded token, exactly the call in the paper's exp1/exp2. */
+char *scanstr(char *s) {
+	int c = fgetc(0);
+	while (c == ' ' || c == '\n' || c == '\t' || c == '\r') c = fgetc(0);
+	int i = 0;
+	while (1) {
+		if (c == -1) break;
+		if (c == ' ') break;
+		if (c == '\n') break;
+		if (c == '\t') break;
+		if (c == '\r') break;
+		s[i] = c;
+		i++;
+		c = fgetc(0);
+	}
+	s[i] = 0;
+	return s;
+}
+
+/* readline: bounded line read from a descriptor (servers use this for the
+   non-vulnerable paths). Returns length, -1 on EOF before any byte. */
+int readline(int fd, char *buf, int max) {
+	int i = 0;
+	while (i < max - 1) {
+		int c = fgetc(fd);
+		if (c == -1) {
+			if (i == 0) return -1;
+			break;
+		}
+		if (c == '\n') break;
+		if (c == '\r') continue;
+		buf[i] = c;
+		i++;
+	}
+	buf[i] = 0;
+	return i;
+}
+
+/* ---------- formatted output ---------- */
+
+/* __utoa: digits of v in base into dst (no NUL), returns length.
+   Digit bytes are produced arithmetically ('0'+d), as glibc's _itoa does
+   from a register value. */
+int __utoa(unsigned v, unsigned base, char *dst) {
+	char tmp[16];
+	int i = 0;
+	if (v == 0) { tmp[0] = '0'; i = 1; }
+	while (v) {
+		unsigned d = v % base;
+		if (d < 10u) tmp[i] = '0' + d;
+		else tmp[i] = 'a' + (d - 10u);
+		v = v / base;
+		i++;
+	}
+	int n = i;
+	int j = 0;
+	while (i) { i--; dst[j] = tmp[i]; j++; }
+	return n;
+}
+
+int __print_uint(int fd, unsigned v, unsigned base) {
+	char buf[16];
+	int n = __utoa(v, base, buf);
+	write(fd, buf, n);
+	return n;
+}
+
+int __print_int(int fd, int v) {
+	int n = 0;
+	if (v < 0) {
+		fputc('-', fd);
+		n = 1 + __print_uint(fd, (unsigned)(0 - v), 10u);
+		return n;
+	}
+	return __print_uint(fd, (unsigned)v, 10u);
+}
+
+/* vfprintf: the attack surface of every format-string exploit in the
+   paper. ap walks the caller's argument slots upward; %n stores the count
+   through the word ap points at — if that word is attacker data, the
+   store dereferences a tainted pointer. */
+int vfprintf(int fd, char *fmt, char *ap) {
+	int count = 0;
+	while (*fmt) {
+		char c = *fmt;
+		fmt++;
+		if (c != '%') {
+			fputc(c, fd);
+			count++;
+			continue;
+		}
+		char d = *fmt;
+		if (d == 0) break;
+		fmt++;
+		if (d == 'd') { count += __print_int(fd, *(int*)ap); ap = ap + 4; }
+		else if (d == 'u') { count += __print_uint(fd, (unsigned)*(int*)ap, 10u); ap = ap + 4; }
+		else if (d == 'x') { count += __print_uint(fd, (unsigned)*(int*)ap, 16u); ap = ap + 4; }
+		else if (d == 'c') { fputc(*(int*)ap, fd); ap = ap + 4; count++; }
+		else if (d == 's') {
+			char *s = (char*)*(int*)ap;
+			ap = ap + 4;
+			while (*s) { fputc(*s, fd); s++; count++; }
+		}
+		else if (d == 'n') {
+			int *p = (int*)*(int*)ap;   /* attacker-controllable word */
+			ap = ap + 4;
+			*p = count;                 /* store through it */
+		}
+		else if (d == '%') { fputc('%', fd); count++; }
+		else { fputc('%', fd); fputc(d, fd); count = count + 2; }
+	}
+	return count;
+}
+
+int printf(char *fmt, ...) {
+	return vfprintf(1, fmt, (char*)(&fmt + 1));
+}
+
+int fprintf(int fd, char *fmt, ...) {
+	return vfprintf(fd, fmt, (char*)(&fmt + 1));
+}
+
+/* vsprintf/sprintf: same conversions into a buffer. */
+int vsprintf(char *out, char *fmt, char *ap) {
+	int count = 0;
+	while (*fmt) {
+		char c = *fmt;
+		fmt++;
+		if (c != '%') { out[count] = c; count++; continue; }
+		char d = *fmt;
+		if (d == 0) break;
+		fmt++;
+		if (d == 'd') {
+			int v = *(int*)ap;
+			ap = ap + 4;
+			if (v < 0) { out[count] = '-'; count++; v = 0 - v; }
+			count += __utoa((unsigned)v, 10u, out + count);
+		}
+		else if (d == 'u') { count += __utoa((unsigned)*(int*)ap, 10u, out + count); ap = ap + 4; }
+		else if (d == 'x') { count += __utoa((unsigned)*(int*)ap, 16u, out + count); ap = ap + 4; }
+		else if (d == 'c') { out[count] = *(int*)ap; ap = ap + 4; count++; }
+		else if (d == 's') {
+			char *s = (char*)*(int*)ap;
+			ap = ap + 4;
+			while (*s) { out[count] = *s; s++; count++; }
+		}
+		else if (d == 'n') {
+			int *p = (int*)*(int*)ap;
+			ap = ap + 4;
+			*p = count;
+		}
+		else if (d == '%') { out[count] = '%'; count++; }
+		else { out[count] = '%'; out[count + 1] = d; count = count + 2; }
+	}
+	out[count] = 0;
+	return count;
+}
+
+int sprintf(char *out, char *fmt, ...) {
+	return vsprintf(out, fmt, (char*)(&fmt + 1));
+}
+
+/* ---------- heap: dlmalloc-style chunks ---------- */
+/*
+ * struct chunk layout (matching 2001-era dlmalloc semantics):
+ *   size|inuse-bit at +0 (size includes the 4-byte header)
+ *   when free: fd at +4, bk at +8 (the payload area is reused for links)
+ * malloc returns chunk+4. The free list is doubly linked, head-inserted;
+ * free() coalesces forward by unlinking the adjacent free chunk — the
+ * B->fd->bk = B->bk site of the paper's Figure 2.
+ */
+
+struct chunk {
+	int size;              /* size | inuse bit */
+	struct chunk *fd;
+	struct chunk *bk;
+};
+
+char *__heap_base;
+char *__heap_end;
+struct chunk *__free_head;
+
+int __chunk_size(struct chunk *c) { return c->size & ~1; }
+int __chunk_inuse(struct chunk *c) { return c->size & 1; }
+
+void __freelist_insert(struct chunk *c) {
+	c->fd = __free_head;
+	c->bk = 0;
+	if (__free_head) __free_head->bk = c;
+	__free_head = c;
+}
+
+/* __unlink: take c out of the doubly linked free list. The dereferences
+   of c->fd / c->bk are exactly what a heap overflow turns into an
+   arbitrary write: after corruption they hold attacker bytes. */
+void __unlink(struct chunk *c) {
+	struct chunk *fd = c->fd;
+	struct chunk *bk = c->bk;
+	if (fd) {
+		struct chunk *check = fd->bk;   /* LW through fd */
+		if (check) {}                    /* pre-hardening libc: unused */
+		fd->bk = bk;
+	}
+	if (bk) bk->fd = fd;
+	if (__free_head == c) __free_head = c->fd;
+}
+
+char *malloc(int n) {
+	int need = (n + 4 + 7) & ~7;
+	if (need < 16) need = 16;
+	struct chunk *c = __free_head;
+	while (c) {
+		int sz = __chunk_size(c);
+		if (sz >= need) {
+			__unlink(c);
+			if (sz - need >= 16) {
+				struct chunk *rest = (struct chunk*)((char*)c + need);
+				rest->size = sz - need;
+				__freelist_insert(rest);
+				c->size = need | 1;
+			} else {
+				c->size = sz | 1;
+			}
+			return (char*)c + 4;
+		}
+		c = c->fd;
+	}
+	if (!__heap_base) {
+		__heap_base = (char*)__syscall(17, 0, 0, 0);
+		__heap_end = __heap_base;
+	}
+	struct chunk *nc = (struct chunk*)__heap_end;
+	char *newend = __heap_end + need;
+	__syscall(17, (int)newend, 0, 0);
+	__heap_end = newend;
+	nc->size = need | 1;
+	return (char*)nc + 4;
+}
+
+char *calloc(int n) {
+	char *p = malloc(n);
+	memset(p, 0, n);
+	return p;
+}
+
+void free(char *p) {
+	if (!p) return;
+	struct chunk *c = (struct chunk*)(p - 4);
+	if (!__chunk_inuse(c)) {
+		/* Double free: the chunk is already linked into the free list;
+		   consolidate by unlinking it first (dereferencing whatever its
+		   fd/bk now hold — the traceroute attack's entry point). */
+		__unlink(c);
+	}
+	int sz = __chunk_size(c);
+	struct chunk *next = (struct chunk*)((char*)c + sz);
+	if ((char*)next < __heap_end) {
+		if (!__chunk_inuse(next)) {
+			/* Forward coalesce: unlink the adjacent free chunk. After a
+			   heap overflow its fd/bk are attacker bytes (paper Fig. 2). */
+			__unlink(next);
+			sz = sz + __chunk_size(next);
+		}
+	}
+	c->size = sz;
+	__freelist_insert(c);
+}
+
+/* ---------- environment ---------- */
+
+char **__environ;          /* set by crt0 from the kernel's envp */
+
+char *getenv(char *name) {
+	if (!__environ) return 0;
+	int n = strlen(name);
+	for (int i = 0; __environ[i]; i++) {
+		char *e = __environ[i];
+		if (strncmp(e, name, n) == 0 && e[n] == '=') return e + n + 1;
+	}
+	return 0;
+}
+`

@@ -1,0 +1,65 @@
+// Package rtl is the simulator's runtime library: a crt0 startup stub in
+// assembly plus a libc written in the ptcc C subset. The libc is
+// deliberately period-faithful to the paper's targets: printf's %n writes
+// through an argument-list pointer exactly like the vfprintf the paper
+// attacks; gets/scanstr perform unbounded reads; and malloc/free manage a
+// dlmalloc-style doubly linked free list whose unlink is the classic heap
+// corruption attack point.
+package rtl
+
+import (
+	"fmt"
+
+	"repro/internal/asm"
+	"repro/internal/cc"
+)
+
+// Crt0 is the freestanding startup stub: call main(argc, argv, envp),
+// then exit(result). Used for NoLibc builds.
+const Crt0 = `
+.text
+.entry _start
+_start:
+	addiu $sp, $sp, -12
+	sw $a0, 0($sp)
+	sw $a1, 4($sp)
+	sw $a2, 8($sp)
+	jal main
+	move $a0, $v0
+	li $v0, 1
+	syscall
+`
+
+// Crt0Libc additionally publishes envp through the libc's __environ
+// before entering main, so getenv works.
+const Crt0Libc = `
+.text
+.entry _start
+_start:
+	sw $a2, __environ
+	addiu $sp, $sp, -12
+	sw $a0, 0($sp)
+	sw $a1, 4($sp)
+	sw $a2, 8($sp)
+	jal main
+	move $a0, $v0
+	li $v0, 1
+	syscall
+`
+
+// Build compiles the given application units together with the runtime
+// library and links everything into a loadable image.
+func Build(appUnits ...cc.Unit) (*asm.Image, error) {
+	units := make([]cc.Unit, 0, len(appUnits)+1)
+	units = append(units, cc.Unit{Name: "libc.c", Src: LibC})
+	units = append(units, appUnits...)
+	gen, err := cc.CompileProgram(units...)
+	if err != nil {
+		return nil, fmt.Errorf("rtl build: %w", err)
+	}
+	im, err := asm.Assemble(asm.Source{Name: "crt0.s", Text: Crt0Libc}, gen)
+	if err != nil {
+		return nil, fmt.Errorf("rtl link: %w", err)
+	}
+	return im, nil
+}

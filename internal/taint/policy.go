@@ -1,0 +1,95 @@
+package taint
+
+import "repro/internal/isa"
+
+// Policy selects which dereferences of tainted words raise a security
+// exception. PointerTaintedness is the paper's mechanism; ControlDataOnly
+// models the Minos / Secure Program Execution baseline, which protects only
+// control-flow transfers; Off disables detection (taint is still tracked,
+// for statistics).
+type Policy uint8
+
+// Detection policies.
+const (
+	PolicyOff Policy = iota + 1
+	// PolicyControlDataOnly alerts only when a control-flow transfer target
+	// (JR/JALR register) is tainted — the control-flow-integrity baseline.
+	PolicyControlDataOnly
+	// PolicyPointerTaintedness alerts whenever a tainted word is
+	// dereferenced: load address, store address, or jump-register target.
+	PolicyPointerTaintedness
+)
+
+// ParsePolicy resolves a policy name ("pointer", "control", "off", or the
+// full String() forms) for command-line use.
+func ParsePolicy(name string) (Policy, bool) {
+	switch name {
+	case "pointer", "pointer-taintedness":
+		return PolicyPointerTaintedness, true
+	case "control", "control-data-only":
+		return PolicyControlDataOnly, true
+	case "off":
+		return PolicyOff, true
+	}
+	return 0, false
+}
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	switch p {
+	case PolicyOff:
+		return "off"
+	case PolicyControlDataOnly:
+		return "control-data-only"
+	case PolicyPointerTaintedness:
+		return "pointer-taintedness"
+	}
+	return "unknown-policy"
+}
+
+// AlertKind classifies the dereference that tripped the detector.
+type AlertKind uint8
+
+// Alert kinds.
+const (
+	AlertLoadAddress  AlertKind = iota + 1 // tainted address on a load
+	AlertStoreAddress                      // tainted address on a store
+	AlertJumpTarget                        // tainted register jump target
+)
+
+// String implements fmt.Stringer.
+func (k AlertKind) String() string {
+	switch k {
+	case AlertLoadAddress:
+		return "tainted-load-address"
+	case AlertStoreAddress:
+		return "tainted-store-address"
+	case AlertJumpTarget:
+		return "tainted-jump-target"
+	}
+	return "unknown-alert"
+}
+
+// CheckMemAccess reports whether an access by op through an address with
+// taint vec must raise an alert under the policy, and the alert kind.
+func (p Policy) CheckMemAccess(op isa.Opcode, vec Vec) (AlertKind, bool) {
+	if p != PolicyPointerTaintedness || !vec.Any() {
+		return 0, false
+	}
+	switch {
+	case op.IsLoad():
+		return AlertLoadAddress, true
+	case op.IsStore():
+		return AlertStoreAddress, true
+	}
+	return 0, false
+}
+
+// CheckJumpReg reports whether a register jump through a target with taint
+// vec must raise an alert under the policy.
+func (p Policy) CheckJumpReg(vec Vec) (AlertKind, bool) {
+	if p == PolicyOff || !vec.Any() {
+		return 0, false
+	}
+	return AlertJumpTarget, true
+}
