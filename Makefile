@@ -1,0 +1,26 @@
+GO ?= go
+FUZZTIME ?= 10s
+
+.PHONY: build vet test race fuzz bench ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Differential fuzzing of the block fast path against the reference
+# interpreter (internal/cpu/fuzz_test.go).
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzStepEquivalence -fuzztime $(FUZZTIME) ./internal/cpu/
+
+bench:
+	$(GO) test -run '^$$' -bench 'StepFastPath|SPEC' -benchmem .
+
+ci: vet build race fuzz

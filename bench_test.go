@@ -239,6 +239,82 @@ func BenchmarkInterpreterHotLoop(b *testing.B) {
 	b.ReportMetric(float64(instrs)*float64(b.N)/b.Elapsed().Seconds(), "guest-instrs/s")
 }
 
+// hotLoopSrc is the tight arithmetic workload shared by the interpreter
+// benchmarks: ~7M guest instructions, no syscalls in the loop.
+const hotLoopSrc = `
+	int main() {
+		int s = 0;
+		for (int i = 0; i < 1000000; i++) s = s + i * 3 - (s >> 1);
+		return s & 1;
+	}
+`
+
+// BenchmarkStepFastPath compares the predecoded basic-block fast path
+// against the reference one-instruction interpreter on the hot loop; the
+// ns/instr metric is the headline per-instruction simulation cost.
+func BenchmarkStepFastPath(b *testing.B) {
+	run := func(b *testing.B, reference bool) {
+		var total uint64
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			m, err := core.BuildC(core.Config{Budget: 1 << 40, Reference: reference}, hotLoopSrc)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			runErr := m.Run()
+			var ee *core.ExitError
+			if runErr != nil && !errors.As(runErr, &ee) {
+				b.Fatal(runErr)
+			}
+			total += m.Stats().Instructions
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(total), "ns/instr")
+	}
+	b.Run("fast", func(b *testing.B) { run(b, false) })
+	b.Run("reference", func(b *testing.B) { run(b, true) })
+}
+
+// BenchmarkSPECStepFastPath runs each SPEC analogue under both
+// interpreters, pairing every workload with its reference baseline so the
+// speedup is visible per program (ns/instr metric again).
+func BenchmarkSPECStepFastPath(b *testing.B) {
+	modes := []struct {
+		name      string
+		reference bool
+	}{
+		{"fast", false},
+		{"reference", true},
+	}
+	for _, p := range progs.SpecSuite() {
+		p := p
+		input := progs.SpecInput(p.Name, 1)
+		for _, mode := range modes {
+			mode := mode
+			b.Run(p.Name+"/"+mode.name, func(b *testing.B) {
+				var total uint64
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					m, err := attack.Boot(p, attack.Options{
+						Policy:    taint.PolicyPointerTaintedness,
+						Files:     map[string][]byte{"/input": input},
+						Reference: mode.reference,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.StartTimer()
+					if err := m.Run(); err != nil {
+						b.Fatal(err)
+					}
+					total += m.CPU.Stats().Instructions
+				}
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(total), "ns/instr")
+			})
+		}
+	}
+}
+
 // BenchmarkCompiler measures ptcc end-to-end build speed (compile +
 // assemble + link against the runtime) on the largest corpus program,
 // bypassing the corpus image cache.

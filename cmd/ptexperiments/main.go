@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	ptexperiments [-scale N] [id ...]
+//	ptexperiments [-scale N] [-fast=false] [id ...]
 //
 // IDs: fig1 fig2 fig3 table1 table2 matrix table3 table4 overhead
 // ablation profile. With no IDs, everything runs in paper order
@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/attack"
 	"repro/internal/experiments"
 )
 
@@ -28,9 +29,11 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("ptexperiments", flag.ContinueOnError)
 	scale := fs.Int("scale", 1, "input scale for the SPEC-analogue workloads")
+	fast := fs.Bool("fast", true, "use the predecoded basic-block fast path")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	attack.ForceReference = !*fast
 	if fs.NArg() == 0 {
 		reports, err := experiments.All()
 		if err != nil {

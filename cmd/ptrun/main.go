@@ -42,6 +42,7 @@ func main() {
 func run(args []string) (int, error) {
 	fs := flag.NewFlagSet("ptrun", flag.ContinueOnError)
 	policyName := fs.String("policy", "pointer", "detection policy: pointer, control, off")
+	fast := fs.Bool("fast", true, "use the predecoded basic-block fast path")
 	withCache := fs.Bool("cache", false, "simulate the L1/L2 hierarchy")
 	stdinPath := fs.String("stdin", "", "file fed to the guest's stdin (tainted)")
 	stats := fs.Bool("stats", false, "print execution statistics")
@@ -72,6 +73,7 @@ func run(args []string) (int, error) {
 		WithCache: *withCache,
 		Args:      guestArgs,
 		ProgName:  progPath,
+		Reference: !*fast,
 	}
 	var m *core.Machine
 	if strings.HasSuffix(progPath, ".s") {
@@ -118,6 +120,10 @@ func run(args []string) (int, error) {
 		fmt.Fprintf(os.Stderr, "instructions=%d cycles=%d CPI=%.3f loads=%d stores=%d syscalls=%d tainted-input-bytes=%d\n",
 			s.Instructions, p.Cycles, p.CPI(s.Instructions), s.Loads, s.Stores, s.Syscalls,
 			m.InputStats().TaintedBytes)
+		if *fast {
+			fmt.Fprintf(os.Stderr, "block-hits=%d block-misses=%d clean-skips=%d clean-skip-rate=%.3f\n",
+				s.BlockHits, s.BlockMisses, s.CleanSkips, s.CleanSkipRate())
+		}
 		if *withCache {
 			l1, l2 := m.CacheStats()
 			fmt.Fprintf(os.Stderr, "L1 hit=%.3f L2 hit=%.3f\n", l1.HitRate(), l2.HitRate())

@@ -24,6 +24,12 @@ import (
 // DefaultBudget bounds one victim run.
 const DefaultBudget = 200_000_000
 
+// ForceReference disables the predecoded basic-block fast path for every
+// machine booted while it is set — the ptexperiments -fast=false escape
+// hatch and the toggle the differential harness flips to cross-check the
+// two interpreters.
+var ForceReference bool
+
 // Machine is one booted victim instance.
 type Machine struct {
 	Image  *asm.Image
@@ -32,7 +38,8 @@ type Machine struct {
 	Mem    *mem.Memory
 	Caches *cache.Hierarchy // nil without Options.WithCache
 
-	budget uint64
+	budget    uint64
+	reference bool
 }
 
 // Options configures a victim boot.
@@ -47,6 +54,11 @@ type Options struct {
 	// WithCache interposes the default L1/L2 hierarchy between the CPU and
 	// memory, so taint bits travel through cache lines (Section 4.1).
 	WithCache bool
+	// Reference forces the classic one-instruction Step interpreter
+	// instead of the predecoded basic-block fast path. The two are
+	// behaviourally identical (internal/cpu/differential_test.go); the
+	// reference path exists for cross-checking and debugging.
+	Reference bool
 }
 
 // Boot compiles and loads a corpus program under the given options.
@@ -92,7 +104,11 @@ func BootImage(name string, im *asm.Image, opts Options) (*Machine, error) {
 	if budget == 0 {
 		budget = DefaultBudget
 	}
-	return &Machine{Image: im, Kernel: k, CPU: c, Mem: m, Caches: hier, budget: budget}, nil
+	return &Machine{
+		Image: im, Kernel: k, CPU: c, Mem: m, Caches: hier,
+		budget:    budget,
+		reference: opts.Reference || ForceReference,
+	}, nil
 }
 
 // Sync flushes dirty cache lines to memory so host-side inspection of Mem
@@ -106,7 +122,10 @@ func (m *Machine) Sync() {
 // Run executes until the guest exits, blocks on I/O, faults, or alerts.
 // A clean exit returns nil; a block returns *kernel.BlockedError.
 func (m *Machine) Run() error {
-	return m.CPU.Run(m.budget)
+	if m.reference {
+		return m.CPU.Run(m.budget)
+	}
+	return m.CPU.RunFast(m.budget)
 }
 
 // RunToBlock runs and requires the guest to block (a server waiting for

@@ -93,16 +93,22 @@ type Config struct {
 	// NoLibc omits the bundled runtime library when building C sources
 	// (for fully freestanding programs).
 	NoLibc bool
+	// Reference forces the classic one-instruction Step interpreter
+	// instead of the predecoded basic-block fast path (the default). The
+	// two are behaviourally identical; the reference path exists for
+	// cross-checking and debugging.
+	Reference bool
 }
 
 // Machine is a ready-to-run guest.
 type Machine struct {
-	image  *asm.Image
-	kern   *kernel.Kernel
-	cpu    *cpu.CPU
-	mem    *mem.Memory
-	caches *cache.Hierarchy
-	budget uint64
+	image     *asm.Image
+	kern      *kernel.Kernel
+	cpu       *cpu.CPU
+	mem       *mem.Memory
+	caches    *cache.Hierarchy
+	budget    uint64
+	reference bool
 }
 
 // BuildC compiles C-subset sources (linked with the runtime library) and
@@ -174,13 +180,22 @@ func BootImage(cfg Config, im *asm.Image) (*Machine, error) {
 	if budget == 0 {
 		budget = 200_000_000
 	}
-	return &Machine{image: im, kern: k, cpu: c, mem: physical, caches: hier, budget: budget}, nil
+	return &Machine{
+		image: im, kern: k, cpu: c, mem: physical, caches: hier,
+		budget:    budget,
+		reference: cfg.Reference,
+	}, nil
 }
 
 // Run executes until the guest exits, blocks on I/O, faults, or an alert
 // fires. nil means a clean zero-status exit; *BlockedError means the guest
 // awaits input (feed it and Run again); *SecurityAlert is a detection.
-func (m *Machine) Run() error { return m.cpu.Run(m.budget) }
+func (m *Machine) Run() error {
+	if m.reference {
+		return m.cpu.Run(m.budget)
+	}
+	return m.cpu.RunFast(m.budget)
+}
 
 // RunToBlock runs and requires the guest to block on I/O (servers).
 func (m *Machine) RunToBlock() error {

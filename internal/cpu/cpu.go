@@ -8,9 +8,11 @@ package cpu
 
 import (
 	"io"
+	"math/bits"
 
 	"repro/internal/asm"
 	"repro/internal/isa"
+	"repro/internal/mem"
 	"repro/internal/taint"
 )
 
@@ -55,10 +57,11 @@ type decodedSlot struct {
 // re-acquire taint on reload and break the paper's zero-false-positive
 // behaviour. Any store overlapping the home, or any other write to the
 // register, invalidates the link.
+// Liveness lives in CPU.homesMask (bit r), not here, so breaking a link is
+// a single mask update.
 type regHome struct {
 	addr  uint32
 	width uint8
-	ok    bool
 }
 
 // CPU is one hardware thread of the simulated machine.
@@ -66,13 +69,22 @@ type CPU struct {
 	regs     [isa.NumRegisters]uint32
 	regTaint [isa.NumRegisters]taint.Vec
 	regHomes [isa.NumRegisters]regHome
-	pc       uint32
+	// homesMask has bit r set iff regHomes[r].ok, so the per-store home
+	// invalidation scan can skip dead entries (usually all of them).
+	homesMask uint32
+	pc        uint32
 
 	bus     Bus
 	policy  taint.Policy
 	prop    taint.Propagator
 	handler SyscallHandler
 	image   *asm.Image
+
+	// flatMem is the bus downcast to flat memory when no cache hierarchy
+	// is interposed; the fast path uses it for side-effect-free taint
+	// peeks (homeClean) that have no meaning through a timing-modelled
+	// cache port.
+	flatMem *mem.Memory
 
 	pipe  Pipeline
 	stats Stats
@@ -88,10 +100,13 @@ type CPU struct {
 	penalties PenaltySource // non-nil when the bus models miss latency
 
 	// Predecoded text segment: decoded[i] caches the instruction at
-	// textBase + 4i. Stores into the text range invalidate entries, so
-	// self-modifying code stays correct.
+	// textBase + 4i, and blocks[i] caches the basic block entered there
+	// (fastpath.go). Stores into the range [textBase, textEnd) invalidate
+	// entries of both, so self-modifying code stays correct.
 	textBase uint32
+	textEnd  uint32
 	decoded  []decodedSlot
+	blocks   []*decBlock
 
 	halted   bool
 	exitCode int32
@@ -112,6 +127,9 @@ func New(cfg Config) *CPU {
 	if ps, ok := cfg.Bus.(PenaltySource); ok {
 		c.penalties = ps
 	}
+	if fm, ok := cfg.Bus.(*mem.Memory); ok {
+		c.flatMem = fm
+	}
 	return c
 }
 
@@ -128,7 +146,7 @@ func (c *CPU) SetReg(r isa.Register, v uint32, t taint.Vec) {
 	}
 	c.regs[r] = v
 	c.regTaint[r] = t
-	c.regHomes[r].ok = false
+	c.homesMask &^= 1 << r
 }
 
 // setHome links register r to the memory range its value was loaded from.
@@ -136,29 +154,39 @@ func (c *CPU) setHome(r isa.Register, addr uint32, width int) {
 	if r == isa.RegZero {
 		return
 	}
-	c.regHomes[r] = regHome{addr: addr, width: uint8(width), ok: true}
+	c.regHomes[r] = regHome{addr: addr, width: uint8(width)}
+	c.homesMask |= 1 << r
 }
 
 // invalidateText drops predecode entries overlapped by a store (support
-// for self-modifying code; never hit by the corpus).
+// for self-modifying code; never hit by the corpus). The per-byte walk
+// handles stores that only partially overlap the text segment or a word;
+// every word a single byte lands in loses its decoded slot and — via
+// evictBlocksAt — every predecoded block spanning that word.
 func (c *CPU) invalidateText(addr uint32, width int) {
-	if c.decoded == nil {
+	// One range compare rejects the overwhelmingly common data store; the
+	// wrap-around of addr+width only ever skips stores that could not
+	// reach the text segment anyway.
+	if c.decoded == nil || addr >= c.textEnd || addr+uint32(width) <= c.textBase {
 		return
 	}
+	lastIdx := ^uint32(0)
 	for i := 0; i < width; i++ {
 		idx := (addr + uint32(i) - c.textBase) >> 2
-		if idx < uint32(len(c.decoded)) {
+		if idx < uint32(len(c.decoded)) && idx != lastIdx {
 			c.decoded[idx].valid = false
+			c.evictBlocksAt(idx)
+			lastIdx = idx
 		}
 	}
 }
 
 // invalidateHomes breaks register-to-memory links overlapping a store.
 func (c *CPU) invalidateHomes(addr uint32, width int) {
-	for i := range c.regHomes {
-		h := &c.regHomes[i]
-		if h.ok && addr < h.addr+uint32(h.width) && h.addr < addr+uint32(width) {
-			h.ok = false
+	for m := c.homesMask; m != 0; m &= m - 1 {
+		h := &c.regHomes[bits.TrailingZeros32(m)]
+		if addr < h.addr+uint32(h.width) && h.addr < addr+uint32(width) {
+			c.homesMask &^= m & -m
 		}
 	}
 }
@@ -170,8 +198,20 @@ func (c *CPU) untaintWithHome(r isa.Register) {
 		return
 	}
 	c.regTaint[r] = taint.None
+	if c.homesMask&(1<<r) == 0 {
+		return
+	}
 	h := c.regHomes[r]
-	if !h.ok {
+	if c.flatMem != nil {
+		// On flat memory a write-through of an already-clean byte is a
+		// pure no-op (same data, same taint, no timing port), so only the
+		// still-tainted bytes need the store.
+		for i := uint32(0); i < uint32(h.width); i++ {
+			b, t := c.flatMem.LoadByte(h.addr + i)
+			if t {
+				c.flatMem.StoreByte(h.addr+i, b, false)
+			}
+		}
 		return
 	}
 	for i := uint32(0); i < uint32(h.width); i++ {
@@ -211,6 +251,9 @@ func (c *CPU) AddProbe(pc uint32, fn func(*CPU)) {
 		c.probes = make(map[uint32][]func(*CPU))
 	}
 	c.probes[pc] = append(c.probes[pc], fn)
+	// A probed pc must be a block entry so StepBlock runs its probes;
+	// rebuilt blocks will stop short of it.
+	c.flushBlocks()
 }
 
 // Halt stops the machine with the given exit status; the current Run call
@@ -261,6 +304,13 @@ func (c *CPU) Step() error {
 			fn(c)
 		}
 	}
+	return c.stepOne()
+}
+
+// stepOne is Step without the probe dispatch: the reference fetch → decode
+// → execute → retire path, also used by StepBlock as its fallback once the
+// entry probes have run.
+func (c *CPU) stepOne() error {
 	var in isa.Instruction
 	if idx := (c.pc - c.textBase) >> 2; c.decoded != nil && idx < uint32(len(c.decoded)) && c.decoded[idx].valid {
 		in = c.decoded[idx].in
@@ -318,6 +368,7 @@ func (c *CPU) Step() error {
 		if kind, bad := c.policy.CheckJumpReg(c.regTaint[in.Rs]); bad {
 			c.pipe.Retire(in)
 			c.stats.Instructions++
+			c.stats.TaintedSteps++
 			if c.profile != nil {
 				c.profile[in.Op]++
 			}
@@ -348,6 +399,7 @@ func (c *CPU) Step() error {
 
 	c.pipe.Retire(in)
 	c.stats.Instructions++
+	c.stats.TaintedSteps++ // the reference path always runs the full datapath
 	if c.profile != nil {
 		c.profile[in.Op]++
 	}
@@ -488,6 +540,7 @@ func (c *CPU) execMem(in isa.Instruction) error {
 	if kind, bad := c.policy.CheckMemAccess(in.Op, addrVec); bad {
 		c.pipe.Retire(in)
 		c.stats.Instructions++
+		c.stats.TaintedSteps++
 		return c.alert(kind, StageEXMEM, in, in.Rs)
 	}
 	addr := c.regs[in.Rs] + uint32(in.Imm)
@@ -579,25 +632,29 @@ func (c *CPU) execMem(in isa.Instruction) error {
 	return nil
 }
 
+// branchTaken evaluates a branch condition on its register values.
+func branchTaken(op isa.Opcode, a, b uint32) bool {
+	switch op {
+	case isa.OpBEQ:
+		return a == b
+	case isa.OpBNE:
+		return a != b
+	case isa.OpBLEZ:
+		return int32(a) <= 0
+	case isa.OpBGTZ:
+		return int32(a) > 0
+	case isa.OpBLTZ:
+		return int32(a) < 0
+	case isa.OpBGEZ:
+		return int32(a) >= 0
+	}
+	return false
+}
+
 // execBranch evaluates the branch condition and applies the compare-untaint
 // rule to the tested registers.
 func (c *CPU) execBranch(in isa.Instruction) bool {
-	a, b := c.regs[in.Rs], c.regs[in.Rt]
-	var taken bool
-	switch in.Op {
-	case isa.OpBEQ:
-		taken = a == b
-	case isa.OpBNE:
-		taken = a != b
-	case isa.OpBLEZ:
-		taken = int32(a) <= 0
-	case isa.OpBGTZ:
-		taken = int32(a) > 0
-	case isa.OpBLTZ:
-		taken = int32(a) < 0
-	case isa.OpBGEZ:
-		taken = int32(a) >= 0
-	}
+	taken := branchTaken(in.Op, c.regs[in.Rs], c.regs[in.Rt])
 	if c.prop.BranchUntaint() {
 		c.untaintWithHome(in.Rs)
 		if in.Op == isa.OpBEQ || in.Op == isa.OpBNE {

@@ -1,0 +1,835 @@
+package cpu
+
+import (
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/taint"
+)
+
+// maxBlockLen bounds one predecoded basic block, in instructions. Blocks
+// end at the first control transfer or trap anyway; the cap only limits
+// pathological straight-line runs and the backward scan in evictBlocksAt.
+const maxBlockLen = 128
+
+// decIns is one fully predecoded instruction of a basic block: the decoded
+// form plus everything the dispatch loop would otherwise recompute per
+// execution — the taint-datapath kind, the source registers whose taint
+// decides the clean-operand short-circuit, and for ALU/compare ops the
+// operand routing (aluMode/imm/dst). srcA/srcB are RegZero when unused,
+// which is safe on both uses: $zero's taint is always None and its regHome
+// is never live, and the load-use hazard check in StepBlock's retire
+// accounting compares them against a destination that is never $zero.
+type decIns struct {
+	in      isa.Instruction
+	kind    isa.Kind
+	srcA    isa.Register
+	srcB    isa.Register
+	dst     isa.Register // ALU/compare/load destination
+	aluMode uint8        // operand routing for execALUClean
+	fop     uint8        // dense fast-op code (fopXXX) for ALU/shift/mem dispatch
+	isLoad  bool
+	ctl     bool   // control transfer: the only ops whose nextPC needs the pc checks
+	imm     uint32 // precomputed immediate operand (aluImm/aluLUI/mem offset)
+}
+
+// ALU operand-routing modes (mirroring execALU's selection).
+const (
+	aluRR  = iota // a = regs[srcA], b = regs[srcB]
+	aluImm        // a = regs[srcA], b = imm (sign- or zero-extended at decode)
+	aluLUI        // result is imm, fully precomputed
+)
+
+// Dense fast-op codes: the sparse opcode space collapsed to consecutive
+// values so the clean-ALU and flat-memory dispatch switches compile to jump
+// tables instead of the comparison chains aluValue/execMem pay per step.
+const (
+	fopNone = iota
+	fopADD
+	fopSUB
+	fopAND
+	fopOR
+	fopXOR
+	fopNOR
+	fopMUL
+	fopDIV
+	fopDIVU
+	fopREM
+	fopREMU
+	fopSLT
+	fopSLTU
+	fopSLL
+	fopSRL
+	fopSRA
+	fopLB
+	fopLBU
+	fopLH
+	fopLHU
+	fopLW
+	fopSB
+	fopSH
+	fopSW
+)
+
+// aluFop maps an ALU/compare opcode to its dense fast-op code; immediate and
+// register forms share one code because the operand routing (aluMode) already
+// distinguishes them.
+func aluFop(op isa.Opcode) uint8 {
+	switch op {
+	case isa.OpADD, isa.OpADDU, isa.OpADDI, isa.OpADDIU:
+		return fopADD
+	case isa.OpSUB, isa.OpSUBU:
+		return fopSUB
+	case isa.OpAND, isa.OpANDI:
+		return fopAND
+	case isa.OpOR, isa.OpORI:
+		return fopOR
+	case isa.OpXOR, isa.OpXORI:
+		return fopXOR
+	case isa.OpNOR:
+		return fopNOR
+	case isa.OpMUL:
+		return fopMUL
+	case isa.OpDIV:
+		return fopDIV
+	case isa.OpDIVU:
+		return fopDIVU
+	case isa.OpREM:
+		return fopREM
+	case isa.OpREMU:
+		return fopREMU
+	case isa.OpSLT, isa.OpSLTI:
+		return fopSLT
+	case isa.OpSLTU, isa.OpSLTIU:
+		return fopSLTU
+	}
+	return fopNone
+}
+
+// memFop maps a load/store opcode to its dense fast-op code.
+func memFop(op isa.Opcode) uint8 {
+	switch op {
+	case isa.OpLB:
+		return fopLB
+	case isa.OpLBU:
+		return fopLBU
+	case isa.OpLH:
+		return fopLH
+	case isa.OpLHU:
+		return fopLHU
+	case isa.OpLW:
+		return fopLW
+	case isa.OpSB:
+		return fopSB
+	case isa.OpSH:
+		return fopSH
+	case isa.OpSW:
+		return fopSW
+	}
+	return fopNone
+}
+
+// decBlock is one predecoded basic block, keyed by the word index of its
+// first instruction. Stores into the block's text range (invalidateText)
+// clear valid; the next dispatch rebuilds from the current memory bytes.
+type decBlock struct {
+	valid bool
+	ins   []decIns
+}
+
+// taintSources returns the registers whose taint feeds the instruction's
+// datapath (RegZero for unused slots). The register set equals the one
+// usesReg consults, so the same pair drives both the clean-operand
+// short-circuit and the fast load-use hazard check.
+func taintSources(in isa.Instruction) (a, b isa.Register) {
+	switch in.Op.Kind() {
+	case isa.KindALU, isa.KindCompare:
+		switch in.Op {
+		case isa.OpLUI:
+			return isa.RegZero, isa.RegZero
+		case isa.OpADDI, isa.OpADDIU, isa.OpSLTI, isa.OpSLTIU,
+			isa.OpANDI, isa.OpORI, isa.OpXORI:
+			return in.Rs, isa.RegZero
+		}
+		return in.Rs, in.Rt
+	case isa.KindShift:
+		if in.Op == isa.OpSLL || in.Op == isa.OpSRL || in.Op == isa.OpSRA {
+			return in.Rt, isa.RegZero
+		}
+		return in.Rt, in.Rs
+	case isa.KindLoad, isa.KindJumpReg:
+		return in.Rs, isa.RegZero
+	case isa.KindStore:
+		return in.Rs, in.Rt
+	case isa.KindBranch:
+		if in.Op == isa.OpBEQ || in.Op == isa.OpBNE {
+			return in.Rs, in.Rt
+		}
+		return in.Rs, isa.RegZero
+	}
+	return isa.RegZero, isa.RegZero
+}
+
+// flushBlocks drops every predecoded block. Called when a probe is added:
+// blocks must never span a probed pc except at their entry, where StepBlock
+// runs the probes.
+func (c *CPU) flushBlocks() {
+	for i := range c.blocks {
+		if b := c.blocks[i]; b != nil {
+			b.valid = false
+			c.blocks[i] = nil
+		}
+	}
+}
+
+// evictBlocksAt invalidates every block containing the text word at idx.
+// Blocks are at most maxBlockLen long, so only entries in the preceding
+// window can span idx — this is what keeps a store that overlaps a block's
+// interior or tail (not just its entry word) from leaving stale code live.
+func (c *CPU) evictBlocksAt(idx uint32) {
+	if c.blocks == nil {
+		return
+	}
+	lo := uint32(0)
+	if idx >= maxBlockLen-1 {
+		lo = idx - (maxBlockLen - 1)
+	}
+	for j := lo; j <= idx && j < uint32(len(c.blocks)); j++ {
+		if b := c.blocks[j]; b != nil && b.valid && j+uint32(len(b.ins)) > idx {
+			b.valid = false
+		}
+	}
+}
+
+// buildBlock predecodes the straight-line run starting at text word idx,
+// stopping at the first control transfer or trap, a null or undecodable
+// word, the end of the text segment, a probed pc (which must stay a block
+// entry), or maxBlockLen. Returns nil when not even the first word decodes
+// — the caller falls back to the reference step, which raises the same
+// fault the reference interpreter would.
+func (c *CPU) buildBlock(idx uint32) *decBlock {
+	base := c.textBase + idx*4
+	words := make([]uint32, 0, 16)
+	for i := uint32(0); i < maxBlockLen && idx+i < uint32(len(c.decoded)); i++ {
+		pc := base + i*4
+		if i > 0 && c.probes != nil {
+			if _, ok := c.probes[pc]; ok {
+				break
+			}
+		}
+		w, _, err := c.bus.LoadWord(pc)
+		if err != nil {
+			break
+		}
+		// Decode eagerly only to find the run's end, so the fetch loop
+		// stops at the terminator instead of pulling maxBlockLen words
+		// through the bus; PredecodeRun below produces the actual run.
+		in, derr := isa.Decode(w)
+		if w == 0 || derr != nil {
+			break
+		}
+		words = append(words, w)
+		if in.Op.EndsBlock() {
+			break
+		}
+	}
+	run := isa.PredecodeRun(words, maxBlockLen)
+	if len(run) == 0 {
+		return nil
+	}
+	b := &decBlock{valid: true, ins: make([]decIns, len(run))}
+	// Text normally sits far above the null page, making the per-step
+	// nextPC checks provably redundant for straight-line flow; when an image
+	// places text adjacent to the guard page (or at the top of the address
+	// space), force the checks on every instruction instead.
+	forceTail := base < nullPage || base > ^uint32(0)-uint32(maxBlockLen)*4
+	for i, in := range run {
+		srcA, srcB := taintSources(in)
+		d := decIns{
+			in:     in,
+			kind:   in.Op.Kind(),
+			srcA:   srcA,
+			srcB:   srcB,
+			isLoad: in.Op.IsLoad(),
+		}
+		switch d.kind {
+		case isa.KindALU, isa.KindCompare:
+			d.fop = aluFop(in.Op)
+			switch in.Op {
+			case isa.OpLUI:
+				d.aluMode, d.imm, d.dst = aluLUI, in.UImm()<<16, in.Rt
+			case isa.OpADDI, isa.OpADDIU, isa.OpSLTI:
+				d.aluMode, d.imm, d.dst = aluImm, uint32(in.Imm), in.Rt
+			case isa.OpSLTIU, isa.OpANDI, isa.OpORI, isa.OpXORI:
+				d.aluMode, d.imm, d.dst = aluImm, in.UImm(), in.Rt
+			default:
+				d.aluMode, d.dst = aluRR, in.Rd
+			}
+		case isa.KindShift:
+			d.dst = in.Rd
+			switch in.Op {
+			case isa.OpSLL:
+				d.aluMode, d.imm, d.fop = aluImm, uint32(in.Shamt), fopSLL
+			case isa.OpSRL:
+				d.aluMode, d.imm, d.fop = aluImm, uint32(in.Shamt), fopSRL
+			case isa.OpSRA:
+				d.aluMode, d.imm, d.fop = aluImm, uint32(in.Shamt), fopSRA
+			case isa.OpSLLV:
+				d.aluMode, d.fop = aluRR, fopSLL
+			case isa.OpSRLV:
+				d.aluMode, d.fop = aluRR, fopSRL
+			case isa.OpSRAV:
+				d.aluMode, d.fop = aluRR, fopSRA
+			}
+		case isa.KindLoad, isa.KindStore:
+			d.fop = memFop(in.Op)
+			d.imm = uint32(in.Imm)
+			d.dst = in.Rt
+		case isa.KindBranch, isa.KindJump, isa.KindJumpReg:
+			d.ctl = true
+		}
+		if forceTail {
+			d.ctl = true
+		}
+		b.ins[i] = d
+		// Share the work with the per-word cache so the reference fallback
+		// (probes, tracing) needn't refetch.
+		if widx := idx + uint32(i); widx < uint32(len(c.decoded)) {
+			c.decoded[widx] = decodedSlot{in: in, valid: true}
+		}
+	}
+	return b
+}
+
+// execALUClean is execALU/execShift for the case where every source operand
+// is untainted: the Table 1 rules then yield an untainted result and no
+// observable operand-untaint side effects (for compares the caller
+// additionally checks homeClean on both sources), so the Propagate call is
+// skipped entirely. Operand routing and the dense op code come precomputed
+// from the block; the consecutive fop cases compile to a jump table where
+// aluValue's sparse opcode switch is a comparison chain. Shifts run here
+// too (a is the datum, b the amount).
+func (c *CPU) execALUClean(d *decIns) {
+	a, b := c.regs[d.srcA], c.regs[d.srcB]
+	if d.aluMode != aluRR {
+		if d.aluMode == aluLUI { // the constant was fully evaluated at decode
+			c.SetReg(d.dst, d.imm, taint.None)
+			return
+		}
+		b = d.imm
+	}
+	var v uint32
+	switch d.fop {
+	case fopADD:
+		v = a + b
+	case fopSUB:
+		v = a - b
+	case fopAND:
+		v = a & b
+	case fopOR:
+		v = a | b
+	case fopXOR:
+		v = a ^ b
+	case fopNOR:
+		v = ^(a | b)
+	case fopMUL:
+		v = uint32(int32(a) * int32(b))
+	case fopDIV:
+		switch {
+		case b == 0:
+			v = 0
+		case int32(a) == -1<<31 && int32(b) == -1:
+			v = 0x80000000
+		default:
+			v = uint32(int32(a) / int32(b))
+		}
+	case fopDIVU:
+		if b != 0 {
+			v = a / b
+		}
+	case fopREM:
+		if b != 0 && !(int32(a) == -1<<31 && int32(b) == -1) {
+			v = uint32(int32(a) % int32(b))
+		}
+	case fopREMU:
+		if b != 0 {
+			v = a % b
+		}
+	case fopSLT:
+		if int32(a) < int32(b) {
+			v = 1
+		}
+	case fopSLTU:
+		if a < b {
+			v = 1
+		}
+	case fopSLL:
+		v = a << (b & 31)
+	case fopSRL:
+		v = a >> (b & 31)
+	case fopSRA:
+		v = uint32(int32(a) >> (b & 31))
+	}
+	c.SetReg(d.dst, v, taint.None)
+}
+
+// homeClean reports whether untainting r's memory home would be
+// unobservable: no live home link, or — on flat memory, where the probe
+// has no timing side effects — a home span with no tainted bytes. Through
+// a cache port a live home must be treated as dirty.
+func (c *CPU) homeClean(r isa.Register) bool {
+	if c.homesMask&(1<<r) == 0 {
+		return true
+	}
+	if c.flatMem == nil {
+		return false
+	}
+	h := c.regHomes[r]
+	return !c.flatMem.SpanTainted(h.addr, int(h.width))
+}
+
+// execMemFast is execMem for the common fast-path case: an untainted address
+// register on flat memory. No dereference detector can fire on an untainted
+// address vector (CheckMemAccess is vacuous there under every policy), the
+// bus devirtualizes to *mem.Memory, and the opcode dispatch, offset, and
+// destination come precomputed from the block. pc is the instruction's own
+// address, written back only on the paths that can observe it (faults and
+// watch alerts); the caller owns c.pc otherwise.
+func (c *CPU) execMemFast(d *decIns, pc uint32) error {
+	addr := c.regs[d.srcA] + d.imm
+	if addr < nullPage {
+		c.pc = pc
+		return c.fault("segmentation fault: null-page access")
+	}
+	m := c.flatMem
+	switch d.fop {
+	case fopLW:
+		if addr&3 != 0 {
+			c.pc = pc
+			return c.fault((&mem.AlignmentError{Addr: addr, Width: 4}).Error())
+		}
+		w, wv := m.WordAt(addr)
+		c.SetReg(d.dst, w, wv)
+		c.setHome(d.dst, addr, 4)
+		c.stats.Loads++
+	case fopSW:
+		vec := c.regTaint[d.srcB]
+		if vec != taint.None && len(c.watches) != 0 {
+			c.pc = pc
+			if err := c.watchedStoreTaint(isa.OpSW, addr, vec); err != nil {
+				return err
+			}
+		}
+		if addr&3 != 0 {
+			c.pc = pc
+			return c.fault((&mem.AlignmentError{Addr: addr, Width: 4}).Error())
+		}
+		m.PutWord(addr, c.regs[d.srcB], vec)
+		if c.homesMask != 0 {
+			c.invalidateHomes(addr, 4)
+		}
+		if addr < c.textEnd {
+			c.invalidateText(addr, 4)
+		}
+		c.stats.Stores++
+	case fopLB, fopLBU:
+		b, tt := m.LoadByte(addr)
+		var v uint32
+		var vec taint.Vec
+		if d.fop == fopLB {
+			v = uint32(int32(int8(b)))
+			if tt {
+				vec = taint.Word // sign bytes derive from the tainted byte
+			}
+		} else {
+			v = uint32(b)
+			if tt {
+				vec = taint.ForWidth(1)
+			}
+		}
+		c.SetReg(d.dst, v, vec)
+		c.setHome(d.dst, addr, 1)
+		c.stats.Loads++
+	case fopLH, fopLHU:
+		if addr&1 != 0 {
+			c.pc = pc
+			return c.fault((&mem.AlignmentError{Addr: addr, Width: 2}).Error())
+		}
+		h, hv := m.HalfAt(addr)
+		var v uint32
+		vec := hv
+		if d.fop == fopLH {
+			v = uint32(int32(int16(h)))
+			if hv.Byte(1) {
+				vec = taint.Word // sign bytes derive from the top loaded byte
+			}
+		} else {
+			v = uint32(h)
+		}
+		c.SetReg(d.dst, v, vec)
+		c.setHome(d.dst, addr, 2)
+		c.stats.Loads++
+	case fopSB:
+		vec := c.regTaint[d.srcB]
+		if vec != taint.None && len(c.watches) != 0 {
+			c.pc = pc
+			if err := c.watchedStoreTaint(isa.OpSB, addr, vec); err != nil {
+				return err
+			}
+		}
+		m.StoreByte(addr, byte(c.regs[d.srcB]), vec.Byte(0))
+		if c.homesMask != 0 {
+			c.invalidateHomes(addr, 1)
+		}
+		if addr < c.textEnd {
+			c.invalidateText(addr, 1)
+		}
+		c.stats.Stores++
+	case fopSH:
+		vec := c.regTaint[d.srcB]
+		if vec != taint.None && len(c.watches) != 0 {
+			c.pc = pc
+			if err := c.watchedStoreTaint(isa.OpSH, addr, vec); err != nil {
+				return err
+			}
+		}
+		if addr&1 != 0 {
+			c.pc = pc
+			return c.fault((&mem.AlignmentError{Addr: addr, Width: 2}).Error())
+		}
+		m.PutHalf(addr, uint16(c.regs[d.srcB]), vec)
+		if c.homesMask != 0 {
+			c.invalidateHomes(addr, 2)
+		}
+		if addr < c.textEnd {
+			c.invalidateText(addr, 2)
+		}
+		c.stats.Stores++
+	}
+	return nil
+}
+
+// StepBlock executes one predecoded basic block — or the prefix allowed by
+// the remaining instruction budget when max > 0 — and returns exactly what
+// the equivalent sequence of Step calls would: the same alerts at the same
+// pcs and retired-instruction counts, the same faults, the same register,
+// taint, memory, and pipeline state (differential_test.go holds it to
+// that). Unlike Step it does not emit trace output; RunFast routes traced
+// execution through Step.
+//
+// Host callbacks can only run at block boundaries — probes fire at block
+// entry (buildBlock never extends a block past a probed pc) and syscalls
+// terminate a block — so a callback that registers probes or rewrites
+// state is observed before the next instruction executes, as with Step.
+func (c *CPU) StepBlock(max uint64) error {
+	if c.probes != nil {
+		pc0 := c.pc
+		for _, fn := range c.probes[pc0] {
+			fn(c)
+		}
+		if c.pc != pc0 || c.halted {
+			// The probe redirected or halted the machine; execute a single
+			// instruction without re-running probes, as Step would.
+			return c.stepOne()
+		}
+	}
+	if c.blocks == nil || c.pc&3 != 0 {
+		return c.stepOne()
+	}
+	// c.pc is written lazily: only before operations whose alert, fault,
+	// or host-callback paths can observe it (memory ops, jump-register,
+	// system traps) and when control leaves the chain. Straight-line work
+	// tracks the pc in a local. The retired-instruction counters and the
+	// pipeline's per-retire accounting (base cycle, load-use hazard state)
+	// batch the same way: they accumulate in locals and flush into
+	// c.stats / c.pipe before any path on which they are observable
+	// (alerts, host callbacks, every return).
+	//
+	// Consecutive blocks chain inside this one call — after a block falls
+	// through, branches, or jumps, the next block dispatches immediately
+	// with the batched locals still live, so the dispatch and flush costs
+	// amortize over whole runs of blocks. The chain breaks (and the locals
+	// flush) at every host-visible boundary: a halt, a probe set appearing
+	// (a probed pc must get its callbacks on the next dispatch), the
+	// instruction budget, any fault or alert, or a pc the block cache
+	// cannot serve.
+	pc := c.pc
+	var done, cleanN, cyc, stalls uint64
+	prevDst := c.pipe.loadDst
+chain:
+	for {
+		idx := (pc - c.textBase) >> 2
+		if idx >= uint32(len(c.blocks)) {
+			break // fall back to the reference step for this pc
+		}
+		b := c.blocks[idx]
+		if b == nil || !b.valid {
+			if b = c.buildBlock(idx); b == nil {
+				break
+			}
+			c.blocks[idx] = b
+			c.stats.BlockMisses++
+		} else {
+			c.stats.BlockHits++
+		}
+		n := len(b.ins)
+		if max > 0 {
+			executed := c.stats.Instructions + done
+			if executed >= max {
+				c.pc = pc
+				c.flushRetired(done, cleanN)
+				c.flushPipe(cyc, stalls, prevDst)
+				return c.fault("instruction budget exhausted")
+			}
+			if rem := max - executed; uint64(n) > rem {
+				n = int(rem)
+			}
+		}
+		ins := b.ins[:n]
+		for i := range ins {
+			d := &ins[i]
+			nextPC := pc + 4
+			clean := false
+			switch d.kind {
+			case isa.KindALU:
+				if c.regTaint[d.srcA]|c.regTaint[d.srcB] == taint.None {
+					// The add family (address arithmetic, loop counters)
+					// dominates; run it without the execALUClean call.
+					if d.fop == fopADD {
+						b2 := c.regs[d.srcB]
+						if d.aluMode != aluRR {
+							b2 = d.imm
+						}
+						c.SetReg(d.dst, c.regs[d.srcA]+b2, taint.None)
+					} else {
+						c.execALUClean(d)
+					}
+					clean = true
+				} else {
+					c.execALU(d.in)
+				}
+			case isa.KindCompare:
+				// Compares untaint their source registers and write the
+				// untaint through to live memory homes; short-circuit only
+				// when that write-through would be unobservable.
+				if c.regTaint[d.srcA]|c.regTaint[d.srcB] == taint.None &&
+					c.homeClean(d.srcA) && c.homeClean(d.srcB) {
+					c.execALUClean(d)
+					clean = true
+				} else {
+					c.execALU(d.in)
+				}
+			case isa.KindShift:
+				if c.regTaint[d.srcA]|c.regTaint[d.srcB] == taint.None {
+					c.execALUClean(d)
+					clean = true
+				} else {
+					c.execShift(d.in)
+				}
+			case isa.KindLoad, isa.KindStore:
+				if c.flatMem != nil && c.regTaint[d.srcA] == taint.None && d.fop != fopNone {
+					// No detector or cache penalty applies; skip the bus
+					// interface and the policy probe entirely. Word accesses
+					// to clean in-bounds aligned addresses dominate, so they
+					// additionally skip the execMemFast call; every other
+					// case (other widths, fault paths, tainted store values
+					// that may hit a watch) takes it.
+					if addr := c.regs[d.srcA] + d.imm; d.fop == fopLW &&
+						addr >= nullPage && addr&3 == 0 {
+						w, wv := c.flatMem.WordAt(addr)
+						c.SetReg(d.dst, w, wv)
+						c.setHome(d.dst, addr, 4)
+						c.stats.Loads++
+						prevDst = d.dst
+					} else if d.fop == fopSW && addr >= nullPage && addr&3 == 0 &&
+						c.regTaint[d.srcB] == taint.None {
+						c.flatMem.PutWord(addr, c.regs[d.srcB], taint.None)
+						if c.homesMask != 0 {
+							c.invalidateHomes(addr, 4)
+						}
+						if addr < c.textEnd {
+							c.invalidateText(addr, 4)
+						}
+						c.stats.Stores++
+						prevDst = isa.RegZero
+					} else if err := c.execMemFast(d, pc); err != nil {
+						c.flushRetired(done, cleanN)
+						c.flushPipe(cyc, stalls, prevDst)
+						return err
+					} else if d.isLoad {
+						// The pipe.Load / pipe.Store effect, tracked locally.
+						prevDst = d.dst
+					} else {
+						prevDst = isa.RegZero
+					}
+				} else {
+					c.pc = pc
+					c.flushRetired(done, cleanN)
+					c.flushPipe(cyc, stalls, prevDst)
+					done, cleanN, cyc, stalls = 0, 0, 0, 0
+					if err := c.execMem(d.in); err != nil {
+						return err
+					}
+					if c.penalties != nil {
+						c.pipe.MemoryPenalty(c.penalties.DrainPenalty())
+					}
+					prevDst = c.pipe.loadDst
+				}
+			case isa.KindBranch:
+				// The branch-untaint rule is skippable on the same terms as
+				// the compare rule; the condition itself is taint-free.
+				var taken bool
+				if !c.prop.BranchUntaint() ||
+					(c.regTaint[d.srcA]|c.regTaint[d.srcB] == taint.None &&
+						c.homeClean(d.srcA) && c.homeClean(d.srcB)) {
+					taken = branchTaken(d.in.Op, c.regs[d.in.Rs], c.regs[d.in.Rt])
+					c.stats.Branches++
+					clean = true
+				} else {
+					taken = c.execBranch(d.in)
+				}
+				if taken {
+					nextPC = isa.BranchTarget(pc, d.in)
+				}
+				c.pipe.Branch(taken)
+			case isa.KindJump:
+				if d.in.Op == isa.OpJAL {
+					c.SetReg(isa.RegRA, pc+4, taint.None)
+				}
+				nextPC = isa.JumpTarget(pc, d.in)
+				c.pipe.Jump()
+			case isa.KindJumpReg:
+				if kind, bad := c.policy.CheckJumpReg(c.regTaint[d.in.Rs]); bad {
+					c.pc = pc
+					c.flushPipe(cyc, stalls, prevDst)
+					c.pipe.Retire(d.in)
+					c.flushRetired(done, cleanN)
+					c.stats.Instructions++
+					c.stats.TaintedSteps++
+					if c.profile != nil {
+						c.profile[d.in.Op]++
+					}
+					return c.alert(kind, StageIDEX, d.in, d.in.Rs)
+				}
+				target := c.regs[d.in.Rs]
+				if d.in.Op == isa.OpJALR {
+					c.SetReg(d.in.Rd, pc+4, taint.None)
+				}
+				nextPC = target
+				c.pipe.Jump()
+			case isa.KindSystem:
+				c.pc = pc
+				c.flushRetired(done, cleanN)
+				c.flushPipe(cyc, stalls, prevDst)
+				done, cleanN, cyc, stalls = 0, 0, 0, 0
+				switch d.in.Op {
+				case isa.OpSYSCALL:
+					if c.handler == nil {
+						return c.fault("syscall with no handler")
+					}
+					c.stats.Syscalls++
+					if err := c.handler.Syscall(c); err != nil {
+						return err
+					}
+				case isa.OpBREAK:
+					return c.fault("break instruction")
+				case isa.OpNOP:
+					clean = true // the taint datapath is inert
+				}
+				// Resync in case the host callback observed or touched the pipe.
+				prevDst = c.pipe.loadDst
+			}
+			// The retire step on locals — Pipeline.Retire's base cycle, load-use
+			// hazard charge, and next-slot load flag, without the struct traffic.
+			cyc++
+			if prevDst != isa.RegZero && (d.srcA == prevDst || d.srcB == prevDst) {
+				cyc++
+				stalls++
+			}
+			if !d.isLoad {
+				prevDst = isa.RegZero
+			}
+			done++
+			if clean {
+				cleanN++
+			}
+			if c.profile != nil {
+				c.profile[d.in.Op]++
+			}
+			if d.ctl {
+				// Only a control transfer (or a block pinned near the address-
+				// space edges by buildBlock) can produce a misaligned or
+				// null-page nextPC; straight-line flow stays inside text.
+				if nextPC&3 != 0 {
+					c.pc = nextPC
+					c.flushRetired(done, cleanN)
+					c.flushPipe(cyc, stalls, prevDst)
+					return c.fault("misaligned pc")
+				}
+				if nextPC < nullPage {
+					c.pc = nextPC
+					c.flushRetired(done, cleanN)
+					c.flushPipe(cyc, stalls, prevDst)
+					return c.fault("segmentation fault: jump into the null page")
+				}
+			}
+			if d.kind == isa.KindStore && !b.valid {
+				// The store rewrote this block's own text; re-dispatch so the
+				// fresh bytes are decoded.
+				pc = nextPC
+				continue chain
+			}
+			pc = nextPC
+		}
+		if c.halted || c.probes != nil {
+			c.pc = pc
+			c.flushRetired(done, cleanN)
+			c.flushPipe(cyc, stalls, prevDst)
+			return nil
+		}
+	}
+	c.pc = pc
+	c.flushRetired(done, cleanN)
+	c.flushPipe(cyc, stalls, prevDst)
+	return c.stepOne()
+}
+
+// flushRetired credits done batched block-retirements, cleanN of which took
+// a clean-operand short-circuit, into the per-step counters.
+func (c *CPU) flushRetired(done, cleanN uint64) {
+	c.stats.Instructions += done
+	c.stats.CleanSkips += cleanN
+	c.stats.TaintedSteps += done - cleanN
+}
+
+// flushPipe credits the batched base and stall cycles and restores the
+// load-use hazard state that StepBlock tracks in locals.
+func (c *CPU) flushPipe(cyc, stalls uint64, loadDst isa.Register) {
+	c.pipe.cycles += cyc
+	c.pipe.stallCycles += stalls
+	c.pipe.loadDst = loadDst
+}
+
+// RunFast is Run on the predecoded basic-block fast path: identical
+// semantics and observable machine state, lower per-instruction cost.
+// Traced execution falls back to the reference interpreter so the trace
+// stays per-instruction.
+func (c *CPU) RunFast(maxInstructions uint64) error {
+	for !c.halted {
+		if maxInstructions > 0 && c.stats.Instructions >= maxInstructions {
+			return c.fault("instruction budget exhausted")
+		}
+		var err error
+		if c.tracer != nil {
+			err = c.Step()
+		} else {
+			err = c.StepBlock(maxInstructions)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	if c.exitCode != 0 {
+		return &ExitError{Code: c.exitCode}
+	}
+	return nil
+}

@@ -1,0 +1,160 @@
+// Fuzzed equivalence check between the two interpreters: arbitrary byte
+// strings are loaded as a text segment and executed under both the
+// reference Step loop and the RunFast block stepper from an identical
+// initial state — part clean, part tainted — and the final machine states
+// must match bit for bit. The seed corpus is the text of the three §5.1.1
+// synthetic attack programs plus a handwritten mix of loads, stores,
+// branches, and tainted arithmetic.
+package cpu_test
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/cpu"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/progs"
+	"repro/internal/taint"
+)
+
+// fuzzHandler gives fuzzed code an exit syscall and a taint source, like
+// the cpu unit tests' handler: $v0=1 exits with $a0, $v0=100 taints $a1
+// bytes at $a0 (clamped — fuzzed register contents can be huge).
+type fuzzHandler struct {
+	m *mem.Memory
+}
+
+func (h *fuzzHandler) Syscall(c *cpu.CPU) error {
+	switch c.Reg(isa.RegV0) {
+	case 1:
+		c.Halt(int32(c.Reg(isa.RegA0)))
+		return nil
+	case 100:
+		n := int(c.Reg(isa.RegA1))
+		if n > 4096 {
+			n = 4096
+		}
+		h.m.TaintRange(c.Reg(isa.RegA0), n)
+		return nil
+	}
+	return &cpu.Fault{PC: c.PC(), Reason: "unknown fuzz syscall"}
+}
+
+// bootFuzz loads code as the text segment and arranges a deterministic
+// mixed-taint initial state: a data buffer whose middle 32 bytes are
+// tainted, clean and tainted pointer registers, and a tainted-halfword
+// register — so fuzzed instructions can hit the clean short-circuit, the
+// full propagation path, and all three detectors.
+func bootFuzz(code []byte) (*cpu.CPU, *mem.Memory) {
+	im := &asm.Image{
+		Segments: []asm.Segment{{Addr: asm.TextBase, Data: code}},
+		Entry:    asm.TextBase,
+	}
+	m := mem.New()
+	c := cpu.New(cpu.Config{Bus: m, Policy: taint.PolicyPointerTaintedness, Handler: &fuzzHandler{m: m}})
+	c.LoadImage(m, im)
+	buf := make([]byte, 256)
+	for i := range buf {
+		buf[i] = byte(i*7 + 3)
+	}
+	m.WriteBytes(asm.DataBase, buf, false)
+	m.TaintRange(asm.DataBase+64, 32)
+	c.SetReg(isa.RegA0, asm.DataBase, taint.None)
+	c.SetReg(isa.RegA1, asm.DataBase+64, taint.Word)
+	c.SetReg(isa.RegA2, asm.DataBase+128, taint.ForWidth(2))
+	c.SetReg(isa.RegT0, 0x1234, taint.None)
+	return c, m
+}
+
+// handcraftedSeed assembles a straight-line program exercising tainted
+// loads, tainted arithmetic, stores, compares, and a clean exit.
+func handcraftedSeed(f *testing.F) []byte {
+	im, err := asm.AssembleString(`
+	main:
+		lw $t1, 64($a0)
+		add $t2, $t1, $t0
+		sw $t2, 128($a0)
+		lw $t3, 0($a0)
+		sltu $t4, $t3, $t1
+		sll $t5, $t2, 2
+		beq $t4, $zero, skip
+		xor $t6, $t1, $t5
+	skip:
+		li $v0, 1
+		li $a0, 0
+		syscall
+	`)
+	if err != nil {
+		f.Fatalf("assemble seed: %v", err)
+	}
+	return im.Segments[0].Data
+}
+
+// FuzzStepEquivalence is the fuzzed differential: for any text segment,
+// both interpreters must reach the same terminal state.
+func FuzzStepEquivalence(f *testing.F) {
+	for _, name := range []string{"exp1", "exp2", "exp3"} {
+		p, ok := progs.ByName(name)
+		if !ok {
+			f.Fatalf("corpus program %s missing", name)
+		}
+		im, err := p.Build()
+		if err != nil {
+			f.Fatalf("build %s: %v", name, err)
+		}
+		f.Add(im.Segments[0].Data)
+	}
+	f.Add(handcraftedSeed(f))
+
+	const budget = 2000
+	f.Fuzz(func(t *testing.T, code []byte) {
+		if len(code) < 4 {
+			t.Skip("no instructions")
+		}
+		if len(code) > 4096 {
+			code = code[:4096]
+		}
+		code = code[:len(code)&^3]
+
+		ref, refMem := bootFuzz(code)
+		refErr := ref.Run(budget)
+		fast, fastMem := bootFuzz(code)
+		fastErr := fast.RunFast(budget)
+
+		if got, want := errString(fastErr), errString(refErr); got != want {
+			t.Fatalf("run error: fast %q, reference %q", got, want)
+		}
+		if ref.PC() != fast.PC() {
+			t.Errorf("pc: fast %#08x, reference %#08x", fast.PC(), ref.PC())
+		}
+		rh, rc := ref.Halted()
+		fh, fc := fast.Halted()
+		if rh != fh || rc != fc {
+			t.Errorf("halt state: fast (%v, %d), reference (%v, %d)", fh, fc, rh, rc)
+		}
+		for r := 0; r < isa.NumRegisters; r++ {
+			reg := isa.Register(r)
+			if ref.Reg(reg) != fast.Reg(reg) {
+				t.Errorf("%v: fast %#x, reference %#x", reg, fast.Reg(reg), ref.Reg(reg))
+			}
+			if ref.RegTaint(reg) != fast.RegTaint(reg) {
+				t.Errorf("%v taint: fast %v, reference %v", reg, fast.RegTaint(reg), ref.RegTaint(reg))
+			}
+		}
+		rs, fs := ref.Stats(), fast.Stats()
+		if rs.Instructions != fs.Instructions {
+			t.Errorf("instructions: fast %d, reference %d", fs.Instructions, rs.Instructions)
+		}
+		if fs.CleanSkips+fs.TaintedSteps != fs.Instructions {
+			t.Errorf("fast: CleanSkips(%d) + TaintedSteps(%d) != Instructions(%d)",
+				fs.CleanSkips, fs.TaintedSteps, fs.Instructions)
+		}
+		if ref.Pipe() != fast.Pipe() {
+			t.Errorf("pipeline: fast %+v, reference %+v", fast.Pipe(), ref.Pipe())
+		}
+		if rf, ff := refMem.Fingerprint(), fastMem.Fingerprint(); rf != ff {
+			t.Errorf("memory fingerprint: fast %#x, reference %#x", ff, rf)
+		}
+	})
+}

@@ -14,9 +14,11 @@ import (
 func (c *CPU) LoadImage(m *mem.Memory, im *asm.Image) {
 	for i, seg := range im.Segments {
 		m.WriteBytes(seg.Addr, seg.Data, false)
-		if i == 0 { // text segment: size the predecode cache
+		if i == 0 { // text segment: size the predecode and block caches
 			c.textBase = seg.Addr
 			c.decoded = make([]decodedSlot, (len(seg.Data)+3)/4)
+			c.blocks = make([]*decBlock, len(c.decoded))
+			c.textEnd = seg.Addr + uint32(len(c.decoded))*4
 		}
 	}
 	c.pc = im.Entry

@@ -24,19 +24,21 @@ type Pipeline struct {
 	flushCycles uint64
 	memPenalty  uint64
 
-	lastWasLoad bool
-	lastLoadDst isa.Register
+	// loadDst is the destination of the load in the previous retire slot,
+	// or RegZero when the previous slot was not a load (a load targeting
+	// $zero is recorded as RegZero too — it can never stall a consumer, so
+	// the two cases are indistinguishable to the hazard check).
+	loadDst isa.Register
 }
 
 // Load records that the retiring instruction was a load writing dst.
 func (p *Pipeline) Load(dst isa.Register) {
-	p.lastWasLoad = true
-	p.lastLoadDst = dst
+	p.loadDst = dst
 }
 
 // Store records a retiring store (no writeback hazard).
 func (p *Pipeline) Store() {
-	p.lastWasLoad = false
+	p.loadDst = isa.RegZero
 }
 
 // Branch records a conditional branch; taken branches flush two slots.
@@ -67,14 +69,18 @@ func (p *Pipeline) MemPenalties() uint64 { return p.memPenalty }
 // check against the previous instruction.
 func (p *Pipeline) Retire(in isa.Instruction) {
 	p.cycles++
-	if p.lastWasLoad && p.lastLoadDst != isa.RegZero && usesReg(in, p.lastLoadDst) {
+	if p.loadDst != isa.RegZero && usesReg(in, p.loadDst) {
 		p.cycles++
 		p.stallCycles++
 	}
 	if !in.Op.IsLoad() {
-		p.lastWasLoad = false
+		p.loadDst = isa.RegZero
 	}
 }
+
+// The fast path (StepBlock) performs this same retire accounting on local
+// variables — srcA/srcB precomputed per block instruction are exactly the
+// set usesReg would report — and flushes the batch via CPU.flushPipe.
 
 // Cycle returns the cumulative cycle count.
 func (p *Pipeline) Cycle() uint64 { return p.cycles }

@@ -49,6 +49,27 @@ type Stats struct {
 	Branches     uint64
 	Syscalls     uint64
 	Alerts       uint64
+
+	// Fast-path counters (fastpath.go). BlockHits and BlockMisses count
+	// basic-block dispatches served from, respectively built into, the
+	// predecode block cache. CleanSkips counts instructions retired
+	// through the clean-operand short-circuit; TaintedSteps counts
+	// instructions that ran the full taint datapath (the reference
+	// interpreter counts every instruction here). On every execution path
+	// CleanSkips + TaintedSteps == Instructions.
+	BlockHits    uint64
+	BlockMisses  uint64
+	CleanSkips   uint64
+	TaintedSteps uint64
+}
+
+// CleanSkipRate returns the fraction of retired instructions that took the
+// clean-operand short-circuit (0 before any instruction retires).
+func (s Stats) CleanSkipRate() float64 {
+	if s.Instructions == 0 {
+		return 0
+	}
+	return float64(s.CleanSkips) / float64(s.Instructions)
 }
 
 // PipelineStats exposes the timing model's counters.

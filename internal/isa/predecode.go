@@ -1,0 +1,42 @@
+package isa
+
+// EndsBlock reports whether the opcode terminates a straight-line run of
+// instructions: every control transfer (branch, jump, register jump) and
+// every instruction that traps into the host (SYSCALL, BREAK). A predecoded
+// basic block never extends past one of these, so a block entered at its
+// first instruction retires in order with no internal PC redirection.
+func (o Opcode) EndsBlock() bool {
+	switch o.Kind() {
+	case KindBranch, KindJump, KindJumpReg:
+		return true
+	case KindSystem:
+		return o == OpSYSCALL || o == OpBREAK
+	}
+	return false
+}
+
+// PredecodeRun decodes consecutive instruction words into one straight-line
+// run (a basic block body): decoding stops after the first block-ending
+// instruction, before the first undecodable or null word (zeroed memory is
+// not code), or after limit instructions (limit <= 0 means all of words).
+// The returned slice is freshly allocated and safe to retain.
+func PredecodeRun(words []uint32, limit int) []Instruction {
+	if limit <= 0 || limit > len(words) {
+		limit = len(words)
+	}
+	out := make([]Instruction, 0, limit)
+	for _, w := range words[:limit] {
+		if w == 0 {
+			break
+		}
+		in, err := Decode(w)
+		if err != nil {
+			break
+		}
+		out = append(out, in)
+		if in.Op.EndsBlock() {
+			break
+		}
+	}
+	return out
+}

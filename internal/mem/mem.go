@@ -4,7 +4,10 @@
 package mem
 
 import (
+	"encoding/binary"
 	"fmt"
+	"math/bits"
+	"sort"
 
 	"repro/internal/taint"
 )
@@ -51,6 +54,12 @@ func (e *AlignmentError) Error() string {
 type Memory struct {
 	pages map[uint32]*page
 
+	// lastPN/lastPage cache the most recently touched resident page —
+	// guest accesses are strongly page-local, and pages are never freed,
+	// so the cached pointer can never go stale.
+	lastPN   uint32
+	lastPage *page
+
 	// taintedStores counts bytes written with taint set, an input to the
 	// paper's Section 5.4 software-overhead estimate.
 	taintedStores uint64
@@ -58,15 +67,21 @@ type Memory struct {
 
 // New returns an empty memory.
 func New() *Memory {
-	return &Memory{pages: make(map[uint32]*page, 64)}
+	return &Memory{pages: make(map[uint32]*page, 64), lastPN: ^uint32(0)}
 }
 
 func (m *Memory) pageFor(addr uint32, create bool) *page {
 	pn := addr >> pageShift
+	if pn == m.lastPN {
+		return m.lastPage
+	}
 	p := m.pages[pn]
 	if p == nil && create {
 		p = &page{}
 		m.pages[pn] = p
+	}
+	if p != nil {
+		m.lastPN, m.lastPage = pn, p
 	}
 	return p
 }
@@ -92,16 +107,53 @@ func (m *Memory) StoreByte(addr uint32, b byte, tainted bool) {
 	}
 }
 
+// HalfAt returns the little-endian halfword at a 2-aligned addr with its
+// taint vector in the low two lanes; the caller must have checked the
+// alignment. An aligned halfword never straddles a page (or a taint bitset
+// byte), so one page lookup serves both bytes, and the whole accessor is
+// small enough to inline into the CPU's block fast path.
+func (m *Memory) HalfAt(addr uint32) (uint16, taint.Vec) {
+	if addr>>pageShift != m.lastPN {
+		return m.halfAtMiss(addr)
+	}
+	p, off := m.lastPage, addr&(PageSize-1)
+	return binary.LittleEndian.Uint16(p.data[off:]),
+		taint.Vec(p.taint[off>>3]>>(off&7)) & 0x3
+}
+
+func (m *Memory) halfAtMiss(addr uint32) (uint16, taint.Vec) {
+	p := m.pageFor(addr, false)
+	if p == nil {
+		return 0, taint.None
+	}
+	off := addr & (PageSize - 1)
+	return binary.LittleEndian.Uint16(p.data[off:]),
+		taint.Vec(p.taint[off>>3]>>(off&7)) & 0x3
+}
+
+// PutHalf stores a little-endian halfword at a 2-aligned addr
+// (caller-checked); lanes 0-1 of vec supply taint.
+func (m *Memory) PutHalf(addr uint32, h uint16, vec taint.Vec) {
+	p := m.lastPage
+	if addr>>pageShift != m.lastPN {
+		p = m.pageFor(addr, true)
+	}
+	off := addr & (PageSize - 1)
+	binary.LittleEndian.PutUint16(p.data[off:], h)
+	sh := off & 7
+	nib := byte(vec) & 0x3
+	p.taint[off>>3] = p.taint[off>>3]&^(0x3<<sh) | nib<<sh
+	m.taintedStores += uint64(bits.OnesCount8(nib))
+}
+
 // LoadHalf returns the little-endian halfword at addr with its taint vector
-// in the low two lanes.
+// in the low two lanes, checking alignment.
 func (m *Memory) LoadHalf(addr uint32) (uint16, taint.Vec, error) {
 	if addr&1 != 0 {
 		return 0, taint.None, &AlignmentError{Addr: addr, Width: 2}
 	}
-	b0, t0 := m.LoadByte(addr)
-	b1, t1 := m.LoadByte(addr + 1)
-	v := taint.None.SetByte(0, t0).SetByte(1, t1)
-	return uint16(b0) | uint16(b1)<<8, v, nil
+	h, v := m.HalfAt(addr)
+	return h, v, nil
 }
 
 // StoreHalf stores a little-endian halfword; lanes 0-1 of vec supply taint.
@@ -109,23 +161,56 @@ func (m *Memory) StoreHalf(addr uint32, h uint16, vec taint.Vec) error {
 	if addr&1 != 0 {
 		return &AlignmentError{Addr: addr, Width: 2}
 	}
-	m.StoreByte(addr, byte(h), vec.Byte(0))
-	m.StoreByte(addr+1, byte(h>>8), vec.Byte(1))
+	m.PutHalf(addr, h, vec)
 	return nil
 }
 
-// LoadWord returns the little-endian word at addr and its 4-lane taint.
+// WordAt returns the little-endian word and 4-lane taint at a 4-aligned
+// addr; the caller must have checked the alignment. An aligned word sits
+// inside one page with its four taint bits contiguous in one bitset byte,
+// so the whole access is a single page lookup, and the accessor is small
+// enough to inline into the CPU's block fast path.
+func (m *Memory) WordAt(addr uint32) (uint32, taint.Vec) {
+	if addr>>pageShift != m.lastPN {
+		return m.wordAtMiss(addr)
+	}
+	p, off := m.lastPage, addr&(PageSize-1)
+	return binary.LittleEndian.Uint32(p.data[off:]),
+		taint.Vec(p.taint[off>>3]>>(off&7)) & taint.Word
+}
+
+func (m *Memory) wordAtMiss(addr uint32) (uint32, taint.Vec) {
+	p := m.pageFor(addr, false)
+	if p == nil {
+		return 0, taint.None
+	}
+	off := addr & (PageSize - 1)
+	return binary.LittleEndian.Uint32(p.data[off:]),
+		taint.Vec(p.taint[off>>3]>>(off&7)) & taint.Word
+}
+
+// PutWord stores a little-endian word with its 4-lane taint at a 4-aligned
+// addr (caller-checked).
+func (m *Memory) PutWord(addr uint32, w uint32, vec taint.Vec) {
+	p := m.lastPage
+	if addr>>pageShift != m.lastPN {
+		p = m.pageFor(addr, true)
+	}
+	off := addr & (PageSize - 1)
+	binary.LittleEndian.PutUint32(p.data[off:], w)
+	sh := off & 7
+	nib := byte(vec) & byte(taint.Word)
+	p.taint[off>>3] = p.taint[off>>3]&^(0xF<<sh) | nib<<sh
+	m.taintedStores += uint64(bits.OnesCount8(nib))
+}
+
+// LoadWord returns the little-endian word at addr and its 4-lane taint,
+// checking alignment.
 func (m *Memory) LoadWord(addr uint32) (uint32, taint.Vec, error) {
 	if addr&3 != 0 {
 		return 0, taint.None, &AlignmentError{Addr: addr, Width: 4}
 	}
-	var w uint32
-	var v taint.Vec
-	for i := uint32(0); i < 4; i++ {
-		b, t := m.LoadByte(addr + i)
-		w |= uint32(b) << (8 * i)
-		v = v.SetByte(int(i), t)
-	}
+	w, v := m.WordAt(addr)
 	return w, v, nil
 }
 
@@ -134,10 +219,20 @@ func (m *Memory) StoreWord(addr uint32, w uint32, vec taint.Vec) error {
 	if addr&3 != 0 {
 		return &AlignmentError{Addr: addr, Width: 4}
 	}
-	for i := uint32(0); i < 4; i++ {
-		m.StoreByte(addr+i, byte(w>>(8*i)), vec.Byte(int(i)))
-	}
+	m.PutWord(addr, w, vec)
 	return nil
+}
+
+// SpanTainted reports whether any of the n bytes at addr are tainted,
+// without the data copy ReadBytes would do.
+func (m *Memory) SpanTainted(addr uint32, n int) bool {
+	for i := 0; i < n; i++ {
+		a := addr + uint32(i)
+		if p := m.pageFor(a, false); p != nil && p.tainted(a&(PageSize-1)) {
+			return true
+		}
+	}
+	return false
 }
 
 // ReadBytes copies n bytes starting at addr; taints[i] reports the
@@ -196,6 +291,37 @@ func (m *Memory) UntaintRange(addr uint32, n int) {
 // TaintedBytesWritten returns the cumulative count of taint-set byte writes,
 // including TaintRange marks; it feeds the kernel-overhead estimate.
 func (m *Memory) TaintedBytesWritten() uint64 { return m.taintedStores }
+
+// Fingerprint returns a deterministic FNV-1a hash over the resident pages'
+// addresses, data, and taint bits. Two memories with identical resident
+// state hash identically regardless of page-allocation order; the
+// differential harness uses it to compare the final memory of two
+// executions without materializing either.
+func (m *Memory) Fingerprint() uint64 {
+	pns := make([]uint32, 0, len(m.pages))
+	for pn := range m.pages {
+		pns = append(pns, pn)
+	}
+	sort.Slice(pns, func(i, j int) bool { return pns[i] < pns[j] })
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, pn := range pns {
+		p := m.pages[pn]
+		for sh := 0; sh < 32; sh += 8 {
+			h = (h ^ uint64(byte(pn>>sh))) * prime64
+		}
+		for _, b := range p.data {
+			h = (h ^ uint64(b)) * prime64
+		}
+		for _, b := range p.taint {
+			h = (h ^ uint64(b)) * prime64
+		}
+	}
+	return h
+}
 
 // ResidentBytes returns the amount of allocated (touched) memory.
 func (m *Memory) ResidentBytes() int { return len(m.pages) * PageSize }
