@@ -1,7 +1,8 @@
 GO ?= go
 FUZZTIME ?= 10s
+CAMPAIGN_N ?= 64
 
-.PHONY: build vet test race fuzz bench ci
+.PHONY: build vet test race race-campaign fuzz bench bench-json ci
 
 build:
 	$(GO) build ./...
@@ -15,6 +16,13 @@ test:
 race:
 	$(GO) test -race ./...
 
+# The snapshot/fork + campaign layer under the race detector with shuffled
+# test order: COW page semantics, concurrent forks, and the parallel-vs-
+# sequential determinism check are exactly the tests whose bugs only show
+# up under races and ordering.
+race-campaign:
+	$(GO) test -race -shuffle=on ./internal/mem/ ./internal/campaign/ ./internal/attack/ ./internal/kernel/ ./internal/netsim/ ./cmd/ptcampaign/
+
 # Differential fuzzing of the block fast path against the reference
 # interpreter (internal/cpu/fuzz_test.go).
 fuzz:
@@ -23,4 +31,9 @@ fuzz:
 bench:
 	$(GO) test -run '^$$' -bench 'StepFastPath|SPEC' -benchmem .
 
-ci: vet build race fuzz
+# Machine-readable campaign benchmark: sessions/sec, ns/instr, and
+# fork-from-snapshot vs boot-from-image timings (see DESIGN.md).
+bench-json:
+	$(GO) run ./cmd/ptcampaign -n $(CAMPAIGN_N) -json BENCH_campaign.json
+
+ci: vet build race race-campaign fuzz

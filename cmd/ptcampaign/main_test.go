@@ -1,0 +1,41 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunCampaign(t *testing.T) {
+	if err := run([]string{"-scenario", "exp1-stack", "-n", "4", "-parallel", "2"}, os.Stdout); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownScenario(t *testing.T) {
+	if err := run([]string{"-scenario", "no-such"}, os.Stdout); err == nil {
+		t.Error("unknown scenario accepted")
+	}
+}
+
+func TestRunWritesJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := run([]string{"-scenario", "wuftpd-site-exec", "-n", "6", "-json", path}, os.Stdout); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep benchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("bench report not valid JSON: %v", err)
+	}
+	if rep.Sessions != 6 || rep.Errors != 0 || rep.Detected != 6 {
+		t.Fatalf("report verdicts: %+v", rep)
+	}
+	if rep.ForkVsBootSpeedup <= 1 || rep.SessionsPerSec <= 0 || rep.NsPerInstr <= 0 {
+		t.Fatalf("report perf fields implausible: %+v", rep)
+	}
+}

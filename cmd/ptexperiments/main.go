@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	ptexperiments [-scale N] [-fast=false] [id ...]
+//	ptexperiments [-scale N] [-fast=false] [-parallel N] [id ...]
 //
 // IDs: fig1 fig2 fig3 table1 table2 matrix table3 table4 overhead
 // ablation profile. With no IDs, everything runs in paper order
@@ -30,22 +30,24 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("ptexperiments", flag.ContinueOnError)
 	scale := fs.Int("scale", 1, "input scale for the SPEC-analogue workloads")
 	fast := fs.Bool("fast", true, "use the predecoded basic-block fast path")
+	parallel := fs.Int("parallel", 1, "worker goroutines for independent experiment runs")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	// ForceReference is a package-level toggle: set it once, before any
+	// machine boots or worker fans out, never during a parallel run.
 	attack.ForceReference = !*fast
 	if fs.NArg() == 0 {
-		reports, err := experiments.All()
-		if err != nil {
-			return err
-		}
+		// Failed experiments drop out of reports but never hide the rest:
+		// print what succeeded, then report every failure.
+		reports, err := experiments.AllWorkers(*parallel)
 		for _, r := range reports {
 			printReport(r)
 		}
-		return nil
+		return err
 	}
 	for _, id := range fs.Args() {
-		r, err := one(id, *scale)
+		r, err := one(id, *scale, *parallel)
 		if err != nil {
 			return fmt.Errorf("%s: %w", id, err)
 		}
@@ -54,7 +56,7 @@ func run(args []string) error {
 	return nil
 }
 
-func one(id string, scale int) (experiments.Report, error) {
+func one(id string, scale, parallel int) (experiments.Report, error) {
 	var (
 		text string
 		err  error
@@ -79,7 +81,7 @@ func one(id string, scale int) (experiments.Report, error) {
 		text = experiments.Table1().Format()
 	case "fig2":
 		var r experiments.Fig2Result
-		r, err = experiments.Fig2()
+		r, err = experiments.Fig2Workers(parallel)
 		text = r.Format()
 	case "fig3":
 		var r experiments.Fig3Result
@@ -91,7 +93,7 @@ func one(id string, scale int) (experiments.Report, error) {
 		text = r.Format()
 	case "matrix":
 		var r experiments.MatrixResult
-		r, err = experiments.Matrix()
+		r, err = experiments.MatrixWorkers(parallel)
 		text = r.Format()
 	case "table3":
 		var r experiments.Table3Result

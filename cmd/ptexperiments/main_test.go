@@ -7,7 +7,7 @@ import (
 
 func TestOneExperiment(t *testing.T) {
 	for _, id := range []string{"fig1", "table1"} {
-		r, err := one(id, 1)
+		r, err := one(id, 1, 1)
 		if err != nil {
 			t.Fatalf("%s: %v", id, err)
 		}
@@ -15,7 +15,7 @@ func TestOneExperiment(t *testing.T) {
 			t.Errorf("%s: empty report", id)
 		}
 	}
-	r, err := one("fig2", 1)
+	r, err := one("fig2", 1, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -25,7 +25,7 @@ func TestOneExperiment(t *testing.T) {
 }
 
 func TestUnknownExperiment(t *testing.T) {
-	if _, err := one("bogus", 1); err == nil {
+	if _, err := one("bogus", 1, 1); err == nil {
 		t.Error("unknown experiment accepted")
 	}
 	if err := run([]string{"bogus"}); err == nil {

@@ -35,36 +35,55 @@ func lineSafe(v uint32) bool {
 // ftpLogin boots the FTP victim and authenticates the attacker's session,
 // returning the machine and connection.
 func ftpLogin(policy taint.Policy) (*Machine, ftpConn, error) {
-	p, err := mustProg("wuftpd")
+	m, err := bootFTP(policy)
 	if err != nil {
 		return nil, ftpConn{}, err
+	}
+	conn, err := ftpAuth(m)
+	if err != nil {
+		return nil, ftpConn{}, err
+	}
+	return m, conn, nil
+}
+
+// bootFTP boots wuftpd to its accept loop — the natural snapshot point for
+// campaign replay, since everything up to here is session-independent.
+func bootFTP(policy taint.Policy) (*Machine, error) {
+	p, err := mustProg("wuftpd")
+	if err != nil {
+		return nil, err
 	}
 	// Attack sessions complete within a few million instructions; the
 	// tight budget keeps wrong-offset calibration probes (which can send
 	// the victim into a corrupted-state loop) cheap.
 	m, err := Boot(p, Options{Policy: policy, Budget: 20_000_000})
 	if err != nil {
-		return nil, ftpConn{}, err
+		return nil, err
 	}
 	if err := m.RunToBlock(); err != nil {
-		return nil, ftpConn{}, fmt.Errorf("ftpd did not reach accept: %w", err)
+		return nil, fmt.Errorf("ftpd did not reach accept: %w", err)
 	}
+	return m, nil
+}
+
+// ftpAuth connects to a booted (accept-blocked) ftpd and authenticates.
+func ftpAuth(m *Machine) (ftpConn, error) {
 	ep, err := m.Connect(21)
 	if err != nil {
-		return nil, ftpConn{}, err
+		return ftpConn{}, err
 	}
 	conn := ftpConn{m: m, ep: ep}
 	greeting, err := conn.cmd("")
 	if err != nil || !strings.Contains(greeting, "220") {
-		return nil, ftpConn{}, fmt.Errorf("no FTP greeting (got %q, err %v)", greeting, err)
+		return ftpConn{}, fmt.Errorf("no FTP greeting (got %q, err %v)", greeting, err)
 	}
 	if out, err := conn.cmd("USER user1"); err != nil || !strings.Contains(out, "331") {
-		return nil, ftpConn{}, fmt.Errorf("USER failed: %q %v", out, err)
+		return ftpConn{}, fmt.Errorf("USER failed: %q %v", out, err)
 	}
 	if out, err := conn.cmd("PASS xxxxxxx"); err != nil || !strings.Contains(out, "230") {
-		return nil, ftpConn{}, fmt.Errorf("PASS failed: %q %v", out, err)
+		return ftpConn{}, fmt.Errorf("PASS failed: %q %v", out, err)
 	}
-	return m, conn, nil
+	return conn, nil
 }
 
 type ftpConn struct {

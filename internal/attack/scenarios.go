@@ -1,0 +1,105 @@
+package attack
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/taint"
+)
+
+// Scenario is a replayable attack session for campaign runs. Prepare
+// boots the victim to its session-independent steady state — the snapshot
+// point — and Session plays one complete attacker dialogue against a
+// machine forked from that state, returning the classified outcome. A
+// Session must be deterministic: identical forks must yield identical
+// outcomes, which is what lets the campaign engine verify parallel runs
+// against sequential ones byte for byte.
+type Scenario struct {
+	Name        string
+	Description string
+	Prepare     func(policy taint.Policy) (*Machine, error)
+	Session     func(m *Machine) (Outcome, error)
+}
+
+// Scenarios lists the replayable attack sessions, in stable order.
+func Scenarios() []Scenario {
+	return []Scenario{
+		{
+			Name:        "exp1-stack",
+			Description: "Fig. 2 synthetic stack smashing via stdin (tainted return address)",
+			Prepare: func(policy taint.Policy) (*Machine, error) {
+				p, err := mustProg("exp1")
+				if err != nil {
+					return nil, err
+				}
+				return Boot(p, Options{Policy: policy})
+			},
+			Session: func(m *Machine) (Outcome, error) {
+				m.Kernel.SetStdin([]byte(strings.Repeat("a", 24) + "\n"))
+				out := classify(m.Run())
+				if out.Crashed {
+					out.Compromised = true
+					out.Evidence = "control flow diverted to 0x61616161: " + out.Evidence
+				}
+				return out, nil
+			},
+		},
+		{
+			Name:        "exp2-heap",
+			Description: "Fig. 2 synthetic heap corruption (unlink of attacker fd/bk words)",
+			Prepare: func(policy taint.Policy) (*Machine, error) {
+				p, err := mustProg("exp2")
+				if err != nil {
+					return nil, err
+				}
+				return Boot(p, Options{Policy: policy})
+			},
+			Session: func(m *Machine) (Outcome, error) {
+				m.Kernel.SetStdin([]byte(exp2Payload + "\n"))
+				return classify(m.Run()), nil
+			},
+		},
+		{
+			Name:        "wuftpd-site-exec",
+			Description: "Table 2 wu-ftpd SITE EXEC format string; session = login + payload",
+			Prepare: func(policy taint.Policy) (*Machine, error) {
+				// Warm the calibration cache before the snapshot so every
+				// session replays the same precomputed payload.
+				if _, _, err := CalibrateWuFTPDFormat(); err != nil {
+					return nil, err
+				}
+				return bootFTP(policy)
+			},
+			Session: func(m *Machine) (Outcome, error) {
+				payload, uidAddr, err := CalibrateWuFTPDFormat()
+				if err != nil {
+					return Outcome{}, err
+				}
+				conn, err := ftpAuth(m)
+				if err != nil {
+					return Outcome{}, err
+				}
+				_, runErr := conn.cmd(payload)
+				out := classify(runErr)
+				if !out.Detected && !out.Crashed {
+					uid, _, err := m.Mem.LoadWord(uidAddr)
+					if err == nil && uid < 100 {
+						out.Compromised = true
+						out.Evidence = fmt.Sprintf("uid overwritten to %d via %%n at %#x", uid, uidAddr)
+					}
+				}
+				return out, nil
+			},
+		},
+	}
+}
+
+// ScenarioByName looks up a replayable scenario.
+func ScenarioByName(name string) (Scenario, bool) {
+	for _, s := range Scenarios() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Scenario{}, false
+}

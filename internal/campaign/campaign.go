@@ -1,0 +1,149 @@
+// Package campaign is the high-throughput replay engine for attack
+// sessions: it fans N identical sessions out across a worker pool, each
+// session running on a Machine forked copy-on-write from one shared
+// Snapshot, and merges per-session results deterministically by session
+// index. Replaying one session many ways is how the paper's evaluation
+// spends most of its cycles (Section 5.1 attack sweeps, calibration
+// probes, false-positive runs), and fork-from-snapshot removes the
+// per-session compile+boot cost that otherwise dominates.
+//
+// Determinism: the simulated machine is fully deterministic, every fork
+// starts from byte-identical state, and sessions share no mutable state —
+// so session i produces the same alerts, stats, and verdict no matter
+// which worker runs it or when. Results land in slot i of a preallocated
+// slice; the merged output of a parallel run is therefore byte-identical
+// to a sequential run's.
+package campaign
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/attack"
+	"repro/internal/cpu"
+)
+
+// DefaultWorkers returns the default fan-out width, GOMAXPROCS.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// ForEach runs fn for every index in [0, n) across workers goroutines
+// (sequentially when workers <= 1) and returns the n results in index
+// order, plus every error joined in index order — a failing index never
+// hides later failures. Indices are handed out by an atomic counter, so
+// which worker runs which index is scheduling-dependent, but the output
+// placement is not.
+func ForEach[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	out := make([]T, n)
+	errs := make([]error, n)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			out[i], errs[i] = fn(i)
+		}
+		return out, errors.Join(errs...)
+	}
+	next := int64(-1)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= n {
+					return
+				}
+				out[i], errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return out, errors.Join(errs...)
+}
+
+// Result is the outcome of one replayed session.
+type Result struct {
+	Index   int
+	Outcome attack.Outcome
+	// Stats are the forked CPU's counters after the session; subtract the
+	// snapshot's Stats for per-session work.
+	Stats cpu.Stats
+	Err   error
+}
+
+// Run replays n sessions across workers goroutines, each on a fresh fork
+// of snap, and returns the results in session-index order.
+func Run(snap *attack.Snapshot, n, workers int, session func(i int, m *attack.Machine) (attack.Outcome, error)) []Result {
+	results, _ := ForEach(n, workers, func(i int) (Result, error) {
+		m := snap.Fork()
+		out, err := session(i, m)
+		return Result{Index: i, Outcome: out, Stats: m.CPU.Stats(), Err: err}, nil
+	})
+	return results
+}
+
+// Summary aggregates a campaign's results.
+type Summary struct {
+	Sessions    int
+	Detected    int
+	Crashed     int
+	Compromised int
+	Errors      int
+	// Instructions is the total retired across all sessions, measured from
+	// base (normally the snapshot's Stats) — the sessions' own work.
+	Instructions uint64
+}
+
+// Summarize folds results into a Summary; base is the counter state each
+// session started from (the snapshot's Stats).
+func Summarize(rs []Result, base cpu.Stats) Summary {
+	s := Summary{Sessions: len(rs)}
+	for _, r := range rs {
+		switch {
+		case r.Err != nil:
+			s.Errors++
+		case r.Outcome.Detected:
+			s.Detected++
+		case r.Outcome.Crashed:
+			s.Crashed++
+		}
+		if r.Outcome.Compromised {
+			s.Compromised++
+		}
+		if r.Err == nil && r.Stats.Instructions >= base.Instructions {
+			s.Instructions += r.Stats.Instructions - base.Instructions
+		}
+	}
+	return s
+}
+
+// SessionFingerprint renders one result canonically — verdict, evidence,
+// error, and the full counter set — without its session index, so results
+// of different sessions can be compared for identity.
+func SessionFingerprint(r Result) string {
+	errText := ""
+	if r.Err != nil {
+		errText = r.Err.Error()
+	}
+	return fmt.Sprintf("%s | stats=%+v | err=%q", r.Outcome.String(), r.Stats, errText)
+}
+
+// Fingerprints renders each result canonically, tagged with its session
+// index, for order-normalized comparison of parallel and sequential
+// campaigns: equal slices mean byte-identical per-session alerts, stats,
+// and verdicts.
+func Fingerprints(rs []Result) []string {
+	fps := make([]string, len(rs))
+	for i, r := range rs {
+		fps[i] = fmt.Sprintf("#%d %s", r.Index, SessionFingerprint(r))
+	}
+	return fps
+}

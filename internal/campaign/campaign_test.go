@@ -1,0 +1,94 @@
+package campaign
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/attack"
+	"repro/internal/taint"
+)
+
+// TestParallelMatchesSequential is the campaign determinism gate: the same
+// snapshot replayed N times with 1 worker and with 4 workers must produce
+// byte-identical per-session alerts, stats, and verdicts (order-normalized
+// by session index). Under -race it also proves forked machines share no
+// writable state.
+func TestParallelMatchesSequential(t *testing.T) {
+	for _, name := range []string{"exp1-stack", "wuftpd-site-exec"} {
+		t.Run(name, func(t *testing.T) {
+			sc, ok := attack.ScenarioByName(name)
+			if !ok {
+				t.Fatalf("scenario %s missing", name)
+			}
+			origin, err := sc.Prepare(taint.PolicyPointerTaintedness)
+			if err != nil {
+				t.Fatalf("prepare: %v", err)
+			}
+			snap, err := origin.Snapshot()
+			if err != nil {
+				t.Fatalf("snapshot: %v", err)
+			}
+			session := func(i int, m *attack.Machine) (attack.Outcome, error) {
+				return sc.Session(m)
+			}
+
+			const n = 6
+			seq := Fingerprints(Run(snap, n, 1, session))
+			par := Fingerprints(Run(snap, n, 4, session))
+			for i := range seq {
+				if seq[i] != par[i] {
+					t.Fatalf("session %d differs between sequential and parallel runs:\n seq: %s\n par: %s", i, seq[i], par[i])
+				}
+			}
+
+			sum := Summarize(Run(snap, n, 4, session), snap.Stats())
+			if sum.Sessions != n || sum.Errors != 0 {
+				t.Fatalf("summary: %+v", sum)
+			}
+			if sum.Detected != n {
+				t.Fatalf("pointer-taintedness policy detected %d/%d sessions", sum.Detected, n)
+			}
+			if sum.Instructions == 0 {
+				t.Fatalf("summary charged no instructions to the sessions")
+			}
+		})
+	}
+}
+
+// TestForEachCollectsAllErrors: one failing index must not hide the
+// others, and results keep index order regardless of worker count.
+func TestForEachCollectsAllErrors(t *testing.T) {
+	for _, workers := range []int{1, 3} {
+		out, err := ForEach(10, workers, func(i int) (int, error) {
+			if i%4 == 0 {
+				return 0, fmt.Errorf("boom-%d", i)
+			}
+			return i * i, nil
+		})
+		if len(out) != 10 {
+			t.Fatalf("workers=%d: %d results", workers, len(out))
+		}
+		for _, i := range []int{1, 2, 3, 5} {
+			if out[i] != i*i {
+				t.Fatalf("workers=%d: out[%d]=%d", workers, i, out[i])
+			}
+		}
+		if err == nil {
+			t.Fatalf("workers=%d: no joined error", workers)
+		}
+		for _, want := range []string{"boom-0", "boom-4", "boom-8"} {
+			if !strings.Contains(err.Error(), want) {
+				t.Fatalf("workers=%d: joined error %v missing %s", workers, err, want)
+			}
+		}
+	}
+}
+
+// TestForEachEmpty: n <= 0 is a no-op.
+func TestForEachEmpty(t *testing.T) {
+	out, err := ForEach(0, 4, func(i int) (int, error) { return i, nil })
+	if out != nil || err != nil {
+		t.Fatalf("got %v, %v", out, err)
+	}
+}

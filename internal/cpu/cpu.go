@@ -108,6 +108,18 @@ type CPU struct {
 	decoded  []decodedSlot
 	blocks   []*decBlock
 
+	// textShared records that ShareText has marked every current block as
+	// shared with forked CPUs; it makes a second ShareText (and hence
+	// concurrent Fork calls on a snapshotted CPU) a read-only no-op.
+	textShared bool
+
+	// decodeShared means the decoded and blocks slice headers are aliased
+	// with other forks of one snapshot: read freely, but privatizeDecode
+	// must run before any slot is written. Fork sets it instead of copying
+	// the caches eagerly, so a fork that never decodes anything new pays
+	// nothing for them.
+	decodeShared bool
+
 	halted   bool
 	exitCode int32
 }
@@ -169,6 +181,9 @@ func (c *CPU) invalidateText(addr uint32, width int) {
 	// reach the text segment anyway.
 	if c.decoded == nil || addr >= c.textEnd || addr+uint32(width) <= c.textBase {
 		return
+	}
+	if c.decodeShared {
+		c.privatizeDecode()
 	}
 	lastIdx := ^uint32(0)
 	for i := 0; i < width; i++ {
@@ -329,6 +344,9 @@ func (c *CPU) stepOne() error {
 			return c.fault("illegal instruction: " + err.Error())
 		}
 		if idx < uint32(len(c.decoded)) {
+			if c.decodeShared {
+				c.privatizeDecode()
+			}
 			c.decoded[idx] = decodedSlot{in: in, valid: true}
 		}
 	}

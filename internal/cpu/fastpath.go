@@ -131,9 +131,13 @@ func memFop(op isa.Opcode) uint8 {
 // decBlock is one predecoded basic block, keyed by the word index of its
 // first instruction. Stores into the block's text range (invalidateText)
 // clear valid; the next dispatch rebuilds from the current memory bytes.
+// A block with shared set is referenced by forked CPUs (ShareText) and is
+// immutable: a CPU that must drop one forgets its own pointer to it
+// instead of clearing valid, leaving siblings undisturbed.
 type decBlock struct {
-	valid bool
-	ins   []decIns
+	valid  bool
+	shared bool
+	ins    []decIns
 }
 
 // taintSources returns the registers whose taint feeds the instruction's
@@ -173,9 +177,14 @@ func taintSources(in isa.Instruction) (a, b isa.Register) {
 // blocks must never span a probed pc except at their entry, where StepBlock
 // runs the probes.
 func (c *CPU) flushBlocks() {
+	if c.decodeShared {
+		c.privatizeDecode()
+	}
 	for i := range c.blocks {
 		if b := c.blocks[i]; b != nil {
-			b.valid = false
+			if !b.shared {
+				b.valid = false
+			}
 			c.blocks[i] = nil
 		}
 	}
@@ -189,13 +198,20 @@ func (c *CPU) evictBlocksAt(idx uint32) {
 	if c.blocks == nil {
 		return
 	}
+	if c.decodeShared {
+		c.privatizeDecode()
+	}
 	lo := uint32(0)
 	if idx >= maxBlockLen-1 {
 		lo = idx - (maxBlockLen - 1)
 	}
 	for j := lo; j <= idx && j < uint32(len(c.blocks)); j++ {
 		if b := c.blocks[j]; b != nil && b.valid && j+uint32(len(b.ins)) > idx {
-			b.valid = false
+			if b.shared {
+				c.blocks[j] = nil
+			} else {
+				b.valid = false
+			}
 		}
 	}
 }
@@ -207,6 +223,12 @@ func (c *CPU) evictBlocksAt(idx uint32) {
 // — the caller falls back to the reference step, which raises the same
 // fault the reference interpreter would.
 func (c *CPU) buildBlock(idx uint32) *decBlock {
+	// A new block writes both caches (its slot, plus the per-word decode
+	// fill below), so a fork still aliasing its snapshot's slices must
+	// privatize them first.
+	if c.decodeShared {
+		c.privatizeDecode()
+	}
 	base := c.textBase + idx*4
 	words := make([]uint32, 0, 16)
 	for i := uint32(0); i < maxBlockLen && idx+i < uint32(len(c.decoded)); i++ {
@@ -772,9 +794,10 @@ chain:
 					return c.fault("segmentation fault: jump into the null page")
 				}
 			}
-			if d.kind == isa.KindStore && !b.valid {
-				// The store rewrote this block's own text; re-dispatch so the
-				// fresh bytes are decoded.
+			if d.kind == isa.KindStore && (!b.valid || c.blocks[idx] != b) {
+				// The store rewrote this block's own text (a shared block is
+				// evicted by nilling the slot rather than clearing valid);
+				// re-dispatch so the fresh bytes are decoded.
 				pc = nextPC
 				continue chain
 			}

@@ -1,0 +1,88 @@
+package cpu
+
+import "repro/internal/mem"
+
+// ShareText marks every currently predecoded basic block as shared:
+// immutable structures that forked CPUs may dispatch concurrently. Once a
+// block is shared, a CPU that must drop it (self-modifying store, new
+// probe) forgets its own pointer instead of clearing valid, so sibling
+// forks are undisturbed. ShareText requires exclusive access to the CPU;
+// on a CPU whose text is already shared it is a read-only no-op, which is
+// what makes concurrent Fork calls on a snapshotted CPU safe.
+func (c *CPU) ShareText() {
+	if c.textShared {
+		return
+	}
+	for _, b := range c.blocks {
+		if b != nil {
+			b.shared = true
+		}
+	}
+	c.textShared = true
+	// The snapshot CPU itself must also stop writing the cache slices in
+	// place: forks alias them until their first write.
+	c.decodeShared = true
+}
+
+// Fork returns a copy of the CPU wired to bus and handler. Registers,
+// taint vectors, register homes, pc, pipeline, statistics, and halt state
+// are value-copied; the predecode caches stay aliased with the snapshot
+// (decodeShared) and are privatized copy-on-write at the fork's first
+// cache write, while the decBlock entries themselves stay shared
+// read-only (ShareText runs first if it has not already); the image is
+// shared — it is immutable after assembly. Tracing is not inherited.
+// Probe tables are cloned but the probe functions themselves are shared,
+// so snapshot-time probes should be host-state-free.
+//
+// On a CPU whose text is already shared, Fork only reads the receiver, so
+// many goroutines may fork one snapshot CPU concurrently.
+func (c *CPU) Fork(bus Bus, handler SyscallHandler) *CPU {
+	if !c.textShared {
+		c.ShareText()
+	}
+	n := new(CPU)
+	*n = *c
+	n.bus = bus
+	n.handler = handler
+	n.flatMem = nil
+	if fm, ok := bus.(*mem.Memory); ok {
+		n.flatMem = fm
+	}
+	n.penalties = nil
+	if ps, ok := bus.(PenaltySource); ok {
+		n.penalties = ps
+	}
+	n.tracer, n.traceLimit, n.traced = nil, 0, 0
+	// decoded and blocks slice headers were copied by *n = *c and stay
+	// aliased: ShareText set decodeShared, so the first write on either
+	// side goes through privatizeDecode. This is what keeps Fork O(state)
+	// rather than O(text) — the caches for wu-ftpd are ~300KB.
+	if c.watches != nil {
+		n.watches = append([]TaintWatch(nil), c.watches...)
+	}
+	if c.profile != nil {
+		n.profile = append([]uint64(nil), c.profile...)
+	}
+	if c.probes != nil {
+		probes := make(map[uint32][]func(*CPU), len(c.probes))
+		for pc, fns := range c.probes {
+			cloned := make([]func(*CPU), len(fns))
+			copy(cloned, fns)
+			probes[pc] = cloned
+		}
+		n.probes = probes
+	}
+	return n
+}
+
+// privatizeDecode gives this CPU its own copy of the decoded and blocks
+// slices so in-place cache writes stop being visible to (or racing with)
+// sibling forks. The decBlock entries stay shared; eviction of a shared
+// block nils the private slot. Clearing textShared lets a later Snapshot
+// of this fork re-run ShareText over blocks built after the split.
+func (c *CPU) privatizeDecode() {
+	c.decoded = append([]decodedSlot(nil), c.decoded...)
+	c.blocks = append([]*decBlock(nil), c.blocks...)
+	c.decodeShared = false
+	c.textShared = false
+}

@@ -12,6 +12,8 @@ package experiments
 import (
 	"fmt"
 	"strings"
+
+	"repro/internal/campaign"
 )
 
 // Report is a rendered experiment.
@@ -22,8 +24,15 @@ type Report struct {
 }
 
 // All runs every experiment in paper order. Expensive but complete; the
-// individual functions are available for selective runs.
-func All() ([]Report, error) {
+// individual functions are available for selective runs. A failing
+// experiment does not abort the suite: All returns every report that
+// succeeded (still in paper order) together with all failures joined —
+// a parallel run surfaces every independent failure, not just the first.
+func All() ([]Report, error) { return AllWorkers(1) }
+
+// AllWorkers is All with the independent experiments fanned out across
+// workers goroutines (the report order stays fixed regardless).
+func AllWorkers(workers int) ([]Report, error) {
 	runs := []struct {
 		id, title string
 		run       func() (string, error)
@@ -39,15 +48,21 @@ func All() ([]Report, error) {
 		{"overhead", "Section 5.4: architectural and software overhead", formatErr(func() (fmter, error) { return Overhead(1) })},
 		{"ablation", "Design-choice ablations", formatErr(Ablations)},
 	}
-	out := make([]Report, 0, len(runs))
-	for _, r := range runs {
-		text, err := r.run()
+	texts, err := campaign.ForEach(len(runs), workers, func(i int) (string, error) {
+		text, err := runs[i].run()
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", r.id, err)
+			return "", fmt.Errorf("%s: %w", runs[i].id, err)
 		}
-		out = append(out, Report{ID: r.id, Title: r.title, Text: text})
+		return text, nil
+	})
+	out := make([]Report, 0, len(runs))
+	for i, r := range runs {
+		if texts[i] == "" {
+			continue // this experiment failed; its error is in err
+		}
+		out = append(out, Report{ID: r.id, Title: r.title, Text: texts[i]})
 	}
-	return out, nil
+	return out, err
 }
 
 // fmter is anything with a Format method.

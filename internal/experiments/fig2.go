@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"repro/internal/attack"
+	"repro/internal/campaign"
 	"repro/internal/taint"
 )
 
@@ -23,41 +24,43 @@ type Fig2Result struct {
 }
 
 // Fig2 runs the three synthetic attacks under pointer taintedness.
-func Fig2() (Fig2Result, error) {
+func Fig2() (Fig2Result, error) { return Fig2Workers(1) }
+
+// Fig2Workers is the §5.1.1 sweep with the independent attacks fanned out
+// across workers goroutines; rows stay in paper order.
+func Fig2Workers(workers int) (Fig2Result, error) {
+	specs := []struct {
+		run       func(taint.Policy) (attack.Outcome, error)
+		program   string
+		attack    string
+		input     string
+		paperNote string
+	}{
+		{attack.Exp1StackSmash, "exp1", "stack buffer overflow",
+			`24 x "a"`, "paper: alert at JR $31, tainted 0x61616161"},
+		{attack.Exp2HeapCorruption, "exp2", "heap corruption (free-chunk links)",
+			"24-byte overflow over the adjacent free chunk", "paper: alert at LW inside free()"},
+		{attack.Exp3FormatString, "exp3", "format string %n",
+			`"abcd" + %x walk + %n over a socket`, "paper: alert at SW in vfprintf, tainted 0x64636261"},
+	}
 	var res Fig2Result
-	out, err := attack.Exp1StackSmash(taint.PolicyPointerTaintedness)
+	rows, err := campaign.ForEach(len(specs), workers, func(i int) (Fig2Row, error) {
+		out, err := specs[i].run(taint.PolicyPointerTaintedness)
+		if err != nil {
+			return Fig2Row{}, fmt.Errorf("%s: %w", specs[i].program, err)
+		}
+		return Fig2Row{
+			Program:   specs[i].program,
+			Attack:    specs[i].attack,
+			Input:     specs[i].input,
+			Outcome:   out,
+			PaperNote: specs[i].paperNote,
+		}, nil
+	})
 	if err != nil {
 		return res, err
 	}
-	res.Rows = append(res.Rows, Fig2Row{
-		Program:   "exp1",
-		Attack:    "stack buffer overflow",
-		Input:     `24 x "a"`,
-		Outcome:   out,
-		PaperNote: "paper: alert at JR $31, tainted 0x61616161",
-	})
-	out, err = attack.Exp2HeapCorruption(taint.PolicyPointerTaintedness)
-	if err != nil {
-		return res, err
-	}
-	res.Rows = append(res.Rows, Fig2Row{
-		Program:   "exp2",
-		Attack:    "heap corruption (free-chunk links)",
-		Input:     "24-byte overflow over the adjacent free chunk",
-		Outcome:   out,
-		PaperNote: "paper: alert at LW inside free()",
-	})
-	out, err = attack.Exp3FormatString(taint.PolicyPointerTaintedness)
-	if err != nil {
-		return res, err
-	}
-	res.Rows = append(res.Rows, Fig2Row{
-		Program:   "exp3",
-		Attack:    "format string %n",
-		Input:     `"abcd" + %x walk + %n over a socket`,
-		Outcome:   out,
-		PaperNote: "paper: alert at SW in vfprintf, tainted 0x64636261",
-	})
+	res.Rows = rows
 	return res, nil
 }
 

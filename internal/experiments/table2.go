@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"repro/internal/attack"
+	"repro/internal/campaign"
 	"repro/internal/taint"
 )
 
@@ -72,19 +73,34 @@ func matrixScenarios() []matrixScenario {
 
 // Matrix evaluates every application attack under pointer taintedness and
 // the control-data-only baseline.
-func Matrix() (MatrixResult, error) {
+func Matrix() (MatrixResult, error) { return MatrixWorkers(1) }
+
+// MatrixWorkers is the §5.1.2 sweep with the scenario×policy cells fanned
+// out across workers goroutines; rows stay in scenario order.
+func MatrixWorkers(workers int) (MatrixResult, error) {
 	var res MatrixResult
-	for _, sc := range matrixScenarios() {
-		pt, err := sc.run(taint.PolicyPointerTaintedness)
-		if err != nil {
-			return res, fmt.Errorf("%s/%s under pointer-taintedness: %w", sc.app, sc.name, err)
+	scs := matrixScenarios()
+	// Each (scenario, policy) cell is an independent victim run; fan out
+	// over the flattened cell list, then fold pairs back into rows.
+	cells, err := campaign.ForEach(2*len(scs), workers, func(i int) (attack.Outcome, error) {
+		sc := scs[i/2]
+		policy, policyName := taint.PolicyPointerTaintedness, "pointer-taintedness"
+		if i%2 == 1 {
+			policy, policyName = taint.PolicyControlDataOnly, "control-data-only"
 		}
-		cd, err := sc.run(taint.PolicyControlDataOnly)
+		out, err := sc.run(policy)
 		if err != nil {
-			return res, fmt.Errorf("%s/%s under control-data-only: %w", sc.app, sc.name, err)
+			return out, fmt.Errorf("%s/%s under %s: %w", sc.app, sc.name, policyName, err)
 		}
+		return out, nil
+	})
+	if err != nil {
+		return res, err
+	}
+	for i, sc := range scs {
 		res.Rows = append(res.Rows, MatrixRow{
-			Application: sc.app, Attack: sc.name, Class: sc.class, PT: pt, CD: cd,
+			Application: sc.app, Attack: sc.name, Class: sc.class,
+			PT: cells[2*i], CD: cells[2*i+1],
 		})
 	}
 	return res, nil

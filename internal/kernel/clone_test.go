@@ -1,0 +1,80 @@
+package kernel
+
+import (
+	"testing"
+)
+
+// TestKernelCloneDiverges populates every kind of kernel state, clones,
+// then mutates both sides and checks nothing crosses over.
+func TestKernelCloneDiverges(t *testing.T) {
+	k := New()
+	k.FS.WriteFile("/etc/passwd", []byte("root:x:0:0"))
+	k.SetStdin([]byte("stdin-bytes"))
+	k.SetBreak(0x10000)
+	k.stdout.WriteString("hello ")
+
+	// An open file, a listener, and an accepted connection in the fd table.
+	f := &file{fs: k.FS, path: "/etc/passwd", pos: 4, rd: true, wr: true}
+	k.fds[3] = &fdesc{file: f}
+	l, err := k.Net.Listen(21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.fds[4] = &fdesc{listener: l}
+	ep, err := k.Net.Connect(21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn := l.Accept()
+	ep.SendString("pending-input")
+	k.fds[5] = &fdesc{conn: conn}
+
+	n := k.Clone()
+
+	// fd table re-points at cloned objects, preserving cursor state.
+	if n.fds[3].file == f || n.fds[3].file.fs != n.FS || n.fds[3].file.pos != 4 {
+		t.Fatalf("cloned file fd not remapped: %+v", n.fds[3].file)
+	}
+	if n.fds[4].listener == l || n.fds[4].listener.Port != 21 {
+		t.Fatalf("cloned listener fd not remapped")
+	}
+	if n.fds[5].conn == conn {
+		t.Fatalf("cloned conn fd aliases the original")
+	}
+	buf := make([]byte, 32)
+	if got, _, _ := n.fds[5].conn.In.Read(buf); string(buf[:got]) != "pending-input" {
+		t.Fatalf("cloned conn lost buffered bytes: %q", buf[:got])
+	}
+
+	// File contents diverge: a write through the original's fd must not
+	// appear in the clone's filesystem, and vice versa.
+	f.write([]byte("XX"))
+	if data, _ := n.FS.ReadFile("/etc/passwd"); string(data) != "root:x:0:0" {
+		t.Fatalf("original file write leaked into clone: %q", data)
+	}
+	n.FS.WriteFile("/tmp/new", []byte("clone-only"))
+	if _, ok := k.FS.ReadFile("/tmp/new"); ok {
+		t.Fatalf("clone file creation leaked into original")
+	}
+
+	// Network divergence: original endpoint still feeds only the original.
+	ep.SendString("+more")
+	if n.fds[5].conn.In.Len() != 0 {
+		t.Fatalf("original endpoint traffic reached the clone")
+	}
+
+	// Scalar and buffer state copied.
+	if n.Break() != k.Break() {
+		t.Fatalf("brk not copied: %#x vs %#x", n.Break(), k.Break())
+	}
+	if n.stdout.String() != "hello " {
+		t.Fatalf("stdout not copied: %q", n.stdout.String())
+	}
+	n.stdout.WriteString("clone")
+	if k.stdout.String() != "hello " {
+		t.Fatalf("clone stdout write leaked into original")
+	}
+	if string(n.stdin) != "stdin-bytes" || n.stdinPos != k.stdinPos {
+		t.Fatalf("stdin not copied")
+	}
+}

@@ -1,0 +1,219 @@
+package mem
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestForkSharesUntilWrite: a fork reads the parent's bytes and taint
+// without copying any page.
+func TestForkSharesUntilWrite(t *testing.T) {
+	m := New()
+	m.WriteBytes(0x1000, []byte("hello"), false)
+	m.TaintRange(0x1002, 2)
+
+	f := m.Fork()
+	if b, tn := f.LoadByte(0x1000); b != 'h' || tn {
+		t.Fatalf("fork LoadByte(0x1000) = %q tainted=%v", b, tn)
+	}
+	if _, tn := f.LoadByte(0x1002); !tn {
+		t.Fatalf("fork lost taint at 0x1002")
+	}
+	if got := f.COWFaults(); got != 0 {
+		t.Fatalf("reads caused %d COW faults, want 0", got)
+	}
+	if m.Fingerprint() != f.Fingerprint() {
+		t.Fatalf("fork fingerprint differs from parent before any write")
+	}
+}
+
+// TestForkWriteFaultIsolation: writes on either side of a fork never show
+// through to the other, in data or in taint.
+func TestForkWriteFaultIsolation(t *testing.T) {
+	m := New()
+	m.WriteBytes(0x2000, []byte{1, 2, 3, 4}, false)
+	f := m.Fork()
+
+	f.StoreByte(0x2000, 0xAA, true)
+	if b, tn := m.LoadByte(0x2000); b != 1 || tn {
+		t.Fatalf("fork write leaked into parent: byte=%#x taint=%v", b, tn)
+	}
+	m.StoreByte(0x2001, 0xBB, false)
+	if b, _ := f.LoadByte(0x2001); b != 2 {
+		t.Fatalf("parent write leaked into fork: byte=%#x", b)
+	}
+	if b, tn := f.LoadByte(0x2000); b != 0xAA || !tn {
+		t.Fatalf("fork lost its own write: byte=%#x taint=%v", b, tn)
+	}
+	if f.COWFaults() != 1 || m.COWFaults() != 1 {
+		t.Fatalf("COW faults: fork=%d parent=%d, want 1 and 1", f.COWFaults(), m.COWFaults())
+	}
+}
+
+// TestForkTaintDivergence: taint-only mutations (TaintRange/UntaintRange)
+// fault pages exactly like data writes, so taint bits diverge privately.
+func TestForkTaintDivergence(t *testing.T) {
+	m := New()
+	m.WriteBytes(0x3000, []byte("abcd"), true)
+	f := m.Fork()
+
+	f.UntaintRange(0x3000, 4)
+	if m.CountTainted(0x3000, 4) != 4 {
+		t.Fatalf("fork UntaintRange cleared parent taint")
+	}
+	if f.CountTainted(0x3000, 4) != 0 {
+		t.Fatalf("fork UntaintRange did not clear its own taint")
+	}
+	m.TaintRange(0x3004, 4)
+	if f.CountTainted(0x3004, 4) != 0 {
+		t.Fatalf("parent TaintRange leaked into fork")
+	}
+}
+
+// TestUntaintCleanRangeNoFault: untainting a frozen region that holds no
+// taint must not copy pages.
+func TestUntaintCleanRangeNoFault(t *testing.T) {
+	m := New()
+	m.WriteBytes(0x4000, []byte{9, 9, 9, 9}, false)
+	f := m.Fork()
+	f.UntaintRange(0x4000, 4)
+	if got := f.COWFaults(); got != 0 {
+		t.Fatalf("untainting clean bytes took %d COW faults, want 0", got)
+	}
+}
+
+// TestSpanTaintedAcrossPageBoundary: taint queries walk page boundaries
+// correctly on both sides of a fork.
+func TestSpanTaintedAcrossPageBoundary(t *testing.T) {
+	m := New()
+	base := uint32(2*PageSize - 2) // straddles the page-1/page-2 boundary
+	m.WriteBytes(base, []byte{1, 2, 3, 4}, false)
+	m.TaintRange(base+2, 1) // first byte of page 2
+
+	f := m.Fork()
+	if !f.SpanTainted(base, 4) {
+		t.Fatalf("fork SpanTainted missed a cross-page taint bit")
+	}
+	if f.SpanTainted(base, 2) {
+		t.Fatalf("fork SpanTainted found taint in the clean prefix")
+	}
+	f.UntaintRange(base, 4)
+	if f.SpanTainted(base, 4) {
+		t.Fatalf("fork still tainted after UntaintRange")
+	}
+	if !m.SpanTainted(base, 4) {
+		t.Fatalf("fork's cross-page untaint leaked into parent")
+	}
+}
+
+// TestTaintRangeAcrossPageBoundary: a cross-page TaintRange on a fork
+// faults both pages privately.
+func TestTaintRangeAcrossPageBoundary(t *testing.T) {
+	m := New()
+	base := uint32(5*PageSize - 3)
+	m.WriteBytes(base, []byte{1, 2, 3, 4, 5, 6}, false)
+	f := m.Fork()
+
+	f.TaintRange(base, 6)
+	if f.CountTainted(base, 6) != 6 {
+		t.Fatalf("fork cross-page TaintRange marked %d bytes, want 6", f.CountTainted(base, 6))
+	}
+	if m.CountTainted(base, 6) != 0 {
+		t.Fatalf("fork cross-page TaintRange leaked into parent")
+	}
+	if f.COWFaults() != 2 {
+		t.Fatalf("cross-page TaintRange took %d COW faults, want 2", f.COWFaults())
+	}
+}
+
+// TestGrandchildFork: forks of forks keep isolating (page refcounts
+// survive multi-level sharing).
+func TestGrandchildFork(t *testing.T) {
+	m := New()
+	m.WriteBytes(0x6000, []byte{7}, false)
+	f1 := m.Fork()
+	f2 := f1.Fork()
+
+	f2.StoreByte(0x6000, 42, false)
+	if b, _ := m.LoadByte(0x6000); b != 7 {
+		t.Fatalf("grandchild write reached grandparent: %d", b)
+	}
+	if b, _ := f1.LoadByte(0x6000); b != 7 {
+		t.Fatalf("grandchild write reached parent: %d", b)
+	}
+	f1.StoreByte(0x6000, 13, false)
+	if b, _ := m.LoadByte(0x6000); b != 7 {
+		t.Fatalf("child write reached grandparent: %d", b)
+	}
+	if b, _ := f2.LoadByte(0x6000); b != 42 {
+		t.Fatalf("child write disturbed grandchild: %d", b)
+	}
+}
+
+// TestConcurrentForkAndDiverge: many goroutines fork one frozen memory at
+// once and write their private copies — the shape of a campaign fan-out.
+// Run under -race this doubles as the data-race proof for COW sharing.
+func TestConcurrentForkAndDiverge(t *testing.T) {
+	m := New()
+	for pn := uint32(0); pn < 8; pn++ {
+		m.WriteBytes(pn*PageSize, []byte{byte(pn), 1, 2, 3}, pn%2 == 0)
+	}
+	m.Freeze()
+
+	const forks = 16
+	var wg sync.WaitGroup
+	fps := make([]uint64, forks)
+	for i := 0; i < forks; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			f := m.Fork()
+			f.StoreByte(uint32(i%8)*PageSize, byte(0x80+i%8), true)
+			f.TaintRange(7*PageSize+100, 4)
+			f.UntaintRange(0, 4)
+			fps[i] = f.Fingerprint()
+		}(i)
+	}
+	wg.Wait()
+	// Same index pattern → forks 0 and 8 did identical work on identical
+	// state; their final fingerprints must match.
+	if fps[0] != fps[8] {
+		t.Fatalf("identical concurrent sessions diverged: %#x vs %#x", fps[0], fps[8])
+	}
+	if b, _ := m.LoadByte(0); b != 0 {
+		t.Fatalf("concurrent forks mutated the frozen parent")
+	}
+}
+
+// TestWriteCacheRevokedByFreeze: the write-page cache must not let a
+// post-freeze write sneak past the COW check.
+func TestWriteCacheRevokedByFreeze(t *testing.T) {
+	m := New()
+	m.StoreByte(0x7000, 1, false) // primes the write cache for this page
+	f := m.Fork()                 // freezes the page the cache points at
+	m.StoreByte(0x7000, 2, false) // must fault, not reuse the cached page
+	if b, _ := f.LoadByte(0x7000); b != 1 {
+		t.Fatalf("post-freeze write through stale cache reached fork: %d", b)
+	}
+	if m.COWFaults() != 1 {
+		t.Fatalf("post-freeze write took %d COW faults, want 1", m.COWFaults())
+	}
+}
+
+// TestReadCacheCoherentAcrossCOW: a read immediately after a COW fault on
+// the same page must see the fresh copy, not the frozen original.
+func TestReadCacheCoherentAcrossCOW(t *testing.T) {
+	m := New()
+	m.WriteBytes(0x8000, []byte{1, 2, 3, 4}, false)
+	f := m.Fork()
+	if b, _ := f.LoadByte(0x8000); b != 1 { // primes f's read cache with the shared page
+		t.Fatalf("setup: %d", b)
+	}
+	f.StoreByte(0x8000, 99, false) // COW fault replaces the page
+	if b, _ := f.LoadByte(0x8000); b != 99 {
+		t.Fatalf("read cache served the superseded page: %d", b)
+	}
+	if w, _ := f.WordAt(0x8000); w&0xFF != 99 {
+		t.Fatalf("WordAt fast path served the superseded page: %#x", w)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"math/bits"
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/taint"
 )
@@ -17,10 +18,18 @@ const PageSize = 4096
 
 const pageShift = 12
 
-// page is one resident page: data bytes plus a taint bit per byte.
+// page is one resident page: data bytes plus a taint bit per byte. refs
+// counts how many sharers beyond a single exclusive owner may still hold
+// the page: 0 means exclusively owned (writes go in place), anything else
+// means the page is frozen and a writer must take a private copy first
+// (see Memory.Freeze and Memory.Fork). refs is only ever touched with
+// atomics because concurrent forks of one frozen snapshot adjust it from
+// many goroutines; data and taint of a page with refs != 0 are immutable,
+// so they need no synchronization.
 type page struct {
 	data  [PageSize]byte
 	taint [PageSize / 8]byte // bitset, 1 bit per byte
+	refs  int32
 }
 
 func (p *page) tainted(off uint32) bool {
@@ -49,46 +58,149 @@ func (e *AlignmentError) Error() string {
 
 // Memory is a sparse, byte-taint-shadowed 32-bit address space. Reads of
 // never-written pages return zero, untainted bytes (fresh pages are clean).
-// Memory is little-endian. It is not safe for concurrent use; the machine
-// is single-core.
+// Memory is little-endian.
+//
+// A single Memory is not safe for concurrent use — the simulated machine
+// is single-core. Concurrency enters only through Fork: a frozen Memory
+// (one that has not executed since Freeze) may be forked from many
+// goroutines at once, and the resulting Memories may then run on separate
+// goroutines, sharing pages copy-on-write without ever racing.
 type Memory struct {
 	pages map[uint32]*page
 
-	// lastPN/lastPage cache the most recently touched resident page —
-	// guest accesses are strongly page-local, and pages are never freed,
-	// so the cached pointer can never go stale.
+	// lastPN/lastPage cache the most recently read resident page — guest
+	// accesses are strongly page-local. The cached pointer can go stale in
+	// exactly one way: a copy-on-write fault replacing the page with a
+	// private copy. cowCopy refreshes the cache at that moment, so readers
+	// never observe a superseded page.
 	lastPN   uint32
 	lastPage *page
+
+	// wPN/wPage cache the most recently written page, which is guaranteed
+	// exclusively owned (refs == 0): write fast paths that hit this cache
+	// skip the copy-on-write check entirely. Freeze resets it, because
+	// freezing is precisely what revokes in-place write permission.
+	wPN   uint32
+	wPage *page
+
+	// frozen records that every resident page had refs >= 1 when Freeze
+	// last ran and no write or page allocation has happened since; it lets
+	// concurrent Fork calls skip Freeze's page scan (and its stores).
+	frozen bool
 
 	// taintedStores counts bytes written with taint set, an input to the
 	// paper's Section 5.4 software-overhead estimate.
 	taintedStores uint64
+
+	// cowFaults counts pages this Memory privately copied on write faults.
+	cowFaults uint64
 }
 
 // New returns an empty memory.
 func New() *Memory {
-	return &Memory{pages: make(map[uint32]*page, 64), lastPN: ^uint32(0)}
+	return &Memory{
+		pages:  make(map[uint32]*page, 64),
+		lastPN: ^uint32(0),
+		wPN:    ^uint32(0),
+	}
 }
 
-func (m *Memory) pageFor(addr uint32, create bool) *page {
+// pageAt returns the resident page containing addr (nil if the page was
+// never written), refreshing the read cache on a map hit.
+func (m *Memory) pageAt(addr uint32) *page {
 	pn := addr >> pageShift
 	if pn == m.lastPN {
 		return m.lastPage
 	}
 	p := m.pages[pn]
-	if p == nil && create {
-		p = &page{}
-		m.pages[pn] = p
-	}
 	if p != nil {
 		m.lastPN, m.lastPage = pn, p
 	}
 	return p
 }
 
+// pageForWrite returns an exclusively owned page containing addr,
+// allocating a fresh page or copy-on-write-copying a frozen one as needed,
+// and refreshes both the read and write caches.
+func (m *Memory) pageForWrite(addr uint32) *page {
+	pn := addr >> pageShift
+	if pn == m.wPN {
+		return m.wPage
+	}
+	p := m.pages[pn]
+	switch {
+	case p == nil:
+		p = &page{}
+		m.pages[pn] = p
+		m.frozen = false
+	case atomic.LoadInt32(&p.refs) != 0:
+		p = m.cowCopy(pn, p)
+	}
+	m.lastPN, m.lastPage = pn, p
+	m.wPN, m.wPage = pn, p
+	return p
+}
+
+// cowCopy services a write fault on frozen page p: it copies the contents
+// into a fresh exclusively owned page, installs the copy in m's page table
+// (replacing p there), and releases m's share of p. Reading p.data/p.taint
+// here is race-free because a page with refs != 0 is immutable.
+func (m *Memory) cowCopy(pn uint32, p *page) *page {
+	np := &page{data: p.data, taint: p.taint}
+	m.pages[pn] = np
+	atomic.AddInt32(&p.refs, -1)
+	m.frozen = false
+	m.cowFaults++
+	return np
+}
+
+// Freeze marks every resident page read-only, so that the next write — by
+// m itself or by any Fork taken from it — faults into a private copy.
+// Freeze requires exclusive access to m (it stores page refcounts and
+// resets the write cache); on an already-frozen Memory it is a read-only
+// no-op, which is what makes concurrent Fork calls safe.
+func (m *Memory) Freeze() {
+	if m.frozen {
+		return
+	}
+	for _, p := range m.pages {
+		if atomic.LoadInt32(&p.refs) == 0 {
+			atomic.StoreInt32(&p.refs, 1)
+		}
+	}
+	m.wPN, m.wPage = ^uint32(0), nil
+	m.frozen = true
+}
+
+// Fork returns a copy-on-write clone of m: the clone shares every resident
+// page with m, and a page is copied only when one side writes it. Fork
+// freezes m first; on an already-frozen Memory (a snapshot that has not
+// executed since Freeze) Fork only reads m and bumps page refcounts
+// atomically, so many goroutines may fork the same snapshot at once — this
+// is how the campaign engine stamps out per-session memories.
+func (m *Memory) Fork() *Memory {
+	m.Freeze()
+	pages := make(map[uint32]*page, len(m.pages))
+	for pn, p := range m.pages {
+		atomic.AddInt32(&p.refs, 1)
+		pages[pn] = p
+	}
+	return &Memory{
+		pages:         pages,
+		lastPN:        ^uint32(0),
+		wPN:           ^uint32(0),
+		frozen:        true,
+		taintedStores: m.taintedStores,
+	}
+}
+
+// COWFaults returns how many pages this Memory copied on write faults
+// since it was created or forked.
+func (m *Memory) COWFaults() uint64 { return m.cowFaults }
+
 // LoadByte returns the byte at addr and its taintedness.
 func (m *Memory) LoadByte(addr uint32) (byte, bool) {
-	p := m.pageFor(addr, false)
+	p := m.pageAt(addr)
 	if p == nil {
 		return 0, false
 	}
@@ -98,7 +210,7 @@ func (m *Memory) LoadByte(addr uint32) (byte, bool) {
 
 // StoreByte stores one byte and its taintedness at addr.
 func (m *Memory) StoreByte(addr uint32, b byte, tainted bool) {
-	p := m.pageFor(addr, true)
+	p := m.pageForWrite(addr)
 	off := addr & (PageSize - 1)
 	p.data[off] = b
 	p.setTaint(off, tainted)
@@ -122,7 +234,7 @@ func (m *Memory) HalfAt(addr uint32) (uint16, taint.Vec) {
 }
 
 func (m *Memory) halfAtMiss(addr uint32) (uint16, taint.Vec) {
-	p := m.pageFor(addr, false)
+	p := m.pageAt(addr)
 	if p == nil {
 		return 0, taint.None
 	}
@@ -134,9 +246,9 @@ func (m *Memory) halfAtMiss(addr uint32) (uint16, taint.Vec) {
 // PutHalf stores a little-endian halfword at a 2-aligned addr
 // (caller-checked); lanes 0-1 of vec supply taint.
 func (m *Memory) PutHalf(addr uint32, h uint16, vec taint.Vec) {
-	p := m.lastPage
-	if addr>>pageShift != m.lastPN {
-		p = m.pageFor(addr, true)
+	p := m.wPage
+	if addr>>pageShift != m.wPN {
+		p = m.pageForWrite(addr)
 	}
 	off := addr & (PageSize - 1)
 	binary.LittleEndian.PutUint16(p.data[off:], h)
@@ -180,7 +292,7 @@ func (m *Memory) WordAt(addr uint32) (uint32, taint.Vec) {
 }
 
 func (m *Memory) wordAtMiss(addr uint32) (uint32, taint.Vec) {
-	p := m.pageFor(addr, false)
+	p := m.pageAt(addr)
 	if p == nil {
 		return 0, taint.None
 	}
@@ -192,9 +304,9 @@ func (m *Memory) wordAtMiss(addr uint32) (uint32, taint.Vec) {
 // PutWord stores a little-endian word with its 4-lane taint at a 4-aligned
 // addr (caller-checked).
 func (m *Memory) PutWord(addr uint32, w uint32, vec taint.Vec) {
-	p := m.lastPage
-	if addr>>pageShift != m.lastPN {
-		p = m.pageFor(addr, true)
+	p := m.wPage
+	if addr>>pageShift != m.wPN {
+		p = m.pageForWrite(addr)
 	}
 	off := addr & (PageSize - 1)
 	binary.LittleEndian.PutUint32(p.data[off:], w)
@@ -228,7 +340,7 @@ func (m *Memory) StoreWord(addr uint32, w uint32, vec taint.Vec) error {
 func (m *Memory) SpanTainted(addr uint32, n int) bool {
 	for i := 0; i < n; i++ {
 		a := addr + uint32(i)
-		if p := m.pageFor(a, false); p != nil && p.tainted(a&(PageSize-1)) {
+		if p := m.pageAt(a); p != nil && p.tainted(a&(PageSize-1)) {
 			return true
 		}
 	}
@@ -272,19 +384,27 @@ func (m *Memory) ReadCString(addr uint32, max int) string {
 func (m *Memory) TaintRange(addr uint32, n int) {
 	for i := 0; i < n; i++ {
 		a := addr + uint32(i)
-		p := m.pageFor(a, true)
+		p := m.pageForWrite(a)
 		p.setTaint(a&(PageSize-1), true)
 		m.taintedStores++
 	}
 }
 
-// UntaintRange clears the taint of n bytes starting at addr.
+// UntaintRange clears the taint of n bytes starting at addr. Bytes that
+// are already clean are skipped without a write fault, so untainting a
+// frozen region that holds no taint copies nothing.
 func (m *Memory) UntaintRange(addr uint32, n int) {
 	for i := 0; i < n; i++ {
 		a := addr + uint32(i)
-		if p := m.pageFor(a, false); p != nil {
-			p.setTaint(a&(PageSize-1), false)
+		p := m.pageAt(a)
+		if p == nil {
+			continue
 		}
+		off := a & (PageSize - 1)
+		if !p.tainted(off) {
+			continue
+		}
+		m.pageForWrite(a).setTaint(off, false)
 	}
 }
 
