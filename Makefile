@@ -2,13 +2,22 @@ GO ?= go
 FUZZTIME ?= 10s
 CAMPAIGN_N ?= 64
 
-.PHONY: build vet test race race-campaign fuzz bench bench-json ci
+.PHONY: build vet lint test race race-campaign fuzz bench bench-json ci
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Static checks beyond vet: the custom guest-memory taint-discipline
+# analyzer (internal/lint/taintaccess) over the whole tree, then the
+# pointer-taintedness static analyzer (ptlint) over the entire corpus —
+# any panic or analysis error fails the build; unsound verdicts are
+# caught by the soundness tests in internal/attack (run via test/ci).
+lint: vet
+	$(GO) run ./cmd/taintlint .
+	$(GO) run ./cmd/ptlint -all -summary
 
 test:
 	$(GO) test ./...
@@ -36,4 +45,4 @@ bench:
 bench-json:
 	$(GO) run ./cmd/ptcampaign -n $(CAMPAIGN_N) -json BENCH_campaign.json
 
-ci: vet build race race-campaign fuzz
+ci: lint build race race-campaign fuzz

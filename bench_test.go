@@ -250,14 +250,20 @@ const hotLoopSrc = `
 `
 
 // BenchmarkStepFastPath compares the predecoded basic-block fast path
-// against the reference one-instruction interpreter on the hot loop; the
-// ns/instr metric is the headline per-instruction simulation cost.
+// (with and without static provably-clean facts) against the reference
+// one-instruction interpreter on the hot loop; the ns/instr metric is
+// the headline per-instruction simulation cost. The clean-heavy hot
+// loop must retire instructions through the static skip path
+// (static-skips/instr > 0 for "fast") at no ns/instr regression versus
+// "fast-nostatic".
 func BenchmarkStepFastPath(b *testing.B) {
-	run := func(b *testing.B, reference bool) {
-		var total uint64
+	run := func(b *testing.B, reference, noStatic bool) {
+		var total, skips uint64
 		for i := 0; i < b.N; i++ {
 			b.StopTimer()
-			m, err := core.BuildC(core.Config{Budget: 1 << 40, Reference: reference}, hotLoopSrc)
+			m, err := core.BuildC(core.Config{
+				Budget: 1 << 40, Reference: reference, NoStatic: noStatic,
+			}, hotLoopSrc)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -268,11 +274,14 @@ func BenchmarkStepFastPath(b *testing.B) {
 				b.Fatal(runErr)
 			}
 			total += m.Stats().Instructions
+			skips += m.Stats().StaticCleanSkips
 		}
 		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(total), "ns/instr")
+		b.ReportMetric(float64(skips)/float64(total), "static-skips/instr")
 	}
-	b.Run("fast", func(b *testing.B) { run(b, false) })
-	b.Run("reference", func(b *testing.B) { run(b, true) })
+	b.Run("fast", func(b *testing.B) { run(b, false, false) })
+	b.Run("fast-nostatic", func(b *testing.B) { run(b, false, true) })
+	b.Run("reference", func(b *testing.B) { run(b, true, false) })
 }
 
 // BenchmarkSPECStepFastPath runs each SPEC analogue under both

@@ -28,6 +28,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/analysis"
 	"repro/internal/asm"
 	"repro/internal/cc"
 	"repro/internal/cpu"
@@ -51,6 +52,7 @@ type debugger struct {
 	k      *kernel.Kernel
 	c      *cpu.CPU
 	m      *mem.Memory
+	res    *analysis.Result // static verdicts; nil when analysis failed
 	out    io.Writer
 	breaks map[uint32]bool
 	done   bool
@@ -115,6 +117,11 @@ func run(args []string, in io.Reader, out io.Writer) error {
 	}
 
 	d := &debugger{im: im, k: k, c: c, m: m, out: out, breaks: map[uint32]bool{}}
+	// Static verdicts annotate the disassembly; a failed analysis just
+	// leaves the annotations off — the debugger stays usable regardless.
+	if res, err := analysis.Analyze(im, taint.Propagator{}); err == nil {
+		d.res = res
+	}
 	fmt.Fprintf(out, "ptdbg: %s loaded, entry %#08x, policy %v\n", rest[0], im.Entry, policy)
 	sc := bufio.NewScanner(in)
 	fmt.Fprint(out, "> ")
@@ -311,7 +318,22 @@ func (d *debugger) printLocation() {
 		fmt.Fprintf(d.out, "%08x  %08x <bad>%s\n", pc, word, loc)
 		return
 	}
-	fmt.Fprintf(d.out, "%08x  %-26s%s\n", pc, isa.Disassemble(in, pc), loc)
+	fmt.Fprintf(d.out, "%08x  %-26s%s%s\n", pc, isa.Disassemble(in, pc), loc, d.verdictMark(pc))
+}
+
+// verdictMark renders the static analyzer's verdict for a dereference
+// site as a disassembly annotation; non-dereference pcs get none.
+func (d *debugger) verdictMark(pc uint32) string {
+	if d.res == nil {
+		return ""
+	}
+	switch d.res.VerdictAt(pc) {
+	case analysis.ProvablyClean:
+		return "  [static: clean]"
+	case analysis.MayDereferenceTainted:
+		return "  [static: may-tainted]"
+	}
+	return ""
 }
 
 func (d *debugger) regs() {
@@ -363,6 +385,6 @@ func (d *debugger) disasm(addr uint32, n int) {
 			fmt.Fprintf(d.out, "%08x  %08x  <data>\n", pc, word)
 			continue
 		}
-		fmt.Fprintf(d.out, "%08x  %s\n", pc, isa.Disassemble(in, pc))
+		fmt.Fprintf(d.out, "%08x  %-26s%s\n", pc, isa.Disassemble(in, pc), d.verdictMark(pc))
 	}
 }

@@ -89,6 +89,32 @@ func TestTaintedDumpMarks(t *testing.T) {
 	}
 }
 
+func TestStaticVerdictAnnotation(t *testing.T) {
+	dir := t.TempDir()
+	payload := filepath.Join(dir, "stdin")
+	os.WriteFile(payload, []byte("XY"), 0o644)
+	// read() seeds taint into buf; dereferencing the loaded value is a
+	// may-tainted site, while ordinary locals stay provably clean. The
+	// disassembly listing must carry both annotations somewhere.
+	out := session(t, `
+		char buf[8];
+		char table[256];
+		int main() {
+			int x;
+			x = 1;
+			read(0, buf, 2);
+			x = table[buf[0]];
+			return x;
+		}
+	`, "b main\nc\nd 64\nq\n", "-stdin", payload)
+	if !strings.Contains(out, "[static: clean]") {
+		t.Errorf("no provably-clean annotation in disassembly:\n%s", out)
+	}
+	if !strings.Contains(out, "[static: may-tainted]") {
+		t.Errorf("no may-tainted annotation in disassembly:\n%s", out)
+	}
+}
+
 func TestWatchCommand(t *testing.T) {
 	out := session(t, `int g; int main() { return 0; }`, "watch g 4 config\nq\n")
 	if !strings.Contains(out, `watching "config"`) {

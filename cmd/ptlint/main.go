@@ -1,0 +1,202 @@
+// ptlint statically lints guest programs for tainted-dereference sites:
+// it runs the internal/analysis abstract interpretation of the paper's
+// Table 1 taint rules over the built image and reports, per dereference
+// (load, store, register jump), whether the instruction is ProvablyClean
+// or MayDereferenceTainted — before ever executing the program.
+//
+// Usage:
+//
+//	ptlint [-all] [-clean] [-summary] [-ablation name] [program ...]
+//
+// Each program argument is a corpus name (e.g. wuftpd), a C file, or an
+// assembly file. -all lints the whole built-in corpus. The exit status
+// is 0 on success, 1 on build/analysis error; findings themselves do not
+// change the exit status (a may-tainted dereference is information, not
+// an error — the dynamic detectors stay armed at runtime).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/asm"
+	"repro/internal/cc"
+	"repro/internal/isa"
+	"repro/internal/progs"
+	"repro/internal/rtl"
+	"repro/internal/taint"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ptlint:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("ptlint", flag.ContinueOnError)
+	all := fs.Bool("all", false, "lint every built-in corpus program")
+	showClean := fs.Bool("clean", false, "also list ProvablyClean sites")
+	summary := fs.Bool("summary", false, "per-program verdict counts only")
+	ablation := fs.String("ablation", "", "propagation ablation: no-compare-untaint, no-and, no-xor, word, branch-untaint")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	prop, err := parseAblation(*ablation)
+	if err != nil {
+		return err
+	}
+
+	type target struct {
+		name string
+		im   *asm.Image
+	}
+	var targets []target
+	if *all {
+		for _, p := range progs.All() {
+			im, err := p.Build()
+			if err != nil {
+				return fmt.Errorf("build %s: %w", p.Name, err)
+			}
+			targets = append(targets, target{p.Name, im})
+		}
+	}
+	for _, arg := range fs.Args() {
+		im, name, err := buildTarget(arg)
+		if err != nil {
+			return err
+		}
+		targets = append(targets, target{name, im})
+	}
+	if len(targets) == 0 {
+		return fmt.Errorf("no programs (name a corpus program or a file, or pass -all)")
+	}
+
+	for _, tg := range targets {
+		res, err := analysis.Analyze(tg.im, prop)
+		if err != nil {
+			return fmt.Errorf("analyze %s: %w", tg.name, err)
+		}
+		if err := report(out, tg.name, tg.im, res, *showClean, *summary); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// buildTarget resolves one program argument: corpus name, .c or .s file.
+func buildTarget(arg string) (*asm.Image, string, error) {
+	if p, ok := progs.ByName(arg); ok {
+		im, err := p.Build()
+		return im, p.Name, err
+	}
+	src, err := os.ReadFile(arg)
+	if err != nil {
+		return nil, "", fmt.Errorf("%q is neither a corpus program nor a readable file: %w", arg, err)
+	}
+	switch {
+	case strings.HasSuffix(arg, ".s"):
+		im, err := asm.AssembleString(string(src))
+		return im, arg, err
+	default:
+		im, err := rtl.Build(cc.Unit{Name: arg, Src: string(src)})
+		return im, arg, err
+	}
+}
+
+func parseAblation(name string) (taint.Propagator, error) {
+	switch name {
+	case "":
+		return taint.Propagator{}, nil
+	case "no-compare-untaint":
+		return taint.Propagator{DisableCompareUntaint: true}, nil
+	case "no-and":
+		return taint.Propagator{DisableAndUntaint: true}, nil
+	case "no-xor":
+		return taint.Propagator{DisableXorIdiom: true}, nil
+	case "word":
+		return taint.Propagator{WordGranularity: true}, nil
+	case "branch-untaint":
+		return taint.Propagator{EnableBranchUntaint: true}, nil
+	}
+	return taint.Propagator{}, fmt.Errorf("unknown ablation %q", name)
+}
+
+func report(out io.Writer, name string, im *asm.Image, res *analysis.Result, showClean, summary bool) error {
+	sites := res.Sites()
+	clean, may := 0, 0
+	for _, s := range sites {
+		switch s.Verdict {
+		case analysis.ProvablyClean:
+			clean++
+		case analysis.MayDereferenceTainted:
+			may++
+		}
+	}
+	if res.Bailed {
+		fmt.Fprintf(out, "%s: analysis bailed (%s); all %d dereference sites may-tainted\n",
+			name, res.BailReason, len(sites))
+		return nil
+	}
+	fmt.Fprintf(out, "%s: %d dereference sites, %d provably clean, %d may dereference tainted\n",
+		name, len(sites), clean, may)
+	if summary {
+		return nil
+	}
+
+	// Group findings by symbol for readability.
+	bySym := map[string][]analysis.Site{}
+	var order []string
+	for _, s := range sites {
+		if s.Verdict == analysis.ProvablyClean && !showClean {
+			continue
+		}
+		sym, _ := im.SymbolAt(s.PC)
+		if sym == "" {
+			sym = "?"
+		}
+		if _, seen := bySym[sym]; !seen {
+			order = append(order, sym)
+		}
+		bySym[sym] = append(bySym[sym], s)
+	}
+	sort.Slice(order, func(i, j int) bool { return bySym[order[i]][0].PC < bySym[order[j]][0].PC })
+	for _, sym := range order {
+		fmt.Fprintf(out, "  %s:\n", sym)
+		for _, s := range bySym[sym] {
+			in := disasmAt(im, s.PC)
+			switch s.Verdict {
+			case analysis.MayDereferenceTainted:
+				fmt.Fprintf(out, "    %#08x  %-28s  MAY-TAINTED  %s\n", s.PC, in, s.Chain)
+			case analysis.ProvablyClean:
+				fmt.Fprintf(out, "    %#08x  %-28s  clean\n", s.PC, in)
+			}
+		}
+	}
+	return nil
+}
+
+// disasmAt decodes the instruction word at pc from the image text.
+func disasmAt(im *asm.Image, pc uint32) string {
+	if len(im.Segments) == 0 {
+		return "?"
+	}
+	text := im.Segments[0]
+	off := pc - text.Addr
+	if off+4 > uint32(len(text.Data)) {
+		return "?"
+	}
+	w := uint32(text.Data[off]) | uint32(text.Data[off+1])<<8 |
+		uint32(text.Data[off+2])<<16 | uint32(text.Data[off+3])<<24
+	in, err := isa.Decode(w)
+	if err != nil {
+		return fmt.Sprintf(".word %#x", w)
+	}
+	return isa.Disassemble(in, pc)
+}

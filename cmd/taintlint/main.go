@@ -1,0 +1,39 @@
+// taintlint runs the repo's custom guest-memory taint-discipline checks
+// (internal/lint/taintaccess) over a source tree and exits nonzero when
+// any finding is reported. It stands in for a golang.org/x/tools
+// go/analysis driver, which the offline build environment cannot host;
+// the checks themselves live in internal/lint/taintaccess.
+//
+// Usage:
+//
+//	taintlint [root]
+//
+// root defaults to the current directory and should be the repository
+// root (the checks key on repo-relative paths like internal/mem).
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/lint/taintaccess"
+)
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	diags, err := taintaccess.CheckDir(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "taintlint:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "taintlint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

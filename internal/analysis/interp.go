@@ -1,0 +1,657 @@
+package analysis
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/kernel"
+)
+
+// paramWindow is how many caller argument words are translated into a
+// callee's entry state at a call site. The compiler passes all
+// arguments in stack slots at the callee's entry $sp; sixteen words
+// comfortably covers every declared parameter list in the corpus, and
+// varargs walks beyond it simply read the implicit top (MaybeTainted),
+// which is the sound direction.
+const paramWindow = 16
+
+// symWidenLimit bounds tracked stack deltas; arithmetic past it widens
+// kSym to kStackAny so recursion and runaway pointer loops terminate.
+const symWidenLimit = 1 << 20
+
+// edge is one control-flow successor produced by walking a block.
+type edge struct {
+	to *block
+	st *state
+}
+
+// insHook observes the state immediately before each instruction
+// executes; the verdict extraction pass uses it.
+type insHook func(w int, in isa.Instruction, s *state)
+
+// setReg writes a register, keeping $zero hardwired.
+func setReg(s *state, r isa.Register, v absVal) {
+	if r == isa.RegZero {
+		return
+	}
+	s.regs[r] = v
+}
+
+// mergeTaint assembles the taint component of a binary result: OR of
+// the operand taints, carrying the first tainted operand's origin.
+func mergeTaint(a, b absVal) absVal {
+	out := absVal{t: a.t | b.t, k: kUnknown}
+	if out.t == May {
+		out.src, out.why = a.src, a.why
+		if a.t == Clean {
+			out.src, out.why = b.src, b.why
+		}
+		if out.why == whyNone {
+			out.why = whyEntry
+		}
+	}
+	return out
+}
+
+// addVals models ADD-family value flow (sub=false) and SUB (sub=true):
+// constants fold, stack deltas shift by constants, and the difference
+// of two same-frame stack pointers is a constant.
+func addVals(a, b absVal, sub bool) absVal {
+	out := mergeTaint(a, b)
+	switch {
+	case a.k == kConst && b.k == kConst:
+		out.k = kConst
+		if sub {
+			out.v = a.v - b.v
+		} else {
+			out.v = a.v + b.v
+		}
+	case a.k == kSym && b.k == kConst:
+		d := int64(int32(a.v))
+		if sub {
+			d -= int64(int32(b.v))
+		} else {
+			d += int64(int32(b.v))
+		}
+		if d > symWidenLimit || d < -symWidenLimit {
+			out.k = kStackAny
+		} else {
+			out.k, out.v = kSym, uint32(int32(d))
+		}
+	case !sub && a.k == kConst && b.k == kSym:
+		return addVals(b, a, false)
+	case sub && a.k == kSym && b.k == kSym:
+		out.k, out.v = kConst, uint32(int32(a.v)-int32(b.v))
+	case a.k == kStackAny && b.k == kConst,
+		!sub && a.k == kConst && b.k == kStackAny,
+		a.k == kStackAny && b.k == kStackAny && sub == false:
+		out.k = kStackAny
+	}
+	return out
+}
+
+// rebase translates v from caller stack coordinates into callee
+// coordinates (delta = the caller-coordinate position of the callee's
+// entry $sp). The caller's opaque markers lose their meaning across
+// the boundary: its return address becomes just a clean code address,
+// its saved caller-FP just a stack address.
+func rebase(v absVal, delta int32) absVal {
+	switch v.k {
+	case kSym:
+		d := int64(int32(v.v)) - int64(delta)
+		if d > symWidenLimit || d < -symWidenLimit {
+			v.k = kStackAny
+		} else {
+			v.v = uint32(int32(d))
+		}
+	case kRetAddr:
+		v.k = kUnknown
+	case kCallerFP:
+		v.k = kStackAny
+	}
+	return v
+}
+
+// translateBack maps a callee return-state value into the caller's
+// coordinates at a call site: stack deltas shift back, the callee's
+// kRetAddr marker is exactly the link address the JAL wrote, and
+// kCallerFP is exactly the caller's own current $fp.
+func translateBack(v absVal, delta int32, caller *state, callPC uint32) absVal {
+	switch v.k {
+	case kSym:
+		d := int64(int32(v.v)) + int64(delta)
+		if d > symWidenLimit || d < -symWidenLimit {
+			v.k = kStackAny
+		} else {
+			v.v = uint32(int32(d))
+		}
+	case kRetAddr:
+		v.k, v.v = kConst, callPC+4
+	case kCallerFP:
+		fp := caller.regs[isa.RegFP]
+		fp.t |= v.t
+		if fp.t == May && fp.src == 0 {
+			fp.src, fp.why = v.src, v.why
+		}
+		return fp
+	}
+	return v
+}
+
+// slotAt reads a tracked stack slot, defaulting to top: unknown stack
+// memory — a callee's dead frame, an uninitialized local, or the
+// tainted argv/env block the kernel lays out above the root $sp.
+func slotAt(s *state, d int32) absVal {
+	if v, ok := s.slots[d]; ok {
+		return v
+	}
+	return top(whyEntry, 0)
+}
+
+// loadFrom models a memory read at the abstract address.
+func (p *program) loadFrom(s *state, addr absVal, width int) absVal {
+	switch addr.k {
+	case kSym:
+		d := int32(addr.v)
+		if width == 4 && d%4 == 0 {
+			return slotAt(s, d)
+		}
+		lo := d &^ 3
+		hi := (d + int32(width) - 1) &^ 3
+		out := slotAt(s, lo)
+		if hi != lo {
+			out = joinVal(out, slotAt(s, hi))
+		}
+		out.k = kUnknown // sub-word extract of a tracked word
+		return out
+	case kConst:
+		if p.regions.inStack(addr.v) {
+			return top(whyEntry, 0)
+		}
+		t, src, why := p.regions.loadTaint(addr.v, width)
+		if t == Clean {
+			return cleanUnknown()
+		}
+		if why == whyNone {
+			why = whyEntry
+		}
+		return top(why, src)
+	default:
+		// kStackAny / kUnknown / opaque markers: any memory at all.
+		if t, src, why := p.regions.anyTainted(); t == May && addr.k == kUnknown {
+			return top(why, src)
+		}
+		return top(whyEntry, 0)
+	}
+}
+
+// storeTo models a memory write at the abstract address. Stores of
+// clean values through unbounded pointers deliberately leave the
+// abstract state untouched — see the DESIGN.md soundness argument
+// (clean-store integrity): a clean store can move taint nowhere, and
+// the dynamic detectors this analysis is held to only fire on tainted
+// values.
+func (p *program) storeTo(f *fn, s *state, addr, val absVal, width int, pc uint32) {
+	if val.t == May && val.src == 0 {
+		val.src, val.why = pc, whyWild
+	}
+	switch addr.k {
+	case kSym:
+		d := int32(addr.v)
+		if width == 4 && d%4 == 0 {
+			s.slots[d] = val // strong update: exact word slot
+			return
+		}
+		lo := d &^ 3
+		hi := (d + int32(width) - 1) &^ 3
+		p.weakSlot(s, lo, val)
+		if hi != lo {
+			p.weakSlot(s, hi, val)
+		}
+	case kConst:
+		if p.regions.inStack(addr.v) {
+			if val.t == May {
+				s.taintAllSlots(val.src)
+				p.setTaintsCaller(f)
+			}
+			return
+		}
+		if val.t == May {
+			if p.regions.taintRange(addr.v, addr.v+uint32(width), val.src, val.why) {
+				p.envChanged = true
+			}
+		}
+	case kStackAny:
+		if val.t == May {
+			s.taintAllSlots(val.src)
+			p.setTaintsCaller(f)
+		}
+	default:
+		if val.t == May {
+			s.taintAllSlots(val.src)
+			if p.regions.taintAll(val.src, val.why) {
+				p.envChanged = true
+			}
+			p.setTaintsCaller(f)
+		}
+	}
+}
+
+// weakSlot merges a partial-word or may-write into a tracked slot;
+// untracked slots stay at the implicit top.
+func (p *program) weakSlot(s *state, d int32, val absVal) {
+	old, ok := s.slots[d]
+	if !ok {
+		return
+	}
+	val.k = kUnknown
+	s.slots[d] = joinVal(old, val)
+}
+
+func (p *program) setTaintsCaller(f *fn) {
+	if !f.sum.taintsCallerStack {
+		f.sum.taintsCallerStack = true
+		p.envChanged = true
+	}
+}
+
+// taintInput seeds taint at a SYS_READ/SYS_RECV buffer-write site: the
+// paper's external input sources. buf/ln are the abstract $a1/$a2.
+func (p *program) taintInput(f *fn, s *state, buf, ln absVal, pc uint32) {
+	tainted := absVal{t: May, k: kUnknown, src: pc, why: whySyscall}
+	bounded := ln.k == kConst && ln.v < symWidenLimit
+	switch buf.k {
+	case kConst:
+		if p.regions.inStack(buf.v) {
+			s.taintAllSlots(pc)
+			p.setTaintsCaller(f)
+			return
+		}
+		end := uint32(0)
+		if bounded {
+			end = buf.v + ln.v
+		}
+		if p.regions.taintRange(buf.v, end, pc, whySyscall) {
+			p.envChanged = true
+		}
+		if !bounded {
+			// An unbounded read into a global can run to the top of the
+			// heap but not into the stack segment, which the kernel
+			// addresses separately; regions cover it.
+			return
+		}
+	case kSym:
+		d := int32(buf.v)
+		if bounded {
+			for off := int32(0); off < int32(ln.v); off += 4 {
+				s.slots[(d+off)&^3] = tainted
+			}
+			s.slots[(d+int32(ln.v)-1)&^3] = tainted
+			if d+int32(ln.v) > 0 {
+				p.setTaintsCaller(f) // reaches the caller's frame area
+			}
+			return
+		}
+		for k := range s.slots {
+			if k >= d {
+				s.slots[k] = tainted
+			}
+		}
+		p.setTaintsCaller(f)
+	case kStackAny:
+		s.taintAllSlots(pc)
+		p.setTaintsCaller(f)
+	default:
+		s.taintAllSlots(pc)
+		if p.regions.taintAll(pc, whySyscall) {
+			p.envChanged = true
+		}
+		p.setTaintsCaller(f)
+	}
+}
+
+// stepIns applies one non-control instruction's abstract effect.
+func (p *program) stepIns(f *fn, s *state, w int, in isa.Instruction) {
+	pc := p.pcOf(w)
+	switch in.Op.Kind() {
+	case isa.KindALU:
+		p.stepALU(s, in)
+	case isa.KindCompare:
+		p.stepCompare(s, in)
+	case isa.KindShift:
+		p.stepShift(s, in)
+	case isa.KindLoad:
+		addr := addVals(s.regs[in.Rs], constVal(uint32(in.Imm)), false)
+		setReg(s, in.Rt, p.loadFrom(s, addr, in.Op.MemWidth()))
+	case isa.KindStore:
+		addr := addVals(s.regs[in.Rs], constVal(uint32(in.Imm)), false)
+		p.storeTo(f, s, addr, s.regs[in.Rt], in.Op.MemWidth(), pc)
+	}
+}
+
+func (p *program) stepALU(s *state, in isa.Instruction) {
+	a := s.regs[in.Rs]
+	b := s.regs[in.Rt]
+	dst := in.Rd
+	imm := false
+	switch in.Op {
+	case isa.OpADDI, isa.OpADDIU:
+		b, dst, imm = constVal(uint32(in.Imm)), in.Rt, true
+	case isa.OpANDI, isa.OpORI, isa.OpXORI:
+		b, dst, imm = constVal(in.UImm()), in.Rt, true
+	case isa.OpLUI:
+		setReg(s, in.Rt, constVal(in.UImm()<<16))
+		return
+	}
+	var out absVal
+	switch in.Op {
+	case isa.OpADD, isa.OpADDU, isa.OpADDI, isa.OpADDIU:
+		out = addVals(a, b, false)
+	case isa.OpSUB, isa.OpSUBU:
+		out = addVals(a, b, true)
+	case isa.OpAND, isa.OpANDI:
+		out = mergeTaint(a, b)
+		if !p.prop.DisableAndUntaint &&
+			((a.k == kConst && a.v == 0 && a.t == Clean) ||
+				(b.k == kConst && b.v == 0 && b.t == Clean)) {
+			out = constVal(0)
+		} else if a.k == kConst && b.k == kConst {
+			out.k, out.v = kConst, a.v&b.v
+		}
+	case isa.OpXOR, isa.OpXORI:
+		out = mergeTaint(a, b)
+		if in.Op == isa.OpXOR && !imm && in.Rs == in.Rt {
+			// XOR r,r: the value is constant zero regardless; the taint
+			// clears only under the Table 1 idiom rule.
+			out.k, out.v = kConst, 0
+			if !p.prop.DisableXorIdiom {
+				out = constVal(0)
+			}
+		} else if a.k == kConst && b.k == kConst {
+			out.k, out.v = kConst, a.v^b.v
+		}
+	case isa.OpOR, isa.OpORI:
+		out = mergeTaint(a, b)
+		if a.k == kConst && b.k == kConst {
+			out.k, out.v = kConst, a.v|b.v
+		}
+	case isa.OpNOR:
+		out = mergeTaint(a, b)
+		if a.k == kConst && b.k == kConst {
+			out.k, out.v = kConst, ^(a.v | b.v)
+		}
+	case isa.OpMUL:
+		out = mergeTaint(a, b)
+		if a.k == kConst && b.k == kConst {
+			out.k, out.v = kConst, uint32(int32(a.v)*int32(b.v))
+		}
+	default:
+		// DIV/DIVU/REM/REMU and anything else: taint merges, value unknown.
+		out = mergeTaint(a, b)
+	}
+	setReg(s, dst, out)
+}
+
+func (p *program) stepCompare(s *state, in isa.Instruction) {
+	a := s.regs[in.Rs]
+	b := s.regs[in.Rt]
+	dst := in.Rd
+	imm := false
+	switch in.Op {
+	case isa.OpSLTI:
+		b, dst, imm = constVal(uint32(in.Imm)), in.Rt, true
+	case isa.OpSLTIU:
+		b, dst, imm = constVal(in.UImm()), in.Rt, true
+	}
+	// The 0/1 result is untainted under every configuration; the operand
+	// untaint is the ablation-gated part (taint.Propagator mirrors this).
+	out := cleanUnknown()
+	if a.k == kConst && b.k == kConst {
+		var c bool
+		if in.Op == isa.OpSLT || in.Op == isa.OpSLTI {
+			c = int32(a.v) < int32(b.v)
+		} else {
+			c = a.v < b.v
+		}
+		out = constVal(0)
+		if c {
+			out = constVal(1)
+		}
+	}
+	if !p.prop.DisableCompareUntaint {
+		setReg(s, in.Rs, s.regs[in.Rs].withTaint(Clean))
+		if !imm {
+			setReg(s, in.Rt, s.regs[in.Rt].withTaint(Clean))
+		}
+	}
+	setReg(s, dst, out)
+}
+
+func (p *program) stepShift(s *state, in isa.Instruction) {
+	datum := s.regs[in.Rt]
+	var amount absVal
+	immShift := in.Op == isa.OpSLL || in.Op == isa.OpSRL || in.Op == isa.OpSRA
+	if immShift {
+		amount = constVal(uint32(in.Shamt))
+	} else {
+		amount = s.regs[in.Rs]
+	}
+	// Whole-register taint subsumes both the smear rule and the
+	// tainted-amount promotion: OR of the operands.
+	out := mergeTaint(datum, amount)
+	if datum.k == kConst && amount.k == kConst {
+		sh := amount.v & 31
+		out.k = kConst
+		switch in.Op {
+		case isa.OpSLL, isa.OpSLLV:
+			out.v = datum.v << sh
+		case isa.OpSRL, isa.OpSRLV:
+			out.v = datum.v >> sh
+		default:
+			out.v = uint32(int32(datum.v) >> sh)
+		}
+	}
+	setReg(s, in.Rd, out)
+}
+
+// stepBranchUntaint applies the (ablation-only) branch-untaint rule to
+// the outgoing state of a conditional branch.
+func (p *program) stepBranchUntaint(s *state, in isa.Instruction) {
+	if !p.prop.BranchUntaint() {
+		return
+	}
+	setReg(s, in.Rs, s.regs[in.Rs].withTaint(Clean))
+	if in.Op == isa.OpBEQ || in.Op == isa.OpBNE {
+		setReg(s, in.Rt, s.regs[in.Rt].withTaint(Clean))
+	}
+}
+
+// doCall models a JAL: contributes this call site's translated state to
+// the callee's entry, and — when the callee is known to return —
+// produces the post-call state from the callee's return summary.
+func (p *program) doCall(f *fn, s *state, w int) *state {
+	pc := p.pcOf(w)
+	in := p.ins[w]
+	callee := p.fnByIdx[p.idxOf(isa.JumpTarget(pc, in))]
+	if callee == nil {
+		p.setBail(fmt.Sprintf("jal target is not a function start at %#x", pc))
+		return nil
+	}
+	setReg(s, isa.RegRA, constVal(pc+4))
+	spv := s.regs[isa.RegSP]
+
+	var entry *state
+	if spv.k == kSym {
+		delta := int32(spv.v)
+		entry = newState()
+		for r := range s.regs {
+			entry.regs[r] = rebase(s.regs[r], delta)
+		}
+		for i := int32(0); i < paramWindow; i++ {
+			if v, ok := s.slots[delta+4*i]; ok {
+				entry.slots[4*i] = rebase(v, delta)
+			}
+		}
+	} else {
+		entry = newState()
+		for r := range s.regs {
+			entry.regs[r] = top(whyEntry, 0)
+		}
+		entry.regs[isa.RegZero] = constVal(0)
+	}
+	entry.regs[isa.RegSP] = absVal{t: spv.t, k: kSym, src: spv.src, why: spv.why}
+	entry.regs[isa.RegFP] = absVal{t: s.regs[isa.RegFP].t, k: kCallerFP,
+		src: s.regs[isa.RegFP].src, why: s.regs[isa.RegFP].why}
+	entry.regs[isa.RegRA] = absVal{t: Clean, k: kRetAddr}
+
+	if !callee.entrySet {
+		callee.entry = entry
+		callee.entrySet = true
+		p.envChanged = true
+	} else if callee.entry.joinInto(entry) {
+		p.envChanged = true
+	}
+
+	if callee.sum.taintsCallerStack {
+		p.setTaintsCaller(f)
+	}
+	if !callee.sum.returns {
+		return nil
+	}
+
+	post := newState()
+	if spv.k == kSym {
+		delta := int32(spv.v)
+		for r := range post.regs {
+			post.regs[r] = translateBack(callee.sum.retRegs[r], delta, s, pc)
+		}
+		for k, v := range s.slots {
+			if k >= delta {
+				post.slots[k] = v
+			}
+		}
+	} else {
+		for r := range post.regs {
+			post.regs[r] = top(whyEntry, 0)
+		}
+		post.regs[isa.RegZero] = constVal(0)
+	}
+	if callee.sum.taintsCallerStack {
+		post.taintAllSlots(pc)
+	}
+	return post
+}
+
+// doReturn folds the state at a JR into the function's return summary.
+// Any JR is treated as a return: an actually-corrupted return target is
+// tainted and halts at the site under the detection policies, and the
+// untainted case is the ABI the generated code keeps (see DESIGN.md).
+func (p *program) doReturn(f *fn, s *state) {
+	if !f.sum.returns {
+		f.sum.returns = true
+		f.sum.retRegs = s.regs
+		p.envChanged = true
+		return
+	}
+	for r := range s.regs {
+		j := joinVal(f.sum.retRegs[r], s.regs[r])
+		if !sameVal(j, f.sum.retRegs[r]) {
+			f.sum.retRegs[r] = j
+			p.envChanged = true
+		}
+	}
+}
+
+// doSyscall models the kernel interface: $v0 selects the service,
+// SYS_READ/SYS_RECV taint the buffer at $a1 (length $a2), SYS_EXIT does
+// not return, everything else returns an untainted result in $v0.
+// An unresolvable syscall number degrades to the worst case.
+func (p *program) doSyscall(f *fn, s *state, w int) (returns bool) {
+	pc := p.pcOf(w)
+	num := s.regs[isa.RegV0]
+	if num.k == kConst {
+		switch num.v {
+		case kernel.SysExit:
+			return false
+		case kernel.SysRead, kernel.SysRecv:
+			p.taintInput(f, s, s.regs[isa.RegA1], s.regs[isa.RegA2], pc)
+		}
+	} else {
+		p.taintInput(f, s, top(whyEntry, 0), cleanUnknown(), pc)
+	}
+	setReg(s, isa.RegV0, cleanUnknown())
+	return true
+}
+
+// walkBlock interprets one block from its joined entry state and
+// returns the successor edges. hook, when non-nil, observes the state
+// before each instruction (the verdict extraction pass).
+func (p *program) walkBlock(f *fn, b *block, hook insHook) []edge {
+	s := b.in.clone()
+	for w := b.start; w < b.end; w++ {
+		if !p.dec[w] {
+			return nil // opaque word: treated as a terminator
+		}
+		in := p.ins[w]
+		if hook != nil {
+			hook(w, in, s)
+		}
+		switch in.Op.Kind() {
+		case isa.KindBranch:
+			p.stepBranchUntaint(s, in)
+			t := p.idxOf(isa.BranchTarget(p.pcOf(w), in))
+			var out []edge
+			if tb, ok := f.blockAt[t]; ok {
+				out = append(out, edge{tb, s})
+			}
+			if fb, ok := f.blockAt[w+1]; ok {
+				out = append(out, edge{fb, s})
+			}
+			return out
+		case isa.KindJump:
+			if in.Op == isa.OpJ {
+				t := p.idxOf(isa.JumpTarget(p.pcOf(w), in))
+				if tb, ok := f.blockAt[t]; ok {
+					return []edge{{tb, s}}
+				}
+				return nil
+			}
+			// JAL
+			post := p.doCall(f, s, w)
+			if post == nil {
+				return nil
+			}
+			if fb, ok := f.blockAt[w+1]; ok {
+				return []edge{{fb, post}}
+			}
+			return nil
+		case isa.KindJumpReg:
+			// JALR bails at discovery; JR is a return.
+			p.doReturn(f, s)
+			return nil
+		case isa.KindSystem:
+			switch in.Op {
+			case isa.OpNOP:
+				continue
+			case isa.OpBREAK:
+				return nil
+			case isa.OpSYSCALL:
+				if !p.doSyscall(f, s, w) {
+					return nil
+				}
+				if fb, ok := f.blockAt[w+1]; ok {
+					return []edge{{fb, s}}
+				}
+				return nil
+			}
+			return nil
+		default:
+			p.stepIns(f, s, w, in)
+		}
+	}
+	// Fell into the next leader.
+	if fb, ok := f.blockAt[b.end]; ok {
+		return []edge{{fb, s}}
+	}
+	return nil
+}

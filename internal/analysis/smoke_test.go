@@ -1,0 +1,44 @@
+package analysis
+
+import (
+	"testing"
+
+	"repro/internal/progs"
+	"repro/internal/taint"
+)
+
+// TestSmokeCorpus runs the analyzer over every corpus program: it must
+// not panic, must not bail on generated code, and must produce at least
+// one verdict per program.
+func TestSmokeCorpus(t *testing.T) {
+	for _, p := range progs.All() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			im, err := p.Build()
+			if err != nil {
+				t.Fatalf("build: %v", err)
+			}
+			res, err := Analyze(im, taint.Propagator{})
+			if err != nil {
+				t.Fatalf("analyze: %v", err)
+			}
+			if res.Bailed {
+				t.Fatalf("analysis bailed: %s", res.BailReason)
+			}
+			sites := res.Sites()
+			clean, may := 0, 0
+			for _, s := range sites {
+				switch s.Verdict {
+				case ProvablyClean:
+					clean++
+				case MayDereferenceTainted:
+					may++
+				}
+			}
+			if len(sites) == 0 {
+				t.Fatalf("no dereference sites found")
+			}
+			t.Logf("%s: %d sites, %d clean, %d may-tainted", p.Name, len(sites), clean, may)
+		})
+	}
+}

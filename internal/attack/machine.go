@@ -100,6 +100,16 @@ func BootImage(name string, im *asm.Image, opts Options) (*Machine, error) {
 	for path, data := range opts.Files {
 		k.FS.WriteFile(path, data)
 	}
+	reference := opts.Reference || ForceReference
+	if !reference && !DisableStatic {
+		// Install the static analyzer's provably-clean facts so the fast
+		// path can skip runtime taint checks the analysis discharged.
+		// The reference interpreter never consumes facts — it remains the
+		// independent oracle the differential harness compares against.
+		if facts := staticFactsFor(im, opts.Prop); facts != nil {
+			c.SetStaticFacts(facts)
+		}
+	}
 	budget := opts.Budget
 	if budget == 0 {
 		budget = DefaultBudget
@@ -107,7 +117,7 @@ func BootImage(name string, im *asm.Image, opts Options) (*Machine, error) {
 	return &Machine{
 		Image: im, Kernel: k, CPU: c, Mem: m, Caches: hier,
 		budget:    budget,
-		reference: opts.Reference || ForceReference,
+		reference: reference,
 	}, nil
 }
 

@@ -1,0 +1,41 @@
+package attack
+
+import (
+	"sync"
+
+	"repro/internal/analysis"
+	"repro/internal/asm"
+	"repro/internal/taint"
+)
+
+// DisableStatic turns off static-fact installation at boot: every
+// machine then runs with purely dynamic taint checks. The benchmark
+// harness flips it to measure the static fast path's contribution.
+var DisableStatic bool
+
+// staticKey identifies one analysis run. Images are cached per program
+// (progs.Build), so pointer identity is the program identity; the
+// propagator matters because its ablation flags gate the untaint rules
+// the analysis models.
+type staticKey struct {
+	im   *asm.Image
+	prop taint.Propagator
+}
+
+var staticCache sync.Map // staticKey -> []uint8; nil facts when the analysis claimed nothing
+
+// staticFactsFor returns the per-text-word fact bits for im under prop,
+// running the analyzer once per (image, propagator) pair.
+func staticFactsFor(im *asm.Image, prop taint.Propagator) []uint8 {
+	key := staticKey{im, prop}
+	if v, ok := staticCache.Load(key); ok {
+		f, _ := v.([]uint8)
+		return f
+	}
+	var facts []uint8
+	if res, err := analysis.Analyze(im, prop); err == nil && !res.Bailed {
+		facts = res.Facts()
+	}
+	staticCache.Store(key, facts)
+	return facts
+}

@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/analysis"
 	"repro/internal/asm"
 	"repro/internal/cache"
 	"repro/internal/cc"
@@ -98,6 +99,12 @@ type Config struct {
 	// two are behaviourally identical; the reference path exists for
 	// cross-checking and debugging.
 	Reference bool
+	// NoStatic skips the boot-time static may-taint analysis
+	// (internal/analysis) whose provably-clean facts let the fast path
+	// drop runtime taint checks. The analysis adds a few milliseconds to
+	// boot and changes no observable behaviour; disable it to measure
+	// the purely dynamic machine.
+	NoStatic bool
 }
 
 // Machine is a ready-to-run guest.
@@ -176,6 +183,15 @@ func BootImage(cfg Config, im *asm.Image) (*Machine, error) {
 		name = "a.out"
 	}
 	k.SetArgs(c, append([]string{name}, cfg.Args...), cfg.Env)
+	if !cfg.Reference && !cfg.NoStatic {
+		// Static provably-clean facts let the fast path skip runtime
+		// taint checks; the reference interpreter never consumes them, so
+		// it stays an independent oracle. A bailed or failed analysis
+		// just leaves the machine purely dynamic.
+		if res, err := analysis.Analyze(im, cfg.Rules); err == nil && !res.Bailed {
+			c.SetStaticFacts(res.Facts())
+		}
+	}
 	budget := cfg.Budget
 	if budget == 0 {
 		budget = 200_000_000

@@ -108,6 +108,14 @@ type CPU struct {
 	decoded  []decodedSlot
 	blocks   []*decBlock
 
+	// staticFacts holds per-text-word proof bits from the static analyzer
+	// (SetStaticFacts); nil when no analysis is installed. The slice is
+	// read-only — forks alias it — and is dropped wholesale whenever its
+	// proofs could stop holding: a store into text (the analyzed program
+	// changed) or a probe registration (a probe may rewrite registers and
+	// taint behind the analysis's back).
+	staticFacts []uint8
+
 	// textShared records that ShareText has marked every current block as
 	// shared with forked CPUs; it makes a second ShareText (and hence
 	// concurrent Fork calls on a snapshotted CPU) a read-only no-op.
@@ -181,6 +189,13 @@ func (c *CPU) invalidateText(addr uint32, width int) {
 	// reach the text segment anyway.
 	if c.decoded == nil || addr >= c.textEnd || addr+uint32(width) <= c.textBase {
 		return
+	}
+	if c.staticFacts != nil {
+		// Self-modifying text voids the whole-program analysis, not just
+		// the stored-to words; drop every fact and every block carrying
+		// predecoded fact bits.
+		c.staticFacts = nil
+		c.flushBlocks()
 	}
 	if c.decodeShared {
 		c.privatizeDecode()
@@ -266,6 +281,9 @@ func (c *CPU) AddProbe(pc uint32, fn func(*CPU)) {
 		c.probes = make(map[uint32][]func(*CPU))
 	}
 	c.probes[pc] = append(c.probes[pc], fn)
+	// A probe may rewrite registers or taint mid-run, invalidating the
+	// static analyzer's proofs; drop them for this machine.
+	c.staticFacts = nil
 	// A probed pc must be a block entry so StepBlock runs its probes;
 	// rebuilt blocks will stop short of it.
 	c.flushBlocks()

@@ -29,6 +29,7 @@ type decIns struct {
 	fop     uint8        // dense fast-op code (fopXXX) for ALU/shift/mem dispatch
 	isLoad  bool
 	ctl     bool   // control transfer: the only ops whose nextPC needs the pc checks
+	static  uint8  // FactOperandsClean/FactAddrClean bits from SetStaticFacts
 	imm     uint32 // precomputed immediate operand (aluImm/aluLUI/mem offset)
 }
 
@@ -312,6 +313,9 @@ func (c *CPU) buildBlock(idx uint32) *decBlock {
 		if forceTail {
 			d.ctl = true
 		}
+		if widx := idx + uint32(i); widx < uint32(len(c.staticFacts)) {
+			d.static = c.staticFacts[widx]
+		}
 		b.ins[i] = d
 		// Share the work with the per-word cache so the reference fallback
 		// (probes, tracing) needn't refetch.
@@ -575,7 +579,7 @@ func (c *CPU) StepBlock(max uint64) error {
 	// instruction budget, any fault or alert, or a pc the block cache
 	// cannot serve.
 	pc := c.pc
-	var done, cleanN, cyc, stalls uint64
+	var done, cleanN, staticN, cyc, stalls uint64
 	prevDst := c.pipe.loadDst
 chain:
 	for {
@@ -598,7 +602,7 @@ chain:
 			executed := c.stats.Instructions + done
 			if executed >= max {
 				c.pc = pc
-				c.flushRetired(done, cleanN)
+				c.flushRetired(done, cleanN, staticN)
 				c.flushPipe(cyc, stalls, prevDst)
 				return c.fault("instruction budget exhausted")
 			}
@@ -613,7 +617,10 @@ chain:
 			clean := false
 			switch d.kind {
 			case isa.KindALU:
-				if c.regTaint[d.srcA]|c.regTaint[d.srcB] == taint.None {
+				// A static FactOperandsClean proof stands in for the dynamic
+				// operand-taint read (the differential harness cross-checks it).
+				if sp := d.static & FactOperandsClean; sp != 0 ||
+					c.regTaint[d.srcA]|c.regTaint[d.srcB] == taint.None {
 					// The add family (address arithmetic, loop counters)
 					// dominates; run it without the execALUClean call.
 					if d.fop == fopADD {
@@ -626,6 +633,7 @@ chain:
 						c.execALUClean(d)
 					}
 					clean = true
+					staticN += uint64(sp) // FactOperandsClean is bit 0
 				} else {
 					c.execALU(d.in)
 				}
@@ -641,14 +649,22 @@ chain:
 					c.execALU(d.in)
 				}
 			case isa.KindShift:
-				if c.regTaint[d.srcA]|c.regTaint[d.srcB] == taint.None {
+				if sp := d.static & FactOperandsClean; sp != 0 ||
+					c.regTaint[d.srcA]|c.regTaint[d.srcB] == taint.None {
 					c.execALUClean(d)
 					clean = true
+					staticN += uint64(sp) // FactOperandsClean is bit 0
 				} else {
 					c.execShift(d.in)
 				}
 			case isa.KindLoad, isa.KindStore:
-				if c.flatMem != nil && c.regTaint[d.srcA] == taint.None && d.fop != fopNone {
+				// FactAddrClean proves the address register untainted, so the
+				// pointer-taintedness probe is vacuous without reading the
+				// dynamic taint state.
+				spMem := d.static & FactAddrClean
+				if c.flatMem != nil && d.fop != fopNone &&
+					(spMem != 0 || c.regTaint[d.srcA] == taint.None) {
+					staticN += uint64(spMem) >> 1 // FactAddrClean is bit 1
 					// No detector or cache penalty applies; skip the bus
 					// interface and the policy probe entirely. Word accesses
 					// to clean in-bounds aligned addresses dominate, so they
@@ -674,7 +690,7 @@ chain:
 						c.stats.Stores++
 						prevDst = isa.RegZero
 					} else if err := c.execMemFast(d, pc); err != nil {
-						c.flushRetired(done, cleanN)
+						c.flushRetired(done, cleanN, staticN)
 						c.flushPipe(cyc, stalls, prevDst)
 						return err
 					} else if d.isLoad {
@@ -685,9 +701,9 @@ chain:
 					}
 				} else {
 					c.pc = pc
-					c.flushRetired(done, cleanN)
+					c.flushRetired(done, cleanN, staticN)
 					c.flushPipe(cyc, stalls, prevDst)
-					done, cleanN, cyc, stalls = 0, 0, 0, 0
+					done, cleanN, staticN, cyc, stalls = 0, 0, 0, 0, 0
 					if err := c.execMem(d.in); err != nil {
 						return err
 					}
@@ -720,11 +736,15 @@ chain:
 				nextPC = isa.JumpTarget(pc, d.in)
 				c.pipe.Jump()
 			case isa.KindJumpReg:
-				if kind, bad := c.policy.CheckJumpReg(c.regTaint[d.in.Rs]); bad {
+				// FactAddrClean on a jr proves the target register untainted:
+				// the control-hijack detector cannot fire, so skip it.
+				if d.static&FactAddrClean != 0 {
+					staticN++
+				} else if kind, bad := c.policy.CheckJumpReg(c.regTaint[d.in.Rs]); bad {
 					c.pc = pc
 					c.flushPipe(cyc, stalls, prevDst)
 					c.pipe.Retire(d.in)
-					c.flushRetired(done, cleanN)
+					c.flushRetired(done, cleanN, staticN)
 					c.stats.Instructions++
 					c.stats.TaintedSteps++
 					if c.profile != nil {
@@ -740,9 +760,9 @@ chain:
 				c.pipe.Jump()
 			case isa.KindSystem:
 				c.pc = pc
-				c.flushRetired(done, cleanN)
+				c.flushRetired(done, cleanN, staticN)
 				c.flushPipe(cyc, stalls, prevDst)
-				done, cleanN, cyc, stalls = 0, 0, 0, 0
+				done, cleanN, staticN, cyc, stalls = 0, 0, 0, 0, 0
 				switch d.in.Op {
 				case isa.OpSYSCALL:
 					if c.handler == nil {
@@ -783,13 +803,13 @@ chain:
 				// null-page nextPC; straight-line flow stays inside text.
 				if nextPC&3 != 0 {
 					c.pc = nextPC
-					c.flushRetired(done, cleanN)
+					c.flushRetired(done, cleanN, staticN)
 					c.flushPipe(cyc, stalls, prevDst)
 					return c.fault("misaligned pc")
 				}
 				if nextPC < nullPage {
 					c.pc = nextPC
-					c.flushRetired(done, cleanN)
+					c.flushRetired(done, cleanN, staticN)
 					c.flushPipe(cyc, stalls, prevDst)
 					return c.fault("segmentation fault: jump into the null page")
 				}
@@ -805,22 +825,24 @@ chain:
 		}
 		if c.halted || c.probes != nil {
 			c.pc = pc
-			c.flushRetired(done, cleanN)
+			c.flushRetired(done, cleanN, staticN)
 			c.flushPipe(cyc, stalls, prevDst)
 			return nil
 		}
 	}
 	c.pc = pc
-	c.flushRetired(done, cleanN)
+	c.flushRetired(done, cleanN, staticN)
 	c.flushPipe(cyc, stalls, prevDst)
 	return c.stepOne()
 }
 
-// flushRetired credits done batched block-retirements, cleanN of which took
-// a clean-operand short-circuit, into the per-step counters.
-func (c *CPU) flushRetired(done, cleanN uint64) {
+// flushRetired credits done batched block-retirements into the per-step
+// counters: cleanN took a clean-operand short-circuit, staticN of those
+// on the strength of a static fact rather than a dynamic taint read.
+func (c *CPU) flushRetired(done, cleanN, staticN uint64) {
 	c.stats.Instructions += done
 	c.stats.CleanSkips += cleanN
+	c.stats.StaticCleanSkips += staticN
 	c.stats.TaintedSteps += done - cleanN
 }
 

@@ -61,6 +61,15 @@ type Stats struct {
 	BlockMisses  uint64
 	CleanSkips   uint64
 	TaintedSteps uint64
+
+	// StaticCleanSkips counts retirements whose runtime taint check was
+	// skipped on the strength of a static-analysis fact (SetStaticFacts)
+	// rather than a dynamic taint read. Every such retirement with a
+	// clean-operand effect is also counted in CleanSkips, so the
+	// CleanSkips + TaintedSteps == Instructions invariant is unchanged;
+	// jump-register checks skipped statically have no CleanSkips
+	// counterpart (the reference path counts them as TaintedSteps too).
+	StaticCleanSkips uint64
 }
 
 // CleanSkipRate returns the fraction of retired instructions that took the

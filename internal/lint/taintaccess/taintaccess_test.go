@@ -1,0 +1,131 @@
+package taintaccess
+
+import (
+	"go/parser"
+	"go/token"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// lint parses src as one file sitting in dir and returns the findings.
+func lint(t *testing.T, dir, src string) []Diagnostic {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fixture.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse fixture: %v", err)
+	}
+	return CheckFile(fset, f, dir)
+}
+
+func TestUnpairedDataStoreFlagged(t *testing.T) {
+	diags := lint(t, filepath.Join("internal", "cache"), `
+package cache
+type line struct {
+	data [64]byte
+	tnt  [64]bool
+}
+func (l *line) poke(off uint32, b byte) {
+	l.data[off] = b // drops the shadow
+}
+`)
+	if len(diags) != 1 || !strings.Contains(diags[0].Msg, "taint-shadow") {
+		t.Fatalf("want 1 shadow diagnostic, got %v", diags)
+	}
+}
+
+func TestPairedDataStoreClean(t *testing.T) {
+	diags := lint(t, filepath.Join("internal", "cache"), `
+package cache
+type line struct {
+	data [64]byte
+	tnt  [64]bool
+}
+func (l *line) put(off uint32, b byte, tainted bool) {
+	l.data[off], l.tnt[off] = b, tainted
+}
+func (l *line) putTaint(off uint32, b byte, tainted bool) {
+	l.data[off], l.taint[off] = b, tainted
+}
+`)
+	if len(diags) != 0 {
+		t.Fatalf("paired stores flagged: %v", diags)
+	}
+}
+
+func TestCompoundAndIncDecFlagged(t *testing.T) {
+	diags := lint(t, filepath.Join("internal", "cache"), `
+package cache
+func (l *line) bump(off uint32) {
+	l.data[off]++
+	l.data[off] |= 1
+}
+`)
+	if len(diags) != 2 {
+		t.Fatalf("want 2 diagnostics for ++ and |=, got %v", diags)
+	}
+}
+
+func TestMemAndTaintPackagesExempt(t *testing.T) {
+	src := `
+package mem
+func (p *page) raw(off uint32, b byte) {
+	p.data[off] = b
+}
+`
+	for _, dir := range []string{
+		filepath.Join("internal", "mem"),
+		filepath.Join("internal", "taint"),
+	} {
+		if diags := lint(t, dir, src); len(diags) != 0 {
+			t.Fatalf("%s not exempt: %v", dir, diags)
+		}
+	}
+}
+
+func TestAccessorContract(t *testing.T) {
+	diags := lint(t, filepath.Join("internal", "mem"), `
+package mem
+import "repro/internal/taint"
+type Memory struct{}
+func (m *Memory) StoreWord(addr, w uint32, vec taint.Vec) error { return nil }
+func (m *Memory) StoreByte(addr uint32, b byte, tainted bool) {}
+func (m *Memory) StoreRaw(addr uint32, b byte) {}
+func (m *Memory) PutBlob(addr uint32, bs []byte) {}
+func (m *Memory) storeInternal(addr uint32, b byte) {}
+func (m *Memory) LoadByte(addr uint32) (byte, bool) { return 0, false }
+func (o *Other) StoreAnything(addr uint32) {}
+`)
+	if len(diags) != 2 {
+		t.Fatalf("want 2 contract diagnostics (StoreRaw, PutBlob), got %v", diags)
+	}
+	for _, d := range diags {
+		if !strings.Contains(d.Msg, "no taint parameter") {
+			t.Fatalf("unexpected diagnostic: %v", d)
+		}
+	}
+}
+
+func TestAccessorContractOnlyInMem(t *testing.T) {
+	diags := lint(t, filepath.Join("internal", "kernel"), `
+package kernel
+type Memory struct{}
+func (m *Memory) StoreRaw(addr uint32, b byte) {}
+`)
+	if len(diags) != 0 {
+		t.Fatalf("contract applied outside internal/mem: %v", diags)
+	}
+}
+
+// TestRepoIsClean is the live gate: the repository itself must lint
+// clean, which is what make lint / make ci enforce.
+func TestRepoIsClean(t *testing.T) {
+	diags, err := CheckDir(filepath.Join("..", "..", ".."))
+	if err != nil {
+		t.Fatalf("CheckDir: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%v", d)
+	}
+}
