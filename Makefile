@@ -1,8 +1,10 @@
 GO ?= go
 FUZZTIME ?= 10s
 CAMPAIGN_N ?= 64
+FAULT_N ?= 144
+FAULT_SEED ?= 1
 
-.PHONY: build vet lint test race race-campaign fuzz bench bench-json ci
+.PHONY: build vet lint test race race-campaign fault-campaign fuzz bench bench-json ci
 
 build:
 	$(GO) build ./...
@@ -30,7 +32,14 @@ race:
 # sequential determinism check are exactly the tests whose bugs only show
 # up under races and ordering.
 race-campaign:
-	$(GO) test -race -shuffle=on ./internal/mem/ ./internal/campaign/ ./internal/attack/ ./internal/kernel/ ./internal/netsim/ ./cmd/ptcampaign/
+	$(GO) test -race -shuffle=on ./internal/mem/ ./internal/campaign/ ./internal/attack/ ./internal/kernel/ ./internal/netsim/ ./internal/fault/ ./cmd/ptcampaign/ ./cmd/ptfault/
+
+# A small seeded fault-injection campaign with the invariants enforced:
+# zero SilentTaintLoss on the un-faulted control arm, every attack-arm
+# control run detected, every benign-arm control run Benign, and the
+# injected attack arm still detecting (see internal/fault and cmd/ptfault).
+fault-campaign:
+	$(GO) run ./cmd/ptfault -seed $(FAULT_SEED) -n $(FAULT_N) -check
 
 # Differential fuzzing of the block fast path against the reference
 # interpreter (internal/cpu/fuzz_test.go).
@@ -45,4 +54,4 @@ bench:
 bench-json:
 	$(GO) run ./cmd/ptcampaign -n $(CAMPAIGN_N) -json BENCH_campaign.json
 
-ci: lint build race race-campaign fuzz
+ci: lint build race race-campaign fault-campaign fuzz

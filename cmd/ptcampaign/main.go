@@ -66,8 +66,15 @@ type benchReport struct {
 	ParallelWorkers int     `json:"parallel_workers"`
 	ParallelSpeedup float64 `json:"parallel_speedup"`
 
-	Detected int `json:"detected"`
-	Errors   int `json:"errors"`
+	// Per-outcome session counts. Outcomes maps the summary label
+	// (detected / crashed / timeout / compromised / error / clean) to a
+	// count; the labels partition the sessions.
+	Detected    int            `json:"detected"`
+	Crashed     int            `json:"crashed"`
+	TimedOut    int            `json:"timed_out"`
+	Compromised int            `json:"compromised"`
+	Errors      int            `json:"errors"`
+	Outcomes    map[string]int `json:"outcomes"`
 }
 
 func run(args []string, w *os.File) error {
@@ -119,8 +126,8 @@ func run(args []string, w *os.File) error {
 	perSec := float64(sum.Sessions) / elapsed.Seconds()
 	fmt.Fprintf(w, "%s: %d sessions x %d workers in %v  (%.0f sessions/sec)\n",
 		sc.Name, sum.Sessions, *parallel, elapsed.Round(time.Microsecond), perSec)
-	fmt.Fprintf(w, "verdicts: %d detected, %d crashed, %d compromised, %d errors (all sessions identical)\n",
-		sum.Detected, sum.Crashed, sum.Compromised, sum.Errors)
+	fmt.Fprintf(w, "verdicts: %d detected, %d crashed, %d timed out, %d compromised, %d errors (all sessions identical)\n",
+		sum.Detected, sum.Crashed, sum.TimedOut, sum.Compromised, sum.Errors)
 	if len(results) > 0 {
 		fmt.Fprintf(w, "session verdict: %s\n", results[0].Outcome)
 	}
@@ -141,7 +148,11 @@ func run(args []string, w *os.File) error {
 		SessionsPerSec:    perSec,
 		GuestInstructions: sum.Instructions,
 		Detected:          sum.Detected,
+		Crashed:           sum.Crashed,
+		TimedOut:          sum.TimedOut,
+		Compromised:       sum.Compromised,
 		Errors:            sum.Errors,
+		Outcomes:          sum.Outcomes,
 	}
 	if sum.Instructions > 0 {
 		rep.NsPerInstr = float64(elapsed.Nanoseconds()) / float64(sum.Instructions)

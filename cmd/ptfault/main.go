@@ -1,0 +1,172 @@
+// ptfault runs a deterministic fault-injection campaign against the
+// pointer-taintedness machine: seeded injectors corrupt taint shadow
+// bits, guest memory/register state, or pending syscall input at a random
+// retired-instruction trigger inside forked attack and benign sessions,
+// and every run is classified into the six-way outcome taxonomy
+// (DetectedAlert / Benign / GuestCrash / SilentTaintLoss / SpuriousAlert
+// / Timeout). Same seed ⇒ byte-identical report at any worker count.
+//
+// Usage:
+//
+//	ptfault [-seed S] [-n RUNS] [-parallel N] [-fast=false]
+//	        [-target a,b] [-injector x,y] [-deadline D]
+//	        [-json FILE] [-runs] [-check]
+//
+// Targets: exp1-stack exp2-heap wuftpd-site-exec (attack arm),
+// exp1-benign gzips parsers (benign arm). Injectors: none taint-loss
+// taint-spurious mem-flip reg-flip input-garble.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/fault"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ptfault:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("ptfault", flag.ContinueOnError)
+	seed := fs.Int64("seed", 1, "campaign seed (same seed ⇒ identical report)")
+	n := fs.Int("n", 600, "number of injected runs")
+	parallel := fs.Int("parallel", campaign.DefaultWorkers(), "worker goroutines")
+	fast := fs.Bool("fast", true, "use the predecoded basic-block fast path")
+	targetList := fs.String("target", "", "comma-separated target filter (default: all)")
+	injectorList := fs.String("injector", "", "comma-separated injector filter (default: all)")
+	deadline := fs.Duration("deadline", 30*time.Second, "per-run wall-clock backstop (0 = none)")
+	jsonPath := fs.String("json", "", "write the JSON coverage report to this file (- = stdout)")
+	keepRuns := fs.Bool("runs", false, "include every per-run record in the JSON report")
+	check := fs.Bool("check", false, "fail unless the campaign invariants hold (control detects, zero control SilentTaintLoss, injected attack arm still detects)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := fault.Config{
+		Seed:      *seed,
+		Runs:      *n,
+		Workers:   *parallel,
+		Reference: !*fast,
+		Deadline:  *deadline,
+	}
+	if *targetList != "" {
+		cfg.Targets = strings.Split(*targetList, ",")
+	}
+	if *injectorList != "" {
+		cfg.InjectorNames = strings.Split(*injectorList, ",")
+	}
+
+	prepStart := time.Now()
+	targets, err := fault.PrepareTargets(cfg.Policy, cfg.Reference, nil)
+	if err != nil {
+		return err
+	}
+	prepElapsed := time.Since(prepStart)
+
+	start := time.Now()
+	rep, err := fault.Campaign(cfg, targets, *keepRuns)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+
+	printTable(w, rep)
+	fmt.Fprintf(w, "\n%d runs x %d workers (%s engine, seed %d): prepare %v, campaign %v\n",
+		rep.Runs, *parallel, rep.Engine, rep.Seed,
+		prepElapsed.Round(time.Millisecond), elapsed.Round(time.Millisecond))
+
+	if *jsonPath != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		data = append(data, '\n')
+		if *jsonPath == "-" {
+			if _, err := w.Write(data); err != nil {
+				return err
+			}
+		} else if err := os.WriteFile(*jsonPath, data, 0o644); err != nil {
+			return err
+		} else {
+			fmt.Fprintf(w, "wrote %s\n", *jsonPath)
+		}
+	}
+
+	if *check {
+		if err := rep.Check(); err != nil {
+			return fmt.Errorf("campaign invariants violated: %w", err)
+		}
+		fmt.Fprintln(w, "check: control arms clean, injected attack arm still detects")
+	}
+	return nil
+}
+
+// printTable renders the coverage grid: one row per target × injector
+// cell, outcome counts by class, then campaign totals.
+func printTable(w io.Writer, rep *fault.Report) {
+	classes := fault.Classes()
+	fmt.Fprintf(w, "%-18s %-5s %-14s %5s", "target", "arm", "injector", "runs")
+	for _, c := range classes {
+		fmt.Fprintf(w, " %6s", shorten(c.String()))
+	}
+	fmt.Fprintln(w)
+
+	names := make([]string, 0, len(rep.Targets))
+	for name := range rep.Targets {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		tr := rep.Targets[name]
+		injs := make([]string, 0, len(tr.Cells))
+		for inj := range tr.Cells {
+			injs = append(injs, inj)
+		}
+		sort.Strings(injs)
+		for _, inj := range injs {
+			cell := tr.Cells[inj]
+			fmt.Fprintf(w, "%-18s %-5s %-14s %5d", name, tr.Arm, inj, cell.Runs)
+			for _, c := range classes {
+				fmt.Fprintf(w, " %6d", cell.Outcomes[c.String()])
+			}
+			fmt.Fprintln(w)
+		}
+	}
+
+	fmt.Fprintf(w, "%-18s %-5s %-14s %5d", "TOTAL", "", "", rep.Runs)
+	for _, c := range classes {
+		fmt.Fprintf(w, " %6d", rep.Outcomes[c.String()])
+	}
+	fmt.Fprintln(w)
+}
+
+// shorten compresses a class name to a 6-char column header.
+func shorten(s string) string {
+	switch s {
+	case "DetectedAlert":
+		return "detect"
+	case "Benign":
+		return "benign"
+	case "GuestCrash":
+		return " crash"
+	case "SilentTaintLoss":
+		return "silent"
+	case "SpuriousAlert":
+		return "spur'o"
+	case "Timeout":
+		return "tmout "
+	}
+	return s
+}

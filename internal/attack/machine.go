@@ -24,6 +24,11 @@ import (
 // DefaultBudget bounds one victim run.
 const DefaultBudget = 200_000_000
 
+// DefaultMemLimit bounds one victim's resident guest memory (256 MiB —
+// far above any corpus program's footprint, low enough that a runaway
+// guest cannot exhaust the host).
+const DefaultMemLimit = 256 << 20
+
 // ForceReference disables the predecoded basic-block fast path for every
 // machine booted while it is set — the ptexperiments -fast=false escape
 // hatch and the toggle the differential harness flips to cross-check the
@@ -51,6 +56,10 @@ type Options struct {
 	Stdin  []byte
 	Files  map[string][]byte // preloaded filesystem contents
 	Budget uint64
+	// MemLimit caps resident guest memory in bytes (default
+	// DefaultMemLimit; negative disables the cap). Exceeding it surfaces
+	// as a *mem.LimitError from Run, never as a host allocation.
+	MemLimit int
 	// WithCache interposes the default L1/L2 hierarchy between the CPU and
 	// memory, so taint bits travel through cache lines (Section 4.1).
 	WithCache bool
@@ -70,10 +79,24 @@ func Boot(p progs.Program, opts Options) (*Machine, error) {
 	return BootImage(p.Name, im, opts)
 }
 
-// BootImage loads a prebuilt image under the given options.
-func BootImage(name string, im *asm.Image, opts Options) (*Machine, error) {
+// BootImage loads a prebuilt image under the given options. Boot-time
+// panics (a malformed image whose load trips the memory limit, say) are
+// recovered into errors — booting untrusted images must not take the
+// host down.
+func BootImage(name string, im *asm.Image, opts Options) (machine *Machine, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			machine, err = nil, fmt.Errorf("boot %s: %v", name, r)
+		}
+	}()
 	k := kernel.New()
 	m := mem.New()
+	switch {
+	case opts.MemLimit > 0:
+		m.SetResidentLimit(opts.MemLimit)
+	case opts.MemLimit == 0:
+		m.SetResidentLimit(DefaultMemLimit)
+	}
 	var bus cpu.Bus = m
 	var hier *cache.Hierarchy
 	if opts.WithCache {
@@ -138,6 +161,20 @@ func (m *Machine) Run() error {
 	return m.CPU.RunFast(m.budget)
 }
 
+// SetBudget overrides the per-Run instruction budget. Fault campaigns
+// tighten it per fork — a calibrated multiple of the control session's
+// length — so a wedged injection trips the watchdog quickly instead of
+// burning the full default budget.
+func (m *Machine) SetBudget(n uint64) {
+	if n == 0 {
+		n = DefaultBudget
+	}
+	m.budget = n
+}
+
+// Budget returns the current per-Run instruction budget.
+func (m *Machine) Budget() uint64 { return m.budget }
+
 // RunToBlock runs and requires the guest to block (a server waiting for
 // the attacker); any other outcome is returned as an error.
 func (m *Machine) RunToBlock() error {
@@ -195,15 +232,26 @@ type Outcome struct {
 	// Compromised is true when the attack's goal state was verified
 	// (privilege escalated, policy bypassed, memory corrupted).
 	Compromised bool
+	// TimedOut is true when containment ended the run: the step-budget
+	// watchdog tripped, the guest hit its resident-memory limit, or a
+	// host panic was recovered at the machine boundary — a runaway or
+	// wedged guest, not a verdict about the attack itself.
+	TimedOut bool
 	// Evidence describes the verified compromise or the alert.
 	Evidence string
 }
 
-// classify folds a terminal run error into an Outcome.
-func classify(err error) Outcome {
+// Classify folds a terminal run error into an Outcome. It is the single
+// decoder of the machine's error taxonomy: security alerts → Detected,
+// architectural faults and recovered host panics → Crashed, containment
+// trips (step budget, memory limit) → TimedOut.
+func Classify(err error) Outcome {
 	var out Outcome
 	var alert *cpu.SecurityAlert
 	var fault *cpu.Fault
+	var budget *cpu.StepBudgetError
+	var memLimit *mem.LimitError
+	var guest *cpu.GuestFault
 	switch {
 	case errors.As(err, &alert):
 		out.Detected = true
@@ -213,9 +261,18 @@ func classify(err error) Outcome {
 		out.Crashed = true
 		out.Fault = fault
 		out.Evidence = fault.Error()
+	case errors.As(err, &budget), errors.As(err, &memLimit):
+		out.TimedOut = true
+		out.Evidence = err.Error()
+	case errors.As(err, &guest):
+		out.Crashed = true
+		out.Evidence = guest.Error()
 	}
 	return out
 }
+
+// classify is the package-internal spelling kept for the scenario code.
+func classify(err error) Outcome { return Classify(err) }
 
 // String renders the outcome for experiment tables.
 func (o Outcome) String() string {
@@ -226,6 +283,8 @@ func (o Outcome) String() string {
 		return "COMPROMISED: " + o.Evidence
 	case o.Crashed:
 		return "CRASHED: " + o.Evidence
+	case o.TimedOut:
+		return "TIMEOUT: " + o.Evidence
 	default:
 		return "no effect"
 	}

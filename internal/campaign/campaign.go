@@ -21,6 +21,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/attack"
 	"repro/internal/cpu"
@@ -69,6 +70,84 @@ func ForEach[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
 	return out, errors.Join(errs...)
 }
 
+// GuardOpts bounds one guarded session attempt (ForEachGuarded).
+type GuardOpts struct {
+	// Deadline is a wall-clock bound per attempt (0 = none). It is the
+	// last-resort backstop behind the machine's own deterministic
+	// containment (step budget, memory limit): an attempt past its
+	// deadline resolves to *DeadlineError and the pool moves on. The
+	// abandoned goroutine still winds down on its own once the guest's
+	// step budget trips — it is orphaned, not leaked forever.
+	Deadline time.Duration
+	// Retries is how many extra attempts an index gets after a panic or
+	// error (deadline expiries are not retried — a deterministic wedge
+	// would only wedge again). fn receives the attempt number so it can
+	// reseed per attempt.
+	Retries int
+}
+
+// DeadlineError reports that one session attempt outlived its wall-clock
+// deadline and was abandoned.
+type DeadlineError struct{ Limit time.Duration }
+
+// Error implements the error interface.
+func (e *DeadlineError) Error() string {
+	return fmt.Sprintf("session deadline exceeded (%v)", e.Limit)
+}
+
+// ForEachGuarded is ForEach hardened for fault campaigns: each attempt of
+// fn runs with a panic recover and an optional wall-clock deadline, and a
+// failed index is retried up to opts.Retries times with an incremented
+// attempt number (retry-with-reseed). One wedged or faulted index
+// therefore degrades to an error in its own slot while the rest of the
+// campaign completes.
+func ForEachGuarded[T any](n, workers int, opts GuardOpts, fn func(i, attempt int) (T, error)) ([]T, error) {
+	return ForEach(n, workers, func(i int) (T, error) {
+		var zero T
+		for attempt := 0; ; attempt++ {
+			v, err := runGuarded(i, attempt, opts.Deadline, fn)
+			if err == nil {
+				return v, nil
+			}
+			var dl *DeadlineError
+			if errors.As(err, &dl) || attempt >= opts.Retries {
+				return zero, err
+			}
+		}
+	})
+}
+
+// runGuarded executes one attempt on its own goroutine so a deadline can
+// abandon it, converting panics into errors.
+func runGuarded[T any](i, attempt int, deadline time.Duration, fn func(i, attempt int) (T, error)) (T, error) {
+	type res struct {
+		v   T
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		defer func() {
+			if p := recover(); p != nil {
+				var zero T
+				ch <- res{zero, fmt.Errorf("session %d attempt %d: recovered panic: %v", i, attempt, p)}
+			}
+		}()
+		v, err := fn(i, attempt)
+		ch <- res{v, err}
+	}()
+	if deadline <= 0 {
+		r := <-ch
+		return r.v, r.err
+	}
+	select {
+	case r := <-ch:
+		return r.v, r.err
+	case <-time.After(deadline):
+		var zero T
+		return zero, &DeadlineError{Limit: deadline}
+	}
+}
+
 // Result is the outcome of one replayed session.
 type Result struct {
 	Index   int
@@ -80,9 +159,16 @@ type Result struct {
 }
 
 // Run replays n sessions across workers goroutines, each on a fresh fork
-// of snap, and returns the results in session-index order.
+// of snap, and returns the results in session-index order. A session that
+// panics the host (a corrupted fork, an injection gone wrong) is recovered
+// into that session's Err — it never takes down the pool.
 func Run(snap *attack.Snapshot, n, workers int, session func(i int, m *attack.Machine) (attack.Outcome, error)) []Result {
-	results, _ := ForEach(n, workers, func(i int) (Result, error) {
+	results, _ := ForEach(n, workers, func(i int) (r Result, _ error) {
+		defer func() {
+			if p := recover(); p != nil {
+				r = Result{Index: i, Err: fmt.Errorf("session %d: recovered panic: %v", i, p)}
+			}
+		}()
 		m := snap.Fork()
 		out, err := session(i, m)
 		return Result{Index: i, Outcome: out, Stats: m.CPU.Stats(), Err: err}, nil
@@ -96,7 +182,14 @@ type Summary struct {
 	Detected    int
 	Crashed     int
 	Compromised int
-	Errors      int
+	// TimedOut counts sessions the containment machinery ended: watchdog
+	// step-budget trips, guest memory-limit trips, recovered run panics.
+	TimedOut int
+	Errors   int
+	// Outcomes maps each session's primary verdict label (detected /
+	// crashed / timeout / compromised / clean / error) to its count; the
+	// labels partition the sessions, so the values sum to Sessions.
+	Outcomes map[string]int
 	// Instructions is the total retired across all sessions, measured from
 	// base (normally the snapshot's Stats) — the sessions' own work.
 	Instructions uint64
@@ -105,16 +198,28 @@ type Summary struct {
 // Summarize folds results into a Summary; base is the counter state each
 // session started from (the snapshot's Stats).
 func Summarize(rs []Result, base cpu.Stats) Summary {
-	s := Summary{Sessions: len(rs)}
+	s := Summary{Sessions: len(rs), Outcomes: make(map[string]int)}
 	for _, r := range rs {
+		var label string
 		switch {
 		case r.Err != nil:
 			s.Errors++
+			label = "error"
 		case r.Outcome.Detected:
 			s.Detected++
+			label = "detected"
+		case r.Outcome.TimedOut:
+			s.TimedOut++
+			label = "timeout"
 		case r.Outcome.Crashed:
 			s.Crashed++
+			label = "crashed"
+		case r.Outcome.Compromised:
+			label = "compromised"
+		default:
+			label = "clean"
 		}
+		s.Outcomes[label]++
 		if r.Outcome.Compromised {
 			s.Compromised++
 		}

@@ -1,0 +1,115 @@
+package campaign
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/attack"
+	"repro/internal/cpu"
+)
+
+// TestForEachGuardedRecoversPanics: a panicking index degrades to an
+// error in its own slot; the rest of the pool completes.
+func TestForEachGuardedRecoversPanics(t *testing.T) {
+	out, err := ForEachGuarded(8, 4, GuardOpts{}, func(i, attempt int) (int, error) {
+		if i == 3 {
+			panic("wedged fork")
+		}
+		return i * i, nil
+	})
+	if err == nil {
+		t.Fatal("want the panic surfaced as an error")
+	}
+	for i, v := range out {
+		want := i * i
+		if i == 3 {
+			want = 0
+		}
+		if v != want {
+			t.Errorf("out[%d] = %d, want %d", i, v, want)
+		}
+	}
+}
+
+// TestForEachGuardedRetryWithReseed: a failing attempt is retried with an
+// incremented attempt number, and a retry that succeeds hides the earlier
+// failure.
+func TestForEachGuardedRetryWithReseed(t *testing.T) {
+	out, err := ForEachGuarded(4, 2, GuardOpts{Retries: 2}, func(i, attempt int) (string, error) {
+		if i == 2 && attempt < 2 {
+			return "", fmt.Errorf("transient failure attempt %d", attempt)
+		}
+		if i == 2 && attempt < 1 {
+			panic("also survives panics")
+		}
+		return fmt.Sprintf("i=%d attempt=%d", i, attempt), nil
+	})
+	if err != nil {
+		t.Fatalf("retries should have absorbed the failures: %v", err)
+	}
+	if out[2] != "i=2 attempt=2" {
+		t.Errorf("out[2] = %q, want the attempt-2 result", out[2])
+	}
+	if out[0] != "i=0 attempt=0" {
+		t.Errorf("out[0] = %q, want a first-attempt result", out[0])
+	}
+}
+
+// TestForEachGuardedDeadline: an attempt that outlives its deadline is
+// abandoned with *DeadlineError — not retried (a deterministic wedge
+// would wedge again) — while other indices complete normally.
+func TestForEachGuardedDeadline(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	out, err := ForEachGuarded(3, 3, GuardOpts{Deadline: 20 * time.Millisecond, Retries: 3},
+		func(i, attempt int) (int, error) {
+			if i == 1 {
+				if attempt > 0 {
+					t.Errorf("deadline expiry must not retry (attempt %d)", attempt)
+				}
+				<-release // wedge until the test ends
+			}
+			return i + 10, nil
+		})
+	var dl *DeadlineError
+	if !errors.As(err, &dl) {
+		t.Fatalf("want DeadlineError, got %v", err)
+	}
+	if out[0] != 10 || out[2] != 12 {
+		t.Errorf("healthy indices lost: %v", out)
+	}
+	if out[1] != 0 {
+		t.Errorf("abandoned index should hold the zero value, got %d", out[1])
+	}
+}
+
+// TestSummarizeOutcomeCounts pins the per-outcome labels, including the
+// containment-era TimedOut bucket, and that the labels partition the
+// sessions.
+func TestSummarizeOutcomeCounts(t *testing.T) {
+	rs := []Result{
+		{Outcome: attack.Outcome{Detected: true}},
+		{Outcome: attack.Outcome{Detected: true}},
+		{Outcome: attack.Outcome{TimedOut: true}},
+		{Outcome: attack.Outcome{Crashed: true}},
+		{Err: errors.New("boom")},
+		{}, // clean
+	}
+	s := Summarize(rs, cpu.Stats{})
+	if s.Detected != 2 || s.TimedOut != 1 || s.Crashed != 1 || s.Errors != 1 {
+		t.Errorf("summary %+v", s)
+	}
+	want := map[string]int{"detected": 2, "timeout": 1, "crashed": 1, "error": 1, "clean": 1}
+	total := 0
+	for label, n := range s.Outcomes {
+		if want[label] != n {
+			t.Errorf("Outcomes[%q] = %d, want %d", label, n, want[label])
+		}
+		total += n
+	}
+	if total != s.Sessions {
+		t.Errorf("outcome labels do not partition sessions: %d != %d", total, s.Sessions)
+	}
+}

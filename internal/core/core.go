@@ -63,6 +63,15 @@ type SecurityAlert = cpu.SecurityAlert
 // Fault re-exports non-security machine faults.
 type Fault = cpu.Fault
 
+// StepBudgetError re-exports the runaway-guest watchdog trip.
+type StepBudgetError = cpu.StepBudgetError
+
+// GuestFault re-exports host panics recovered at the machine boundary.
+type GuestFault = cpu.GuestFault
+
+// MemLimitError re-exports the guest resident-memory cap trip.
+type MemLimitError = mem.LimitError
+
 // ExitError re-exports nonzero-status termination.
 type ExitError = cpu.ExitError
 
@@ -91,6 +100,10 @@ type Config struct {
 	ProgName string
 	// Budget bounds the instruction count per Run call (default 200M).
 	Budget uint64
+	// MemLimit caps resident guest memory in bytes (default 256 MiB;
+	// negative disables the cap). A guest growing past it gets a
+	// *MemLimitError from Run instead of consuming the host.
+	MemLimit int
 	// NoLibc omits the bundled runtime library when building C sources
 	// (for fully freestanding programs).
 	NoLibc bool
@@ -155,10 +168,22 @@ func BuildASM(cfg Config, sources ...string) (*Machine, error) {
 	return BootImage(cfg, im)
 }
 
-// BootImage boots a pre-assembled image.
-func BootImage(cfg Config, im *asm.Image) (*Machine, error) {
+// BootImage boots a pre-assembled image. Boot-time panics (an image whose
+// load trips the memory cap, say) are recovered into errors.
+func BootImage(cfg Config, im *asm.Image) (machine *Machine, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			machine, err = nil, fmt.Errorf("boot: %v", r)
+		}
+	}()
 	k := kernel.New()
 	physical := mem.New()
+	switch {
+	case cfg.MemLimit > 0:
+		physical.SetResidentLimit(cfg.MemLimit)
+	case cfg.MemLimit == 0:
+		physical.SetResidentLimit(256 << 20)
+	}
 	var bus cpu.Bus = physical
 	var hier *cache.Hierarchy
 	if cfg.WithCache {

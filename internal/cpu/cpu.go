@@ -128,6 +128,13 @@ type CPU struct {
 	// nothing for them.
 	decodeShared bool
 
+	// injectFn, when non-nil, is a one-shot fault-injection callback armed
+	// by InjectAt (guard.go) to fire at the first instruction boundary
+	// where stats.Instructions >= injectAt. Run and RunFast honor it at
+	// the same retired count; forks copy the armed state by value.
+	injectAt uint64
+	injectFn func(*CPU)
+
 	halted   bool
 	exitCode int32
 }
@@ -704,11 +711,18 @@ func (c *CPU) execBranch(in isa.Instruction) bool {
 // Run executes until the machine halts, a detector fires, a fault occurs,
 // or maxInstructions retire (0 means no budget — not recommended). It
 // returns nil on a clean exit with status 0, *ExitError on a nonzero exit,
-// and the alert or fault otherwise.
-func (c *CPU) Run(maxInstructions uint64) error {
+// *StepBudgetError when the watchdog budget trips, and the alert or fault
+// otherwise. Host panics raised mid-step are recovered into *GuestFault /
+// *mem.LimitError, never propagated.
+func (c *CPU) Run(maxInstructions uint64) (err error) {
+	defer c.recoverGuestFault(&err)
 	for !c.halted {
 		if maxInstructions > 0 && c.stats.Instructions >= maxInstructions {
-			return c.fault("instruction budget exhausted")
+			return &StepBudgetError{PC: c.pc, Steps: c.stats.Instructions}
+		}
+		if c.injectionDue() {
+			c.fireInjection()
+			continue
 		}
 		if err := c.Step(); err != nil {
 			return err

@@ -507,7 +507,8 @@ func TestFaults(t *testing.T) {
 	m := mem.New()
 	c := New(Config{Bus: m, Image: im})
 	c.LoadImage(m, im)
-	if err := c.Run(100); !errors.As(err, &f) || !strings.Contains(f.Error(), "budget") {
+	var sb *StepBudgetError
+	if err := c.Run(100); !errors.As(err, &sb) || sb.Steps != 100 {
 		t.Errorf("budget: %v", err)
 	}
 	// Syscall without a handler.

@@ -604,7 +604,7 @@ chain:
 				c.pc = pc
 				c.flushRetired(done, cleanN, staticN)
 				c.flushPipe(cyc, stalls, prevDst)
-				return c.fault("instruction budget exhausted")
+				return &StepBudgetError{PC: pc, Steps: executed}
 			}
 			if rem := max - executed; uint64(n) > rem {
 				n = int(rem)
@@ -857,20 +857,39 @@ func (c *CPU) flushPipe(cyc, stalls uint64, loadDst isa.Register) {
 // RunFast is Run on the predecoded basic-block fast path: identical
 // semantics and observable machine state, lower per-instruction cost.
 // Traced execution falls back to the reference interpreter so the trace
-// stays per-instruction.
-func (c *CPU) RunFast(maxInstructions uint64) error {
+// stays per-instruction. Like Run it converts watchdog trips to
+// *StepBudgetError, honors InjectAt at the same retired count as the
+// reference interpreter (block chains are clamped at the trigger), and
+// recovers host panics into structured errors.
+func (c *CPU) RunFast(maxInstructions uint64) (err error) {
+	defer c.recoverGuestFault(&err)
 	for !c.halted {
 		if maxInstructions > 0 && c.stats.Instructions >= maxInstructions {
-			return c.fault("instruction budget exhausted")
+			return &StepBudgetError{PC: c.pc, Steps: c.stats.Instructions}
 		}
-		var err error
+		if c.injectionDue() {
+			c.fireInjection()
+			continue
+		}
+		// An armed injection clamps the block budget so the chain breaks
+		// exactly at the trigger's instruction boundary.
+		limit := maxInstructions
+		if c.injectFn != nil && (limit == 0 || c.injectAt < limit) {
+			limit = c.injectAt
+		}
+		var serr error
 		if c.tracer != nil {
-			err = c.Step()
+			serr = c.Step()
 		} else {
-			err = c.StepBlock(maxInstructions)
+			serr = c.StepBlock(limit)
 		}
-		if err != nil {
-			return err
+		if serr != nil {
+			if _, ok := serr.(*StepBudgetError); ok &&
+				c.injectFn != nil && c.stats.Instructions >= c.injectAt &&
+				(maxInstructions == 0 || c.stats.Instructions < maxInstructions) {
+				continue // the clamp tripped at the injection trigger, not the budget
+			}
+			return serr
 		}
 	}
 	if c.exitCode != 0 {

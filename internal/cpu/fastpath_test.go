@@ -254,7 +254,7 @@ func TestRunFastBudgetMidBlock(t *testing.T) {
 	fastC, _ := newMachine(t, src)
 	fastErr := fastC.RunFast(budget)
 
-	var refFault, fastFault *Fault
+	var refFault, fastFault *StepBudgetError
 	if !errors.As(refErr, &refFault) || !errors.As(fastErr, &fastFault) {
 		t.Fatalf("want budget faults, got reference %v, fast %v", refErr, fastErr)
 	}

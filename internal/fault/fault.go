@@ -1,0 +1,253 @@
+// Package fault is the deterministic fault-injection engine for the
+// pointer-taintedness machine: it forks sessions from campaign snapshots,
+// perturbs one of them — a taint shadow bit, a memory or register word,
+// pending syscall input — at a seeded retired-instruction trigger point,
+// and classifies what the detection mechanism did about it. The paper
+// proves an alert fires on every tainted-pointer dereference *assuming an
+// intact taint datapath*; this package measures how the guarantee degrades
+// when that assumption breaks (transient taint loss, spurious taint, guest
+// state corruption), which is the dependability question the paper's venue
+// cares about. The paper-relevant failure metric is SilentTaintLoss: a
+// verified compromise with no alert, i.e. the detection promise broken
+// without anyone noticing.
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/attack"
+	"repro/internal/isa"
+	"repro/internal/taint"
+)
+
+// Class is the closed six-way outcome taxonomy of one injected run.
+type Class int
+
+// The outcome lattice, from best to worst for the mechanism:
+// DetectedAlert (the policy fired), Benign (the fault was absorbed),
+// GuestCrash (fail-stop without detection), Timeout (containment ended a
+// runaway run), SpuriousAlert (a false positive induced on the benign
+// arm), SilentTaintLoss (a verified compromise with no alert — the
+// detection guarantee silently broken).
+const (
+	Benign Class = iota
+	DetectedAlert
+	GuestCrash
+	SilentTaintLoss
+	SpuriousAlert
+	Timeout
+)
+
+var classNames = [...]string{
+	Benign:          "Benign",
+	DetectedAlert:   "DetectedAlert",
+	GuestCrash:      "GuestCrash",
+	SilentTaintLoss: "SilentTaintLoss",
+	SpuriousAlert:   "SpuriousAlert",
+	Timeout:         "Timeout",
+}
+
+// String names the class for reports.
+func (c Class) String() string {
+	if c < 0 || int(c) >= len(classNames) {
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+	return classNames[c]
+}
+
+// Classes lists every class in stable report order.
+func Classes() []Class {
+	return []Class{DetectedAlert, Benign, GuestCrash, SilentTaintLoss, SpuriousAlert, Timeout}
+}
+
+// Injector is one fault model. Apply perturbs the forked machine m at the
+// trigger point — between two instructions, with architectural state
+// consistent — drawing every choice from rng so a seed replays the exact
+// same fault. It returns a human-readable description of what it did and
+// whether a fault was actually planted (an injector can come up empty:
+// no tainted byte to clear, no pending input to garble).
+type Injector struct {
+	Name        string
+	Description string
+	Apply       func(m *attack.Machine, rng *rand.Rand) (string, bool)
+}
+
+// Injectors returns the engine's fault models in stable order. "none" is
+// the control arm: an un-faulted replay that calibrates what the session
+// does when the datapath is intact.
+func Injectors() []Injector {
+	return []Injector{
+		{
+			Name:        "none",
+			Description: "control arm: no fault injected",
+			Apply: func(m *attack.Machine, rng *rand.Rand) (string, bool) {
+				return "control", true
+			},
+		},
+		{
+			Name:        "taint-loss",
+			Description: "clear one word's taint shadow (memory, else a register)",
+			Apply:       applyTaintLoss,
+		},
+		{
+			Name:        "taint-spurious",
+			Description: "set the taint bit of one clean resident byte",
+			Apply:       applyTaintSpurious,
+		},
+		{
+			Name:        "mem-flip",
+			Description: "flip one bit of a resident non-text data byte",
+			Apply:       applyMemFlip,
+		},
+		{
+			Name:        "reg-flip",
+			Description: "flip one bit of a general-purpose register value",
+			Apply:       applyRegFlip,
+		},
+		{
+			Name:        "input-garble",
+			Description: "garble or drop pending syscall input (stdin / socket)",
+			Apply:       applyInputGarble,
+		},
+	}
+}
+
+// InjectorByName looks up a fault model.
+func InjectorByName(name string) (Injector, bool) {
+	for _, in := range Injectors() {
+		if in.Name == name {
+			return in, true
+		}
+	}
+	return Injector{}, false
+}
+
+// textRange returns the image's text segment bounds [lo, hi). Injectors
+// never corrupt text: host-side writes bypass the CPU's self-modifying-
+// code invalidation, so a text flip would desynchronize the predecoded
+// blocks from memory — a harness artifact, not a modeled fault. (The
+// paper's fault model is data/shadow corruption anyway.)
+func textRange(m *attack.Machine) (uint32, uint32) {
+	entry := m.Image.Entry
+	for _, seg := range m.Image.Segments {
+		if entry >= seg.Addr && entry < seg.Addr+uint32(len(seg.Data)) {
+			return seg.Addr, seg.Addr + uint32(len(seg.Data))
+		}
+	}
+	return 0, 0
+}
+
+// maxTaintScan bounds how many tainted addresses an injector enumerates
+// before picking; the bound keeps injection O(footprint-page-count) while
+// the in-order enumeration keeps the pick seed-deterministic.
+const maxTaintScan = 4096
+
+// applyTaintLoss clears one taint bit: a tainted memory byte when any
+// exists (picked uniformly from the first maxTaintScan in address order,
+// text excluded), else a tainted register byte lane. This is the fault
+// the paper's guarantee is most exposed to — taint that silently
+// disappears between the input channel and the dereference.
+func applyTaintLoss(m *attack.Machine, rng *rand.Rand) (string, bool) {
+	lo, hi := textRange(m)
+	addrs := m.Mem.TaintedAddrs(maxTaintScan)
+	picks := addrs[:0]
+	for _, a := range addrs {
+		if a < lo || a >= hi {
+			picks = append(picks, a)
+		}
+	}
+	if len(picks) > 0 {
+		// Clear the whole aligned word's taint nibble: memory taint lives
+		// as one 4-bit vector per word (riding cache lines like ECC bits in
+		// the paper's design), so a shadow fault takes out the word, and a
+		// word is also the unit the dereference detectors test.
+		a := picks[rng.Intn(len(picks))] &^ 3
+		m.Mem.UntaintRange(a, 4)
+		return fmt.Sprintf("cleared taint of word %#08x", a), true
+	}
+	// No tainted memory yet — look for a tainted register lane.
+	var regs []int
+	for r := 1; r < 32; r++ {
+		if m.CPU.RegTaint(isa.Register(r)) != taint.None {
+			regs = append(regs, r)
+		}
+	}
+	if len(regs) == 0 {
+		return "no tainted state to clear", false
+	}
+	r := regs[rng.Intn(len(regs))]
+	m.CPU.SetReg(isa.Register(r), m.CPU.Reg(isa.Register(r)), taint.None)
+	return fmt.Sprintf("cleared taint of $%d", r), true
+}
+
+// applyTaintSpurious sets the taint bit of one clean resident non-text
+// byte — the false-positive-inducing fault: clean data the machine now
+// believes is attacker-derived.
+func applyTaintSpurious(m *attack.Machine, rng *rand.Rand) (string, bool) {
+	a, ok := pickResidentByte(m, rng, func(addr uint32) bool {
+		return m.Mem.CountTainted(addr, 1) == 0
+	})
+	if !ok {
+		return "no clean resident byte found", false
+	}
+	m.Mem.TaintRange(a, 1)
+	return fmt.Sprintf("set spurious taint on byte %#08x", a), true
+}
+
+// applyMemFlip flips one bit of a resident non-text byte, preserving its
+// taint — plain state corruption of the kind a transient hardware fault
+// or wild write produces.
+func applyMemFlip(m *attack.Machine, rng *rand.Rand) (string, bool) {
+	a, ok := pickResidentByte(m, rng, nil)
+	if !ok {
+		return "no resident data byte found", false
+	}
+	b, t := m.Mem.LoadByte(a)
+	bit := byte(1) << rng.Intn(8)
+	m.Mem.StoreByte(a, b^bit, t)
+	return fmt.Sprintf("flipped bit %#02x of byte %#08x", bit, a), true
+}
+
+// applyRegFlip flips one bit of a general-purpose register's value,
+// preserving its taint vector.
+func applyRegFlip(m *attack.Machine, rng *rand.Rand) (string, bool) {
+	r := 1 + rng.Intn(31) // $zero excluded: it is architecturally zero
+	bit := uint32(1) << rng.Intn(32)
+	reg := isa.Register(r)
+	m.CPU.SetReg(reg, m.CPU.Reg(reg)^bit, m.CPU.RegTaint(reg))
+	return fmt.Sprintf("flipped bit %#08x of $%d", bit, r), true
+}
+
+// applyInputGarble corrupts not-yet-consumed guest input: XORs a pending
+// byte with a random nonzero mask, or (half the time) drops the chosen
+// byte and everything after it on that channel.
+func applyInputGarble(m *attack.Machine, rng *rand.Rand) (string, bool) {
+	drop := rng.Intn(2) == 0
+	mask := byte(1 + rng.Intn(255))
+	return m.Kernel.GarbleInput(rng.Intn, mask, drop)
+}
+
+// pickResidentByte picks a uniformly random resident non-text byte
+// accepted by keep (nil = accept all), probing a bounded number of times
+// so an injector cannot loop unboundedly on a degenerate footprint.
+func pickResidentByte(m *attack.Machine, rng *rand.Rand, keep func(uint32) bool) (uint32, bool) {
+	lo, hi := textRange(m)
+	pns := m.Mem.PageNumbers()
+	if len(pns) == 0 {
+		return 0, false
+	}
+	const pageSize = 4096
+	for probe := 0; probe < 32; probe++ {
+		pn := pns[rng.Intn(len(pns))]
+		a := pn*pageSize + uint32(rng.Intn(pageSize))
+		if a >= lo && a < hi {
+			continue
+		}
+		if keep != nil && !keep(a) {
+			continue
+		}
+		return a, true
+	}
+	return 0, false
+}

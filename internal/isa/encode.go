@@ -42,16 +42,6 @@ func Encode(in Instruction) (uint32, error) {
 	return 0, fmt.Errorf("encode: opcode %v has no format", in.Op)
 }
 
-// MustEncode is Encode for statically known-valid instructions; it panics on
-// error and is intended for tests and internal code generation tables.
-func MustEncode(in Instruction) uint32 {
-	w, err := Encode(in)
-	if err != nil {
-		panic(err)
-	}
-	return w
-}
-
 // decode lookup tables, built once from opTable.
 var (
 	functToOp  [64]Opcode

@@ -1,0 +1,15 @@
+package isa
+
+// MustEncode is Encode for statically known-valid instructions. It is a
+// tests-only convenience (cross-package test helpers in isa and asm use
+// it): it panics on error, so it must never sit on a path reachable from
+// fuzzed or guest-controlled input — production encoders call Encode and
+// propagate the error. Keeping it in its own file keeps encode.go, the
+// file fuzzers exercise, free of panics.
+func MustEncode(in Instruction) uint32 {
+	w, err := Encode(in)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}

@@ -9,6 +9,7 @@ package kernel
 import (
 	"bytes"
 	"fmt"
+	"sort"
 
 	"repro/internal/cpu"
 	"repro/internal/isa"
@@ -133,6 +134,47 @@ func (k *Kernel) Break() uint32 { return k.brk }
 func (k *Kernel) SetStdin(data []byte) {
 	k.stdin = append([]byte(nil), data...)
 	k.stdinPos = 0
+}
+
+// GarbleInput corrupts not-yet-consumed guest input — the fault
+// injectors' model of a corrupted input channel. The victim byte comes
+// from pending stdin when any remains, otherwise from the pending bytes
+// of the lowest-numbered open connection with data queued; pick(n)
+// chooses an index in [0, n) (a seeded generator makes the choice
+// reproducible). With drop, the chosen byte and everything after it on
+// that channel is discarded; otherwise the byte is XORed with mask. It
+// returns a description of the corruption, or false when no pending
+// input existed anywhere.
+func (k *Kernel) GarbleInput(pick func(n int) int, mask byte, drop bool) (string, bool) {
+	if rem := len(k.stdin) - k.stdinPos; rem > 0 {
+		i := k.stdinPos + pick(rem)
+		if drop {
+			n := len(k.stdin) - i
+			k.stdin = k.stdin[:i]
+			return fmt.Sprintf("stdin: dropped %d pending bytes", n), true
+		}
+		k.stdin[i] ^= mask
+		return fmt.Sprintf("stdin: xor byte %d mask %#02x", i, mask), true
+	}
+	fds := make([]int32, 0, len(k.fds))
+	for fd, d := range k.fds {
+		if d != nil && d.conn != nil && d.conn.In.Len() > 0 {
+			fds = append(fds, fd)
+		}
+	}
+	if len(fds) == 0 {
+		return "", false
+	}
+	sort.Slice(fds, func(i, j int) bool { return fds[i] < fds[j] })
+	fd := fds[pick(len(fds))]
+	in := &k.fds[fd].conn.In
+	i := pick(in.Len())
+	if drop {
+		n := in.Truncate(i)
+		return fmt.Sprintf("fd %d: dropped %d pending bytes", fd, n), true
+	}
+	in.Garble(i, mask)
+	return fmt.Sprintf("fd %d: xor byte %d mask %#02x", fd, i, mask), true
 }
 
 // Stdout returns everything the guest has written to fd 1.

@@ -1,0 +1,89 @@
+package mem
+
+import (
+	"reflect"
+	"testing"
+)
+
+// mustLimitPanic runs fn and requires it to panic with *LimitError.
+func mustLimitPanic(t *testing.T, fn func()) *LimitError {
+	t.Helper()
+	var le *LimitError
+	func() {
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatal("expected a LimitError panic")
+			}
+			var ok bool
+			if le, ok = r.(*LimitError); !ok {
+				t.Fatalf("panic value %T, want *LimitError", r)
+			}
+		}()
+		fn()
+	}()
+	return le
+}
+
+func TestResidentLimit(t *testing.T) {
+	m := New()
+	m.SetResidentLimit(2 * PageSize)
+	m.StoreByte(0x1000, 1, false)
+	m.StoreByte(0x2000, 2, false)
+	// Writes inside resident pages are unaffected by the cap.
+	m.StoreByte(0x1001, 3, true)
+
+	le := mustLimitPanic(t, func() { m.StoreByte(0x3000, 4, false) })
+	if le.Resident != 2*PageSize || le.Limit != 2*PageSize {
+		t.Errorf("LimitError = %+v, want Resident=Limit=%d", le, 2*PageSize)
+	}
+
+	// Rounding: a byte limit rounds up to whole pages.
+	m2 := New()
+	m2.SetResidentLimit(PageSize + 1)
+	m2.StoreByte(0x0000, 1, false)
+	m2.StoreByte(0x1000, 1, false)
+	mustLimitPanic(t, func() { m2.StoreByte(0x2000, 1, false) })
+
+	// Removing the cap unblocks growth.
+	m2.SetResidentLimit(0)
+	m2.StoreByte(0x2000, 1, false)
+}
+
+func TestResidentLimitForkInheritsAndCOWExempt(t *testing.T) {
+	m := New()
+	m.SetResidentLimit(2 * PageSize)
+	m.StoreByte(0x1000, 1, true)
+	m.StoreByte(0x2000, 2, false)
+
+	f := m.Fork()
+	// A copy-on-write fault replaces a shared page — the footprint does
+	// not grow, so a fork at the cap can still write what is resident.
+	f.StoreByte(0x1000, 9, false)
+	if b, _ := f.LoadByte(0x1000); b != 9 {
+		t.Errorf("fork write lost: %d", b)
+	}
+	if b, _ := m.LoadByte(0x1000); b != 1 {
+		t.Errorf("fork write leaked into parent: %d", b)
+	}
+	// But fresh allocation in the fork still trips the inherited cap.
+	mustLimitPanic(t, func() { f.StoreByte(0x5000, 1, false) })
+}
+
+func TestPageNumbersAndTaintedAddrsDeterministic(t *testing.T) {
+	m := New()
+	m.StoreByte(0x5000, 1, false)
+	m.StoreByte(0x1004, 2, true)
+	m.StoreByte(0x1001, 3, true)
+	m.StoreByte(0x9000, 4, true)
+
+	if got, want := m.PageNumbers(), []uint32{1, 5, 9}; !reflect.DeepEqual(got, want) {
+		t.Errorf("PageNumbers = %v, want %v", got, want)
+	}
+	if got, want := m.TaintedAddrs(0), []uint32{0x1001, 0x1004, 0x9000}; !reflect.DeepEqual(got, want) {
+		t.Errorf("TaintedAddrs = %v, want %v", got, want)
+	}
+	if got, want := m.TaintedAddrs(2), []uint32{0x1001, 0x1004}; !reflect.DeepEqual(got, want) {
+		t.Errorf("TaintedAddrs(2) = %v, want %v", got, want)
+	}
+}

@@ -56,6 +56,22 @@ func (e *AlignmentError) Error() string {
 	return fmt.Sprintf("unaligned %d-byte access at %#08x", e.Width, e.Addr)
 }
 
+// LimitError reports that a write needed a fresh page beyond the resident
+// limit set with SetResidentLimit — the containment for guests that grow
+// their footprint without bound (a stack grower, a corrupted allocator).
+// It is raised as a panic from deep inside the write path, because the
+// inlined store fast paths have no error return; the CPU's run loops
+// recover it into an ordinary error at the machine boundary.
+type LimitError struct {
+	Resident int // bytes resident when the limit tripped
+	Limit    int // the configured limit, in bytes
+}
+
+// Error implements the error interface.
+func (e *LimitError) Error() string {
+	return fmt.Sprintf("guest memory limit exceeded: %d bytes resident, limit %d", e.Resident, e.Limit)
+}
+
 // Memory is a sparse, byte-taint-shadowed 32-bit address space. Reads of
 // never-written pages return zero, untainted bytes (fresh pages are clean).
 // Memory is little-endian.
@@ -94,6 +110,11 @@ type Memory struct {
 
 	// cowFaults counts pages this Memory privately copied on write faults.
 	cowFaults uint64
+
+	// maxPages caps the resident page count (0 = unlimited); exceeding it
+	// panics with *LimitError from pageForWrite. Copy-on-write faults are
+	// exempt — they replace a shared page, never grow the footprint.
+	maxPages int
 }
 
 // New returns an empty memory.
@@ -130,6 +151,9 @@ func (m *Memory) pageForWrite(addr uint32) *page {
 	p := m.pages[pn]
 	switch {
 	case p == nil:
+		if m.maxPages > 0 && len(m.pages) >= m.maxPages {
+			panic(&LimitError{Resident: len(m.pages) * PageSize, Limit: m.maxPages * PageSize})
+		}
 		p = &page{}
 		m.pages[pn] = p
 		m.frozen = false
@@ -191,7 +215,22 @@ func (m *Memory) Fork() *Memory {
 		wPN:           ^uint32(0),
 		frozen:        true,
 		taintedStores: m.taintedStores,
+		maxPages:      m.maxPages,
 	}
+}
+
+// SetResidentLimit caps the guest's resident memory at limit bytes,
+// rounded up to a whole page (0 removes the cap). A write that would
+// allocate a page past the cap panics with *LimitError; the CPU run
+// loops recover that into an error, so a self-growing guest degrades to
+// a contained fault instead of consuming the host. Forks inherit the
+// limit.
+func (m *Memory) SetResidentLimit(limit int) {
+	if limit <= 0 {
+		m.maxPages = 0
+		return
+	}
+	m.maxPages = (limit + PageSize - 1) / PageSize
 }
 
 // COWFaults returns how many pages this Memory copied on write faults
@@ -455,4 +494,42 @@ func (m *Memory) CountTainted(addr uint32, n int) int {
 		}
 	}
 	return c
+}
+
+// PageNumbers returns the resident page numbers in ascending order — a
+// deterministic enumeration of the footprint (map iteration order is not),
+// used by the fault injectors to pick corruption targets reproducibly.
+func (m *Memory) PageNumbers() []uint32 {
+	pns := make([]uint32, 0, len(m.pages))
+	for pn := range m.pages {
+		pns = append(pns, pn)
+	}
+	sort.Slice(pns, func(i, j int) bool { return pns[i] < pns[j] })
+	return pns
+}
+
+// TaintedAddrs returns the addresses of tainted bytes in ascending order,
+// stopping after max addresses (0 = all). The deterministic order is what
+// lets a seeded injector pick the same taint bit on every replay.
+func (m *Memory) TaintedAddrs(max int) []uint32 {
+	var out []uint32
+	for _, pn := range m.PageNumbers() {
+		p := m.pages[pn]
+		base := pn << pageShift
+		for wi, tb := range p.taint {
+			if tb == 0 {
+				continue
+			}
+			for bit := uint32(0); bit < 8; bit++ {
+				if tb&(1<<bit) == 0 {
+					continue
+				}
+				out = append(out, base+uint32(wi)*8+bit)
+				if max > 0 && len(out) >= max {
+					return out
+				}
+			}
+		}
+	}
+	return out
 }

@@ -44,6 +44,31 @@ func (s *Stream) Read(p []byte) (n int, eof bool, ok bool) {
 // Len returns the number of buffered bytes.
 func (s *Stream) Len() int { return len(s.buf) }
 
+// Garble XORs mask into pending (not yet read) buffered byte i — the
+// fault injector's model of wire corruption. It reports whether such a
+// byte existed.
+func (s *Stream) Garble(i int, mask byte) bool {
+	if i < 0 || i >= len(s.buf) {
+		return false
+	}
+	s.buf[i] ^= mask
+	return true
+}
+
+// Truncate discards all but the first n pending bytes (dropped input),
+// returning how many were dropped.
+func (s *Stream) Truncate(n int) int {
+	if n < 0 {
+		n = 0
+	}
+	if n >= len(s.buf) {
+		return 0
+	}
+	dropped := len(s.buf) - n
+	s.buf = s.buf[:n]
+	return dropped
+}
+
 // Closed reports whether the stream has been closed by the writer.
 func (s *Stream) Closed() bool { return s.closed }
 
