@@ -4,7 +4,7 @@ CAMPAIGN_N ?= 64
 FAULT_N ?= 144
 FAULT_SEED ?= 1
 
-.PHONY: build vet lint test race race-campaign fault-campaign fuzz bench bench-json ci
+.PHONY: build vet lint test race race-campaign fault-campaign fuzz bench bench-json trace-check ci
 
 build:
 	$(GO) build ./...
@@ -54,4 +54,14 @@ bench:
 bench-json:
 	$(GO) run ./cmd/ptcampaign -n $(CAMPAIGN_N) -json BENCH_campaign.json
 
-ci: lint build race race-campaign fault-campaign fuzz
+# Observability acceptance: the provenance differential pass (chains
+# terminate at concrete input bytes, byte-identical across both engines
+# and across snapshot forks, perturbation-free when disabled), the event
+# sink/tracer unit tests, and the armed bench guard holding the disabled
+# fast path within tolerance of BENCH_provenance.json.
+trace-check:
+	$(GO) test -run TestProvenance -v ./internal/attack/
+	$(GO) test -run 'TestEventSink|TestWrite|TestStream|TestDestReg|TestUsesRt|TestTracer' ./internal/cpu/
+	PTBENCH_GUARD=1 $(GO) test -run TestProvenanceBenchGuard -v .
+
+ci: lint build race race-campaign fault-campaign fuzz trace-check

@@ -1,0 +1,103 @@
+package repro_test
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// provBaseline is the BENCH_provenance.json schema: the recorded fast-path
+// cost with provenance machinery compiled in but disabled, the tolerance
+// the guard enforces, and the informational provenance-enabled figure.
+type provBaseline struct {
+	// FastNsPerInstr is the guarded number: BenchmarkStepFastPath's
+	// hot-loop cost with provenance and tracing disabled, recorded when
+	// the observability layer landed.
+	FastNsPerInstr float64 `json:"fast_ns_per_instr"`
+	// ProvNsPerInstr is informational: the same workload with provenance
+	// labels live. Not guarded — the contract is only that the DISABLED
+	// path stays free.
+	ProvNsPerInstr float64 `json:"prov_ns_per_instr"`
+	// TolerancePct is the allowed regression over FastNsPerInstr.
+	TolerancePct float64 `json:"tolerance_pct"`
+	// Host documents where the baseline was taken; guard runs on a
+	// different host are expected to re-record rather than compare.
+	Host string `json:"host"`
+}
+
+// measureNsPerInstr runs the hot-loop workload (the same program as
+// BenchmarkStepFastPath) on the fast path and returns ns per retired
+// guest instruction.
+func measureNsPerInstr(t *testing.T, provenance bool) float64 {
+	t.Helper()
+	r := testing.Benchmark(func(b *testing.B) {
+		var total uint64
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			m, err := core.BuildC(core.Config{
+				Budget: 1 << 40, Provenance: provenance,
+			}, hotLoopSrc)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			runErr := m.Run()
+			var ee *core.ExitError
+			if runErr != nil && !errors.As(runErr, &ee) {
+				b.Fatal(runErr)
+			}
+			total += m.Stats().Instructions
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(total), "ns/instr")
+	})
+	return r.Extra["ns/instr"]
+}
+
+// TestProvenanceBenchGuard enforces the observability layer's zero-cost
+// contract: with provenance and tracing disabled, the fast path must stay
+// within the recorded tolerance of the committed BENCH_provenance.json
+// baseline. Benchmark comparisons are too noisy for an always-on test, so
+// the guard only arms under PTBENCH_GUARD=1 (`make trace-check` sets it);
+// it takes the best of three runs to damp scheduler noise.
+func TestProvenanceBenchGuard(t *testing.T) {
+	if os.Getenv("PTBENCH_GUARD") != "1" {
+		t.Skip("set PTBENCH_GUARD=1 to arm the provenance bench guard")
+	}
+	data, err := os.ReadFile("BENCH_provenance.json")
+	if err != nil {
+		t.Fatalf("no recorded baseline: %v", err)
+	}
+	var base provBaseline
+	if err := json.Unmarshal(data, &base); err != nil {
+		t.Fatalf("bad baseline: %v", err)
+	}
+	if base.FastNsPerInstr <= 0 || base.TolerancePct <= 0 {
+		t.Fatalf("baseline not recorded: %+v", base)
+	}
+
+	limit := base.FastNsPerInstr * (1 + base.TolerancePct/100)
+	best := 0.0
+	for attempt := 0; attempt < 3; attempt++ {
+		got := measureNsPerInstr(t, false)
+		if best == 0 || got < best {
+			best = got
+		}
+		t.Logf("attempt %d: %.2f ns/instr (best %.2f, limit %.2f)", attempt+1, got, best, limit)
+		if best <= limit {
+			break
+		}
+	}
+	if best > limit {
+		t.Errorf("fast path with provenance disabled costs %.2f ns/instr; baseline %.2f +%.0f%% allows %.2f",
+			best, base.FastNsPerInstr, base.TolerancePct, limit)
+	}
+
+	// Informational: what enabling provenance costs on the same workload.
+	prov := measureNsPerInstr(t, true)
+	fmt.Printf("provenance bench guard: disabled %.2f ns/instr (limit %.2f), enabled %.2f ns/instr (%.1f%% overhead)\n",
+		best, limit, prov, 100*(prov-best)/best)
+}

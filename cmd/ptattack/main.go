@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	ptattack [-policy pointer|control|off] [scenario ...]
+//	ptattack [-policy pointer|control|off] [-prov] [-trace FILE] [scenario ...]
 //
 // With no scenario names, every scenario runs. Scenarios: exp1 exp2 exp3
 // wuftpd-noncontrol wuftpd-control nullhttpd-noncontrol nullhttpd-control
@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 
 	"repro/internal/attack"
 	"repro/internal/taint"
@@ -49,12 +50,29 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("ptattack", flag.ContinueOnError)
 	policyName := fs.String("policy", "pointer", "detection policy: pointer, control, off")
+	prov := fs.Bool("prov", false, "record taint provenance; detections print their origin chains")
+	tracePath := fs.String("trace", "", "stream structured trace events as JSONL to this file (single scenario at a time)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	policy, ok := taint.ParsePolicy(*policyName)
 	if !ok {
 		return fmt.Errorf("unknown policy %q", *policyName)
+	}
+	if *prov {
+		// Scenario Prepare functions boot internally; the globals are how
+		// boot-time toggles reach those machines.
+		attack.ForceProvenance = true
+		defer func() { attack.ForceProvenance = false }()
+	}
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		attack.ForceEventWriter = f
+		defer func() { attack.ForceEventWriter = nil }()
 	}
 
 	names := fs.Args()
@@ -74,6 +92,14 @@ func run(args []string) error {
 			return fmt.Errorf("%s: %w", name, err)
 		}
 		fmt.Printf("%-22s [%s]  %v\n", name, policy, out)
+		if out.Alert != nil && out.Alert.Provenance != nil {
+			fmt.Printf("  provenance: %s\n", indent(out.Alert.Provenance.String(), "  "))
+		}
 	}
 	return nil
+}
+
+// indent re-indents every line after the first by prefix.
+func indent(s, prefix string) string {
+	return strings.ReplaceAll(s, "\n", "\n"+prefix)
 }

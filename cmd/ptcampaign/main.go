@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/attack"
 	"repro/internal/campaign"
+	"repro/internal/metrics"
 	"repro/internal/taint"
 )
 
@@ -75,6 +76,11 @@ type benchReport struct {
 	Compromised int            `json:"compromised"`
 	Errors      int            `json:"errors"`
 	Outcomes    map[string]int `json:"outcomes"`
+
+	// Metrics is the deterministic value-wise merge of every session
+	// machine's metrics snapshot (plus the per-session instruction
+	// histogram) — identical at any worker count.
+	Metrics metrics.Snapshot `json:"metrics"`
 }
 
 func run(args []string, w *os.File) error {
@@ -153,6 +159,7 @@ func run(args []string, w *os.File) error {
 		Compromised:       sum.Compromised,
 		Errors:            sum.Errors,
 		Outcomes:          sum.Outcomes,
+		Metrics:           sum.Metrics,
 	}
 	if sum.Instructions > 0 {
 		rep.NsPerInstr = float64(elapsed.Nanoseconds()) / float64(sum.Instructions)

@@ -8,7 +8,7 @@
 //
 // Usage:
 //
-//	ptfault [-seed S] [-n RUNS] [-parallel N] [-fast=false]
+//	ptfault [-seed S] [-n RUNS] [-parallel N] [-fast=false] [-prov]
 //	        [-target a,b] [-injector x,y] [-deadline D]
 //	        [-json FILE] [-runs] [-check]
 //
@@ -44,6 +44,7 @@ func run(args []string, w io.Writer) error {
 	n := fs.Int("n", 600, "number of injected runs")
 	parallel := fs.Int("parallel", campaign.DefaultWorkers(), "worker goroutines")
 	fast := fs.Bool("fast", true, "use the predecoded basic-block fast path")
+	prov := fs.Bool("prov", false, "record taint provenance so SilentTaintLoss rows name the lost input origins")
 	targetList := fs.String("target", "", "comma-separated target filter (default: all)")
 	injectorList := fs.String("injector", "", "comma-separated injector filter (default: all)")
 	deadline := fs.Duration("deadline", 30*time.Second, "per-run wall-clock backstop (0 = none)")
@@ -55,11 +56,12 @@ func run(args []string, w io.Writer) error {
 	}
 
 	cfg := fault.Config{
-		Seed:      *seed,
-		Runs:      *n,
-		Workers:   *parallel,
-		Reference: !*fast,
-		Deadline:  *deadline,
+		Seed:       *seed,
+		Runs:       *n,
+		Workers:    *parallel,
+		Reference:  !*fast,
+		Provenance: *prov,
+		Deadline:   *deadline,
 	}
 	if *targetList != "" {
 		cfg.Targets = strings.Split(*targetList, ",")
@@ -69,7 +71,7 @@ func run(args []string, w io.Writer) error {
 	}
 
 	prepStart := time.Now()
-	targets, err := fault.PrepareTargets(cfg.Policy, cfg.Reference, nil)
+	targets, err := fault.PrepareTargets(cfg, nil)
 	if err != nil {
 		return err
 	}
@@ -83,6 +85,12 @@ func run(args []string, w io.Writer) error {
 	elapsed := time.Since(start)
 
 	printTable(w, rep)
+	if len(rep.SilentLosses) > 0 {
+		fmt.Fprintln(w, "\nsilent taint losses:")
+		for _, line := range rep.SilentLosses {
+			fmt.Fprintln(w, " ", line)
+		}
+	}
 	fmt.Fprintf(w, "\n%d runs x %d workers (%s engine, seed %d): prepare %v, campaign %v\n",
 		rep.Runs, *parallel, rep.Engine, rep.Seed,
 		prepElapsed.Round(time.Millisecond), elapsed.Round(time.Millisecond))

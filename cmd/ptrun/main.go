@@ -4,6 +4,7 @@
 // Usage:
 //
 //	ptrun [-policy pointer|control|off] [-cache] [-stdin file] \
+//	      [-prov] [-stats-json FILE] [-trace-events FILE] [-trace-chrome FILE] \
 //	      [-file guest:host ...] program.c [-- guest args...]
 //
 // Guest stdout/stderr stream to the host's; a security alert or fault is
@@ -14,6 +15,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -28,6 +30,22 @@ func (f *fileList) String() string { return strings.Join(*f, ",") }
 func (f *fileList) Set(v string) error {
 	*f = append(*f, v)
 	return nil
+}
+
+// writeExport streams write to the named file, or stdout for "-".
+func writeExport(path string, write func(w io.Writer) error) error {
+	if path == "-" {
+		return write(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func main() {
@@ -48,6 +66,10 @@ func run(args []string) (int, error) {
 	stats := fs.Bool("stats", false, "print execution statistics")
 	profile := fs.Bool("profile", false, "print the instruction mix after the run")
 	trace := fs.Uint64("trace", 0, "trace the first N instructions to stderr")
+	prov := fs.Bool("prov", false, "record taint provenance; an alert prints its origin chain")
+	statsJSON := fs.String("stats-json", "", "write the machine-wide metrics snapshot as JSON (- = stdout)")
+	traceEvents := fs.String("trace-events", "", "write structured trace events as JSONL to this file")
+	traceChrome := fs.String("trace-chrome", "", "write trace events as a Chrome trace_event document")
 	var files fileList
 	fs.Var(&files, "file", "seed guest file: guestpath:hostpath (repeatable)")
 	if err := fs.Parse(args); err != nil {
@@ -69,11 +91,15 @@ func run(args []string) (int, error) {
 		return 0, err
 	}
 	cfg := core.Config{
-		Policy:    policy,
-		WithCache: *withCache,
-		Args:      guestArgs,
-		ProgName:  progPath,
-		Reference: !*fast,
+		Policy:     policy,
+		WithCache:  *withCache,
+		Args:       guestArgs,
+		ProgName:   progPath,
+		Reference:  !*fast,
+		Provenance: *prov,
+	}
+	if *traceEvents != "" || *traceChrome != "" {
+		cfg.TraceEvents = -1 // default ring capacity
 	}
 	var m *core.Machine
 	if strings.HasSuffix(progPath, ".s") {
@@ -135,6 +161,24 @@ func run(args []string) (int, error) {
 			fmt.Fprintf(os.Stderr, "  %-8s %d\n", row.Op.Name(), row.Count)
 		}
 	}
+	if *statsJSON != "" {
+		if err := writeExport(*statsJSON, m.Metrics().WriteJSON); err != nil {
+			return 0, fmt.Errorf("stats-json: %w", err)
+		}
+	}
+	if *traceEvents != "" {
+		if err := writeExport(*traceEvents, m.ExportEventsJSONL); err != nil {
+			return 0, fmt.Errorf("trace-events: %w", err)
+		}
+	}
+	if *traceChrome != "" {
+		if err := writeExport(*traceChrome, m.ExportChromeTrace); err != nil {
+			return 0, fmt.Errorf("trace-chrome: %w", err)
+		}
+	}
+	if dropped := m.EventsDropped(); dropped > 0 {
+		fmt.Fprintf(os.Stderr, "ptrun: trace ring overwrote %d older events (the exports keep the most recent)\n", dropped)
+	}
 	switch {
 	case runErr == nil:
 		return 0, nil
@@ -143,6 +187,9 @@ func run(args []string) (int, error) {
 		var ee *core.ExitError
 		if errors.As(runErr, &alert) {
 			fmt.Fprintln(os.Stderr, "ptrun:", alert)
+			if alert.Provenance != nil {
+				fmt.Fprintln(os.Stderr, "provenance:", alert.Provenance)
+			}
 			return 2, nil
 		}
 		if errors.As(runErr, &ee) {

@@ -10,12 +10,14 @@ package attack
 import (
 	"errors"
 	"fmt"
+	"io"
 
 	"repro/internal/asm"
 	"repro/internal/cache"
 	"repro/internal/cpu"
 	"repro/internal/kernel"
 	"repro/internal/mem"
+	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/progs"
 	"repro/internal/taint"
@@ -34,6 +36,19 @@ const DefaultMemLimit = 256 << 20
 // hatch and the toggle the differential harness flips to cross-check the
 // two interpreters.
 var ForceReference bool
+
+// ForceProvenance enables taint-provenance tracking (per-word origin
+// labels and alert chain reconstruction) on every machine booted while it
+// is set — the toggle ptattack/ptexperiments/pttrace flip so scenario
+// Prepare functions, which boot internally, inherit it.
+var ForceProvenance bool
+
+// ForceEventWriter, when non-nil, streams every structured trace event of
+// every machine booted while it is set to the writer as JSONL — the
+// ptattack -trace hook. Single-run debugging only: subscribers run on the
+// emitting goroutine unsynchronized, so it must never be set while a
+// parallel campaign boots machines.
+var ForceEventWriter io.Writer
 
 // Machine is one booted victim instance.
 type Machine struct {
@@ -68,6 +83,11 @@ type Options struct {
 	// behaviourally identical (internal/cpu/differential_test.go); the
 	// reference path exists for cross-checking and debugging.
 	Reference bool
+	// Provenance enables taint-provenance tracking: every external input
+	// byte gets an origin label, Table 1 propagation merges labels, and a
+	// SecurityAlert carries the chain back to the exact syscall input.
+	// Requires flat memory (incompatible with WithCache).
+	Provenance bool
 }
 
 // Boot compiles and loads a corpus program under the given options.
@@ -116,6 +136,16 @@ func BootImage(name string, im *asm.Image, opts Options) (machine *Machine, err 
 	})
 	c.LoadImage(m, im)
 	k.SetBreak(im.DataEnd)
+	// Provenance must be live before SetArgs so the boot-time taint
+	// sources (argv/env bytes) get origin labels too.
+	if opts.Provenance || ForceProvenance {
+		if err := c.EnableProvenance(); err != nil {
+			return nil, fmt.Errorf("boot %s: %w", name, err)
+		}
+	}
+	if ForceEventWriter != nil {
+		c.EnableEvents(0).Stream(cpu.StreamJSONL(ForceEventWriter))
+	}
 	k.SetArgs(c, append([]string{name}, opts.Args...), opts.Env)
 	if opts.Stdin != nil {
 		k.SetStdin(opts.Stdin)
@@ -142,6 +172,20 @@ func BootImage(name string, im *asm.Image, opts Options) (machine *Machine, err 
 		budget:    budget,
 		reference: reference,
 	}, nil
+}
+
+// Metrics aggregates every subsystem's counters into one metrics
+// snapshot — the machine-wide observability view campaign workers capture
+// per session and merge deterministically.
+func (m *Machine) Metrics() metrics.Snapshot {
+	r := metrics.New()
+	m.CPU.FillMetrics(r)
+	m.Mem.FillMetrics(r)
+	m.Kernel.FillMetrics(r)
+	if m.Caches != nil {
+		m.Caches.FillMetrics(r)
+	}
+	return r.Snapshot()
 }
 
 // Sync flushes dirty cache lines to memory so host-side inspection of Mem

@@ -35,6 +35,7 @@ func (m *Machine) Snapshot() (*Snapshot, error) {
 	if m.Caches != nil {
 		return nil, errors.New("snapshot: cache-hierarchy machines are not snapshottable")
 	}
+	m.CPU.NoteSnapshot()
 	m.CPU.ShareText()
 	smem := m.Mem.Fork()
 	skern := m.Kernel.Clone()

@@ -1,0 +1,18 @@
+package cache
+
+import "repro/internal/metrics"
+
+// FillMetrics publishes both cache levels' counters into r under the
+// cache.l1. / cache.l2. namespaces.
+func (h *Hierarchy) FillMetrics(r *metrics.Registry) {
+	for _, lvl := range []struct {
+		name string
+		s    Stats
+	}{{"l1", h.L1Stats()}, {"l2", h.L2Stats()}} {
+		p := "cache." + lvl.name + "."
+		r.Counter(p + "hits").Add(lvl.s.Hits)
+		r.Counter(p + "misses").Add(lvl.s.Misses)
+		r.Counter(p + "evictions").Add(lvl.s.Evictions)
+		r.Counter(p + "writebacks").Add(lvl.s.Writebacks)
+	}
+}

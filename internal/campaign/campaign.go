@@ -25,6 +25,7 @@ import (
 
 	"repro/internal/attack"
 	"repro/internal/cpu"
+	"repro/internal/metrics"
 )
 
 // DefaultWorkers returns the default fan-out width, GOMAXPROCS.
@@ -155,7 +156,11 @@ type Result struct {
 	// Stats are the forked CPU's counters after the session; subtract the
 	// snapshot's Stats for per-session work.
 	Stats cpu.Stats
-	Err   error
+	// Metrics is the session machine's full metrics snapshot (CPU, memory,
+	// kernel) captured when the session ended. Each fork fills its own
+	// registry, so capture is race-free; Summarize merges them value-wise.
+	Metrics metrics.Snapshot
+	Err     error
 }
 
 // Run replays n sessions across workers goroutines, each on a fresh fork
@@ -171,7 +176,7 @@ func Run(snap *attack.Snapshot, n, workers int, session func(i int, m *attack.Ma
 		}()
 		m := snap.Fork()
 		out, err := session(i, m)
-		return Result{Index: i, Outcome: out, Stats: m.CPU.Stats(), Err: err}, nil
+		return Result{Index: i, Outcome: out, Stats: m.CPU.Stats(), Metrics: m.Metrics(), Err: err}, nil
 	})
 	return results
 }
@@ -193,12 +198,22 @@ type Summary struct {
 	// Instructions is the total retired across all sessions, measured from
 	// base (normally the snapshot's Stats) — the sessions' own work.
 	Instructions uint64
+	// Metrics is the value-wise merge of every session's metrics snapshot,
+	// plus a campaign.session_instructions histogram of per-session work.
+	// Merging is commutative and associative, so a parallel campaign's
+	// aggregate equals a sequential one's.
+	Metrics metrics.Snapshot
 }
+
+// sessionInstrBounds buckets per-session instruction counts (log-spaced).
+var sessionInstrBounds = []float64{1e3, 1e4, 1e5, 1e6, 1e7, 1e8}
 
 // Summarize folds results into a Summary; base is the counter state each
 // session started from (the snapshot's Stats).
 func Summarize(rs []Result, base cpu.Stats) Summary {
 	s := Summary{Sessions: len(rs), Outcomes: make(map[string]int)}
+	hist := metrics.New()
+	h := hist.Histogram("campaign.session_instructions", sessionInstrBounds)
 	for _, r := range rs {
 		var label string
 		switch {
@@ -224,9 +239,13 @@ func Summarize(rs []Result, base cpu.Stats) Summary {
 			s.Compromised++
 		}
 		if r.Err == nil && r.Stats.Instructions >= base.Instructions {
-			s.Instructions += r.Stats.Instructions - base.Instructions
+			work := r.Stats.Instructions - base.Instructions
+			s.Instructions += work
+			h.Observe(float64(work))
 		}
+		s.Metrics = s.Metrics.Merge(r.Metrics)
 	}
+	s.Metrics = s.Metrics.Merge(hist.Snapshot())
 	return s
 }
 

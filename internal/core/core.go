@@ -37,6 +37,7 @@ import (
 	"repro/internal/cpu"
 	"repro/internal/kernel"
 	"repro/internal/mem"
+	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/rtl"
 	"repro/internal/taint"
@@ -118,6 +119,18 @@ type Config struct {
 	// boot and changes no observable behaviour; disable it to measure
 	// the purely dynamic machine.
 	NoStatic bool
+	// Provenance enables taint-provenance tracking: every external input
+	// byte (read/recv, argv, env) gets an origin label, Table 1
+	// propagation merges labels, and a SecurityAlert carries a chain
+	// naming the exact input bytes that made the dereferenced value
+	// tainted. Requires flat memory (incompatible with WithCache).
+	Provenance bool
+	// TraceEvents attaches a structured trace-event ring buffer of the
+	// given capacity (negative selects the default, 4096). Events record
+	// taint births, pointer-taint propagation, dereference checks,
+	// alerts, and syscalls; export them with ExportEventsJSONL or
+	// ExportChromeTrace.
+	TraceEvents int
 }
 
 // Machine is a ready-to-run guest.
@@ -203,6 +216,20 @@ func BootImage(cfg Config, im *asm.Image) (machine *Machine, err error) {
 	})
 	c.LoadImage(physical, im)
 	k.SetBreak(im.DataEnd)
+	// Provenance must be live before SetArgs so the boot-time taint
+	// sources (argv/env bytes) get origin labels too.
+	if cfg.Provenance {
+		if err := c.EnableProvenance(); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.TraceEvents != 0 {
+		cap := cfg.TraceEvents
+		if cap < 0 {
+			cap = 0 // EnableEvents picks the default
+		}
+		c.EnableEvents(cap)
+	}
 	name := cfg.ProgName
 	if name == "" {
 		name = "a.out"
@@ -332,3 +359,46 @@ func (m *Machine) SetTracer(w io.Writer, limit uint64) { m.cpu.SetTracer(w, limi
 
 // Profile returns the instruction mix in descending count order.
 func (m *Machine) Profile() []cpu.OpcodeCount { return m.cpu.Profile() }
+
+// Metrics aggregates every subsystem's counters into one metrics
+// snapshot for text/JSON exposition.
+func (m *Machine) Metrics() metrics.Snapshot {
+	r := metrics.New()
+	m.cpu.FillMetrics(r)
+	m.mem.FillMetrics(r)
+	m.kern.FillMetrics(r)
+	if m.caches != nil {
+		m.caches.FillMetrics(r)
+	}
+	return r.Snapshot()
+}
+
+// Events returns the structured trace events recorded so far (oldest
+// first; the ring keeps only the most recent Config.TraceEvents entries).
+// Empty without Config.TraceEvents.
+func (m *Machine) Events() []cpu.Event {
+	if s := m.cpu.Events(); s != nil {
+		return s.Events()
+	}
+	return nil
+}
+
+// EventsDropped reports how many trace events the ring overwrote.
+func (m *Machine) EventsDropped() uint64 {
+	if s := m.cpu.Events(); s != nil {
+		return s.Dropped()
+	}
+	return 0
+}
+
+// ExportEventsJSONL writes the recorded trace events to w, one JSON
+// object per line.
+func (m *Machine) ExportEventsJSONL(w io.Writer) error {
+	return cpu.WriteEventsJSONL(w, m.Events())
+}
+
+// ExportChromeTrace writes the recorded trace events as a Chrome
+// trace_event document loadable in chrome://tracing or Perfetto.
+func (m *Machine) ExportChromeTrace(w io.Writer) error {
+	return cpu.WriteChromeTrace(w, m.Events())
+}

@@ -33,6 +33,12 @@ type SecurityAlert struct {
 	SymOff uint32
 	Instrs uint64 // instructions retired before the exception
 	Cycle  uint64 // pipeline cycle of retirement
+	// Provenance is the forensic chain — which input bytes the
+	// dereferenced value derives from and where its taint was born — when
+	// provenance tracking is enabled; nil otherwise. A pointer keeps the
+	// struct comparable (the differential tests compare alerts by value;
+	// with provenance off both engines produce nil here).
+	Provenance *Provenance
 }
 
 // Error implements the error interface, formatting the alert like the

@@ -97,6 +97,15 @@ type CPU struct {
 	traceLimit uint64
 	traced     uint64
 
+	// prov is the taint-provenance state (prov.go); nil when disabled.
+	// Every hook gates on this one pointer, and labels are written only
+	// where taint is — the disabled machine and the fast path's clean
+	// short-circuits never touch them.
+	prov *provState
+
+	// events is the structured trace sink (events.go); nil when disabled.
+	events *EventSink
+
 	penalties PenaltySource // non-nil when the bus models miss latency
 
 	// Predecoded text segment: decoded[i] caches the instruction at
@@ -317,7 +326,7 @@ func (c *CPU) symbolFor(addr uint32) (string, uint32) {
 func (c *CPU) alert(kind taint.AlertKind, stage Stage, in isa.Instruction, reg isa.Register) error {
 	sym, off := c.symbolFor(c.pc)
 	c.stats.Alerts++
-	return &SecurityAlert{
+	a := &SecurityAlert{
 		Kind:   kind,
 		PC:     c.pc,
 		Instr:  in,
@@ -330,6 +339,22 @@ func (c *CPU) alert(kind taint.AlertKind, stage Stage, in isa.Instruction, reg i
 		Instrs: c.stats.Instructions,
 		Cycle:  c.pipe.Cycle(),
 	}
+	if c.prov != nil {
+		a.Provenance = c.provChain(reg)
+	}
+	if c.events != nil {
+		c.events.Emit(Event{
+			Kind:   EvAlert,
+			Instrs: a.Instrs,
+			PC:     a.PC,
+			Reg:    reg,
+			Value:  a.Value,
+			Taint:  a.Taint,
+			Label:  c.RegProvLabel(reg),
+			Detail: string(stage) + " " + kind.String(),
+		})
+	}
+	return a
 }
 
 func (c *CPU) fault(reason string) error {
@@ -408,6 +433,17 @@ func (c *CPU) stepOne() error {
 		// Detector after ID/EX: the jump target register value is
 		// available; a tainted target marks the instruction malicious and
 		// the exception is raised at retirement (Section 4.3).
+		if tv := c.regTaint[in.Rs]; tv != taint.None && c.events != nil {
+			c.events.Emit(Event{
+				Kind:   EvDerefCheck,
+				Instrs: c.stats.Instructions,
+				PC:     c.pc,
+				Reg:    in.Rs,
+				Value:  c.regs[in.Rs],
+				Taint:  tv,
+				Label:  c.RegProvLabel(in.Rs),
+			})
+		}
 		if kind, bad := c.policy.CheckJumpReg(c.regTaint[in.Rs]); bad {
 			c.pipe.Retire(in)
 			c.stats.Instructions++
@@ -430,6 +466,9 @@ func (c *CPU) stepOne() error {
 				return c.fault("syscall with no handler")
 			}
 			c.stats.Syscalls++
+			if c.events != nil {
+				c.emitSyscall()
+			}
 			if err := c.handler.Syscall(c); err != nil {
 				return err
 			}
@@ -492,6 +531,9 @@ func (c *CPU) execALU(in isa.Instruction) {
 		c.untaintWithHome(b.Reg)
 	}
 	c.SetReg(dst, val, res.Out)
+	if c.prov != nil {
+		c.provProp(dst, res.Out, a, b)
+	}
 }
 
 // aluValue computes the data result of an ALU/compare instruction.
@@ -574,12 +616,29 @@ func (c *CPU) execShift(in isa.Instruction) {
 	}
 	res := c.prop.Propagate(in.Op, datum, amount)
 	c.SetReg(in.Rd, val, res.Out)
+	if c.prov != nil {
+		c.provProp(in.Rd, res.Out, datum, amount)
+	}
 }
 
 // execMem covers loads and stores, including the EX/MEM taintedness
 // detector for pointer dereferences.
 func (c *CPU) execMem(in isa.Instruction) error {
 	addrVec := c.regTaint[in.Rs] // imm offset is untainted; address taint is the base's
+	if addrVec != taint.None && c.events != nil {
+		// The EX/MEM detector is consulting a tainted address; both
+		// engines reach this path with stats flushed (the fast path's
+		// clean-address short-circuit requires taint.None).
+		c.events.Emit(Event{
+			Kind:   EvDerefCheck,
+			Instrs: c.stats.Instructions,
+			PC:     c.pc,
+			Reg:    in.Rs,
+			Value:  c.regs[in.Rs],
+			Taint:  addrVec,
+			Label:  c.RegProvLabel(in.Rs),
+		})
+	}
 	if kind, bad := c.policy.CheckMemAccess(in.Op, addrVec); bad {
 		c.pipe.Retire(in)
 		c.stats.Instructions++
@@ -609,6 +668,9 @@ func (c *CPU) execMem(in isa.Instruction) error {
 			}
 		}
 		c.SetReg(in.Rt, v, vec)
+		if vec != taint.None && c.prov != nil {
+			c.provLoad(in.Rt, addr, c.pc, c.stats.Instructions)
+		}
 		c.setHome(in.Rt, addr, 1)
 		c.pipe.Load(in.Rt)
 		c.stats.Loads++
@@ -628,6 +690,9 @@ func (c *CPU) execMem(in isa.Instruction) error {
 			v = uint32(h)
 		}
 		c.SetReg(in.Rt, v, vec)
+		if vec != taint.None && c.prov != nil {
+			c.provLoad(in.Rt, addr, c.pc, c.stats.Instructions)
+		}
 		c.setHome(in.Rt, addr, 2)
 		c.pipe.Load(in.Rt)
 		c.stats.Loads++
@@ -637,6 +702,9 @@ func (c *CPU) execMem(in isa.Instruction) error {
 			return c.fault(err.Error())
 		}
 		c.SetReg(in.Rt, w, wv)
+		if wv != taint.None && c.prov != nil {
+			c.provLoad(in.Rt, addr, c.pc, c.stats.Instructions)
+		}
 		c.setHome(in.Rt, addr, 4)
 		c.pipe.Load(in.Rt)
 		c.stats.Loads++
@@ -645,6 +713,9 @@ func (c *CPU) execMem(in isa.Instruction) error {
 			return err
 		}
 		c.bus.StoreByte(addr, byte(c.regs[in.Rt]), c.regTaint[in.Rt].Byte(0))
+		if c.prov != nil && c.regTaint[in.Rt].Byte(0) {
+			c.provStore(addr, 1, in.Rt)
+		}
 		c.invalidateHomes(addr, 1)
 		c.invalidateText(addr, 1)
 		c.pipe.Store()
@@ -656,6 +727,9 @@ func (c *CPU) execMem(in isa.Instruction) error {
 		if err := c.bus.StoreHalf(addr, uint16(c.regs[in.Rt]), c.regTaint[in.Rt]); err != nil {
 			return c.fault(err.Error())
 		}
+		if c.prov != nil && c.regTaint[in.Rt] != taint.None {
+			c.provStore(addr, 2, in.Rt)
+		}
 		c.invalidateHomes(addr, 2)
 		c.invalidateText(addr, 2)
 		c.pipe.Store()
@@ -666,6 +740,9 @@ func (c *CPU) execMem(in isa.Instruction) error {
 		}
 		if err := c.bus.StoreWord(addr, c.regs[in.Rt], c.regTaint[in.Rt]); err != nil {
 			return c.fault(err.Error())
+		}
+		if c.prov != nil && c.regTaint[in.Rt] != taint.None {
+			c.provStore(addr, 4, in.Rt)
 		}
 		c.invalidateHomes(addr, 4)
 		c.invalidateText(addr, 4)

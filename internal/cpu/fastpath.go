@@ -419,8 +419,10 @@ func (c *CPU) homeClean(r isa.Register) bool {
 // bus devirtualizes to *mem.Memory, and the opcode dispatch, offset, and
 // destination come precomputed from the block. pc is the instruction's own
 // address, written back only on the paths that can observe it (faults and
-// watch alerts); the caller owns c.pc otherwise.
-func (c *CPU) execMemFast(d *decIns, pc uint32) error {
+// watch alerts); the caller owns c.pc otherwise. instrs is the exact
+// retired count including the caller's batched locals, consumed only by
+// the provenance hooks (their events timestamp against it).
+func (c *CPU) execMemFast(d *decIns, pc uint32, instrs uint64) error {
 	addr := c.regs[d.srcA] + d.imm
 	if addr < nullPage {
 		c.pc = pc
@@ -435,6 +437,9 @@ func (c *CPU) execMemFast(d *decIns, pc uint32) error {
 		}
 		w, wv := m.WordAt(addr)
 		c.SetReg(d.dst, w, wv)
+		if wv != taint.None && c.prov != nil {
+			c.provLoad(d.dst, addr, pc, instrs)
+		}
 		c.setHome(d.dst, addr, 4)
 		c.stats.Loads++
 	case fopSW:
@@ -450,6 +455,9 @@ func (c *CPU) execMemFast(d *decIns, pc uint32) error {
 			return c.fault((&mem.AlignmentError{Addr: addr, Width: 4}).Error())
 		}
 		m.PutWord(addr, c.regs[d.srcB], vec)
+		if vec != taint.None && c.prov != nil {
+			c.provStore(addr, 4, d.srcB)
+		}
 		if c.homesMask != 0 {
 			c.invalidateHomes(addr, 4)
 		}
@@ -473,6 +481,9 @@ func (c *CPU) execMemFast(d *decIns, pc uint32) error {
 			}
 		}
 		c.SetReg(d.dst, v, vec)
+		if vec != taint.None && c.prov != nil {
+			c.provLoad(d.dst, addr, pc, instrs)
+		}
 		c.setHome(d.dst, addr, 1)
 		c.stats.Loads++
 	case fopLH, fopLHU:
@@ -492,6 +503,9 @@ func (c *CPU) execMemFast(d *decIns, pc uint32) error {
 			v = uint32(h)
 		}
 		c.SetReg(d.dst, v, vec)
+		if vec != taint.None && c.prov != nil {
+			c.provLoad(d.dst, addr, pc, instrs)
+		}
 		c.setHome(d.dst, addr, 2)
 		c.stats.Loads++
 	case fopSB:
@@ -503,6 +517,9 @@ func (c *CPU) execMemFast(d *decIns, pc uint32) error {
 			}
 		}
 		m.StoreByte(addr, byte(c.regs[d.srcB]), vec.Byte(0))
+		if vec.Byte(0) && c.prov != nil {
+			c.provStore(addr, 1, d.srcB)
+		}
 		if c.homesMask != 0 {
 			c.invalidateHomes(addr, 1)
 		}
@@ -523,6 +540,9 @@ func (c *CPU) execMemFast(d *decIns, pc uint32) error {
 			return c.fault((&mem.AlignmentError{Addr: addr, Width: 2}).Error())
 		}
 		m.PutHalf(addr, uint16(c.regs[d.srcB]), vec)
+		if vec != taint.None && c.prov != nil {
+			c.provStore(addr, 2, d.srcB)
+		}
 		if c.homesMask != 0 {
 			c.invalidateHomes(addr, 2)
 		}
@@ -635,6 +655,15 @@ chain:
 					clean = true
 					staticN += uint64(sp) // FactOperandsClean is bit 0
 				} else {
+					if c.prov != nil {
+						// Provenance hooks read c.pc (birth pc) and exact
+						// retired counts (event timestamps); sync the lazy
+						// state first. Only tainted-operand work pays this.
+						c.pc = pc
+						c.flushRetired(done, cleanN, staticN)
+						c.flushPipe(cyc, stalls, prevDst)
+						done, cleanN, staticN, cyc, stalls = 0, 0, 0, 0, 0
+					}
 					c.execALU(d.in)
 				}
 			case isa.KindCompare:
@@ -646,6 +675,14 @@ chain:
 					c.execALUClean(d)
 					clean = true
 				} else {
+					if c.prov != nil {
+						// Compares untaint by default, but ablation
+						// propagators can produce tainted results here too.
+						c.pc = pc
+						c.flushRetired(done, cleanN, staticN)
+						c.flushPipe(cyc, stalls, prevDst)
+						done, cleanN, staticN, cyc, stalls = 0, 0, 0, 0, 0
+					}
 					c.execALU(d.in)
 				}
 			case isa.KindShift:
@@ -655,6 +692,12 @@ chain:
 					clean = true
 					staticN += uint64(sp) // FactOperandsClean is bit 0
 				} else {
+					if c.prov != nil {
+						c.pc = pc
+						c.flushRetired(done, cleanN, staticN)
+						c.flushPipe(cyc, stalls, prevDst)
+						done, cleanN, staticN, cyc, stalls = 0, 0, 0, 0, 0
+					}
 					c.execShift(d.in)
 				}
 			case isa.KindLoad, isa.KindStore:
@@ -675,6 +718,12 @@ chain:
 						addr >= nullPage && addr&3 == 0 {
 						w, wv := c.flatMem.WordAt(addr)
 						c.SetReg(d.dst, w, wv)
+						if wv != taint.None && c.prov != nil {
+							// A clean-address load of a tainted word is a
+							// taint birth; the guard keeps the dominant
+							// clean-load case branch-predictable and free.
+							c.provLoad(d.dst, addr, pc, c.stats.Instructions+done)
+						}
 						c.setHome(d.dst, addr, 4)
 						c.stats.Loads++
 						prevDst = d.dst
@@ -689,7 +738,7 @@ chain:
 						}
 						c.stats.Stores++
 						prevDst = isa.RegZero
-					} else if err := c.execMemFast(d, pc); err != nil {
+					} else if err := c.execMemFast(d, pc, c.stats.Instructions+done); err != nil {
 						c.flushRetired(done, cleanN, staticN)
 						c.flushPipe(cyc, stalls, prevDst)
 						return err
@@ -740,6 +789,32 @@ chain:
 				// the control-hijack detector cannot fire, so skip it.
 				if d.static&FactAddrClean != 0 {
 					staticN++
+				} else if tv := c.regTaint[d.in.Rs]; tv != taint.None && c.events != nil {
+					// Sync the lazy state so the event's retired count is
+					// exact, then re-run the detector on the reference path
+					// (tainted jr is a once-per-run event, usually an alert).
+					c.pc = pc
+					c.flushRetired(done, cleanN, staticN)
+					c.flushPipe(cyc, stalls, prevDst)
+					done, cleanN, staticN, cyc, stalls = 0, 0, 0, 0, 0
+					c.events.Emit(Event{
+						Kind:   EvDerefCheck,
+						Instrs: c.stats.Instructions,
+						PC:     pc,
+						Reg:    d.in.Rs,
+						Value:  c.regs[d.in.Rs],
+						Taint:  tv,
+						Label:  c.RegProvLabel(d.in.Rs),
+					})
+					if kind, bad := c.policy.CheckJumpReg(tv); bad {
+						c.pipe.Retire(d.in)
+						c.stats.Instructions++
+						c.stats.TaintedSteps++
+						if c.profile != nil {
+							c.profile[d.in.Op]++
+						}
+						return c.alert(kind, StageIDEX, d.in, d.in.Rs)
+					}
 				} else if kind, bad := c.policy.CheckJumpReg(c.regTaint[d.in.Rs]); bad {
 					c.pc = pc
 					c.flushPipe(cyc, stalls, prevDst)
@@ -769,6 +844,9 @@ chain:
 						return c.fault("syscall with no handler")
 					}
 					c.stats.Syscalls++
+					if c.events != nil {
+						c.emitSyscall()
+					}
 					if err := c.handler.Syscall(c); err != nil {
 						return err
 					}

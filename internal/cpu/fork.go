@@ -53,6 +53,18 @@ func (c *CPU) Fork(bus Bus, handler SyscallHandler) *CPU {
 		n.penalties = ps
 	}
 	n.tracer, n.traceLimit, n.traced = nil, 0, 0
+	// The event sink is per-machine mutable state and, like the tracer,
+	// is not inherited: concurrent forks emitting into a shared ring would
+	// race. A fork that wants events calls EnableEvents itself.
+	n.events = nil
+	if c.prov != nil {
+		// Provenance state is inherited deep: the label table and the
+		// register shadows copy, so every fork resolves pre-snapshot
+		// labels identically while post-fork inputs diverge independently.
+		// The snapshot CPU is execution-quiescent during concurrent forks,
+		// so cloning only reads it.
+		n.prov = c.prov.clone()
+	}
 	// decoded and blocks slice headers were copied by *n = *c and stay
 	// aliased: ShareText set decodeShared, so the first write on either
 	// side goes through privatizeDecode. This is what keeps Fork O(state)

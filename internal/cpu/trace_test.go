@@ -1,0 +1,189 @@
+package cpu
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+func TestDestReg(t *testing.T) {
+	cases := []struct {
+		name string
+		in   isa.Instruction
+		want isa.Register
+		ok   bool
+	}{
+		{"R-format ALU writes rd", isa.Instruction{Op: isa.OpADD, Rd: isa.RegT2, Rs: isa.RegT0, Rt: isa.RegT1}, isa.RegT2, true},
+		{"I-format ALU writes rt", isa.Instruction{Op: isa.OpADDI, Rt: isa.RegT1, Rs: isa.RegT0}, isa.RegT1, true},
+		{"compare writes rd", isa.Instruction{Op: isa.OpSLT, Rd: isa.RegT3, Rs: isa.RegT0, Rt: isa.RegT1}, isa.RegT3, true},
+		{"shift writes rd", isa.Instruction{Op: isa.OpSLL, Rd: isa.RegT4, Rt: isa.RegT1}, isa.RegT4, true},
+		{"load writes rt", isa.Instruction{Op: isa.OpLW, Rt: isa.RegT5, Rs: isa.RegSP}, isa.RegT5, true},
+		{"store writes nothing", isa.Instruction{Op: isa.OpSW, Rt: isa.RegT5, Rs: isa.RegSP}, 0, false},
+		{"branch writes nothing", isa.Instruction{Op: isa.OpBEQ, Rs: isa.RegT0, Rt: isa.RegT1}, 0, false},
+		{"jr writes nothing", isa.Instruction{Op: isa.OpJR, Rs: isa.RegRA}, 0, false},
+	}
+	for _, c := range cases {
+		got, ok := destReg(c.in)
+		if ok != c.ok || (ok && got != c.want) {
+			t.Errorf("%s: destReg = (%v, %v), want (%v, %v)", c.name, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestUsesRt(t *testing.T) {
+	cases := []struct {
+		name string
+		in   isa.Instruction
+		want bool
+	}{
+		{"R-format ALU reads rt", isa.Instruction{Op: isa.OpADD}, true},
+		{"I-format ALU does not", isa.Instruction{Op: isa.OpADDI}, false},
+		{"R-format compare reads rt", isa.Instruction{Op: isa.OpSLT}, true},
+		{"I-format compare does not", isa.Instruction{Op: isa.OpSLTI}, false},
+		{"shift reads rt", isa.Instruction{Op: isa.OpSLL}, true},
+		{"store reads rt", isa.Instruction{Op: isa.OpSW}, true},
+		{"beq reads rt", isa.Instruction{Op: isa.OpBEQ}, true},
+		{"bne reads rt", isa.Instruction{Op: isa.OpBNE}, true},
+		{"load does not", isa.Instruction{Op: isa.OpLW}, false},
+		{"jr does not", isa.Instruction{Op: isa.OpJR}, false},
+	}
+	for _, c := range cases {
+		if got := usesRt(c.in); got != c.want {
+			t.Errorf("%s: usesRt = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+// traceProgram is the fixed corpus snippet the tracer golden tests run:
+// arithmetic, memory traffic, a branch, and a register jump — every
+// rendering shape the tracer knows.
+const traceProgram = `
+	main:
+		li $t0, 5
+		add $t1, $t0, $t0
+		sw $t1, 0($sp)
+		lw $t2, 0($sp)
+		beq $t1, $t2, done
+	done:
+		li $v0, 1
+		li $a0, 0
+		syscall
+`
+
+func bootTrace(t *testing.T) (*CPU, *mem.Memory) {
+	t.Helper()
+	im, err := asm.AssembleString(traceProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mem.New()
+	c := New(Config{Bus: m, Handler: &testHandler{memory: m}, Image: im})
+	c.LoadImage(m, im)
+	return c, m
+}
+
+// TestTracerLimitPath: after limit lines the tracer detaches itself; the
+// machine keeps executing untraced.
+func TestTracerLimitPath(t *testing.T) {
+	c, _ := bootTrace(t)
+	var buf strings.Builder
+	c.SetTracer(&buf, 3)
+	if err := c.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("traced %d lines, want 3:\n%s", len(lines), buf.String())
+	}
+	if c.tracer != nil {
+		t.Error("tracer still attached past its limit")
+	}
+	if halted, _ := c.Halted(); !halted {
+		t.Error("machine did not run to completion after the tracer detached")
+	}
+}
+
+// TestTracerGoldenOutput pins the exact rendered trace — address column,
+// padded disassembly, source operands with taint — for the fixed program.
+func TestTracerGoldenOutput(t *testing.T) {
+	c, _ := bootTrace(t)
+	var buf strings.Builder
+	c.SetTracer(&buf, 0)
+	if err := c.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 8 {
+		t.Fatalf("traced %d lines, want 8:\n%s", len(lines), buf.String())
+	}
+	wantContains := [][]string{
+		{"ori $t0,$zero,0x5", "$zero=0x0/...."},
+		{"add $t1,$t0,$t0", "$t0=0x5/...."},
+		{"sw $t1,0($sp)"},
+		{"lw $t2,0($sp)", "$sp="},
+		{"beq $t1,$t2,"}, // branches write no register: no source column
+		{"ori $v0,$zero,0x1"},
+		{"ori $a0,$zero,0x0"},
+		{"syscall"},
+	}
+	for i, wants := range wantContains {
+		for _, want := range wants {
+			if !strings.Contains(lines[i], want) {
+				t.Errorf("line %d = %q, missing %q", i+1, lines[i], want)
+			}
+		}
+	}
+	// Fixed column discipline: 8-hex-digit address, two spaces, mnemonic.
+	for i, line := range lines {
+		if len(line) < 10 || line[8] != ' ' || line[9] != ' ' {
+			t.Errorf("line %d breaks the address column: %q", i+1, line)
+		}
+	}
+}
+
+// TestTracerIsSinkView: the text tracer is a view over the event sink —
+// the EvInstr events' Detail fields, joined with newlines, ARE the text
+// output, and both engines render the identical bytes.
+func TestTracerIsSinkView(t *testing.T) {
+	runEngine := func(fast bool) (string, []Event) {
+		c, _ := bootTrace(t)
+		var buf strings.Builder
+		c.SetTracer(&buf, 0)
+		var err error
+		if fast {
+			err = c.RunFast(100)
+		} else {
+			err = c.Run(100)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		return buf.String(), c.Events().Events()
+	}
+
+	text, events := runEngine(false)
+	var fromSink strings.Builder
+	n := 0
+	for _, e := range events {
+		if e.Kind != EvInstr {
+			continue
+		}
+		n++
+		fromSink.WriteString(e.Detail)
+		fromSink.WriteByte('\n')
+	}
+	if n == 0 {
+		t.Fatal("no EvInstr events reached the sink")
+	}
+	if fromSink.String() != text {
+		t.Errorf("sink Detail stream differs from tracer text:\n--- sink\n%s\n--- text\n%s", fromSink.String(), text)
+	}
+
+	fastText, _ := runEngine(true)
+	if fastText != text {
+		t.Errorf("fast-path trace differs from reference:\n--- fast\n%s\n--- reference\n%s", fastText, text)
+	}
+}

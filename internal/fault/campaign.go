@@ -11,6 +11,7 @@ import (
 	"repro/internal/attack"
 	"repro/internal/campaign"
 	"repro/internal/cpu"
+	"repro/internal/metrics"
 	"repro/internal/progs"
 	"repro/internal/taint"
 )
@@ -69,15 +70,18 @@ var benignSpec = []string{"gzips", "parsers"}
 // harmless short input, plus SPEC analogues). Preparation runs the
 // control session once per target to calibrate SessionLen and record the
 // control outcome. filter (nil = all) selects targets by name.
-func PrepareTargets(policy taint.Policy, reference bool, filter func(name string) bool) ([]*Target, error) {
+func PrepareTargets(cfg Config, filter func(name string) bool) ([]*Target, error) {
+	policy := cfg.Policy
 	if policy == 0 {
 		policy = taint.PolicyPointerTaintedness
 	}
-	// ForceReference is consulted at boot time; scenario Prepare functions
-	// boot internally, so toggle it around the whole preparation.
-	saved := attack.ForceReference
-	attack.ForceReference = reference
-	defer func() { attack.ForceReference = saved }()
+	// ForceReference / ForceProvenance are consulted at boot time; scenario
+	// Prepare functions boot internally, so toggle them around the whole
+	// preparation.
+	savedRef, savedProv := attack.ForceReference, attack.ForceProvenance
+	attack.ForceReference = cfg.Reference
+	attack.ForceProvenance = cfg.Provenance
+	defer func() { attack.ForceReference, attack.ForceProvenance = savedRef, savedProv }()
 
 	var targets []*Target
 	for _, sc := range attack.Scenarios() {
@@ -220,6 +224,10 @@ type Config struct {
 	Policy taint.Policy
 	// Reference forces the reference interpreter for every machine.
 	Reference bool
+	// Provenance records taint provenance on every target, so a
+	// SilentTaintLoss caused by the taint-loss injector names the exact
+	// input origins whose tracking the fault destroyed.
+	Provenance bool
 	// Targets and InjectorNames filter the grid (empty = all).
 	Targets       []string
 	InjectorNames []string
@@ -241,6 +249,14 @@ type RunResult struct {
 	Detail   string `json:"detail,omitempty"`
 	Class    string `json:"class"`
 	Evidence string `json:"evidence,omitempty"`
+	// LostTaint names the input origins of the taint the injection
+	// cleared (taint-loss under Config.Provenance), captured before the
+	// shadow bit was destroyed — so a SilentTaintLoss run reports WHICH
+	// tracked attacker bytes the machine lost sight of.
+	LostTaint []string `json:"lost_taint,omitempty"`
+	// Metrics is the injected machine's full metrics snapshot; it feeds
+	// the report-level aggregate and is not serialized per run.
+	Metrics metrics.Snapshot `json:"-"`
 }
 
 // Cell aggregates one target × injector grid cell.
@@ -267,6 +283,12 @@ type Report struct {
 	Runs     int                      `json:"runs"`
 	Outcomes map[string]int           `json:"outcomes"`
 	Targets  map[string]*TargetReport `json:"targets"`
+	// SilentLosses lists, in run-index order, one line per SilentTaintLoss
+	// run explaining which cleared taint origins were lost (or that
+	// provenance was off and nobody can say).
+	SilentLosses []string `json:"silent_losses,omitempty"`
+	// Metrics is the value-wise merge of every run's machine metrics.
+	Metrics metrics.Snapshot `json:"metrics"`
 	// Results carries every per-run record in index order (omitted from
 	// compact reports).
 	Results []RunResult `json:"results,omitempty"`
@@ -369,6 +391,15 @@ func Campaign(cfg Config, targets []*Target, keepResults bool) (*Report, error) 
 		cell.Runs++
 		cell.Outcomes[r.Class]++
 		rep.Outcomes[r.Class]++
+		rep.Metrics = rep.Metrics.Merge(r.Metrics)
+		if r.Class == SilentTaintLoss.String() {
+			loss := strings.Join(r.LostTaint, "; ")
+			if loss == "" {
+				loss = "(provenance off: lost origins unrecorded)"
+			}
+			rep.SilentLosses = append(rep.SilentLosses,
+				fmt.Sprintf("run %d %s/%s @+%d: %s", r.Index, r.Target, r.Injector, r.Trigger, loss))
+		}
 	}
 	if keepResults {
 		rep.Results = results
@@ -391,7 +422,8 @@ func runOne(t *Target, in Injector, index int, seed int64) RunResult {
 		r.Applied, r.Detail = true, "control"
 	} else {
 		m.CPU.InjectAt(t.Base+trigger, func(*cpu.CPU) {
-			r.Detail, r.Applied = in.Apply(m, rng)
+			eff := in.Apply(m, rng)
+			r.Detail, r.Applied, r.LostTaint = eff.Detail, eff.Applied, eff.LostTaint
 		})
 	}
 
@@ -401,6 +433,7 @@ func runOne(t *Target, in Injector, index int, seed int64) RunResult {
 	if err != nil && r.Evidence == "" {
 		r.Evidence = err.Error()
 	}
+	r.Metrics = m.Metrics()
 	return r
 }
 

@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/attack"
 	"repro/internal/isa"
+	"repro/internal/prov"
 	"repro/internal/taint"
 )
 
@@ -61,16 +62,28 @@ func Classes() []Class {
 	return []Class{DetectedAlert, Benign, GuestCrash, SilentTaintLoss, SpuriousAlert, Timeout}
 }
 
+// Effect describes what one injection actually did. Detail is the
+// human-readable description; Applied reports whether a fault was planted
+// at all (an injector can come up empty: no tainted byte to clear, no
+// pending input to garble). LostTaint names the input origins of any
+// taint label the injection cleared — captured BEFORE the shadow bit is
+// destroyed, because afterwards nobody can say what was lost. It is what
+// lets a SilentTaintLoss report say which attacker bytes the machine
+// stopped tracking.
+type Effect struct {
+	Detail    string
+	Applied   bool
+	LostTaint []string
+}
+
 // Injector is one fault model. Apply perturbs the forked machine m at the
 // trigger point — between two instructions, with architectural state
 // consistent — drawing every choice from rng so a seed replays the exact
-// same fault. It returns a human-readable description of what it did and
-// whether a fault was actually planted (an injector can come up empty:
-// no tainted byte to clear, no pending input to garble).
+// same fault.
 type Injector struct {
 	Name        string
 	Description string
-	Apply       func(m *attack.Machine, rng *rand.Rand) (string, bool)
+	Apply       func(m *attack.Machine, rng *rand.Rand) Effect
 }
 
 // Injectors returns the engine's fault models in stable order. "none" is
@@ -81,8 +94,8 @@ func Injectors() []Injector {
 		{
 			Name:        "none",
 			Description: "control arm: no fault injected",
-			Apply: func(m *attack.Machine, rng *rand.Rand) (string, bool) {
-				return "control", true
+			Apply: func(m *attack.Machine, rng *rand.Rand) Effect {
+				return Effect{Detail: "control", Applied: true}
 			},
 		},
 		{
@@ -147,8 +160,12 @@ const maxTaintScan = 4096
 // exists (picked uniformly from the first maxTaintScan in address order,
 // text excluded), else a tainted register byte lane. This is the fault
 // the paper's guarantee is most exposed to — taint that silently
-// disappears between the input channel and the dereference.
-func applyTaintLoss(m *attack.Machine, rng *rand.Rand) (string, bool) {
+// disappears between the input channel and the dereference. When
+// provenance is live the cleared word's origin chain is read off BEFORE
+// the shadow bit dies (the label is only valid while the taint is set),
+// so a resulting SilentTaintLoss can name the exact input bytes whose
+// tracking was destroyed.
+func applyTaintLoss(m *attack.Machine, rng *rand.Rand) Effect {
 	lo, hi := textRange(m)
 	addrs := m.Mem.TaintedAddrs(maxTaintScan)
 	picks := addrs[:0]
@@ -163,8 +180,10 @@ func applyTaintLoss(m *attack.Machine, rng *rand.Rand) (string, bool) {
 		// the paper's design), so a shadow fault takes out the word, and a
 		// word is also the unit the dereference detectors test.
 		a := picks[rng.Intn(len(picks))] &^ 3
+		what := fmt.Sprintf("word %#08x", a)
+		lost := lostOrigins(m, what, m.Mem.ProvLabel(a))
 		m.Mem.UntaintRange(a, 4)
-		return fmt.Sprintf("cleared taint of word %#08x", a), true
+		return Effect{Detail: "cleared taint of " + what, Applied: true, LostTaint: lost}
 	}
 	// No tainted memory yet — look for a tainted register lane.
 	var regs []int
@@ -174,58 +193,81 @@ func applyTaintLoss(m *attack.Machine, rng *rand.Rand) (string, bool) {
 		}
 	}
 	if len(regs) == 0 {
-		return "no tainted state to clear", false
+		return Effect{Detail: "no tainted state to clear"}
 	}
 	r := regs[rng.Intn(len(regs))]
-	m.CPU.SetReg(isa.Register(r), m.CPU.Reg(isa.Register(r)), taint.None)
-	return fmt.Sprintf("cleared taint of $%d", r), true
+	reg := isa.Register(r)
+	what := fmt.Sprintf("$%d", r)
+	lost := lostOrigins(m, what, m.CPU.RegProvLabel(reg))
+	m.CPU.SetReg(reg, m.CPU.Reg(reg), taint.None)
+	return Effect{Detail: "cleared taint of " + what, Applied: true, LostTaint: lost}
+}
+
+// lostOrigins renders the input origins behind label l as "what <- origin"
+// lines, or nil when provenance is off or the label is empty. Call it
+// before clearing the taint the label annotates: the lazy-label invariant
+// makes labels meaningful only while their taint bit is set.
+func lostOrigins(m *attack.Machine, what string, l prov.Label) []string {
+	if l == 0 || !m.CPU.ProvEnabled() {
+		return nil
+	}
+	origins := m.CPU.ProvTable().Origins(l)
+	if len(origins) == 0 {
+		return []string{what + " <- (no recorded input origin)"}
+	}
+	out := make([]string, 0, len(origins))
+	for _, o := range origins {
+		out = append(out, what+" <- "+o.String())
+	}
+	return out
 }
 
 // applyTaintSpurious sets the taint bit of one clean resident non-text
 // byte — the false-positive-inducing fault: clean data the machine now
 // believes is attacker-derived.
-func applyTaintSpurious(m *attack.Machine, rng *rand.Rand) (string, bool) {
+func applyTaintSpurious(m *attack.Machine, rng *rand.Rand) Effect {
 	a, ok := pickResidentByte(m, rng, func(addr uint32) bool {
 		return m.Mem.CountTainted(addr, 1) == 0
 	})
 	if !ok {
-		return "no clean resident byte found", false
+		return Effect{Detail: "no clean resident byte found"}
 	}
 	m.Mem.TaintRange(a, 1)
-	return fmt.Sprintf("set spurious taint on byte %#08x", a), true
+	return Effect{Detail: fmt.Sprintf("set spurious taint on byte %#08x", a), Applied: true}
 }
 
 // applyMemFlip flips one bit of a resident non-text byte, preserving its
 // taint — plain state corruption of the kind a transient hardware fault
 // or wild write produces.
-func applyMemFlip(m *attack.Machine, rng *rand.Rand) (string, bool) {
+func applyMemFlip(m *attack.Machine, rng *rand.Rand) Effect {
 	a, ok := pickResidentByte(m, rng, nil)
 	if !ok {
-		return "no resident data byte found", false
+		return Effect{Detail: "no resident data byte found"}
 	}
 	b, t := m.Mem.LoadByte(a)
 	bit := byte(1) << rng.Intn(8)
 	m.Mem.StoreByte(a, b^bit, t)
-	return fmt.Sprintf("flipped bit %#02x of byte %#08x", bit, a), true
+	return Effect{Detail: fmt.Sprintf("flipped bit %#02x of byte %#08x", bit, a), Applied: true}
 }
 
 // applyRegFlip flips one bit of a general-purpose register's value,
 // preserving its taint vector.
-func applyRegFlip(m *attack.Machine, rng *rand.Rand) (string, bool) {
+func applyRegFlip(m *attack.Machine, rng *rand.Rand) Effect {
 	r := 1 + rng.Intn(31) // $zero excluded: it is architecturally zero
 	bit := uint32(1) << rng.Intn(32)
 	reg := isa.Register(r)
 	m.CPU.SetReg(reg, m.CPU.Reg(reg)^bit, m.CPU.RegTaint(reg))
-	return fmt.Sprintf("flipped bit %#08x of $%d", bit, r), true
+	return Effect{Detail: fmt.Sprintf("flipped bit %#08x of $%d", bit, r), Applied: true}
 }
 
 // applyInputGarble corrupts not-yet-consumed guest input: XORs a pending
 // byte with a random nonzero mask, or (half the time) drops the chosen
 // byte and everything after it on that channel.
-func applyInputGarble(m *attack.Machine, rng *rand.Rand) (string, bool) {
+func applyInputGarble(m *attack.Machine, rng *rand.Rand) Effect {
 	drop := rng.Intn(2) == 0
 	mask := byte(1 + rng.Intn(255))
-	return m.Kernel.GarbleInput(rng.Intn, mask, drop)
+	detail, applied := m.Kernel.GarbleInput(rng.Intn, mask, drop)
+	return Effect{Detail: detail, Applied: applied}
 }
 
 // pickResidentByte picks a uniformly random resident non-text byte

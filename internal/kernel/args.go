@@ -22,7 +22,7 @@ func (k *Kernel) SetArgs(c *cpu.CPU, args, env []string) {
 	// envp and argv pointer arrays, all below StackTop.
 	addr := uint32(asm.StackTop)
 	strAddr := make([]uint32, 0, len(args)+len(env))
-	writeString := func(s string) {
+	writeString := func(s, source string, index int) {
 		n := uint32(len(s) + 1)
 		addr -= n
 		for i := 0; i < len(s); i++ {
@@ -31,14 +31,18 @@ func (k *Kernel) SetArgs(c *cpu.CPU, args, env []string) {
 		bus.StoreByte(addr+uint32(len(s)), 0, false)
 		if taintArgs {
 			k.stats.TaintedBytes += uint64(len(s))
+			// Boot-time taint sources get origins too (fd -1, offset =
+			// string index), so an alert caused by an oversized argv or
+			// environment string names the exact string.
+			c.ProvInput(source, -1, uint64(index), addr, len(s))
 		}
 		strAddr = append(strAddr, addr)
 	}
-	for _, a := range args {
-		writeString(a)
+	for i, a := range args {
+		writeString(a, "argv", i)
 	}
-	for _, e := range env {
-		writeString(e)
+	for i, e := range env {
+		writeString(e, "env", i)
 	}
 	addr &^= 3 // align for the pointer arrays
 

@@ -43,7 +43,7 @@ func (k *Kernel) Clone() *Kernel {
 	var cmap map[*netsim.Conn]*netsim.Conn
 	n.Net, lmap, cmap = k.Net.Clone()
 	for fd, d := range k.fds {
-		nd := &fdesc{std: d.std, stdin: d.stdin}
+		nd := &fdesc{std: d.std, stdin: d.stdin, rcvd: d.rcvd}
 		if d.file != nil {
 			nd.file = &file{
 				fs:      n.FS,

@@ -71,6 +71,10 @@ type fdesc struct {
 	conn     *netsim.Conn
 	std      int // 1=stdout 2=stderr
 	stdin    bool
+	// rcvd counts bytes delivered from conn so far: the stream offset the
+	// next SYS_RECV's provenance origin starts at (files use file.pos,
+	// stdin uses Kernel.stdinPos).
+	rcvd uint64
 }
 
 // InputStats feeds the Table 3 "total number of input bytes" column and the
@@ -322,6 +326,17 @@ func (k *Kernel) copyOut(c *cpu.CPU, addr uint32, data []byte, tainted bool) err
 	return nil
 }
 
+// provInput registers a provenance origin for one input delivery: this
+// is the kernel half of the paper's taint-source mechanism, pairing the
+// taint bits copyOut just set with an origin naming the exact stream
+// bytes. No-op when taint initialization or provenance is off.
+func (k *Kernel) provInput(c *cpu.CPU, source string, fd int32, off uint64, addr uint32, n int) {
+	if !k.TaintInputs {
+		return
+	}
+	c.ProvInput(source, fd, off, addr, n)
+}
+
 // copyIn reads guest memory (values only; the kernel trusts nothing about
 // taint on the outbound path).
 func (k *Kernel) copyIn(c *cpu.CPU, addr uint32, n int) []byte {
@@ -361,11 +376,13 @@ func (k *Kernel) sysRead(c *cpu.CPU, fd int32, buf, n uint32) error {
 			c.SetReg(isa.RegV0, 0, taint.None) // EOF
 			return nil
 		}
+		off := uint64(k.stdinPos)
 		cnt := copy(tmp, k.stdin[k.stdinPos:])
 		k.stdinPos += cnt
 		if err := k.copyOut(c, buf, tmp[:cnt], true); err != nil {
 			return err
 		}
+		k.provInput(c, "read", fd, off, buf, cnt)
 		k.stats.BytesRead += uint64(cnt)
 		c.SetReg(isa.RegV0, uint32(cnt), taint.None)
 		return nil
@@ -374,10 +391,12 @@ func (k *Kernel) sysRead(c *cpu.CPU, fd int32, buf, n uint32) error {
 			c.SetReg(isa.RegV0, uint32(0xFFFFFFFF), taint.None)
 			return nil
 		}
+		off := uint64(d.file.pos)
 		cnt := d.file.read(tmp)
 		if err := k.copyOut(c, buf, tmp[:cnt], true); err != nil {
 			return err
 		}
+		k.provInput(c, "read", fd, off, buf, cnt)
 		k.stats.BytesRead += uint64(cnt)
 		c.SetReg(isa.RegV0, uint32(cnt), taint.None)
 		return nil
@@ -390,9 +409,12 @@ func (k *Kernel) sysRead(c *cpu.CPU, fd int32, buf, n uint32) error {
 			c.SetReg(isa.RegV0, 0, taint.None)
 			return nil
 		}
+		off := d.rcvd
+		d.rcvd += uint64(cnt)
 		if err := k.copyOut(c, buf, tmp[:cnt], true); err != nil {
 			return err
 		}
+		k.provInput(c, "recv", fd, off, buf, cnt)
 		k.stats.BytesRead += uint64(cnt)
 		c.SetReg(isa.RegV0, uint32(cnt), taint.None)
 		return nil

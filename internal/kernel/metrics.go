@@ -1,0 +1,11 @@
+package kernel
+
+import "repro/internal/metrics"
+
+// FillMetrics publishes the kernel's input accounting into r under the
+// kernel. namespace (the bridge pattern: hot syscall paths keep raw
+// counters, exposition reads them on demand).
+func (k *Kernel) FillMetrics(r *metrics.Registry) {
+	r.Counter("kernel.bytes_read").Add(k.stats.BytesRead)
+	r.Counter("kernel.tainted_bytes").Add(k.stats.TaintedBytes)
+}

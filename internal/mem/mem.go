@@ -10,6 +10,7 @@ import (
 	"sort"
 	"sync/atomic"
 
+	"repro/internal/prov"
 	"repro/internal/taint"
 )
 
@@ -115,6 +116,12 @@ type Memory struct {
 	// panics with *LimitError from pageForWrite. Copy-on-write faults are
 	// exempt — they replace a shared page, never grow the footprint.
 	maxPages int
+
+	// provLabels is the opt-in word-granular provenance label shadow (see
+	// prov.go); nil when provenance is disabled. Not part of Fingerprint:
+	// labels are derived metadata, and provenance on/off must not change
+	// what memory-equality tests observe.
+	provLabels map[uint32]prov.Label
 }
 
 // New returns an empty memory.
@@ -216,6 +223,7 @@ func (m *Memory) Fork() *Memory {
 		frozen:        true,
 		taintedStores: m.taintedStores,
 		maxPages:      m.maxPages,
+		provLabels:    m.forkProvLabels(),
 	}
 }
 

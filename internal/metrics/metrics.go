@@ -1,0 +1,294 @@
+// Package metrics is a small stdlib-only metrics layer for the simulator:
+// named counters, gauges, and fixed-bucket histograms collected into a
+// Registry, frozen into a Snapshot for exposition (sorted text or JSON),
+// and merged deterministically across campaign workers.
+//
+// The hot interpreter loops keep their raw struct counters (cpu.Stats,
+// mem's tainted-store/COW counts, kernel.InputStats) — a map lookup per
+// retired instruction would wreck the fast path — and each subsystem
+// instead implements a FillMetrics bridge that publishes those counters
+// into a Registry on demand. Determinism falls out of the arithmetic:
+// Snapshot holds plain maps keyed by name, Merge sums value-wise, and
+// summation is order-independent, so a parallel campaign's merged
+// snapshot is byte-identical to a sequential one's.
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// Counter is a monotonically increasing uint64.
+type Counter struct{ v uint64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) { c.v += n }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v++ }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v }
+
+// Gauge is a point-in-time float64 measurement.
+type Gauge struct{ v float64 }
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(v float64) { g.v = v }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return g.v }
+
+// Histogram counts observations into fixed upper-bound buckets (plus an
+// implicit +Inf bucket) and tracks the sum and count. Bounds must be
+// sorted ascending and are fixed at creation so histograms with the same
+// name always merge bucket-for-bucket.
+type Histogram struct {
+	bounds []float64
+	counts []uint64 // len(bounds)+1; last is +Inf
+	sum    float64
+	n      uint64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i]++
+	h.sum += v
+	h.n++
+}
+
+// Registry is a named collection of metrics. Create-or-get accessors are
+// mutex-guarded so campaign workers may fill disjoint registries while a
+// shared one is snapshotted; the hot loops never touch it.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// New returns an empty registry.
+func New() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it at zero if absent.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it at zero if absent.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given
+// sorted upper bounds if absent. Bounds of an existing histogram win.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = &Histogram{
+			bounds: append([]float64(nil), bounds...),
+			counts: make([]uint64, len(bounds)+1),
+		}
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// HistogramSnapshot is a frozen histogram: parallel Bounds/Counts slices
+// (Counts has one extra +Inf bucket), plus Sum and Count.
+type HistogramSnapshot struct {
+	Bounds []float64 `json:"bounds"`
+	Counts []uint64  `json:"counts"`
+	Sum    float64   `json:"sum"`
+	Count  uint64    `json:"count"`
+}
+
+// Snapshot is a frozen, merge-able view of a registry. JSON encoding is
+// deterministic (Go serializes map keys sorted).
+type Snapshot struct {
+	Counters   map[string]uint64            `json:"counters,omitempty"`
+	Gauges     map[string]float64           `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot freezes the registry's current values.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Snapshot{}
+	if len(r.counters) > 0 {
+		s.Counters = make(map[string]uint64, len(r.counters))
+		for k, c := range r.counters {
+			s.Counters[k] = c.v
+		}
+	}
+	if len(r.gauges) > 0 {
+		s.Gauges = make(map[string]float64, len(r.gauges))
+		for k, g := range r.gauges {
+			s.Gauges[k] = g.v
+		}
+	}
+	if len(r.histograms) > 0 {
+		s.Histograms = make(map[string]HistogramSnapshot, len(r.histograms))
+		for k, h := range r.histograms {
+			s.Histograms[k] = HistogramSnapshot{
+				Bounds: append([]float64(nil), h.bounds...),
+				Counts: append([]uint64(nil), h.counts...),
+				Sum:    h.sum,
+				Count:  h.n,
+			}
+		}
+	}
+	return s
+}
+
+// Merge returns the value-wise sum of s and o: counters and gauges sum,
+// histograms with matching bounds merge bucket-for-bucket (mismatched
+// bounds keep s's buckets and fold o into sum/count only, so totals stay
+// honest). Merge is commutative and associative, which is what makes a
+// parallel campaign's aggregate independent of worker scheduling.
+func (s Snapshot) Merge(o Snapshot) Snapshot {
+	out := Snapshot{}
+	if len(s.Counters)+len(o.Counters) > 0 {
+		out.Counters = make(map[string]uint64, len(s.Counters)+len(o.Counters))
+		for k, v := range s.Counters {
+			out.Counters[k] = v
+		}
+		for k, v := range o.Counters {
+			out.Counters[k] += v
+		}
+	}
+	if len(s.Gauges)+len(o.Gauges) > 0 {
+		out.Gauges = make(map[string]float64, len(s.Gauges)+len(o.Gauges))
+		for k, v := range s.Gauges {
+			out.Gauges[k] = v
+		}
+		for k, v := range o.Gauges {
+			out.Gauges[k] += v
+		}
+	}
+	if len(s.Histograms)+len(o.Histograms) > 0 {
+		out.Histograms = make(map[string]HistogramSnapshot, len(s.Histograms)+len(o.Histograms))
+		for k, h := range s.Histograms {
+			out.Histograms[k] = HistogramSnapshot{
+				Bounds: append([]float64(nil), h.Bounds...),
+				Counts: append([]uint64(nil), h.Counts...),
+				Sum:    h.Sum,
+				Count:  h.Count,
+			}
+		}
+		for k, h := range o.Histograms {
+			base, ok := out.Histograms[k]
+			if !ok {
+				out.Histograms[k] = HistogramSnapshot{
+					Bounds: append([]float64(nil), h.Bounds...),
+					Counts: append([]uint64(nil), h.Counts...),
+					Sum:    h.Sum,
+					Count:  h.Count,
+				}
+				continue
+			}
+			base.Sum += h.Sum
+			base.Count += h.Count
+			if boundsEqual(base.Bounds, h.Bounds) {
+				for i := range base.Counts {
+					base.Counts[i] += h.Counts[i]
+				}
+			}
+			out.Histograms[k] = base
+		}
+	}
+	return out
+}
+
+func boundsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// WriteText renders the snapshot as sorted "name value" lines — the text
+// exposition format.
+func (s Snapshot) WriteText(w io.Writer) error {
+	names := make([]string, 0, len(s.Counters))
+	for k := range s.Counters {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		if _, err := fmt.Fprintf(w, "%s %d\n", k, s.Counters[k]); err != nil {
+			return err
+		}
+	}
+	names = names[:0]
+	for k := range s.Gauges {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		if _, err := fmt.Fprintf(w, "%s %g\n", k, s.Gauges[k]); err != nil {
+			return err
+		}
+	}
+	names = names[:0]
+	for k := range s.Histograms {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		h := s.Histograms[k]
+		for i, b := range h.Bounds {
+			if _, err := fmt.Fprintf(w, "%s{le=%g} %d\n", k, b, h.Counts[i]); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s{le=+Inf} %d\n%s_sum %g\n%s_count %d\n",
+			k, h.Counts[len(h.Bounds)], k, h.Sum, k, h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSON renders the snapshot as indented JSON.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}

@@ -1,0 +1,122 @@
+package metrics
+
+import (
+	"encoding/json"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	r := New()
+	r.Counter("cpu.instructions").Add(100)
+	r.Counter("cpu.instructions").Inc()
+	r.Gauge("mem.resident_bytes").Set(4096)
+	h := r.Histogram("session.instructions", []float64{10, 100, 1000})
+	h.Observe(5)
+	h.Observe(50)
+	h.Observe(50)
+	h.Observe(5000)
+
+	s := r.Snapshot()
+	if s.Counters["cpu.instructions"] != 101 {
+		t.Fatalf("counter = %d, want 101", s.Counters["cpu.instructions"])
+	}
+	if s.Gauges["mem.resident_bytes"] != 4096 {
+		t.Fatalf("gauge = %g", s.Gauges["mem.resident_bytes"])
+	}
+	hs := s.Histograms["session.instructions"]
+	if want := []uint64{1, 2, 0, 1}; !reflect.DeepEqual(hs.Counts, want) {
+		t.Fatalf("hist counts = %v, want %v", hs.Counts, want)
+	}
+	if hs.Count != 4 || hs.Sum != 5105 {
+		t.Fatalf("hist count/sum = %d/%g, want 4/5105", hs.Count, hs.Sum)
+	}
+	// Snapshot is a copy: later mutation must not leak in.
+	h.Observe(1)
+	if s.Histograms["session.instructions"].Count != 4 {
+		t.Fatal("snapshot aliases live histogram")
+	}
+}
+
+func TestMergeOrderIndependent(t *testing.T) {
+	mk := func(seedVals ...uint64) Snapshot {
+		r := New()
+		for i, v := range seedVals {
+			r.Counter("c").Add(v)
+			r.Gauge("g").Set(float64(v))
+			r.Histogram("h", []float64{2, 8}).Observe(float64(i))
+		}
+		return r.Snapshot()
+	}
+	a, b, c := mk(1, 2), mk(10), mk(100, 200, 300)
+	ab := a.Merge(b).Merge(c)
+	ba := c.Merge(a.Merge(b))
+	cb := b.Merge(c).Merge(a)
+	ja, _ := json.Marshal(ab)
+	jb, _ := json.Marshal(ba)
+	jc, _ := json.Marshal(cb)
+	if string(ja) != string(jb) || string(ja) != string(jc) {
+		t.Fatalf("merge not order-independent:\n%s\n%s\n%s", ja, jb, jc)
+	}
+	if ab.Counters["c"] != 613 {
+		t.Fatalf("merged counter = %d, want 613", ab.Counters["c"])
+	}
+}
+
+func TestMergeMismatchedBoundsKeepsTotals(t *testing.T) {
+	ra, rb := New(), New()
+	ra.Histogram("h", []float64{1}).Observe(0.5)
+	rb.Histogram("h", []float64{1, 2}).Observe(1.5)
+	m := ra.Snapshot().Merge(rb.Snapshot())
+	h := m.Histograms["h"]
+	if h.Count != 2 || h.Sum != 2 {
+		t.Fatalf("mismatched-bounds merge lost totals: count=%d sum=%g", h.Count, h.Sum)
+	}
+	if len(h.Bounds) != 1 {
+		t.Fatalf("merge should keep receiver bounds, got %v", h.Bounds)
+	}
+}
+
+func TestSnapshotJSONDeterministic(t *testing.T) {
+	build := func() Snapshot {
+		r := New()
+		// Insert in randomized order; JSON must come out identical.
+		names := []string{"z.last", "a.first", "m.middle", "cpu.loads", "cpu.stores"}
+		rand.Shuffle(len(names), func(i, j int) { names[i], names[j] = names[j], names[i] })
+		for i, n := range names {
+			r.Counter(n).Add(uint64(len(n) * (i + 1)))
+		}
+		for _, n := range names {
+			r.Counter(n) // re-get must not reset
+		}
+		s := r.Snapshot()
+		// normalize values (shuffle changed them); keys are the point
+		for k := range s.Counters {
+			s.Counters[k] = uint64(len(k))
+		}
+		return s
+	}
+	a, _ := json.Marshal(build())
+	b, _ := json.Marshal(build())
+	if string(a) != string(b) {
+		t.Fatalf("snapshot JSON nondeterministic:\n%s\n%s", a, b)
+	}
+}
+
+func TestWriteText(t *testing.T) {
+	r := New()
+	r.Counter("b.count").Add(2)
+	r.Counter("a.count").Add(1)
+	r.Gauge("g.val").Set(1.5)
+	r.Histogram("h", []float64{10}).Observe(3)
+	var sb strings.Builder
+	if err := r.Snapshot().WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := "a.count 1\nb.count 2\ng.val 1.5\nh{le=10} 1\nh{le=+Inf} 0\nh_sum 3\nh_count 1\n"
+	if sb.String() != want {
+		t.Fatalf("WriteText:\n%q\nwant:\n%q", sb.String(), want)
+	}
+}

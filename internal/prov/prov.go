@@ -1,0 +1,195 @@
+// Package prov implements taint provenance labels: compact identifiers
+// that name which external input bytes a tainted value derives from.
+//
+// Every taint source (a SYS_READ/SYS_RECV delivery, an argv/env string
+// written at boot) allocates an Origin — syscall name, fd, stream offset,
+// guest buffer address, length, and the retired-instruction timestamp —
+// and gets a fresh leaf Label. Table 1 propagation that merges taint
+// vectors merges labels too, via hash-consed Union nodes, so a label is a
+// DAG over origins and Origins(label) recovers the exact set of input
+// ranges a value was computed from.
+//
+// Labels are meaningful only where the taint shadow is set: clearing
+// taint does not clear labels (the lazy-label invariant), which is what
+// keeps the disabled and clean paths of the interpreter label-free. A
+// consumer must consult taint first and treat the label as stale
+// otherwise.
+package prov
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Label identifies a provenance DAG node in a Table. The zero Label means
+// "no recorded origin".
+type Label uint32
+
+// Origin describes one taint source: a contiguous run of input bytes
+// delivered into guest memory.
+type Origin struct {
+	// Syscall names the input channel: "read", "recv", "argv", "env".
+	Syscall string `json:"syscall"`
+	// FD is the guest file descriptor the bytes arrived on; -1 for
+	// boot-time sources (argv/env).
+	FD int32 `json:"fd"`
+	// Offset is the byte offset within that descriptor's input stream at
+	// which this delivery started (for argv/env: the string's index).
+	Offset uint64 `json:"offset"`
+	// Len is the number of bytes delivered.
+	Len uint32 `json:"len"`
+	// Addr is the guest address the bytes were copied to.
+	Addr uint32 `json:"addr"`
+	// Instrs is the retired-instruction count when the input arrived.
+	Instrs uint64 `json:"instrs"`
+}
+
+// String renders the origin as one human-readable line, e.g.
+// "read(fd 0) bytes [0..14) -> 0x00402000 @instr 1234".
+func (o Origin) String() string {
+	if o.FD < 0 {
+		return fmt.Sprintf("%s[%d] %d bytes -> %#08x @instr %d",
+			o.Syscall, o.Offset, o.Len, o.Addr, o.Instrs)
+	}
+	return fmt.Sprintf("%s(fd %d) bytes [%d..%d) -> %#08x @instr %d",
+		o.Syscall, o.FD, o.Offset, o.Offset+uint64(o.Len), o.Addr, o.Instrs)
+}
+
+// node is one DAG entry: a leaf (origin >= 0, indexing Table.origins) or
+// a union of two earlier labels.
+type node struct {
+	origin int32
+	a, b   Label
+}
+
+// Table owns the provenance DAG for one machine. Labels are allocated
+// densely from 1 in creation order — the interpreter's execution order —
+// so two deterministic runs build byte-identical tables. Unions are
+// hash-consed: Union(a,b) with the same unordered pair always returns the
+// same Label, which both bounds growth and makes label numbers
+// comparable across the reference and fast engines.
+//
+// A Table is not safe for concurrent mutation; forks must Clone.
+type Table struct {
+	nodes   []node
+	origins []Origin
+	memo    map[uint64]Label
+}
+
+// NewTable returns an empty provenance table.
+func NewTable() *Table {
+	return &Table{memo: make(map[uint64]Label)}
+}
+
+// Source allocates a fresh leaf label for one input origin.
+func (t *Table) Source(o Origin) Label {
+	t.origins = append(t.origins, o)
+	t.nodes = append(t.nodes, node{origin: int32(len(t.origins) - 1)})
+	return Label(len(t.nodes))
+}
+
+// Union returns a label covering everything a and b cover. The zero
+// label is the identity, equal labels collapse, and the (unordered) pair
+// is memoized so repeated merges along a loop allocate nothing.
+func (t *Table) Union(a, b Label) Label {
+	if a == 0 || a == b {
+		return b
+	}
+	if b == 0 {
+		return a
+	}
+	if a > b {
+		a, b = b, a
+	}
+	key := uint64(a)<<32 | uint64(b)
+	if l, ok := t.memo[key]; ok {
+		return l
+	}
+	t.nodes = append(t.nodes, node{origin: -1, a: a, b: b})
+	l := Label(len(t.nodes))
+	t.memo[key] = l
+	return l
+}
+
+// Origins resolves a label to its leaf origins, deduplicated, in
+// origin-allocation (input-arrival) order. The zero label resolves to
+// nil.
+func (t *Table) Origins(l Label) []Origin {
+	ids := t.originIndices(l)
+	if len(ids) == 0 {
+		return nil
+	}
+	out := make([]Origin, len(ids))
+	for i, id := range ids {
+		out[i] = t.origins[id]
+	}
+	return out
+}
+
+// originIndices walks the DAG under l iteratively and returns the sorted
+// set of leaf origin indices.
+func (t *Table) originIndices(l Label) []int32 {
+	if l == 0 || int(l) > len(t.nodes) {
+		return nil
+	}
+	var (
+		ids     []int32
+		stack   = []Label{l}
+		visited = map[Label]bool{}
+	)
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if cur == 0 || visited[cur] {
+			continue
+		}
+		visited[cur] = true
+		n := t.nodes[cur-1]
+		if n.origin >= 0 {
+			ids = append(ids, n.origin)
+			continue
+		}
+		stack = append(stack, n.a, n.b)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// NumOrigins reports how many input origins have been recorded.
+func (t *Table) NumOrigins() int { return len(t.origins) }
+
+// NumLabels reports how many labels (leaves + unions) exist.
+func (t *Table) NumLabels() int { return len(t.nodes) }
+
+// Describe renders a label's origin set as a multi-line forensic chain,
+// one origin per line, prefixed with prefix.
+func (t *Table) Describe(l Label, prefix string) string {
+	os := t.Origins(l)
+	if len(os) == 0 {
+		return prefix + "(no recorded origin)"
+	}
+	var b strings.Builder
+	for i, o := range os {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		b.WriteString(prefix)
+		b.WriteString(o.String())
+	}
+	return b.String()
+}
+
+// Clone returns an independent deep copy; forked machines clone the
+// parent's table so post-fork inputs diverge without aliasing.
+func (t *Table) Clone() *Table {
+	n := &Table{
+		nodes:   append([]node(nil), t.nodes...),
+		origins: append([]Origin(nil), t.origins...),
+		memo:    make(map[uint64]Label, len(t.memo)),
+	}
+	for k, v := range t.memo {
+		n.memo[k] = v
+	}
+	return n
+}

@@ -1,0 +1,122 @@
+package prov
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestZeroLabelIdentity(t *testing.T) {
+	tb := NewTable()
+	a := tb.Source(Origin{Syscall: "read", Len: 4})
+	if got := tb.Union(0, a); got != a {
+		t.Fatalf("Union(0,a) = %d, want %d", got, a)
+	}
+	if got := tb.Union(a, 0); got != a {
+		t.Fatalf("Union(a,0) = %d, want %d", got, a)
+	}
+	if got := tb.Union(0, 0); got != 0 {
+		t.Fatalf("Union(0,0) = %d, want 0", got)
+	}
+	if got := tb.Union(a, a); got != a {
+		t.Fatalf("Union(a,a) = %d, want %d", got, a)
+	}
+	if os := tb.Origins(0); os != nil {
+		t.Fatalf("Origins(0) = %v, want nil", os)
+	}
+}
+
+func TestUnionMemoized(t *testing.T) {
+	tb := NewTable()
+	a := tb.Source(Origin{Syscall: "read", FD: 0, Offset: 0, Len: 8})
+	b := tb.Source(Origin{Syscall: "recv", FD: 4, Offset: 0, Len: 16})
+	u1 := tb.Union(a, b)
+	u2 := tb.Union(b, a) // unordered pair: same node
+	if u1 != u2 {
+		t.Fatalf("Union not commutatively memoized: %d vs %d", u1, u2)
+	}
+	if n := tb.NumLabels(); n != 3 {
+		t.Fatalf("NumLabels = %d, want 3 (2 leaves + 1 union)", n)
+	}
+	// Repeated merge along a loop allocates nothing.
+	for i := 0; i < 100; i++ {
+		if got := tb.Union(u1, a); got != tb.Union(u1, a) {
+			t.Fatal("memoized union unstable")
+		}
+	}
+	if n := tb.NumLabels(); n != 4 {
+		t.Fatalf("NumLabels after loop = %d, want 4", n)
+	}
+}
+
+func TestOriginsDedupedAndOrdered(t *testing.T) {
+	tb := NewTable()
+	o1 := Origin{Syscall: "read", FD: 0, Offset: 0, Len: 4, Addr: 0x1000, Instrs: 10}
+	o2 := Origin{Syscall: "recv", FD: 4, Offset: 4, Len: 4, Addr: 0x2000, Instrs: 20}
+	o3 := Origin{Syscall: "read", FD: 0, Offset: 4, Len: 4, Addr: 0x1004, Instrs: 30}
+	a, b, c := tb.Source(o1), tb.Source(o2), tb.Source(o3)
+	// Deep DAG sharing a: ((a|b) | (a|c))
+	l := tb.Union(tb.Union(a, b), tb.Union(a, c))
+	got := tb.Origins(l)
+	want := []Origin{o1, o2, o3}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Origins = %v, want %v (deduped, arrival order)", got, want)
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	tb := NewTable()
+	a := tb.Source(Origin{Syscall: "read", Len: 1})
+	cl := tb.Clone()
+	b := tb.Source(Origin{Syscall: "recv", Len: 2})
+	tb.Union(a, b)
+	if cl.NumLabels() != 1 || cl.NumOrigins() != 1 {
+		t.Fatalf("clone mutated by parent: labels=%d origins=%d", cl.NumLabels(), cl.NumOrigins())
+	}
+	// Clone allocates independently but deterministically.
+	c := cl.Source(Origin{Syscall: "recv", Len: 3})
+	if c != 2 {
+		t.Fatalf("clone label allocation = %d, want 2", c)
+	}
+	if tb.Origins(a)[0].Syscall != "read" {
+		t.Fatal("parent origin corrupted")
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	build := func() *Table {
+		tb := NewTable()
+		var ls []Label
+		for i := 0; i < 5; i++ {
+			ls = append(ls, tb.Source(Origin{Syscall: "read", Offset: uint64(i), Len: 4}))
+		}
+		acc := ls[0]
+		for _, l := range ls[1:] {
+			acc = tb.Union(acc, l)
+		}
+		tb.Union(ls[3], ls[1])
+		return tb
+	}
+	a, b := build(), build()
+	if a.NumLabels() != b.NumLabels() || a.NumOrigins() != b.NumOrigins() {
+		t.Fatalf("replay diverged: %d/%d labels, %d/%d origins",
+			a.NumLabels(), b.NumLabels(), a.NumOrigins(), b.NumOrigins())
+	}
+	for l := Label(1); int(l) <= a.NumLabels(); l++ {
+		if !reflect.DeepEqual(a.Origins(l), b.Origins(l)) {
+			t.Fatalf("label %d resolves differently across identical replays", l)
+		}
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	tb := NewTable()
+	l := tb.Source(Origin{Syscall: "recv", FD: 4, Offset: 2, Len: 6, Addr: 0x7fff0000, Instrs: 99})
+	got := tb.Describe(l, "  <- ")
+	want := "  <- recv(fd 4) bytes [2..8) -> 0x7fff0000 @instr 99"
+	if got != want {
+		t.Fatalf("Describe = %q, want %q", got, want)
+	}
+	if got := tb.Describe(0, "x"); got != "x(no recorded origin)" {
+		t.Fatalf("Describe(0) = %q", got)
+	}
+}
