@@ -3,8 +3,10 @@ FUZZTIME ?= 10s
 CAMPAIGN_N ?= 64
 FAULT_N ?= 144
 FAULT_SEED ?= 1
+PTFUZZ_SEED ?= 1
+PTFUZZ_EXECS ?= 1500
 
-.PHONY: build vet lint test race race-campaign fault-campaign fuzz bench bench-json trace-check ci
+.PHONY: build vet lint test race race-campaign fault-campaign fuzz fuzz-smoke bench bench-json bench-fuzz trace-check ci
 
 build:
 	$(GO) build ./...
@@ -32,7 +34,7 @@ race:
 # sequential determinism check are exactly the tests whose bugs only show
 # up under races and ordering.
 race-campaign:
-	$(GO) test -race -shuffle=on ./internal/mem/ ./internal/campaign/ ./internal/attack/ ./internal/kernel/ ./internal/netsim/ ./internal/fault/ ./cmd/ptcampaign/ ./cmd/ptfault/
+	$(GO) test -race -shuffle=on ./internal/mem/ ./internal/campaign/ ./internal/attack/ ./internal/kernel/ ./internal/netsim/ ./internal/fault/ ./internal/fuzz/ ./cmd/ptcampaign/ ./cmd/ptfault/ ./cmd/ptfuzz/
 
 # A small seeded fault-injection campaign with the invariants enforced:
 # zero SilentTaintLoss on the un-faulted control arm, every attack-arm
@@ -46,6 +48,13 @@ fault-campaign:
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzStepEquivalence -fuzztime $(FUZZTIME) ./internal/cpu/
 
+# Seeded, bounded attack-fuzzing smoke (~seconds): the coverage-guided
+# farm must rediscover at least the exp1 and exp2 scripted attack alert
+# fingerprints from benign seeds alone (wu-ftpd needs a few thousand
+# execs more — the full acceptance run is `ptfuzz -execs 4000 -check 3`).
+fuzz-smoke:
+	$(GO) run ./cmd/ptfuzz -seed $(PTFUZZ_SEED) -execs $(PTFUZZ_EXECS) -check 2
+
 bench:
 	$(GO) test -run '^$$' -bench 'StepFastPath|SPEC' -benchmem .
 
@@ -53,6 +62,11 @@ bench:
 # fork-from-snapshot vs boot-from-image timings (see DESIGN.md).
 bench-json:
 	$(GO) run ./cmd/ptcampaign -n $(CAMPAIGN_N) -json BENCH_campaign.json
+
+# Machine-readable fuzzing-farm benchmark: execs/sec with the fork +
+# coverage + classification overhead included (see BENCH_fuzz.json).
+bench-fuzz:
+	$(GO) run ./cmd/ptfuzz -seed $(PTFUZZ_SEED) -execs 4000 -check 3 -bench BENCH_fuzz.json
 
 # Observability acceptance: the provenance differential pass (chains
 # terminate at concrete input bytes, byte-identical across both engines
@@ -64,4 +78,4 @@ trace-check:
 	$(GO) test -run 'TestEventSink|TestWrite|TestStream|TestDestReg|TestUsesRt|TestTracer' ./internal/cpu/
 	PTBENCH_GUARD=1 $(GO) test -run TestProvenanceBenchGuard -v .
 
-ci: lint build race race-campaign fault-campaign fuzz trace-check
+ci: lint build race race-campaign fault-campaign fuzz fuzz-smoke trace-check

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/cpu"
 )
 
 // provBaseline is the BENCH_provenance.json schema: the recorded fast-path
@@ -31,11 +32,14 @@ type provBaseline struct {
 
 // measureNsPerInstr runs the hot-loop workload (the same program as
 // BenchmarkStepFastPath) on the fast path and returns ns per retired
-// guest instruction.
-func measureNsPerInstr(t *testing.T, provenance bool) float64 {
+// guest instruction. With coverage set, a branch-edge coverage map is
+// attached (the fuzzing farm's configuration); the guarded baseline runs
+// with it detached, which must stay free.
+func measureNsPerInstr(t *testing.T, provenance, coverage bool) float64 {
 	t.Helper()
 	r := testing.Benchmark(func(b *testing.B) {
 		var total uint64
+		var cm cpu.CovMap
 		for i := 0; i < b.N; i++ {
 			b.StopTimer()
 			m, err := core.BuildC(core.Config{
@@ -43,6 +47,10 @@ func measureNsPerInstr(t *testing.T, provenance bool) float64 {
 			}, hotLoopSrc)
 			if err != nil {
 				b.Fatal(err)
+			}
+			if coverage {
+				cm.Reset()
+				m.SetCovMap(&cm)
 			}
 			b.StartTimer()
 			runErr := m.Run()
@@ -82,7 +90,7 @@ func TestProvenanceBenchGuard(t *testing.T) {
 	limit := base.FastNsPerInstr * (1 + base.TolerancePct/100)
 	best := 0.0
 	for attempt := 0; attempt < 3; attempt++ {
-		got := measureNsPerInstr(t, false)
+		got := measureNsPerInstr(t, false, false)
 		if best == 0 || got < best {
 			best = got
 		}
@@ -92,12 +100,63 @@ func TestProvenanceBenchGuard(t *testing.T) {
 		}
 	}
 	if best > limit {
-		t.Errorf("fast path with provenance disabled costs %.2f ns/instr; baseline %.2f +%.0f%% allows %.2f",
+		t.Errorf("fast path with provenance and coverage disabled costs %.2f ns/instr; baseline %.2f +%.0f%% allows %.2f",
 			best, base.FastNsPerInstr, base.TolerancePct, limit)
 	}
 
 	// Informational: what enabling provenance costs on the same workload.
-	prov := measureNsPerInstr(t, true)
+	prov := measureNsPerInstr(t, true, false)
 	fmt.Printf("provenance bench guard: disabled %.2f ns/instr (limit %.2f), enabled %.2f ns/instr (%.1f%% overhead)\n",
 		best, limit, prov, 100*(prov-best)/best)
+}
+
+// fuzzBaseline is the BENCH_fuzz.json schema: the fuzzing farm's recorded
+// throughput and the floor the acceptance criterion demands.
+type fuzzBaseline struct {
+	ExecsPerSec    float64 `json:"execs_per_sec"`
+	MinExecsPerSec float64 `json:"min_execs_per_sec"`
+	Execs          int     `json:"execs"`
+	Engine         string  `json:"engine"`
+}
+
+// TestFuzzBenchGuard enforces the fuzzing farm's cost contracts. Always
+// on: the committed BENCH_fuzz.json must record throughput at or above
+// its own floor (a re-record that dips below the acceptance bar fails
+// here, not in review). Armed under PTBENCH_GUARD=1: attaching a
+// coverage map — the per-fork hook the farm adds to every branch, jump,
+// and jump-register retirement — must not regress the fast path beyond
+// the same tolerance the provenance guard uses, and the detached hooks
+// (two nil-checks per control transfer) must stay within it too, which
+// the disabled-path guard above already measures with the hooks compiled
+// in.
+func TestFuzzBenchGuard(t *testing.T) {
+	data, err := os.ReadFile("BENCH_fuzz.json")
+	if err != nil {
+		t.Fatalf("no recorded fuzz baseline: %v", err)
+	}
+	var base fuzzBaseline
+	if err := json.Unmarshal(data, &base); err != nil {
+		t.Fatalf("bad fuzz baseline: %v", err)
+	}
+	if base.MinExecsPerSec <= 0 || base.Execs <= 0 {
+		t.Fatalf("fuzz baseline not recorded: %+v", base)
+	}
+	if base.ExecsPerSec < base.MinExecsPerSec {
+		t.Errorf("recorded fuzzing throughput %.0f execs/sec is below the %.0f floor — re-record with `make bench-fuzz`",
+			base.ExecsPerSec, base.MinExecsPerSec)
+	}
+
+	if os.Getenv("PTBENCH_GUARD") != "1" {
+		t.Skip("set PTBENCH_GUARD=1 to arm the coverage-cost guard")
+	}
+	off := measureNsPerInstr(t, false, false)
+	on := measureNsPerInstr(t, false, true)
+	fmt.Printf("coverage bench guard: detached %.2f ns/instr, attached %.2f ns/instr (%.1f%% overhead)\n",
+		off, on, 100*(on-off)/off)
+	// Coverage-on runs on every fuzzing fork; hold it to a loose 2x of the
+	// detached path so a hashing or hook regression is caught without the
+	// guard flaking on scheduler noise.
+	if on > 2*off {
+		t.Errorf("coverage-attached fast path costs %.2f ns/instr, more than 2x the detached %.2f", on, off)
+	}
 }

@@ -3,6 +3,7 @@ package campaign
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -82,6 +83,66 @@ func TestForEachGuardedDeadline(t *testing.T) {
 	}
 	if out[1] != 0 {
 		t.Errorf("abandoned index should hold the zero value, got %d", out[1])
+	}
+}
+
+// TestForEachGuardedSlotAccountingUnderFuzzLoad simulates the fuzzing
+// farm's failure mix — healthy runs, panicking workers, deadline wedges,
+// plain errors, all in one batch — and checks the invariant the fuzz
+// engine's corpus/coverage accounting rests on: every index resolves to
+// exactly one slot (a value XOR an error), no slot is lost or filled
+// twice, and the per-index disposition is identical at any worker count.
+func TestForEachGuardedSlotAccountingUnderFuzzLoad(t *testing.T) {
+	const n = 40
+	kind := func(i int) int { return i % 4 } // 0 ok, 1 panic, 2 wedge, 3 error
+	run := func(workers int) []int {
+		var fills [n]int32
+		out, _ := ForEachGuarded(n, workers, GuardOpts{Deadline: 30 * time.Millisecond},
+			func(i, attempt int) (int, error) {
+				switch kind(i) {
+				case 1:
+					panic(fmt.Sprintf("injected panic %d", i))
+				case 2:
+					time.Sleep(300 * time.Millisecond)
+				case 3:
+					return 0, fmt.Errorf("injected error %d", i)
+				}
+				atomic.AddInt32(&fills[i], 1)
+				return i + 100, nil
+			})
+		for i := 0; i < n; i++ {
+			if kind(i) == 0 && atomic.LoadInt32(&fills[i]) != 1 {
+				t.Errorf("workers=%d: healthy index %d ran %d times, want exactly 1",
+					workers, i, fills[i])
+			}
+		}
+		return out
+	}
+
+	seq := run(1)
+	if len(seq) != n {
+		t.Fatalf("got %d slots, want %d", len(seq), n)
+	}
+	for i, v := range seq {
+		switch kind(i) {
+		case 0:
+			if v != i+100 {
+				t.Errorf("healthy slot %d = %d, want %d", i, v, i+100)
+			}
+		default:
+			if v != 0 {
+				t.Errorf("failed slot %d holds %d, want the zero value", i, v)
+			}
+		}
+	}
+	for _, workers := range []int{4, 16} {
+		par := run(workers)
+		for i := range seq {
+			if par[i] != seq[i] {
+				t.Errorf("workers=%d: slot %d = %d, sequential run had %d",
+					workers, i, par[i], seq[i])
+			}
+		}
 	}
 }
 

@@ -353,6 +353,10 @@ func (m *Machine) Exited() (bool, int32) { return m.cpu.Halted() }
 // Run.
 func (m *Machine) EnableProfile() { m.cpu.EnableProfile() }
 
+// SetCovMap attaches a branch-edge coverage map (nil detaches); call
+// before Run. Both engines record identical edges into it.
+func (m *Machine) SetCovMap(cm *cpu.CovMap) { m.cpu.SetCovMap(cm) }
+
 // SetTracer streams a disassembly trace of the first limit instructions
 // (0 = unlimited) to w.
 func (m *Machine) SetTracer(w io.Writer, limit uint64) { m.cpu.SetTracer(w, limit) }

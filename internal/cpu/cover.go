@@ -1,0 +1,104 @@
+// Branch-edge coverage instrumentation for the fuzzing farm. An edge is
+// one retired control transfer (branch taken or not, jump, jump-register),
+// identified by its (source pc, destination pc) pair — exactly the
+// predecoded-block transitions of the fast path, since blocks end at
+// control transfers. Both engines record edges at the same retirement
+// points, so a fixed input yields an identical hit map on the reference
+// interpreter and the block fast path; the differential and fuzz
+// determinism tests hold them to that.
+//
+// Coverage is off by default: the hot paths pay one predictable nil check
+// per control transfer. SetCovMap attaches a caller-owned fixed-size map;
+// recording is a shift-xor hash plus a saturating counter bump — no
+// allocation, no locks (a map belongs to exactly one CPU at a time).
+package cpu
+
+// CovBits sizes the edge hit map; CovSize entries of one byte each. 64K
+// entries keeps the whole map L2-resident while making collisions rare for
+// the corpus programs (a few thousand static edges).
+const (
+	CovBits = 16
+	CovSize = 1 << CovBits
+)
+
+// CovMap is a fixed-size branch-edge hit map: edge index -> saturating
+// execution count. The zero value is ready to use; Reset recycles one
+// between runs without reallocating.
+type CovMap [CovSize]uint8
+
+// Reset clears every counter.
+func (m *CovMap) Reset() {
+	for i := range m {
+		m[i] = 0
+	}
+}
+
+// hit records one traversal of the edge from -> to. Addresses are word
+// aligned, so the low two bits carry nothing; the multiply-xor spreads the
+// remaining bits across the table. Counters saturate at 255 rather than
+// wrap, keeping bucketization monotone in the true count.
+func (m *CovMap) hit(from, to uint32) {
+	h := (from >> 2) * 0x9e3779b1
+	h ^= (to >> 2) * 0x85ebca6b
+	h ^= h >> CovBits
+	if p := &m[h&(CovSize-1)]; *p != 0xff {
+		*p++
+	}
+}
+
+// bucket collapses a hit count into its AFL-style magnitude class (0-7):
+// 1, 2, 3, 4-7, 8-15, 16-31, 32-127, 128+. A change of class — not every
+// count change — is what the fuzzer treats as new behaviour, so loop
+// iteration noise does not flood the corpus.
+func bucket(n uint8) uint32 {
+	switch {
+	case n == 1:
+		return 0
+	case n == 2:
+		return 1
+	case n == 3:
+		return 2
+	case n < 8:
+		return 3
+	case n < 16:
+		return 4
+	case n < 32:
+		return 5
+	case n < 128:
+		return 6
+	}
+	return 7
+}
+
+// Features appends the map's coverage features to buf and returns it, in
+// ascending order. A feature is edgeIndex*8 + bucket(count): one value per
+// touched edge, encoding both that the edge ran and how hard. Ordered
+// extraction from a fixed-size table is what keeps feature sets comparable
+// across runs, engines, and worker counts.
+func (m *CovMap) Features(buf []uint32) []uint32 {
+	for i, n := range m {
+		if n != 0 {
+			buf = append(buf, uint32(i)*8+bucket(n))
+		}
+	}
+	return buf
+}
+
+// Edges counts the distinct edge indices with a nonzero hit count.
+func (m *CovMap) Edges() int {
+	n := 0
+	for _, c := range m {
+		if c != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// SetCovMap attaches (or, with nil, detaches) an edge coverage map. The
+// caller owns the map and must not share one live map between CPUs.
+// Coverage is not inherited across Fork: each forked run attaches its own.
+func (c *CPU) SetCovMap(m *CovMap) { c.cov = m }
+
+// CovEnabled reports whether an edge coverage map is attached.
+func (c *CPU) CovEnabled() bool { return c.cov != nil }

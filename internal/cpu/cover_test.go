@@ -1,0 +1,92 @@
+package cpu
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+)
+
+// TestCovMapHitAndBuckets pins the edge-hash accounting: hits accumulate
+// and saturate, Reset clears, and Features reports AFL-style bucketized
+// feature IDs in ascending order.
+func TestCovMapHitAndBuckets(t *testing.T) {
+	var cm CovMap
+	if cm.Edges() != 0 {
+		t.Fatalf("fresh map reports %d edges", cm.Edges())
+	}
+	cm.hit(0x400000, 0x400010)
+	cm.hit(0x400000, 0x400010)
+	cm.hit(0x400020, 0x400000) // a different edge
+	if cm.Edges() != 2 {
+		t.Errorf("edges = %d, want 2", cm.Edges())
+	}
+	feats := cm.Features(nil)
+	if len(feats) != 2 {
+		t.Fatalf("features = %v, want 2 entries", feats)
+	}
+	for i := 1; i < len(feats); i++ {
+		if feats[i] <= feats[i-1] {
+			t.Errorf("features not strictly ascending: %v", feats)
+		}
+	}
+	// The twice-hit edge must land in the "2" bucket (bucket index 1),
+	// the once-hit edge in the "1" bucket (bucket index 0).
+	buckets := map[uint32]int{}
+	for _, ft := range feats {
+		buckets[ft%8]++
+	}
+	if buckets[0] != 1 || buckets[1] != 1 {
+		t.Errorf("bucket distribution %v, want one edge in bucket 0 and one in bucket 1", buckets)
+	}
+
+	// Saturation: hammering one edge must neither wrap the counter nor
+	// invent features beyond the top bucket.
+	for i := 0; i < 1000; i++ {
+		cm.hit(0x400000, 0x400010)
+	}
+	feats = cm.Features(nil)
+	if len(feats) != 2 {
+		t.Errorf("saturated map reports %v, want still 2 features", feats)
+	}
+
+	cm.Reset()
+	if cm.Edges() != 0 || len(cm.Features(nil)) != 0 {
+		t.Error("Reset did not clear the map")
+	}
+}
+
+// TestBucketClasses pins the hit-count → bucket mapping.
+func TestBucketClasses(t *testing.T) {
+	cases := []struct {
+		n    uint8
+		want uint32
+	}{
+		{1, 0}, {2, 1}, {3, 2}, {4, 3}, {7, 3},
+		{8, 4}, {15, 4}, {16, 5}, {31, 5}, {32, 6}, {127, 6}, {128, 7}, {255, 7},
+	}
+	for _, c := range cases {
+		if got := bucket(c.n); got != c.want {
+			t.Errorf("bucket(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+// TestForkDropsCovMap: coverage maps are per-fork scratch state; a forked
+// CPU must come up with coverage disabled so concurrent forks never share
+// a map.
+func TestForkDropsCovMap(t *testing.T) {
+	m := mem.New()
+	c := New(Config{Bus: m, Handler: &testHandler{memory: m}})
+	var cm CovMap
+	c.SetCovMap(&cm)
+	if !c.CovEnabled() {
+		t.Fatal("SetCovMap did not enable coverage")
+	}
+	n := c.Fork(m.Fork(), &testHandler{memory: m})
+	if n.CovEnabled() {
+		t.Error("forked CPU inherited the parent's coverage map")
+	}
+	if !c.CovEnabled() {
+		t.Error("forking disabled the parent's coverage")
+	}
+}

@@ -106,6 +106,11 @@ type CPU struct {
 	// events is the structured trace sink (events.go); nil when disabled.
 	events *EventSink
 
+	// cov is the branch-edge coverage hit map (cover.go); nil when
+	// disabled, which is the default and the only state the bench guard
+	// holds to the fast-path baseline. Not inherited across Fork.
+	cov *CovMap
+
 	penalties PenaltySource // non-nil when the bus models miss latency
 
 	// Predecoded text segment: decoded[i] caches the instruction at
@@ -422,12 +427,18 @@ func (c *CPU) stepOne() error {
 		if taken {
 			nextPC = isa.BranchTarget(c.pc, in)
 		}
+		if c.cov != nil {
+			c.cov.hit(c.pc, nextPC)
+		}
 		c.pipe.Branch(taken)
 	case isa.KindJump:
 		if in.Op == isa.OpJAL {
 			c.SetReg(isa.RegRA, c.pc+4, taint.None)
 		}
 		nextPC = isa.JumpTarget(c.pc, in)
+		if c.cov != nil {
+			c.cov.hit(c.pc, nextPC)
+		}
 		c.pipe.Jump()
 	case isa.KindJumpReg:
 		// Detector after ID/EX: the jump target register value is
@@ -458,6 +469,9 @@ func (c *CPU) stepOne() error {
 			c.SetReg(in.Rd, c.pc+4, taint.None)
 		}
 		nextPC = target
+		if c.cov != nil {
+			c.cov.hit(c.pc, nextPC)
+		}
 		c.pipe.Jump()
 	case isa.KindSystem:
 		switch in.Op {

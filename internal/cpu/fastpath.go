@@ -777,12 +777,18 @@ chain:
 				if taken {
 					nextPC = isa.BranchTarget(pc, d.in)
 				}
+				if c.cov != nil {
+					c.cov.hit(pc, nextPC)
+				}
 				c.pipe.Branch(taken)
 			case isa.KindJump:
 				if d.in.Op == isa.OpJAL {
 					c.SetReg(isa.RegRA, pc+4, taint.None)
 				}
 				nextPC = isa.JumpTarget(pc, d.in)
+				if c.cov != nil {
+					c.cov.hit(pc, nextPC)
+				}
 				c.pipe.Jump()
 			case isa.KindJumpReg:
 				// FactAddrClean on a jr proves the target register untainted:
@@ -832,6 +838,9 @@ chain:
 					c.SetReg(d.in.Rd, pc+4, taint.None)
 				}
 				nextPC = target
+				if c.cov != nil {
+					c.cov.hit(pc, nextPC)
+				}
 				c.pipe.Jump()
 			case isa.KindSystem:
 				c.pc = pc

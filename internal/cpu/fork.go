@@ -57,6 +57,9 @@ func (c *CPU) Fork(bus Bus, handler SyscallHandler) *CPU {
 	// is not inherited: concurrent forks emitting into a shared ring would
 	// race. A fork that wants events calls EnableEvents itself.
 	n.events = nil
+	// Same for the coverage hit map: sharing one across concurrent forks
+	// would race, so each fuzzing run attaches its own via SetCovMap.
+	n.cov = nil
 	if c.prov != nil {
 		// Provenance state is inherited deep: the label table and the
 		// register shadows copy, so every fork resolves pre-snapshot

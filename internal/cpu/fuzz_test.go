@@ -8,9 +8,12 @@
 package cpu_test
 
 import (
+	"bytes"
+	"fmt"
 	"testing"
 
 	"repro/internal/asm"
+	"repro/internal/attack"
 	"repro/internal/cpu"
 	"repro/internal/isa"
 	"repro/internal/mem"
@@ -155,6 +158,90 @@ func FuzzStepEquivalence(f *testing.F) {
 		}
 		if rf, ff := refMem.Fingerprint(), fastMem.Fingerprint(); rf != ff {
 			t.Errorf("memory fingerprint: fast %#x, reference %#x", ff, rf)
+		}
+	})
+}
+
+// prepareInputStreamSnapshot boots the exp1 stack-smash victim on the
+// requested engine (with provenance on, so alerts carry origin chains)
+// and snapshots it at the input point, returning the snapshot and a
+// per-fork instruction budget generous enough for any mutated input.
+func prepareInputStreamSnapshot(f *testing.F, reference bool) (*attack.Snapshot, uint64) {
+	f.Helper()
+	savedRef, savedProv := attack.ForceReference, attack.ForceProvenance
+	attack.ForceReference, attack.ForceProvenance = reference, true
+	defer func() { attack.ForceReference, attack.ForceProvenance = savedRef, savedProv }()
+	sc, ok := attack.ScenarioByName("exp1-stack")
+	if !ok {
+		f.Fatal("exp1-stack scenario missing")
+	}
+	m, err := sc.Prepare(taint.PolicyPointerTaintedness)
+	if err != nil {
+		f.Fatalf("prepare: %v", err)
+	}
+	snap, err := m.Snapshot()
+	if err != nil {
+		f.Fatalf("snapshot: %v", err)
+	}
+	return snap, snap.Stats().Instructions + 1_000_000
+}
+
+// FuzzInputStream is the whole-machine differential: an arbitrary guest
+// input stream is delivered through a snapshot fork of the booted exp1
+// victim on both engines, and the classified outcome (alert identity and
+// provenance included), the retired-instruction count, and the recorded
+// branch-edge coverage features must be identical. FuzzStepEquivalence
+// above fuzzes the instruction space; this fuzzes the input space the
+// attack fuzzing farm (internal/fuzz) explores, pinning the property its
+// determinism rests on.
+func FuzzInputStream(f *testing.F) {
+	f.Add([]byte("hi\n"))
+	f.Add([]byte("benign input\n"))
+	f.Add(bytes.Repeat([]byte{'a'}, 24)) // the classic overflow filler
+	f.Add([]byte{0, 0xff, 'a', 0x61, 0x61, 0x61, 0x61, '\n'})
+
+	fastSnap, budget := prepareInputStreamSnapshot(f, false)
+	refSnap, _ := prepareInputStreamSnapshot(f, true)
+
+	run := func(snap *attack.Snapshot, input []byte) (string, uint64, []uint32) {
+		var cm cpu.CovMap
+		m := snap.Fork()
+		m.SetBudget(budget)
+		m.CPU.SetCovMap(&cm)
+		m.Kernel.SetStdin(input)
+		out := attack.Classify(m.Run())
+		detail := out.String()
+		if out.Alert != nil {
+			detail += "\n" + out.Alert.Error()
+			if out.Alert.Provenance != nil {
+				detail += "\n" + out.Alert.Provenance.String()
+			}
+		}
+		if out.Fault != nil {
+			detail += "\n" + fmt.Sprintf("fault@%#08x: %s", out.Fault.PC, out.Fault.Reason)
+		}
+		return detail, m.CPU.Stats().Instructions, cm.Features(nil)
+	}
+
+	f.Fuzz(func(t *testing.T, input []byte) {
+		if len(input) > 4096 {
+			input = input[:4096]
+		}
+		fastOut, fastInstrs, fastFeats := run(fastSnap, input)
+		refOut, refInstrs, refFeats := run(refSnap, input)
+		if fastOut != refOut {
+			t.Errorf("outcome diverged:\n--- fast\n%s\n--- reference\n%s", fastOut, refOut)
+		}
+		if fastInstrs != refInstrs {
+			t.Errorf("instructions: fast %d, reference %d", fastInstrs, refInstrs)
+		}
+		if len(fastFeats) != len(refFeats) {
+			t.Fatalf("coverage features: fast %d, reference %d", len(fastFeats), len(refFeats))
+		}
+		for i := range fastFeats {
+			if fastFeats[i] != refFeats[i] {
+				t.Fatalf("coverage feature %d: fast %#x, reference %#x", i, fastFeats[i], refFeats[i])
+			}
 		}
 	})
 }

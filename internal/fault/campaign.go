@@ -171,6 +171,13 @@ func newTarget(name string, arm Arm, desc string, m *attack.Machine,
 	return t, nil
 }
 
+// ClassifyOutcome folds a session's outcome (and any session-level error)
+// into the taxonomy — the exported entry point the fuzzing farm uses so
+// fuzz runs and fault-injection runs land in one outcome lattice.
+func ClassifyOutcome(arm Arm, out attack.Outcome, err error) Class {
+	return classifyOutcome(arm, out, err)
+}
+
 // classifyOutcome folds a session's outcome (and any session-level error)
 // into the taxonomy. Precedence: containment first (Timeout), then the
 // alert (DetectedAlert on the attack arm, SpuriousAlert on the benign

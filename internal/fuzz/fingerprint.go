@@ -1,0 +1,78 @@
+package fuzz
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+	"strings"
+
+	"repro/internal/attack"
+	"repro/internal/cpu"
+)
+
+// hexPat matches hex literals inside fault reasons; input-dependent
+// addresses ("unaligned 4-byte access at 0x2d303032") would otherwise
+// split one crash site into per-input fingerprints.
+var hexPat = regexp.MustCompile(`0x[0-9a-fA-F]+`)
+
+// normalizeHex collapses every hex literal so the text identifies the
+// failure shape, not the attacker-chosen value.
+func normalizeHex(s string) string { return hexPat.ReplaceAllString(s, "0x…") }
+
+// Fingerprint canonically names the detection-relevant identity of one
+// run's outcome, for deduplication and for rediscovery matching against
+// the scripted attacks:
+//
+//   - an alert is its kind, PC, enclosing symbol, and the deduplicated
+//     provenance origin *channels* (syscall + fd) of the dereferenced
+//     value — not the offsets or the value itself, which vary with every
+//     mutated input reaching the same vulnerable dereference;
+//   - a crash is its fault PC plus the hex-normalized reason;
+//   - containment and quiet runs collapse to fixed labels.
+func Fingerprint(out attack.Outcome) string {
+	switch {
+	case out.Detected && out.Alert != nil:
+		a := out.Alert
+		fp := fmt.Sprintf("alert:%v@%#08x", a.Kind, a.PC)
+		if a.Symbol != "" {
+			fp += fmt.Sprintf(" in %s+%#x", a.Symbol, a.SymOff)
+		}
+		if chans := originChannels(a); len(chans) > 0 {
+			fp += " via " + strings.Join(chans, ",")
+		}
+		return fp
+	case out.Detected:
+		return "alert:(unrecorded)"
+	case out.Crashed && out.Fault != nil:
+		return fmt.Sprintf("crash@%#08x: %s", out.Fault.PC, normalizeHex(out.Fault.Reason))
+	case out.Crashed:
+		return "crash: " + normalizeHex(out.Evidence)
+	case out.TimedOut:
+		return "timeout"
+	case out.Compromised:
+		return "compromised"
+	}
+	return "clean"
+}
+
+// originChannels extracts the sorted, deduplicated input channels from an
+// alert's provenance chain: "read(fd 0)", "recv(fd 4)", "argv", "env".
+func originChannels(a *cpu.SecurityAlert) []string {
+	if a.Provenance == nil {
+		return nil
+	}
+	seen := make(map[string]bool)
+	var chans []string
+	for _, o := range a.Provenance.Origins {
+		c := o.Syscall
+		if o.FD >= 0 {
+			c = fmt.Sprintf("%s(fd %d)", o.Syscall, o.FD)
+		}
+		if !seen[c] {
+			seen[c] = true
+			chans = append(chans, c)
+		}
+	}
+	sort.Strings(chans)
+	return chans
+}

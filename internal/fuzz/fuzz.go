@@ -1,0 +1,548 @@
+// Package fuzz is the coverage-guided attack fuzzing farm: a
+// libFuzzer-style loop over the machine's snapshot forks. Each fuzzable
+// surface (internal/attack.InputTargets) contributes a booted victim
+// snapshot and a Play function that delivers one arbitrary byte string
+// where the scripted attack delivers its payload; the engine mutates
+// inputs from a benign seed corpus, forks the snapshot per input with a
+// branch-edge coverage map attached (internal/cpu.CovMap), keeps inputs
+// that reach new coverage features, and classifies every run through the
+// fault-campaign outcome taxonomy, deduplicating alerts and crashes by
+// alert-PC + provenance fingerprint.
+//
+// Determinism is load-bearing: candidates are derived from (corpus state
+// at generation start, seed, generation, slot), executed over the
+// internal/campaign worker pool, and folded sequentially in slot order —
+// so a session is byte-identical at any worker count, and (because both
+// execution engines retire identical instruction streams and record
+// identical edges) across the fast and reference engines too. The
+// acceptance test for the whole package is rediscovery: a seeded run
+// starting from benign inputs must re-find the scripted attacks' alert
+// fingerprints without ever being shown the attack payloads.
+package fuzz
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/attack"
+	"repro/internal/campaign"
+	"repro/internal/cpu"
+	"repro/internal/fault"
+	"repro/internal/taint"
+)
+
+// Config parameterizes one fuzzing session.
+type Config struct {
+	// Seed drives every mutation choice; same seed + same budget ⇒
+	// byte-identical report at any Workers setting and on either engine.
+	Seed int64
+	// Execs is the per-target mutated-input budget (seeds included).
+	Execs int
+	// Batch is the generation size: candidates derived together from the
+	// corpus state at generation start, executed in parallel, folded
+	// sequentially. It is part of the deterministic schedule — changing it
+	// changes which inputs get generated (default 64).
+	Batch int
+	// Workers is the pool fan-out (0 = campaign.DefaultWorkers()). It is
+	// NOT part of the schedule: any value yields the same report.
+	Workers int
+	// Policy defaults to the paper's pointer-taintedness policy.
+	Policy taint.Policy
+	// Reference forces the reference interpreter for every machine.
+	Reference bool
+	// Targets filters the fuzzable surfaces by scenario name (empty = all).
+	Targets []string
+	// Deadline is a per-exec wall-clock backstop (0 = none). The guest's
+	// step budget is the deterministic containment; a nonzero deadline
+	// trades determinism for protection against host-side wedges.
+	Deadline time.Duration
+	// TrimLimit bounds the minimization re-runs spent per admitted corpus
+	// entry (default 12; negative disables trimming).
+	TrimLimit int
+}
+
+func (cfg *Config) setDefaults() {
+	if cfg.Policy == 0 {
+		cfg.Policy = taint.PolicyPointerTaintedness
+	}
+	if cfg.Batch <= 0 {
+		cfg.Batch = 64
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = campaign.DefaultWorkers()
+	}
+	if cfg.TrimLimit == 0 {
+		cfg.TrimLimit = 12
+	}
+}
+
+// Target is one prepared fuzzable surface: the input-target definition
+// plus its booted snapshot and calibration state.
+type Target struct {
+	attack.InputTarget
+
+	snap *attack.Snapshot
+	// base is the snapshot's retired-instruction count; per-exec work is
+	// measured past it.
+	base uint64
+	// budget is the absolute per-fork instruction cap: several scripted
+	// sessions' worth, so a mutated input that sends the guest spinning
+	// trips the watchdog instead of burning attack.DefaultBudget.
+	budget uint64
+	// scriptedFP is the scripted attack session's outcome fingerprint —
+	// the oracle the fuzzer tries to rediscover from benign seeds.
+	scriptedFP string
+}
+
+// ScriptedFingerprint exposes the rediscovery oracle for tests and CLIs.
+func (t *Target) ScriptedFingerprint() string { return t.scriptedFP }
+
+// Snapshot exposes the prepared snapshot (replay harnesses fork it).
+func (t *Target) Snapshot() *attack.Snapshot { return t.snap }
+
+// Budget exposes the calibrated per-fork instruction cap.
+func (t *Target) Budget() uint64 { return t.budget }
+
+// PrepareTargets boots and snapshots every selected fuzzable surface,
+// plays the scripted attack session once per target to record the oracle
+// fingerprint, and calibrates the per-fork budget from the longer of the
+// scripted session and the first benign seed. Provenance is forced on:
+// the dedup fingerprints name input-origin channels.
+func PrepareTargets(cfg Config) ([]*Target, error) {
+	cfg.setDefaults()
+	want := make(map[string]bool, len(cfg.Targets))
+	for _, n := range cfg.Targets {
+		want[n] = true
+	}
+	savedRef, savedProv := attack.ForceReference, attack.ForceProvenance
+	attack.ForceReference = cfg.Reference
+	attack.ForceProvenance = true
+	defer func() { attack.ForceReference, attack.ForceProvenance = savedRef, savedProv }()
+
+	var targets []*Target
+	for _, it := range attack.InputTargets() {
+		if len(want) > 0 && !want[it.Scenario.Name] {
+			continue
+		}
+		m, err := it.Scenario.Prepare(cfg.Policy)
+		if err != nil {
+			return nil, fmt.Errorf("prepare %s: %w", it.Scenario.Name, err)
+		}
+		t, err := NewTarget(it, m)
+		if err != nil {
+			return nil, err
+		}
+		targets = append(targets, t)
+	}
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("target filter %v matched nothing", cfg.Targets)
+	}
+	return targets, nil
+}
+
+// NewTarget snapshots a booted machine at the input target's snapshot
+// point and calibrates it: one fork plays the scripted attack session
+// (recording the oracle fingerprint), one fork plays the first seed, and
+// the per-fork budget covers several of the longer session.
+func NewTarget(it attack.InputTarget, m *attack.Machine) (*Target, error) {
+	name := it.Scenario.Name
+	snap, err := m.Snapshot()
+	if err != nil {
+		return nil, fmt.Errorf("snapshot %s: %w", name, err)
+	}
+	t := &Target{InputTarget: it, snap: snap, base: snap.Stats().Instructions}
+
+	scripted := snap.Fork()
+	out, err := it.Scenario.Session(scripted)
+	if err != nil {
+		return nil, fmt.Errorf("scripted session %s: %w", name, err)
+	}
+	t.scriptedFP = Fingerprint(out)
+	sessionLen := scripted.CPU.Stats().Instructions - t.base
+
+	if len(it.Seeds) > 0 {
+		ctl := snap.Fork()
+		if _, err := it.Play(ctl, it.Seeds[0]); err != nil {
+			return nil, fmt.Errorf("seed session %s: %w", name, err)
+		}
+		if n := ctl.CPU.Stats().Instructions - t.base; n > sessionLen {
+			sessionLen = n
+		}
+	}
+	if sessionLen == 0 {
+		sessionLen = 1
+	}
+	t.budget = t.base + 8*sessionLen + 200_000
+	return t, nil
+}
+
+// CorpusEntry records one admitted input.
+type CorpusEntry struct {
+	// Input is the (possibly trimmed) input, hex encoded.
+	Input string `json:"input"`
+	// Exec is the exec index whose run admitted it (seeds occupy the
+	// first indices).
+	Exec int `json:"exec"`
+	// NewFeatures is how many coverage features the admitting run saw
+	// first.
+	NewFeatures int `json:"new_features"`
+	// Len is the trimmed input length in bytes.
+	Len int `json:"len"`
+}
+
+// Finding is one deduplicated non-benign behaviour: all runs sharing an
+// outcome fingerprint (alert PC + symbol + provenance channels, or crash
+// PC + normalized reason) collapse into one finding holding the shortest
+// witness input.
+type Finding struct {
+	Fingerprint string `json:"fingerprint"`
+	Class       string `json:"class"`
+	// Input is the shortest witness, hex encoded.
+	Input string `json:"input"`
+	// Evidence is the first witness's full outcome line.
+	Evidence  string `json:"evidence"`
+	Count     int    `json:"count"`
+	FirstExec int    `json:"first_exec"`
+	// Scripted marks the finding that matches the target's scripted
+	// attack fingerprint — a rediscovery.
+	Scripted bool `json:"scripted,omitempty"`
+}
+
+// TargetReport is one surface's fuzzing results.
+type TargetReport struct {
+	Description         string `json:"description"`
+	ScriptedFingerprint string `json:"scripted_fingerprint"`
+	// Execs is the budgeted runs (sum of Outcomes values — every exec
+	// lands in exactly one class). TrimExecs counts the extra minimization
+	// re-runs, reported separately so the accounting stays checkable.
+	Execs     int            `json:"execs"`
+	TrimExecs int            `json:"trim_execs"`
+	Outcomes  map[string]int `json:"outcomes"`
+	// Edges and Features are the cumulative coverage counts; CorpusSize
+	// is how many inputs earned a corpus slot.
+	Edges      int            `json:"edges"`
+	Features   int            `json:"features"`
+	CorpusSize int            `json:"corpus_size"`
+	Corpus     []CorpusEntry  `json:"corpus,omitempty"`
+	Findings   []*Finding     `json:"findings"`
+	// Rediscovered reports whether some mutated input re-found the
+	// scripted attack's alert fingerprint; RediscoveredExec is the exec
+	// index that first did (-1 otherwise).
+	Rediscovered    bool   `json:"rediscovered"`
+	RediscoveredExec int   `json:"rediscovered_exec"`
+	// Instructions is the total guest work across all execs, measured
+	// from the snapshot — identical on both engines.
+	Instructions uint64 `json:"instructions"`
+}
+
+// Report is one fuzzing session's aggregated results. Maps are keyed by
+// strings and slices are in deterministic order, so the marshaled report
+// is byte-identical for a given seed + budget at any worker count.
+type Report struct {
+	Seed    int64  `json:"seed"`
+	Policy  string `json:"policy"`
+	Engine  string `json:"engine"`
+	Execs   int    `json:"execs_per_target"`
+	Batch   int    `json:"batch"`
+	Targets map[string]*TargetReport `json:"targets"`
+	// Rediscovered counts the targets whose scripted attack fingerprint
+	// some mutated input re-found.
+	Rediscovered int `json:"rediscovered"`
+}
+
+// execResult is one fork's classified run plus its coverage features.
+type execResult struct {
+	ok     bool // false: the slot was abandoned by the pool guard
+	out    attack.Outcome
+	err    error
+	feats  []uint32
+	instrs uint64
+}
+
+// mix is splitmix64 over the campaign seed and a schedule position; it
+// decorrelates per-candidate mutation streams independent of execution
+// order.
+func mix(seed int64, i uint64) int64 {
+	z := uint64(seed) + (i+1)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
+}
+
+// slotSeed derives the mutation seed for (generation, slot). Slots fit in
+// 20 bits: a batch is at most the pool's 4096-item cap.
+func slotSeed(seed int64, gen, slot int) int64 {
+	return mix(seed, uint64(gen)<<20|uint64(slot))
+}
+
+// covPool recycles coverage maps across execs; a map belongs to exactly
+// one fork between Get and Put.
+var covPool = sync.Pool{New: func() any { return new(cpu.CovMap) }}
+
+// runOne forks the target, attaches a fresh coverage map, plays one
+// input under the calibrated budget, and extracts features.
+func runOne(t *Target, input []byte) execResult {
+	cm := covPool.Get().(*cpu.CovMap)
+	defer covPool.Put(cm)
+	cm.Reset()
+	m := t.snap.Fork()
+	m.SetBudget(t.budget)
+	m.CPU.SetCovMap(cm)
+	out, err := t.Play(m, input)
+	return execResult{
+		ok:     true,
+		out:    out,
+		err:    err,
+		feats:  cm.Features(make([]uint32, 0, 512)),
+		instrs: m.CPU.Stats().Instructions - t.base,
+	}
+}
+
+// classLabel folds one exec through the fault-campaign taxonomy. Fuzzed
+// surfaces are all attack-arm: an alert is DetectedAlert, a guest death
+// GuestCrash, containment Timeout, anything quiet Benign. A slot the pool
+// guard abandoned (panic, deadline) is Timeout, matching the fault
+// campaign's synthesized records.
+func classLabel(r execResult) string {
+	if !r.ok {
+		return fault.Timeout.String()
+	}
+	return fault.ClassifyOutcome(fault.ArmAttack, r.out, r.err).String()
+}
+
+// containsAll reports whether the sorted feature set feats covers every
+// feature in need (also sorted).
+func containsAll(feats, need []uint32) bool {
+	i := 0
+	for _, n := range need {
+		for i < len(feats) && feats[i] < n {
+			i++
+		}
+		if i >= len(feats) || feats[i] != n {
+			return false
+		}
+	}
+	return true
+}
+
+// runOneRecover is runOne for trim re-runs, which execute outside the
+// campaign pool guard: a Play that panics on the truncated candidate is
+// absorbed here (ok=false), since a candidate that kills the host worker
+// certainly does not preserve the admitting features.
+func runOneRecover(t *Target, input []byte) (r execResult) {
+	defer func() {
+		if recover() != nil {
+			r = execResult{}
+		}
+	}()
+	return runOne(t, input)
+}
+
+// trimEntry minimizes an admitted input by deterministic tail
+// truncation: repeatedly drop the largest suffix that still preserves
+// every feature in need, spending at most limit re-runs. Returns the
+// trimmed input and the re-runs spent.
+func trimEntry(t *Target, input []byte, need []uint32, limit int) ([]byte, int) {
+	spent := 0
+	cut := len(input) / 2
+	for cut >= 1 && len(input) > 1 && spent < limit {
+		cand := input[:len(input)-cut]
+		r := runOneRecover(t, cand)
+		spent++
+		if r.ok && containsAll(r.feats, need) {
+			input = cand
+			if cut > len(input)-1 {
+				cut = len(input) - 1
+			}
+		} else {
+			cut /= 2
+		}
+	}
+	return input, spent
+}
+
+// fuzzTarget runs one surface's full budget: generations of Batch
+// candidates derived from the corpus state at generation start, executed
+// over the worker pool, folded sequentially in slot order.
+func fuzzTarget(cfg Config, t *Target) (*TargetReport, error) {
+	name := t.Scenario.Name
+	tr := &TargetReport{
+		Description:         t.Scenario.Description,
+		ScriptedFingerprint: t.scriptedFP,
+		Outcomes:            make(map[string]int),
+		RediscoveredExec:    -1,
+	}
+	features := make(map[uint32]struct{})
+	edges := make(map[uint32]struct{})
+	findings := make(map[string]*Finding)
+	var corpus [][]byte
+
+	opts := campaign.GuardOpts{Deadline: cfg.Deadline}
+	gen := 0
+	for tr.Execs < cfg.Execs {
+		batch := cfg.Batch
+		if rem := cfg.Execs - tr.Execs; batch > rem {
+			batch = rem
+		}
+		// Derive the whole generation from the corpus state at its start;
+		// the fold below mutates the corpus only after every candidate of
+		// the generation is fixed, so the schedule is worker-independent.
+		cands := make([][]byte, batch)
+		for k := range cands {
+			idx := tr.Execs + k
+			if idx < len(t.Seeds) {
+				cands[k] = t.Seeds[idx]
+				continue
+			}
+			rng := rand.New(rand.NewSource(slotSeed(cfg.Seed, gen, k)))
+			parents := corpus
+			if len(parents) == 0 {
+				parents = t.Seeds
+			}
+			cands[k] = mutate(rng, parents, t.Dict, t.MaxLen)
+		}
+		results, _ := campaign.ForEachGuarded(batch, cfg.Workers, opts,
+			func(i, attempt int) (execResult, error) {
+				return runOne(t, cands[i]), nil
+			})
+		for k, r := range results {
+			execIdx := tr.Execs + k
+			label := classLabel(r)
+			tr.Outcomes[label]++
+			tr.Instructions += r.instrs
+
+			// Dedup non-benign behaviours by outcome fingerprint; keep the
+			// shortest witness.
+			if r.ok && label != fault.Benign.String() {
+				fp := Fingerprint(r.out)
+				if r.err != nil {
+					fp = "error:" + normalizeHex(r.err.Error())
+				}
+				f := findings[fp]
+				if f == nil {
+					f = &Finding{
+						Fingerprint: fp,
+						Class:       label,
+						Input:       hexBytes(cands[k]),
+						Evidence:    r.out.String(),
+						FirstExec:   execIdx,
+						Scripted:    fp == t.scriptedFP,
+					}
+					if r.err != nil {
+						f.Evidence = r.err.Error()
+					}
+					findings[fp] = f
+					if f.Scripted && !tr.Rediscovered {
+						tr.Rediscovered = true
+						tr.RediscoveredExec = execIdx
+					}
+				}
+				f.Count++
+				if hexLen(f.Input) > len(cands[k]) {
+					f.Input = hexBytes(cands[k])
+				}
+			}
+
+			// Coverage admission: any run touching a feature class no prior
+			// run touched earns a (minimized) corpus slot.
+			var fresh []uint32
+			for _, ft := range r.feats {
+				if _, seen := features[ft]; !seen {
+					fresh = append(fresh, ft)
+				}
+			}
+			if len(fresh) == 0 {
+				continue
+			}
+			for _, ft := range r.feats {
+				features[ft] = struct{}{}
+				edges[ft/8] = struct{}{}
+			}
+			input := cands[k]
+			if cfg.TrimLimit > 0 {
+				var spent int
+				input, spent = trimEntry(t, input, fresh, cfg.TrimLimit)
+				tr.TrimExecs += spent
+			}
+			corpus = append(corpus, input)
+			tr.Corpus = append(tr.Corpus, CorpusEntry{
+				Input:       hexBytes(input),
+				Exec:        execIdx,
+				NewFeatures: len(fresh),
+				Len:         len(input),
+			})
+		}
+		tr.Execs += batch
+		gen++
+	}
+
+	tr.Edges = len(edges)
+	tr.Features = len(features)
+	tr.CorpusSize = len(corpus)
+	for _, f := range findings {
+		tr.Findings = append(tr.Findings, f)
+	}
+	sort.Slice(tr.Findings, func(i, j int) bool {
+		return tr.Findings[i].Fingerprint < tr.Findings[j].Fingerprint
+	})
+	total := 0
+	for _, n := range tr.Outcomes {
+		total += n
+	}
+	if total != tr.Execs {
+		return nil, fmt.Errorf("%s: outcome accounting broken: %d recorded, %d executed", name, total, tr.Execs)
+	}
+	return tr, nil
+}
+
+// Fuzz runs the configured budget over prepared targets and aggregates
+// the report. Targets run sequentially; the parallelism is inside each
+// generation.
+func Fuzz(cfg Config, targets []*Target) (*Report, error) {
+	cfg.setDefaults()
+	rep := &Report{
+		Seed:    cfg.Seed,
+		Policy:  cfg.Policy.String(),
+		Engine:  engineName(cfg.Reference),
+		Execs:   cfg.Execs,
+		Batch:   cfg.Batch,
+		Targets: make(map[string]*TargetReport),
+	}
+	for _, t := range targets {
+		tr, err := fuzzTarget(cfg, t)
+		if err != nil {
+			return nil, err
+		}
+		rep.Targets[t.Scenario.Name] = tr
+		if tr.Rediscovered {
+			rep.Rediscovered++
+		}
+	}
+	return rep, nil
+}
+
+// Run prepares the configured targets and fuzzes them.
+func Run(cfg Config) (*Report, error) {
+	cfg.setDefaults()
+	targets, err := PrepareTargets(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return Fuzz(cfg, targets)
+}
+
+func engineName(reference bool) string {
+	if reference {
+		return "reference"
+	}
+	return "fast"
+}
+
+// hexBytes renders input for the JSON report.
+func hexBytes(b []byte) string { return fmt.Sprintf("%x", b) }
+
+// hexLen is the byte length of a hex-encoded input.
+func hexLen(s string) int { return len(s) / 2 }

@@ -1,0 +1,116 @@
+package fuzz
+
+import (
+	"encoding/binary"
+	"math/rand"
+)
+
+// interesting32 are boundary values worth planting whole: limits that
+// flip signed/unsigned comparisons, powers of two around common buffer
+// sizes, and the classic 0x61616161 overflow filler.
+var interesting32 = []uint32{
+	0, 1, 16, 32, 64, 100, 127, 128, 255, 256, 512, 1024, 4096,
+	0x7fffffff, 0x80000000, 0xffffffff, 0x61616161,
+}
+
+// interesting8 are the byte-width boundary cases.
+var interesting8 = []byte{0, 1, 9, 10, 13, 32, 127, 128, 255, '%', 'n', 'x', 'a'}
+
+// mutate derives one candidate from the corpus: a parent picked at
+// random, passed through a stacked run of 1-8 havoc operations. Every
+// choice comes from rng, so a (seed, generation, slot) triple names
+// exactly one candidate regardless of execution order.
+func mutate(rng *rand.Rand, parents, dict [][]byte, maxLen int) []byte {
+	base := parents[rng.Intn(len(parents))]
+	out := append([]byte(nil), base...)
+	for n := 1 + rng.Intn(8); n > 0; n-- {
+		out = mutateOnce(rng, out, parents, dict)
+	}
+	if maxLen > 0 && len(out) > maxLen {
+		out = out[:maxLen]
+	}
+	if len(out) == 0 {
+		out = []byte{byte(rng.Intn(256))}
+	}
+	return out
+}
+
+// mutateOnce applies one havoc operation.
+func mutateOnce(rng *rand.Rand, out []byte, parents, dict [][]byte) []byte {
+	switch op := rng.Intn(10); op {
+	case 0: // flip one bit
+		if len(out) > 0 {
+			out[rng.Intn(len(out))] ^= 1 << rng.Intn(8)
+		}
+	case 1: // overwrite one byte at random
+		if len(out) > 0 {
+			out[rng.Intn(len(out))] = byte(rng.Intn(256))
+		}
+	case 2: // plant an interesting byte
+		if len(out) > 0 {
+			out[rng.Intn(len(out))] = interesting8[rng.Intn(len(interesting8))]
+		}
+	case 3: // arithmetic nudge
+		if len(out) > 0 {
+			out[rng.Intn(len(out))] += byte(1 + rng.Intn(16))
+		}
+	case 4: // overwrite a little-endian interesting word
+		if len(out) >= 4 {
+			v := interesting32[rng.Intn(len(interesting32))]
+			binary.LittleEndian.PutUint32(out[rng.Intn(len(out)-3):], v)
+		}
+	case 5: // delete a chunk
+		if len(out) > 1 {
+			i := rng.Intn(len(out))
+			n := 1 + rng.Intn(len(out)-i)
+			out = append(out[:i], out[i+n:]...)
+		}
+	case 6: // duplicate a chunk in place
+		if len(out) > 0 {
+			i := rng.Intn(len(out))
+			n := 1 + rng.Intn(len(out)-i)
+			chunk := append([]byte(nil), out[i:i+n]...)
+			out = insert(out, i, chunk)
+		}
+	case 7: // insert a repeated-byte run — the overflow discovery operator
+		n := 4 + rng.Intn(40)
+		b := byte(rng.Intn(256))
+		if rng.Intn(2) == 0 { // printable fillers find length-gated paths faster
+			b = byte('a' + rng.Intn(26))
+		}
+		run := make([]byte, n)
+		for i := range run {
+			run[i] = b
+		}
+		out = insert(out, rng.Intn(len(out)+1), run)
+	case 8: // splice with another corpus parent
+		p := parents[rng.Intn(len(parents))]
+		if len(p) > 0 && len(out) > 0 {
+			out = append(out[:rng.Intn(len(out))+0], p[rng.Intn(len(p)):]...)
+		}
+	case 9: // dictionary token: insert or overwrite
+		if len(dict) == 0 {
+			// Raw byte streams have no protocol tokens; plant an
+			// interesting byte instead so the op is never a no-op.
+			if len(out) > 0 {
+				out[rng.Intn(len(out))] = interesting8[rng.Intn(len(interesting8))]
+			}
+			break
+		}
+		tok := dict[rng.Intn(len(dict))]
+		if rng.Intn(2) == 0 || len(out) < len(tok) {
+			out = insert(out, rng.Intn(len(out)+1), tok)
+		} else {
+			copy(out[rng.Intn(len(out)-len(tok)+1):], tok)
+		}
+	}
+	return out
+}
+
+// insert returns out with chunk inserted at i.
+func insert(out []byte, i int, chunk []byte) []byte {
+	res := make([]byte, 0, len(out)+len(chunk))
+	res = append(res, out[:i]...)
+	res = append(res, chunk...)
+	return append(res, out[i:]...)
+}

@@ -1,0 +1,125 @@
+package fuzz
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/fault"
+)
+
+// corpusFile is one checked-in fuzz-discovered input: the exact bytes,
+// the outcome class the run classified into, and the deduplication
+// fingerprint it produced. The files under testdata/corpus were admitted
+// by a seeded ptfuzz session (seed 1) and are pinned here as regression
+// witnesses: every entry must reproduce its recorded class and
+// fingerprint on both execution engines.
+type corpusFile struct {
+	Target      string `json:"target"`
+	Input       string `json:"input"`
+	Class       string `json:"class"`
+	Fingerprint string `json:"fingerprint"`
+	Scripted    bool   `json:"scripted"`
+}
+
+func loadCorpusFiles(t *testing.T) []corpusFile {
+	t.Helper()
+	paths, err := filepath.Glob(filepath.Join("testdata", "corpus", "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no checked-in corpus entries under testdata/corpus")
+	}
+	var entries []corpusFile
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var cf corpusFile
+		if err := json.Unmarshal(data, &cf); err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		entries = append(entries, cf)
+	}
+	return entries
+}
+
+// TestReplayCheckedInCorpus replays every checked-in fuzz-discovered
+// input against a fresh snapshot fork on each engine and asserts the
+// recorded outcome class and fingerprint still hold. This is the
+// regression net for the detectors: a change that silently reclassifies
+// one of these attacks (alert → crash, or worse, → benign) fails here
+// with the exact input bytes in hand.
+func TestReplayCheckedInCorpus(t *testing.T) {
+	entries := loadCorpusFiles(t)
+	for _, engine := range []struct {
+		name      string
+		reference bool
+	}{{"fast", false}, {"reference", true}} {
+		t.Run(engine.name, func(t *testing.T) {
+			targets, err := PrepareTargets(Config{Reference: engine.reference})
+			if err != nil {
+				t.Fatalf("prepare: %v", err)
+			}
+			byName := make(map[string]*Target, len(targets))
+			for _, tgt := range targets {
+				byName[tgt.Scenario.Name] = tgt
+			}
+			for _, cf := range entries {
+				tgt := byName[cf.Target]
+				if tgt == nil {
+					t.Errorf("corpus entry names unknown target %q", cf.Target)
+					continue
+				}
+				input, err := hex.DecodeString(cf.Input)
+				if err != nil {
+					t.Errorf("%s: bad input hex: %v", cf.Target, err)
+					continue
+				}
+				r := runOne(tgt, input)
+				if got := classLabel(r); got != cf.Class {
+					t.Errorf("%s input %s: class %s, recorded %s",
+						cf.Target, cf.Input, got, cf.Class)
+				}
+				if got := Fingerprint(r.out); got != cf.Fingerprint {
+					t.Errorf("%s input %s:\n  fingerprint %q\n  recorded    %q",
+						cf.Target, cf.Input, got, cf.Fingerprint)
+				}
+				if cf.Scripted && tgt.scriptedFP != cf.Fingerprint {
+					t.Errorf("%s: entry marked scripted but target oracle is %q",
+						cf.Target, tgt.scriptedFP)
+				}
+			}
+		})
+	}
+}
+
+// TestCorpusCoversAllScriptedAttacks: the checked-in corpus must include
+// a rediscovery witness for every scripted attack — one entry per target
+// whose fingerprint matches the scripted oracle with class DetectedAlert.
+func TestCorpusCoversAllScriptedAttacks(t *testing.T) {
+	entries := loadCorpusFiles(t)
+	targets, err := PrepareTargets(Config{})
+	if err != nil {
+		t.Fatalf("prepare: %v", err)
+	}
+	for _, tgt := range targets {
+		found := false
+		for _, cf := range entries {
+			if cf.Target == tgt.Scenario.Name && cf.Scripted &&
+				cf.Class == fault.DetectedAlert.String() &&
+				cf.Fingerprint == tgt.scriptedFP {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no checked-in rediscovery witness for %s (oracle %q)",
+				tgt.Scenario.Name, tgt.scriptedFP)
+		}
+	}
+}
