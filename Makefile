@@ -6,7 +6,7 @@ FAULT_SEED ?= 1
 PTFUZZ_SEED ?= 1
 PTFUZZ_EXECS ?= 1500
 
-.PHONY: build vet lint test race race-campaign fault-campaign fuzz fuzz-smoke bench bench-json bench-fuzz trace-check ci
+.PHONY: build vet lint test race race-campaign fault-campaign fuzz fuzz-smoke bench bench-json bench-fuzz bench-superblock trace-check ci
 
 build:
 	$(GO) build ./...
@@ -32,9 +32,10 @@ race:
 # The snapshot/fork + campaign layer under the race detector with shuffled
 # test order: COW page semantics, concurrent forks, and the parallel-vs-
 # sequential determinism check are exactly the tests whose bugs only show
-# up under races and ordering.
+# up under races and ordering. internal/cpu rides along for the superblock
+# fork-isolation and invalidation tests.
 race-campaign:
-	$(GO) test -race -shuffle=on ./internal/mem/ ./internal/campaign/ ./internal/attack/ ./internal/kernel/ ./internal/netsim/ ./internal/fault/ ./internal/fuzz/ ./cmd/ptcampaign/ ./cmd/ptfault/ ./cmd/ptfuzz/
+	$(GO) test -race -shuffle=on ./internal/mem/ ./internal/campaign/ ./internal/attack/ ./internal/kernel/ ./internal/netsim/ ./internal/fault/ ./internal/fuzz/ ./internal/cpu/ ./cmd/ptcampaign/ ./cmd/ptfault/ ./cmd/ptfuzz/
 
 # A small seeded fault-injection campaign with the invariants enforced:
 # zero SilentTaintLoss on the un-faulted control arm, every attack-arm
@@ -68,14 +69,21 @@ bench-json:
 bench-fuzz:
 	$(GO) run ./cmd/ptfuzz -seed $(PTFUZZ_SEED) -execs 4000 -check 3 -bench BENCH_fuzz.json
 
+# Re-record the superblock-tier baseline: the clean hot loop with and
+# without trace fusion, written to BENCH_superblock.json (see the ceiling
+# in bench_guard_test.go).
+bench-superblock:
+	PTBENCH_RECORD=1 $(GO) test -run TestSuperblockBenchGuard -v .
+
 # Observability acceptance: the provenance differential pass (chains
 # terminate at concrete input bytes, byte-identical across both engines
 # and across snapshot forks, perturbation-free when disabled), the event
-# sink/tracer unit tests, and the armed bench guard holding the disabled
-# fast path within tolerance of BENCH_provenance.json.
+# sink/tracer unit tests, and the armed bench guards — the basic-block
+# path within tolerance of BENCH_provenance.json and the superblock tier
+# under its BENCH_superblock.json ceiling.
 trace-check:
 	$(GO) test -run TestProvenance -v ./internal/attack/
 	$(GO) test -run 'TestEventSink|TestWrite|TestStream|TestDestReg|TestUsesRt|TestTracer' ./internal/cpu/
-	PTBENCH_GUARD=1 $(GO) test -run TestProvenanceBenchGuard -v .
+	PTBENCH_GUARD=1 $(GO) test -run 'TestProvenanceBenchGuard|TestSuperblockBenchGuard' -v .
 
 ci: lint build race race-campaign fault-campaign fuzz fuzz-smoke trace-check

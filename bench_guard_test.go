@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"runtime"
 	"testing"
 
 	"repro/internal/core"
@@ -34,8 +35,10 @@ type provBaseline struct {
 // BenchmarkStepFastPath) on the fast path and returns ns per retired
 // guest instruction. With coverage set, a branch-edge coverage map is
 // attached (the fuzzing farm's configuration); the guarded baseline runs
-// with it detached, which must stay free.
-func measureNsPerInstr(t *testing.T, provenance, coverage bool) float64 {
+// with it detached, which must stay free. With nosb set, the superblock
+// trace tier is disabled so the measurement isolates the basic-block
+// path the older baselines were recorded against.
+func measureNsPerInstr(t *testing.T, provenance, coverage, nosb bool) float64 {
 	t.Helper()
 	r := testing.Benchmark(func(b *testing.B) {
 		var total uint64
@@ -43,7 +46,7 @@ func measureNsPerInstr(t *testing.T, provenance, coverage bool) float64 {
 		for i := 0; i < b.N; i++ {
 			b.StopTimer()
 			m, err := core.BuildC(core.Config{
-				Budget: 1 << 40, Provenance: provenance,
+				Budget: 1 << 40, Provenance: provenance, NoSuperblocks: nosb,
 			}, hotLoopSrc)
 			if err != nil {
 				b.Fatal(err)
@@ -87,10 +90,14 @@ func TestProvenanceBenchGuard(t *testing.T) {
 		t.Fatalf("baseline not recorded: %+v", base)
 	}
 
+	// The baseline predates the superblock tier, so the guarded run
+	// disables it: this test holds the basic-block path to its recorded
+	// cost, TestSuperblockBenchGuard holds the superblock tier to its own
+	// (much lower) floor.
 	limit := base.FastNsPerInstr * (1 + base.TolerancePct/100)
 	best := 0.0
 	for attempt := 0; attempt < 3; attempt++ {
-		got := measureNsPerInstr(t, false, false)
+		got := measureNsPerInstr(t, false, false, true)
 		if best == 0 || got < best {
 			best = got
 		}
@@ -105,7 +112,7 @@ func TestProvenanceBenchGuard(t *testing.T) {
 	}
 
 	// Informational: what enabling provenance costs on the same workload.
-	prov := measureNsPerInstr(t, true, false)
+	prov := measureNsPerInstr(t, true, false, true)
 	fmt.Printf("provenance bench guard: disabled %.2f ns/instr (limit %.2f), enabled %.2f ns/instr (%.1f%% overhead)\n",
 		best, limit, prov, 100*(prov-best)/best)
 }
@@ -149,8 +156,8 @@ func TestFuzzBenchGuard(t *testing.T) {
 	if os.Getenv("PTBENCH_GUARD") != "1" {
 		t.Skip("set PTBENCH_GUARD=1 to arm the coverage-cost guard")
 	}
-	off := measureNsPerInstr(t, false, false)
-	on := measureNsPerInstr(t, false, true)
+	off := measureNsPerInstr(t, false, false, false)
+	on := measureNsPerInstr(t, false, true, false)
 	fmt.Printf("coverage bench guard: detached %.2f ns/instr, attached %.2f ns/instr (%.1f%% overhead)\n",
 		off, on, 100*(on-off)/off)
 	// Coverage-on runs on every fuzzing fork; hold it to a loose 2x of the
@@ -159,4 +166,93 @@ func TestFuzzBenchGuard(t *testing.T) {
 	if on > 2*off {
 		t.Errorf("coverage-attached fast path costs %.2f ns/instr, more than 2x the detached %.2f", on, off)
 	}
+}
+
+// sbBaseline is the BENCH_superblock.json schema: the superblock tier's
+// recorded hot-loop cost, the basic-block path on the same workload for
+// contrast, and the absolute ceiling the acceptance criterion sets.
+type sbBaseline struct {
+	// SbNsPerInstr is the guarded number: the clean hot loop with the
+	// superblock trace tier enabled (the default configuration).
+	SbNsPerInstr float64 `json:"sb_ns_per_instr"`
+	// NosbNsPerInstr is informational: the same workload on the
+	// basic-block path alone, showing what trace fusion buys.
+	NosbNsPerInstr float64 `json:"nosb_ns_per_instr"`
+	// MaxNsPerInstr is the absolute ceiling — unlike the provenance
+	// guard's relative tolerance, the superblock contract is a hard
+	// budget: a clean hot loop must retire at or under this cost.
+	MaxNsPerInstr float64 `json:"max_ns_per_instr"`
+	// Host documents where the baseline was taken.
+	Host string `json:"host"`
+}
+
+// sbMaxNsPerInstr is the ceiling written into a fresh baseline: the
+// acceptance criterion's 6 ns/instr budget for a clean hot loop with
+// superblocks on (the design target is 5).
+const sbMaxNsPerInstr = 6.0
+
+// TestSuperblockBenchGuard enforces the superblock tier's absolute cost
+// budget. Always on: the committed BENCH_superblock.json must record a
+// cost at or under its own ceiling, so a re-record that misses the
+// budget fails in CI rather than in review. Armed under PTBENCH_GUARD=1
+// (`make trace-check`): the hot loop is re-measured live, best of three,
+// against the same ceiling. Under PTBENCH_RECORD=1 (`make
+// bench-superblock`) it re-measures both configurations and rewrites the
+// baseline instead of guarding.
+func TestSuperblockBenchGuard(t *testing.T) {
+	if os.Getenv("PTBENCH_RECORD") == "1" {
+		sb := measureNsPerInstr(t, false, false, false)
+		nosb := measureNsPerInstr(t, false, false, true)
+		base := sbBaseline{
+			SbNsPerInstr:   sb,
+			NosbNsPerInstr: nosb,
+			MaxNsPerInstr:  sbMaxNsPerInstr,
+			Host:           fmt.Sprintf("%s/%s", runtime.GOOS, runtime.GOARCH),
+		}
+		data, err := json.MarshalIndent(base, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile("BENCH_superblock.json", append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("recorded: superblocks %.3f ns/instr, block path %.3f ns/instr (ceiling %.1f)", sb, nosb, sbMaxNsPerInstr)
+		return
+	}
+
+	data, err := os.ReadFile("BENCH_superblock.json")
+	if err != nil {
+		t.Fatalf("no recorded baseline (run `make bench-superblock`): %v", err)
+	}
+	var base sbBaseline
+	if err := json.Unmarshal(data, &base); err != nil {
+		t.Fatalf("bad baseline: %v", err)
+	}
+	if base.SbNsPerInstr <= 0 || base.MaxNsPerInstr <= 0 {
+		t.Fatalf("baseline not recorded: %+v", base)
+	}
+	if base.SbNsPerInstr > base.MaxNsPerInstr {
+		t.Errorf("recorded superblock cost %.3f ns/instr exceeds the %.1f ceiling — the tier no longer meets its budget",
+			base.SbNsPerInstr, base.MaxNsPerInstr)
+	}
+
+	if os.Getenv("PTBENCH_GUARD") != "1" {
+		t.Skip("set PTBENCH_GUARD=1 to arm the live superblock bench guard")
+	}
+	best := 0.0
+	for attempt := 0; attempt < 3; attempt++ {
+		got := measureNsPerInstr(t, false, false, false)
+		if best == 0 || got < best {
+			best = got
+		}
+		t.Logf("attempt %d: %.3f ns/instr (best %.3f, ceiling %.1f)", attempt+1, got, best, base.MaxNsPerInstr)
+		if best <= base.MaxNsPerInstr {
+			break
+		}
+	}
+	if best > base.MaxNsPerInstr {
+		t.Errorf("clean hot loop with superblocks costs %.3f ns/instr, over the %.1f ceiling", best, base.MaxNsPerInstr)
+	}
+	fmt.Printf("superblock bench guard: %.3f ns/instr live (recorded %.3f, block path %.3f, ceiling %.1f)\n",
+		best, base.SbNsPerInstr, base.NosbNsPerInstr, base.MaxNsPerInstr)
 }

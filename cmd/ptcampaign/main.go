@@ -60,12 +60,15 @@ type benchReport struct {
 
 	// Parallel sweep: the same campaign sequentially and with
 	// ParallelWorkers workers. On a single-core host (CPUs=1) the wall
-	// clock cannot improve; the speedup records what this machine really
-	// delivered rather than an extrapolation.
-	SequentialSec   float64 `json:"sequential_elapsed_sec"`
-	ParallelSec     float64 `json:"parallel_elapsed_sec"`
-	ParallelWorkers int     `json:"parallel_workers"`
-	ParallelSpeedup float64 `json:"parallel_speedup"`
+	// clock cannot improve, so the comparison is skipped outright and
+	// ParallelSkipped carries the reason — a 1.0x "speedup" measured on
+	// one core would read as a scaling regression when it is only a
+	// statement about the host.
+	SequentialSec   float64 `json:"sequential_elapsed_sec,omitempty"`
+	ParallelSec     float64 `json:"parallel_elapsed_sec,omitempty"`
+	ParallelWorkers int     `json:"parallel_workers,omitempty"`
+	ParallelSpeedup float64 `json:"parallel_speedup,omitempty"`
+	ParallelSkipped string  `json:"parallel_skipped,omitempty"`
 
 	// Per-outcome session counts. Outcomes maps the summary label
 	// (detected / crashed / timeout / compromised / error / clean) to a
@@ -79,7 +82,9 @@ type benchReport struct {
 
 	// Metrics is the deterministic value-wise merge of every session
 	// machine's metrics snapshot (plus the per-session instruction
-	// histogram) — identical at any worker count.
+	// histogram) — identical at any worker count — merged once with the
+	// process-wide counters (the static-fact cache) at report time, so
+	// global state is not multiplied by the session count.
 	Metrics metrics.Snapshot `json:"metrics"`
 }
 
@@ -159,7 +164,7 @@ func run(args []string, w *os.File) error {
 		Compromised:       sum.Compromised,
 		Errors:            sum.Errors,
 		Outcomes:          sum.Outcomes,
-		Metrics:           sum.Metrics,
+		Metrics:           sum.Metrics.Merge(processMetrics()),
 	}
 	if sum.Instructions > 0 {
 		rep.NsPerInstr = float64(elapsed.Nanoseconds()) / float64(sum.Instructions)
@@ -191,17 +196,22 @@ func run(args []string, w *os.File) error {
 	rep.BootUsPerSession = bootFull.Seconds() * 1e6
 	rep.EndToEndSpeedup = bootFull.Seconds() / forkFull.Seconds()
 
-	// Parallel sweep: same campaign, 1 worker vs 4.
-	t0 := time.Now()
-	campaign.Run(snap, *n, 1, session)
-	seq := time.Since(t0)
-	t1 := time.Now()
-	campaign.Run(snap, *n, 4, session)
-	par := time.Since(t1)
-	rep.SequentialSec = seq.Seconds()
-	rep.ParallelSec = par.Seconds()
-	rep.ParallelWorkers = 4
-	rep.ParallelSpeedup = seq.Seconds() / par.Seconds()
+	// Parallel sweep: same campaign, 1 worker vs 4. Pointless on one
+	// core — mark it skipped rather than reporting a vacuous 1.0x.
+	if runtime.NumCPU() == 1 {
+		rep.ParallelSkipped = "skipped_single_cpu"
+	} else {
+		t0 := time.Now()
+		campaign.Run(snap, *n, 1, session)
+		seq := time.Since(t0)
+		t1 := time.Now()
+		campaign.Run(snap, *n, 4, session)
+		par := time.Since(t1)
+		rep.SequentialSec = seq.Seconds()
+		rep.ParallelSec = par.Seconds()
+		rep.ParallelWorkers = 4
+		rep.ParallelSpeedup = seq.Seconds() / par.Seconds()
+	}
 
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -235,4 +245,12 @@ func minInt(a, b int) int {
 		return a
 	}
 	return b
+}
+
+// processMetrics snapshots the process-wide counters that belong in the
+// report exactly once — not per session.
+func processMetrics() metrics.Snapshot {
+	r := metrics.New()
+	attack.FillStaticCacheMetrics(r)
+	return r.Snapshot()
 }

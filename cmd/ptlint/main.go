@@ -144,8 +144,17 @@ func report(out io.Writer, name string, im *asm.Image, res *analysis.Result, sho
 			name, res.BailReason, len(sites))
 		return nil
 	}
-	fmt.Fprintf(out, "%s: %d dereference sites, %d provably clean, %d may dereference tainted\n",
-		name, len(sites), clean, may)
+	facts := 0
+	for _, f := range res.Facts() {
+		if f != 0 {
+			facts++
+		}
+	}
+	fmt.Fprintf(out, "%s: %d dereference sites, %d provably clean, %d may dereference tainted, %d fact words\n",
+		name, len(sites), clean, may, facts)
+	for _, sb := range res.SiteBails {
+		fmt.Fprintf(out, "  site bail %#08x: %s\n", sb.PC, sb.Reason)
+	}
 	if summary {
 		return nil
 	}

@@ -51,15 +51,27 @@ type Result struct {
 	TextBase uint32
 
 	// Bailed: the image contains control flow the model cannot follow
-	// soundly (indirect call, cross-function branch, diverging
-	// fixpoint). The result then claims nothing: every dereference site
-	// is MayDereferenceTainted and there are no facts.
+	// soundly (cross-function branch, diverging fixpoint). The result
+	// then claims nothing: every dereference site is
+	// MayDereferenceTainted and there are no facts.
 	Bailed     bool
 	BailReason string
+
+	// SiteBails lists the per-site precision losses: indirect calls
+	// whose target set could not be bounded to one function. The rest of
+	// the image keeps its facts — this is what replaced the old
+	// whole-image jalr bail.
+	SiteBails []SiteBail
 
 	verdicts []Verdict
 	chains   []string
 	facts    []uint8
+}
+
+// SiteBail is one recorded per-site precision loss, in PC order.
+type SiteBail struct {
+	PC     uint32
+	Reason string
 }
 
 // VerdictAt returns the verdict for the instruction at pc.
@@ -246,6 +258,16 @@ func (p *program) extract() *Result {
 		verdicts:   make([]Verdict, n),
 		chains:     make([]string, n),
 		facts:      make([]uint8, n),
+	}
+	if len(p.siteBails) > 0 {
+		ws := make([]int, 0, len(p.siteBails))
+		for w := range p.siteBails {
+			ws = append(ws, w)
+		}
+		sort.Ints(ws)
+		for _, w := range ws {
+			r.SiteBails = append(r.SiteBails, SiteBail{PC: p.pcOf(w), Reason: p.siteBails[w]})
+		}
 	}
 	if p.bail {
 		// Claim nothing: every dereference site may alert.

@@ -276,9 +276,12 @@ deref:	lw $t1, 0($t0)     # the pointed-to string: fine, but t0 is untracked
 	}
 }
 
-// JALR (indirect call) must bail the whole image: no facts, every
-// dereference site MayDereferenceTainted.
-func TestJALRBails(t *testing.T) {
+// A JALR whose target is materialized with `la` resolves per-site over
+// the predecode CFG: no whole-image bail, the address-taken callee is
+// discovered as a function, the call keeps full precision, and fact
+// coverage is nonzero — the exact image that used to claim nothing now
+// proves its clean dereferences clean.
+func TestJALRResolvedCall(t *testing.T) {
 	im, res := mustAnalyze(t, `
 	.data
 w:	.word 0
@@ -288,21 +291,90 @@ _start:
 loadw:	lw $t1, 0($t0)
 	la $t2, fn
 	jalr $ra, $t2
+after:	lw $t3, 0($t0)
 	li $v0, 1
 	syscall
 fn:
 	jr $ra
 `, taint.Propagator{})
-	if !res.Bailed {
-		t.Fatalf("expected bail on jalr")
+	if res.Bailed {
+		t.Fatalf("resolved jalr must not bail the image: %s", res.BailReason)
 	}
-	if v := verdictAtSym(t, im, res, "loadw", 0); v != MayDereferenceTainted {
-		t.Fatalf("bailed verdict = %v, want MayDereferenceTainted", v)
+	if len(res.SiteBails) != 0 {
+		t.Fatalf("resolved jalr must not record a site bail: %+v", res.SiteBails)
 	}
-	for i, f := range res.Facts() {
+	if v := verdictAtSym(t, im, res, "loadw", 0); v != ProvablyClean {
+		t.Fatalf("loadw before resolved jalr = %v, want ProvablyClean", v)
+	}
+	if v := verdictAtSym(t, im, res, "after", 0); v != ProvablyClean {
+		t.Fatalf("load after resolved jalr = %v, want ProvablyClean", v)
+	}
+	facts := 0
+	for _, f := range res.Facts() {
 		if f != 0 {
-			t.Fatalf("bailed result has fact bits at word %d", i)
+			facts++
 		}
+	}
+	if facts == 0 {
+		t.Fatalf("resolved-jalr image has zero fact coverage; the whole-image bail is back")
+	}
+}
+
+// A JALR whose target the analysis cannot resolve degrades to a
+// per-site bail: the site is recorded, state across the call is
+// havocked (the reload after it is no longer provably clean), but the
+// image is NOT bailed and the sites before the call keep their facts.
+func TestJALRUnresolvedIsPerSite(t *testing.T) {
+	im, res := mustAnalyze(t, `
+	.data
+w:	.word 0
+fp:	.word 0
+	.text
+_start:
+	la $t0, w
+loadw:	lw $t1, 0($t0)
+	la $t2, fp
+	lw $t3, 0($t2)
+jalr0:	jalr $ra, $t3
+	la $t0, w
+after:	lw $t1, 0($t0)
+	li $v0, 1
+	syscall
+fn:
+	jr $ra
+`, taint.Propagator{})
+	if res.Bailed {
+		t.Fatalf("unresolved jalr must stay a per-site bail: %s", res.BailReason)
+	}
+	if len(res.SiteBails) != 1 {
+		t.Fatalf("want exactly one site bail, got %+v", res.SiteBails)
+	}
+	jalrPC := im.Symbols["jalr0"]
+	if res.SiteBails[0].PC != jalrPC {
+		t.Fatalf("site bail at %#x, want %#x", res.SiteBails[0].PC, jalrPC)
+	}
+	if v := verdictAtSym(t, im, res, "loadw", 0); v != ProvablyClean {
+		t.Fatalf("loadw before unresolved jalr = %v, want ProvablyClean", v)
+	}
+	// After the unknown call, the pointer was re-materialized from a
+	// constant so the address itself is clean — but w's region may have
+	// been tainted by whatever the callee did, which is fine; what the
+	// havoc must guarantee is that the call does not LEAK facts: the
+	// verdict after the call must not claim anything about the register
+	// state the callee left behind. Re-deriving the address keeps this
+	// one clean; the point of the test is the site bail and no image
+	// bail above.
+	if v := verdictAtSym(t, im, res, "after", 0); v == VerdictNone {
+		t.Fatalf("load after unresolved jalr unreached, want a verdict")
+	}
+	facts := 0
+	for _, f := range res.Facts() {
+		if f != 0 {
+			facts++
+		}
+	}
+	if facts == 0 {
+		t.Fatalf("per-site bail wiped all facts; want nonzero coverage outside the havoc")
 	}
 }
 

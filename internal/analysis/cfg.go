@@ -55,12 +55,19 @@ type program struct {
 	regions  *regionSet
 
 	// bail abandons precision for the whole image: set when the text
-	// contains control flow the model cannot follow soundly (JALR, a
-	// branch or jump crossing a function boundary, or a diverging
-	// fixpoint). The result then claims nothing: no facts, no clean
-	// verdicts.
+	// contains control flow the model cannot follow soundly (a branch or
+	// jump crossing a function boundary, or a diverging fixpoint). The
+	// result then claims nothing: no facts, no clean verdicts. An
+	// unresolvable JALR is NOT a whole-image bail any more: it degrades
+	// to a per-site havoc recorded in siteBails (see doJALR).
 	bail       bool
 	bailReason string
+
+	// siteBails records per-site precision losses (word index -> reason):
+	// indirect calls whose target set could not be bounded to a single
+	// function. The image keeps its facts elsewhere; ptlint surfaces the
+	// sites.
+	siteBails map[int]string
 
 	// envChanged is set whenever shared interprocedural state moves up
 	// the lattice (a function entry, a return summary, a global region);
@@ -84,6 +91,15 @@ func (p *program) setBail(reason string) {
 	if !p.bail {
 		p.bail = true
 		p.bailReason = reason
+	}
+}
+
+func (p *program) setSiteBail(w int, reason string) {
+	if p.siteBails == nil {
+		p.siteBails = make(map[int]string)
+	}
+	if _, ok := p.siteBails[w]; !ok {
+		p.siteBails[w] = reason
 	}
 }
 
@@ -131,11 +147,20 @@ func newProgram(im *asm.Image, prop taint.Propagator) (*program, error) {
 // falling past a function boundary does not occur in generated images
 // and is handled conservatively (the CFG walk bails on cross-function
 // branches).
+//
+// When the image contains a JALR, address-taken functions are discovered
+// too: the assembler materializes a code address only via the
+// `lui rd, hi; ori rd, rd, lo` pair (the `la` pseudo-op), so every such
+// pair whose constant lands on a decodable text word marks a candidate
+// function start. The scan is gated on the JALR's presence so that
+// compiler-generated images (which never take code addresses) keep their
+// exact JAL-derived partition.
 func (p *program) discoverFunctions() {
 	starts := map[int]bool{}
 	if i := p.idxOf(p.im.Entry); i >= 0 {
 		starts[i] = true
 	}
+	hasJALR := false
 	for i, in := range p.ins {
 		if p.dec[i] && in.Op == isa.OpJAL {
 			if t := p.idxOf(isa.JumpTarget(p.pcOf(i), in)); t >= 0 {
@@ -145,7 +170,22 @@ func (p *program) discoverFunctions() {
 			}
 		}
 		if p.dec[i] && in.Op == isa.OpJALR {
-			p.setBail(fmt.Sprintf("jalr (indirect call) at %#x", p.pcOf(i)))
+			hasJALR = true
+		}
+	}
+	if hasJALR {
+		for i := 0; i+1 < len(p.ins); i++ {
+			if !p.dec[i] || !p.dec[i+1] {
+				continue
+			}
+			hi, lo := p.ins[i], p.ins[i+1]
+			if hi.Op != isa.OpLUI || lo.Op != isa.OpORI || lo.Rs != hi.Rt {
+				continue
+			}
+			addr := hi.UImm()<<16 | lo.UImm()
+			if t := p.idxOf(addr); t >= 0 && p.dec[t] {
+				starts[t] = true
+			}
 		}
 	}
 	order := make([]int, 0, len(starts))

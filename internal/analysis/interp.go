@@ -477,7 +477,14 @@ func (p *program) doCall(f *fn, s *state, w int) *state {
 		p.setBail(fmt.Sprintf("jal target is not a function start at %#x", pc))
 		return nil
 	}
-	setReg(s, isa.RegRA, constVal(pc+4))
+	return p.doCallTo(f, s, w, callee, isa.RegRA)
+}
+
+// doCallTo models a call (direct or resolved-indirect) to callee with
+// the link address written to link.
+func (p *program) doCallTo(f *fn, s *state, w int, callee *fn, link isa.Register) *state {
+	pc := p.pcOf(w)
+	setReg(s, link, constVal(pc+4))
 	spv := s.regs[isa.RegSP]
 
 	var entry *state
@@ -562,6 +569,70 @@ func (p *program) doReturn(f *fn, s *state) {
 	}
 }
 
+// doJALR models an indirect call. A constant target landing on a
+// discovered function start resolves into an ordinary call with full
+// precision — the `la rd, fn; jalr link, rd` idiom (discoverFunctions
+// finds address-taken starts from the la materialization pairs).
+// Anything else is a per-site bail: the call may reach any discovered
+// function — the bounded target set the predecode CFG gives us — so a
+// worst-case entry state is joined into every function, the caller's
+// registers and frame are havocked across the call, and the site is
+// recorded for ptlint. The rest of the image keeps its facts; this
+// replaces the old whole-image jalr bail.
+//
+// Soundness leans on the ABI argument doReturn already makes for JR: an
+// actually-corrupted target register is tainted, so the dynamic
+// detectors halt at this very site (CheckJumpReg fires before the jump
+// lands), while an untainted target in generated or hand-written code
+// enters a function at its first instruction.
+func (p *program) doJALR(f *fn, s *state, w int) *state {
+	in := p.ins[w]
+	if tv := s.regs[in.Rs]; tv.k == kConst {
+		if callee := p.fnByIdx[p.idxOf(tv.v)]; callee != nil {
+			return p.doCallTo(f, s, w, callee, in.Rd)
+		}
+	}
+	pc := p.pcOf(w)
+	p.setSiteBail(w, fmt.Sprintf("unresolved indirect call at %#x ($%s not a known function address)",
+		pc, regName(in.Rs)))
+	entry := havocEntry()
+	for _, callee := range p.funcs {
+		if !callee.entrySet {
+			callee.entry = entry.clone()
+			callee.entrySet = true
+			p.envChanged = true
+		} else if callee.entry.joinInto(entry) {
+			p.envChanged = true
+		}
+	}
+	// The unknown callee may store taint through any pointer the caller
+	// handed it, up into any ancestor frame.
+	p.setTaintsCaller(f)
+	// Worst-case post-call state: every register unknown and possibly
+	// tainted, every caller slot the implicit top (newState's empty map).
+	post := newState()
+	for r := range post.regs {
+		post.regs[r] = top(whyEntry, 0)
+	}
+	post.regs[isa.RegZero] = constVal(0)
+	return post
+}
+
+// havocEntry is the entry state an unresolved indirect call contributes
+// to each candidate callee: nothing is known beyond the frame origin
+// (the callee's own entry $sp, which is the kSym coordinate anchor).
+func havocEntry() *state {
+	s := newState()
+	for r := range s.regs {
+		s.regs[r] = top(whyEntry, 0)
+	}
+	s.regs[isa.RegZero] = constVal(0)
+	s.regs[isa.RegSP] = absVal{t: May, k: kSym, why: whyEntry}
+	s.regs[isa.RegFP] = absVal{t: May, k: kStackAny, why: whyEntry}
+	s.regs[isa.RegRA] = absVal{t: May, k: kRetAddr, why: whyEntry}
+	return s
+}
+
 // doSyscall models the kernel interface: $v0 selects the service,
 // SYS_READ/SYS_RECV taint the buffer at $a1 (length $a2), SYS_EXIT does
 // not return, everything else returns an untainted result in $v0.
@@ -626,7 +697,17 @@ func (p *program) walkBlock(f *fn, b *block, hook insHook) []edge {
 			}
 			return nil
 		case isa.KindJumpReg:
-			// JALR bails at discovery; JR is a return.
+			if in.Op == isa.OpJALR {
+				post := p.doJALR(f, s, w)
+				if post == nil {
+					return nil
+				}
+				if fb, ok := f.blockAt[w+1]; ok {
+					return []edge{{fb, post}}
+				}
+				return nil
+			}
+			// JR is a return.
 			p.doReturn(f, s)
 			return nil
 		case isa.KindSystem:

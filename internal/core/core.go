@@ -113,6 +113,13 @@ type Config struct {
 	// two are behaviourally identical; the reference path exists for
 	// cross-checking and debugging.
 	Reference bool
+	// NoSuperblocks disables the trace-superblock tier of the fast path
+	// (hot clean loops fused into straight-line specialized traces; see
+	// internal/cpu/superblock.go). Behaviour is identical either way —
+	// the tier deoptimizes to the basic-block path whenever any of its
+	// assumptions fail — so this exists for measurement and debugging,
+	// like Reference. Implied by Reference.
+	NoSuperblocks bool
 	// NoStatic skips the boot-time static may-taint analysis
 	// (internal/analysis) whose provably-clean facts let the fast path
 	// drop runtime taint checks. The analysis adds a few milliseconds to
@@ -235,6 +242,9 @@ func BootImage(cfg Config, im *asm.Image) (machine *Machine, err error) {
 		name = "a.out"
 	}
 	k.SetArgs(c, append([]string{name}, cfg.Args...), cfg.Env)
+	if cfg.NoSuperblocks {
+		c.SetSuperblocks(false)
+	}
 	if !cfg.Reference && !cfg.NoStatic {
 		// Static provably-clean facts let the fast path skip runtime
 		// taint checks; the reference interpreter never consumes them, so

@@ -98,7 +98,16 @@ func (m *CovMap) Edges() int {
 // SetCovMap attaches (or, with nil, detaches) an edge coverage map. The
 // caller owns the map and must not share one live map between CPUs.
 // Coverage is not inherited across Fork: each forked run attaches its own.
-func (c *CPU) SetCovMap(m *CovMap) { c.cov = m }
+// Compiled superblocks are dropped (heat is kept, so hot traces
+// recompile on their next dispatch): attach/detach is a harness regime
+// change, and re-specializing under the new regime keeps the trace tier
+// free of any assumption about the old one. Superblocks record the same
+// per-iteration edges the block path would, so coverage maps stay
+// byte-identical across tiers.
+func (c *CPU) SetCovMap(m *CovMap) {
+	c.cov = m
+	c.flushSuperblocks()
+}
 
 // CovEnabled reports whether an edge coverage map is attached.
 func (c *CPU) CovEnabled() bool { return c.cov != nil }

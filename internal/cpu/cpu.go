@@ -122,6 +122,14 @@ type CPU struct {
 	decoded  []decodedSlot
 	blocks   []*decBlock
 
+	// Superblock tier (superblock.go): sblocks[i] caches the compiled
+	// trace entered at text word i (sbUnfusable marks failed builds),
+	// sbHeat counts block-path dispatches toward sbHotThreshold, and
+	// sbOff disables the tier. Never shared: forks drop both and recount.
+	sblocks []*superblock
+	sbHeat  []uint16
+	sbOff   bool
+
 	// staticFacts holds per-text-word proof bits from the static analyzer
 	// (SetStaticFacts); nil when no analysis is installed. The slice is
 	// read-only — forks alias it — and is dropped wholesale whenever its

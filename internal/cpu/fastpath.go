@@ -601,6 +601,11 @@ func (c *CPU) StepBlock(max uint64) error {
 	pc := c.pc
 	var done, cleanN, staticN, cyc, stalls uint64
 	prevDst := c.pipe.loadDst
+	// sbSkip suppresses superblock re-entry at one index after a deopt
+	// that retired nothing: the block path must execute the deopting
+	// instruction before the trace is attempted again, or a standing
+	// guard failure at the trace's first op would livelock the chain.
+	sbSkip := ^uint32(0)
 chain:
 	for {
 		idx := (pc - c.textBase) >> 2
@@ -628,6 +633,61 @@ chain:
 			}
 			if rem := max - executed; uint64(n) > rem {
 				n = int(rem)
+			}
+		}
+		// Superblock tier: on the conditions under which StepBlock itself
+		// runs its clean inlined paths (flat memory, no probes, no
+		// per-opcode profiling), count this dispatch toward the entry's
+		// heat and, once compiled, run the fused trace with the batched
+		// locals flushed — the superblock writes c.stats and c.pipe
+		// directly at its exits.
+		if !c.sbOff && c.probes == nil && c.profile == nil && c.flatMem != nil {
+			if len(c.sblocks) != len(c.blocks) {
+				c.sblocks = make([]*superblock, len(c.blocks))
+				c.sbHeat = make([]uint16, len(c.blocks))
+			}
+			if sb := c.sblocks[idx]; sb == nil {
+				if c.sbHeat[idx] >= sbHotThreshold {
+					c.sblocks[idx] = c.buildSuperblock(idx)
+				} else {
+					c.sbHeat[idx]++
+				}
+			} else if sb != sbUnfusable && idx == sbSkip {
+				sbSkip = ^uint32(0) // consumed: the block path takes this one dispatch
+			} else if sb != sbUnfusable {
+				switch {
+				case !sb.live(c):
+					// A constituent block was rebuilt or invalidated
+					// (self-modifying store, probe flush, fact drop);
+					// recompile only after the entry re-heats.
+					c.sblocks[idx] = nil
+					c.sbHeat[idx] = 0
+				case (max == 0 || max-(c.stats.Instructions+done) >= uint64(len(sb.ops))) &&
+					c.sbEntryClean(sb):
+					c.pc = pc
+					c.flushRetired(done, cleanN, staticN)
+					c.flushPipe(cyc, stalls, prevDst)
+					done, cleanN, staticN, cyc, stalls = 0, 0, 0, 0, 0
+					c.stats.SuperblockRuns++
+					npc, progressed := c.runSuperblock(sb, max)
+					pc = npc
+					prevDst = c.pipe.loadDst
+					if progressed {
+						sbSkip = ^uint32(0)
+					} else {
+						sbSkip = idx
+						if sb.badEntries++; sb.badEntries > sbMaxBadEntries {
+							c.sblocks[idx] = sbUnfusable
+						}
+					}
+					continue chain
+				default:
+					// Entry guard failed (tainted live-in register) or
+					// the budget cannot fit one iteration.
+					if sb.badEntries++; sb.badEntries > sbMaxBadEntries {
+						c.sblocks[idx] = sbUnfusable
+					}
+				}
 			}
 		}
 		ins := b.ins[:n]

@@ -60,6 +60,10 @@ func (c *CPU) Fork(bus Bus, handler SyscallHandler) *CPU {
 	// Same for the coverage hit map: sharing one across concurrent forks
 	// would race, so each fuzzing run attaches its own via SetCovMap.
 	n.cov = nil
+	// Superblocks pin decBlock pointers and carry a mutable badEntries
+	// counter, and the heat slice is written per dispatch; neither may
+	// be shared across forks. Forks re-heat and recompile their own.
+	n.sblocks, n.sbHeat = nil, nil
 	if c.prov != nil {
 		// Provenance state is inherited deep: the label table and the
 		// register shadows copy, so every fork resolves pre-snapshot

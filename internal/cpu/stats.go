@@ -62,6 +62,17 @@ type Stats struct {
 	CleanSkips   uint64
 	TaintedSteps uint64
 
+	// Superblock-tier counters (superblock.go). SuperblockRuns counts
+	// entries into a compiled trace, SuperblockInstrs the instructions
+	// retired inside one (a subset of Instructions), SuperblockDeopts
+	// the exits forced by a violated specialization assumption (tainted
+	// loaded value, dirty compare/branch home, store range guard) — as
+	// opposed to ordinary side exits on the unexpected branch direction
+	// or the budget boundary.
+	SuperblockRuns   uint64
+	SuperblockInstrs uint64
+	SuperblockDeopts uint64
+
 	// StaticCleanSkips counts retirements whose runtime taint check was
 	// skipped on the strength of a static-analysis fact (SetStaticFacts)
 	// rather than a dynamic taint read. Every such retirement with a

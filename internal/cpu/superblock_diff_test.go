@@ -1,0 +1,88 @@
+// C-level differential coverage for the superblock tier: compiled guest
+// code (stack spills, register reuse, whatever the front end emits) must
+// retire with identical architectural counters and pipeline timing under
+// the reference interpreter and the superblock-enabled fast path. The
+// asm scenarios in superblock_test.go pin the trace shapes; these pin
+// the tier against realistic codegen.
+package cpu_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// sbCleanLoopSrc is a register-pressure hot loop with no memory taint:
+// the whole loop should fuse and never deopt.
+const sbCleanLoopSrc = `
+int main() {
+  unsigned s = 7;
+  for (int i = 0; i < 100000; i++) { s = s + i*3 - (s>>1); }
+  return 0;
+}
+`
+
+// sbTaintedLoopSrc scans a tainted buffer: every iteration's load is a
+// taint birth, exercising the post-op side exit and the re-entry guard
+// on each pass.
+const sbTaintedLoopSrc = `
+char buf[64];
+int main() {
+  int n = read(0, buf, 64);
+  int t = 0;
+  for (int i = 0; i < 20000; i++) {
+    if (buf[i & 31] == 'x') t++;
+  }
+  return 0;
+}
+`
+
+func sbRunC(t *testing.T, src string, stdin []byte, ref bool) (*core.Machine, error) {
+	t.Helper()
+	m, err := core.BuildC(core.Config{Budget: 1 << 40, Reference: ref}, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stdin != nil {
+		m.SetStdin(stdin)
+	}
+	return m, m.Run()
+}
+
+func sbCompareC(t *testing.T, src string, stdin []byte) *core.Machine {
+	t.Helper()
+	ref, refErr := sbRunC(t, src, stdin, true)
+	fast, fastErr := sbRunC(t, src, stdin, false)
+	if refErr != nil || fastErr != nil {
+		t.Fatalf("run: reference %v, fast %v", refErr, fastErr)
+	}
+	rs, fs := ref.Stats(), fast.Stats()
+	if rs.Instructions != fs.Instructions || rs.Loads != fs.Loads ||
+		rs.Stores != fs.Stores || rs.Branches != fs.Branches ||
+		rs.Alerts != fs.Alerts {
+		t.Errorf("stats differ:\nreference %+v\nfast      %+v", rs, fs)
+	}
+	if rp, fp := ref.Pipeline(), fast.Pipeline(); rp != fp {
+		t.Errorf("pipeline differs:\nreference %+v\nfast      %+v", rp, fp)
+	}
+	return fast
+}
+
+func TestSuperblockCDifferentialCleanLoop(t *testing.T) {
+	fast := sbCompareC(t, sbCleanLoopSrc, nil)
+	s := fast.Stats()
+	if s.SuperblockInstrs == 0 {
+		t.Errorf("superblock tier never engaged on the clean hot loop")
+	}
+	if s.SuperblockDeopts != 0 {
+		t.Errorf("clean loop deopted %d times, want 0", s.SuperblockDeopts)
+	}
+}
+
+func TestSuperblockCDifferentialTaintedLoad(t *testing.T) {
+	fast := sbCompareC(t, sbTaintedLoopSrc, []byte("xyxyxyxyxyxyxyxyxyxyxyxyxyxyxyxy"))
+	s := fast.Stats()
+	if s.SuperblockDeopts == 0 {
+		t.Errorf("tainted scan never forced a deopt")
+	}
+}

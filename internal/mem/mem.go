@@ -31,6 +31,13 @@ type page struct {
 	data  [PageSize]byte
 	taint [PageSize / 8]byte // bitset, 1 bit per byte
 	refs  int32
+
+	// anyTaint is a sticky clean-page flag: false guarantees every taint
+	// bit on the page is clear, so span scans can skip the bitset
+	// entirely. It is set on every taint-setting write and never cleared
+	// by untainting (a page that was ever tainted keeps scanning its
+	// bitset) — conservative staleness costs a scan, never soundness.
+	anyTaint bool
 }
 
 func (p *page) tainted(off uint32) bool {
@@ -40,8 +47,91 @@ func (p *page) tainted(off uint32) bool {
 func (p *page) setTaint(off uint32, t bool) {
 	if t {
 		p.taint[off>>3] |= 1 << (off & 7)
+		p.anyTaint = true
 	} else {
 		p.taint[off>>3] &^= 1 << (off & 7)
+	}
+}
+
+// spanTainted reports whether any taint bit in [off, end) is set, scanning
+// the bitset a 64-bit lane at a time. Callers gate on p.anyTaint first and
+// guarantee 0 <= off < end <= PageSize.
+func (p *page) spanTainted(off, end uint32) bool {
+	i0, i1 := off>>6, (end-1)>>6
+	if i0 == i1 {
+		w := binary.LittleEndian.Uint64(p.taint[i0*8:])
+		mask := (^uint64(0) >> (64 - (end - off))) << (off & 63)
+		return w&mask != 0
+	}
+	if binary.LittleEndian.Uint64(p.taint[i0*8:])>>(off&63) != 0 {
+		return true
+	}
+	for i := i0 + 1; i < i1; i++ {
+		if binary.LittleEndian.Uint64(p.taint[i*8:]) != 0 {
+			return true
+		}
+	}
+	w := binary.LittleEndian.Uint64(p.taint[i1*8:])
+	if tail := end & 63; tail != 0 {
+		w &= ^uint64(0) >> (64 - tail)
+	}
+	return w != 0
+}
+
+// countRun returns the number of set taint bits in [off, end), counting a
+// 64-bit lane at a time. Same preconditions as spanTainted.
+func (p *page) countRun(off, end uint32) int {
+	i0, i1 := off>>6, (end-1)>>6
+	if i0 == i1 {
+		w := binary.LittleEndian.Uint64(p.taint[i0*8:])
+		mask := (^uint64(0) >> (64 - (end - off))) << (off & 63)
+		return bits.OnesCount64(w & mask)
+	}
+	c := bits.OnesCount64(binary.LittleEndian.Uint64(p.taint[i0*8:]) >> (off & 63))
+	for i := i0 + 1; i < i1; i++ {
+		c += bits.OnesCount64(binary.LittleEndian.Uint64(p.taint[i*8:]))
+	}
+	w := binary.LittleEndian.Uint64(p.taint[i1*8:])
+	if tail := end & 63; tail != 0 {
+		w &= ^uint64(0) >> (64 - tail)
+	}
+	return c + bits.OnesCount64(w)
+}
+
+// taintRun sets every taint bit in [off, end), a bitset byte at a time.
+func (p *page) taintRun(off, end uint32) {
+	p.anyTaint = true
+	b0, b1 := off>>3, (end-1)>>3
+	if b0 == b1 {
+		p.taint[b0] |= byte(0xFF>>(8-(end-off))) << (off & 7)
+		return
+	}
+	p.taint[b0] |= 0xFF << (off & 7)
+	for i := b0 + 1; i < b1; i++ {
+		p.taint[i] = 0xFF
+	}
+	if tail := end & 7; tail != 0 {
+		p.taint[b1] |= 0xFF >> (8 - tail)
+	} else {
+		p.taint[b1] = 0xFF
+	}
+}
+
+// clearRun clears every taint bit in [off, end), a bitset byte at a time.
+func (p *page) clearRun(off, end uint32) {
+	b0, b1 := off>>3, (end-1)>>3
+	if b0 == b1 {
+		p.taint[b0] &^= byte(0xFF>>(8-(end-off))) << (off & 7)
+		return
+	}
+	p.taint[b0] &^= 0xFF << (off & 7)
+	for i := b0 + 1; i < b1; i++ {
+		p.taint[i] = 0
+	}
+	if tail := end & 7; tail != 0 {
+		p.taint[b1] &^= 0xFF >> (8 - tail)
+	} else {
+		p.taint[b1] = 0
 	}
 }
 
@@ -177,7 +267,7 @@ func (m *Memory) pageForWrite(addr uint32) *page {
 // (replacing p there), and releases m's share of p. Reading p.data/p.taint
 // here is race-free because a page with refs != 0 is immutable.
 func (m *Memory) cowCopy(pn uint32, p *page) *page {
-	np := &page{data: p.data, taint: p.taint}
+	np := &page{data: p.data, taint: p.taint, anyTaint: p.anyTaint}
 	m.pages[pn] = np
 	atomic.AddInt32(&p.refs, -1)
 	m.frozen = false
@@ -302,7 +392,10 @@ func (m *Memory) PutHalf(addr uint32, h uint16, vec taint.Vec) {
 	sh := off & 7
 	nib := byte(vec) & 0x3
 	p.taint[off>>3] = p.taint[off>>3]&^(0x3<<sh) | nib<<sh
-	m.taintedStores += uint64(bits.OnesCount8(nib))
+	if nib != 0 {
+		m.taintedStores += uint64(bits.OnesCount8(nib))
+		p.anyTaint = true
+	}
 }
 
 // LoadHalf returns the little-endian halfword at addr with its taint vector
@@ -360,7 +453,10 @@ func (m *Memory) PutWord(addr uint32, w uint32, vec taint.Vec) {
 	sh := off & 7
 	nib := byte(vec) & byte(taint.Word)
 	p.taint[off>>3] = p.taint[off>>3]&^(0xF<<sh) | nib<<sh
-	m.taintedStores += uint64(bits.OnesCount8(nib))
+	if nib != 0 {
+		m.taintedStores += uint64(bits.OnesCount8(nib))
+		p.anyTaint = true
+	}
 }
 
 // LoadWord returns the little-endian word at addr and its 4-lane taint,
@@ -383,13 +479,22 @@ func (m *Memory) StoreWord(addr uint32, w uint32, vec taint.Vec) error {
 }
 
 // SpanTainted reports whether any of the n bytes at addr are tainted,
-// without the data copy ReadBytes would do.
+// without the data copy ReadBytes would do. The scan runs a page at a
+// time: a page whose sticky clean flag is unset is skipped outright, and
+// a dirty page's bitset is tested in 64-bit lanes rather than bit by bit —
+// this is the hot guard of the fast path's home-slot and compare checks.
 func (m *Memory) SpanTainted(addr uint32, n int) bool {
-	for i := 0; i < n; i++ {
-		a := addr + uint32(i)
-		if p := m.pageAt(a); p != nil && p.tainted(a&(PageSize-1)) {
+	for n > 0 {
+		off := addr & (PageSize - 1)
+		chunk := PageSize - int(off)
+		if chunk > n {
+			chunk = n
+		}
+		if p := m.pageAt(addr); p != nil && p.anyTaint && p.spanTainted(off, off+uint32(chunk)) {
 			return true
 		}
+		addr += uint32(chunk)
+		n -= chunk
 	}
 	return false
 }
@@ -428,30 +533,37 @@ func (m *Memory) ReadCString(addr uint32, max int) string {
 
 // TaintRange marks n bytes starting at addr as tainted without changing
 // their values — the kernel's taint-initialization primitive (Section 4.4).
+// One write-fault and one byte-granular bitset fill per page covered.
 func (m *Memory) TaintRange(addr uint32, n int) {
-	for i := 0; i < n; i++ {
-		a := addr + uint32(i)
-		p := m.pageForWrite(a)
-		p.setTaint(a&(PageSize-1), true)
-		m.taintedStores++
+	for n > 0 {
+		off := addr & (PageSize - 1)
+		chunk := PageSize - int(off)
+		if chunk > n {
+			chunk = n
+		}
+		m.pageForWrite(addr).taintRun(off, off+uint32(chunk))
+		m.taintedStores += uint64(chunk)
+		addr += uint32(chunk)
+		n -= chunk
 	}
 }
 
-// UntaintRange clears the taint of n bytes starting at addr. Bytes that
-// are already clean are skipped without a write fault, so untainting a
-// frozen region that holds no taint copies nothing.
+// UntaintRange clears the taint of n bytes starting at addr. A page whose
+// covered span holds no taint is skipped without a write fault, so
+// untainting a frozen region that holds no taint copies nothing.
 func (m *Memory) UntaintRange(addr uint32, n int) {
-	for i := 0; i < n; i++ {
-		a := addr + uint32(i)
-		p := m.pageAt(a)
-		if p == nil {
-			continue
+	for n > 0 {
+		off := addr & (PageSize - 1)
+		chunk := PageSize - int(off)
+		if chunk > n {
+			chunk = n
 		}
-		off := a & (PageSize - 1)
-		if !p.tainted(off) {
-			continue
+		end := off + uint32(chunk)
+		if p := m.pageAt(addr); p != nil && p.anyTaint && p.spanTainted(off, end) {
+			m.pageForWrite(addr).clearRun(off, end)
 		}
-		m.pageForWrite(a).setTaint(off, false)
+		addr += uint32(chunk)
+		n -= chunk
 	}
 }
 
@@ -493,13 +605,21 @@ func (m *Memory) Fingerprint() uint64 {
 // ResidentBytes returns the amount of allocated (touched) memory.
 func (m *Memory) ResidentBytes() int { return len(m.pages) * PageSize }
 
-// CountTainted returns how many bytes in [addr, addr+n) are tainted.
+// CountTainted returns how many bytes in [addr, addr+n) are tainted,
+// popcounting the taint bitset in 64-bit lanes.
 func (m *Memory) CountTainted(addr uint32, n int) int {
 	c := 0
-	for i := 0; i < n; i++ {
-		if _, t := m.LoadByte(addr + uint32(i)); t {
-			c++
+	for n > 0 {
+		off := addr & (PageSize - 1)
+		chunk := PageSize - int(off)
+		if chunk > n {
+			chunk = n
 		}
+		if p := m.pageAt(addr); p != nil && p.anyTaint {
+			c += p.countRun(off, off+uint32(chunk))
+		}
+		addr += uint32(chunk)
+		n -= chunk
 	}
 	return c
 }
