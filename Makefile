@@ -6,7 +6,7 @@ FAULT_SEED ?= 1
 PTFUZZ_SEED ?= 1
 PTFUZZ_EXECS ?= 1500
 
-.PHONY: build vet lint test race race-campaign fault-campaign fuzz fuzz-smoke bench bench-json bench-fuzz bench-superblock trace-check ci
+.PHONY: build vet lint test race race-campaign fault-campaign fuzz fuzz-smoke serve-smoke bench bench-json bench-fuzz bench-superblock trace-check ci
 
 build:
 	$(GO) build ./...
@@ -35,7 +35,7 @@ race:
 # up under races and ordering. internal/cpu rides along for the superblock
 # fork-isolation and invalidation tests.
 race-campaign:
-	$(GO) test -race -shuffle=on ./internal/mem/ ./internal/campaign/ ./internal/attack/ ./internal/kernel/ ./internal/netsim/ ./internal/fault/ ./internal/fuzz/ ./internal/cpu/ ./cmd/ptcampaign/ ./cmd/ptfault/ ./cmd/ptfuzz/
+	$(GO) test -race -shuffle=on ./internal/mem/ ./internal/campaign/ ./internal/attack/ ./internal/kernel/ ./internal/netsim/ ./internal/fault/ ./internal/fuzz/ ./internal/cpu/ ./internal/serve/ ./cmd/ptcampaign/ ./cmd/ptfault/ ./cmd/ptfuzz/ ./cmd/ptserve/
 
 # A small seeded fault-injection campaign with the invariants enforced:
 # zero SilentTaintLoss on the un-faulted control arm, every attack-arm
@@ -55,6 +55,13 @@ fuzz:
 # execs more — the full acceptance run is `ptfuzz -execs 4000 -check 3`).
 fuzz-smoke:
 	$(GO) run ./cmd/ptfuzz -seed $(PTFUZZ_SEED) -execs $(PTFUZZ_EXECS) -check 2
+
+# The multi-tenant service end to end: the hostile-tenant chaos suite
+# (admission, containment, backpressure, shedding, drain, per-tenant
+# accounting) plus the binary-level smoke test — boot on a random port,
+# contain a runaway guest over real HTTP, drain on SIGINT.
+serve-smoke:
+	$(GO) test -run 'TestChaos|TestServeSmoke' -v ./internal/serve/ ./cmd/ptserve/
 
 bench:
 	$(GO) test -run '^$$' -bench 'StepFastPath|SPEC' -benchmem .
@@ -86,4 +93,4 @@ trace-check:
 	$(GO) test -run 'TestEventSink|TestWrite|TestStream|TestDestReg|TestUsesRt|TestTracer' ./internal/cpu/
 	PTBENCH_GUARD=1 $(GO) test -run 'TestProvenanceBenchGuard|TestSuperblockBenchGuard' -v .
 
-ci: lint build race race-campaign fault-campaign fuzz fuzz-smoke trace-check
+ci: lint build race race-campaign fault-campaign fuzz fuzz-smoke serve-smoke trace-check

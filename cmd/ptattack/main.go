@@ -19,6 +19,7 @@ import (
 	"strings"
 
 	"repro/internal/attack"
+	"repro/internal/core"
 	"repro/internal/taint"
 )
 
@@ -52,9 +53,15 @@ func run(args []string) error {
 	policyName := fs.String("policy", "pointer", "detection policy: pointer, control, off")
 	prov := fs.Bool("prov", false, "record taint provenance; detections print their origin chains")
 	tracePath := fs.String("trace", "", "stream structured trace events as JSONL to this file (single scenario at a time)")
+	ct := core.DefaultContainment()
+	ct.AddFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	// Scenario Prepare functions boot internally; the global is how the
+	// shared containment flags reach those machines.
+	attack.ForceContainment = &ct
+	defer func() { attack.ForceContainment = nil }()
 	policy, ok := taint.ParsePolicy(*policyName)
 	if !ok {
 		return fmt.Errorf("unknown policy %q", *policyName)

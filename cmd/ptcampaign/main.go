@@ -78,6 +78,7 @@ type benchReport struct {
 	TimedOut    int            `json:"timed_out"`
 	Compromised int            `json:"compromised"`
 	Errors      int            `json:"errors"`
+	Retries     int            `json:"retries"`
 	Outcomes    map[string]int `json:"outcomes"`
 
 	// Metrics is the deterministic value-wise merge of every session
@@ -121,11 +122,15 @@ func run(args []string, w *os.File) error {
 		return sc.Session(m)
 	}
 
-	// The campaign proper.
+	// The campaign proper, behind the pool guard: panic isolation plus one
+	// seeded-backoff retry per session, with the retry count surfaced in
+	// the summary and the JSON report.
 	start := time.Now()
-	results := campaign.Run(snap, *n, *parallel, session)
+	results, gs := campaign.RunGuarded(snap, *n, *parallel,
+		campaign.GuardOpts{Retries: 1, Backoff: 50 * time.Millisecond, Seed: 1}, session)
 	elapsed := time.Since(start)
 	sum := campaign.Summarize(results, snap.Stats())
+	sum.Retries = gs.Retries
 
 	// Identical sessions must agree; a divergence means shared state leaked.
 	for i := 1; i < len(results); i++ {
@@ -137,8 +142,8 @@ func run(args []string, w *os.File) error {
 	perSec := float64(sum.Sessions) / elapsed.Seconds()
 	fmt.Fprintf(w, "%s: %d sessions x %d workers in %v  (%.0f sessions/sec)\n",
 		sc.Name, sum.Sessions, *parallel, elapsed.Round(time.Microsecond), perSec)
-	fmt.Fprintf(w, "verdicts: %d detected, %d crashed, %d timed out, %d compromised, %d errors (all sessions identical)\n",
-		sum.Detected, sum.Crashed, sum.TimedOut, sum.Compromised, sum.Errors)
+	fmt.Fprintf(w, "verdicts: %d detected, %d crashed, %d timed out, %d compromised, %d errors, %d retries (all sessions identical)\n",
+		sum.Detected, sum.Crashed, sum.TimedOut, sum.Compromised, sum.Errors, sum.Retries)
 	if len(results) > 0 {
 		fmt.Fprintf(w, "session verdict: %s\n", results[0].Outcome)
 	}
@@ -163,6 +168,7 @@ func run(args []string, w *os.File) error {
 		TimedOut:          sum.TimedOut,
 		Compromised:       sum.Compromised,
 		Errors:            sum.Errors,
+		Retries:           sum.Retries,
 		Outcomes:          sum.Outcomes,
 		Metrics:           sum.Metrics.Merge(processMetrics()),
 	}

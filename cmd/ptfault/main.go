@@ -9,8 +9,12 @@
 // Usage:
 //
 //	ptfault [-seed S] [-n RUNS] [-parallel N] [-fast=false] [-prov]
-//	        [-target a,b] [-injector x,y] [-deadline D]
+//	        [-target a,b] [-injector x,y]
+//	        [-budget I] [-mem-limit B] [-deadline D] [-retries R] [-backoff D]
 //	        [-json FILE] [-runs] [-check]
+//
+// SIGINT/SIGTERM drains: new runs stop, in-flight forks finish, and the
+// partial report (marked "interrupted": true) is still printed/written.
 //
 // Targets: exp1-stack exp2-heap wuftpd-site-exec (attack arm),
 // exp1-benign gzips parsers (benign arm). Injectors: none taint-loss
@@ -23,11 +27,15 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
+	"syscall"
 	"time"
 
+	"repro/internal/attack"
 	"repro/internal/campaign"
+	"repro/internal/core"
 	"repro/internal/fault"
 )
 
@@ -47,13 +55,31 @@ func run(args []string, w io.Writer) error {
 	prov := fs.Bool("prov", false, "record taint provenance so SilentTaintLoss rows name the lost input origins")
 	targetList := fs.String("target", "", "comma-separated target filter (default: all)")
 	injectorList := fs.String("injector", "", "comma-separated injector filter (default: all)")
-	deadline := fs.Duration("deadline", 30*time.Second, "per-run wall-clock backstop (0 = none)")
 	jsonPath := fs.String("json", "", "write the JSON coverage report to this file (- = stdout)")
 	keepRuns := fs.Bool("runs", false, "include every per-run record in the JSON report")
 	check := fs.Bool("check", false, "fail unless the campaign invariants hold (control detects, zero control SilentTaintLoss, injected attack arm still detects)")
+	ct := core.DefaultContainment()
+	ct.AddFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	attack.ForceContainment = &ct
+	defer func() { attack.ForceContainment = nil }()
+
+	// SIGINT/SIGTERM drain: stop handing out new runs, finish in-flight
+	// forks, and emit the partial report with its interrupted marker
+	// instead of dropping the campaign.
+	stop := make(chan struct{})
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
+	go func() {
+		if _, ok := <-sig; ok {
+			fmt.Fprintln(os.Stderr, "ptfault: interrupt — draining in-flight runs")
+			close(stop)
+			signal.Stop(sig)
+		}
+	}()
 
 	cfg := fault.Config{
 		Seed:       *seed,
@@ -61,7 +87,10 @@ func run(args []string, w io.Writer) error {
 		Workers:    *parallel,
 		Reference:  !*fast,
 		Provenance: *prov,
-		Deadline:   *deadline,
+		Deadline:   ct.Deadline,
+		Retries:    ct.Retries,
+		Backoff:    ct.Backoff,
+		Stop:       stop,
 	}
 	if *targetList != "" {
 		cfg.Targets = strings.Split(*targetList, ",")
@@ -91,9 +120,13 @@ func run(args []string, w io.Writer) error {
 			fmt.Fprintln(w, " ", line)
 		}
 	}
-	fmt.Fprintf(w, "\n%d runs x %d workers (%s engine, seed %d): prepare %v, campaign %v\n",
+	fmt.Fprintf(w, "\n%d runs x %d workers (%s engine, seed %d): prepare %v, campaign %v, %d retries\n",
 		rep.Runs, *parallel, rep.Engine, rep.Seed,
-		prepElapsed.Round(time.Millisecond), elapsed.Round(time.Millisecond))
+		prepElapsed.Round(time.Millisecond), elapsed.Round(time.Millisecond), rep.Retries)
+	if rep.Interrupted {
+		fmt.Fprintf(w, "interrupted: drained after %d of %d runs (%d skipped)\n",
+			rep.Runs, rep.Runs+rep.Skipped, rep.Skipped)
+	}
 
 	if *jsonPath != "" {
 		data, err := json.MarshalIndent(rep, "", "  ")

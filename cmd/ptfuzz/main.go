@@ -8,8 +8,12 @@
 // Usage:
 //
 //	ptfuzz [-seed S] [-execs N] [-batch B] [-parallel N] [-fast=false]
-//	       [-target a,b] [-deadline D] [-json FILE] [-corpus]
-//	       [-bench FILE] [-check N]
+//	       [-target a,b] [-budget I] [-mem-limit B] [-deadline D]
+//	       [-json FILE] [-corpus] [-bench FILE] [-check N]
+//
+// SIGINT/SIGTERM drains: no new generations start, in-flight forks
+// finish, and the partial report (marked "interrupted": true) is still
+// printed/written.
 //
 // Targets: exp1-stack exp2-heap wuftpd-site-exec. The headline check:
 // -check N fails unless at least N targets' scripted attack alert
@@ -22,11 +26,15 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
+	"syscall"
 	"time"
 
+	"repro/internal/attack"
 	"repro/internal/campaign"
+	"repro/internal/core"
 	"repro/internal/fuzz"
 )
 
@@ -45,14 +53,33 @@ func run(args []string, w io.Writer) error {
 	parallel := fs.Int("parallel", campaign.DefaultWorkers(), "worker goroutines (not part of the schedule)")
 	fast := fs.Bool("fast", true, "use the predecoded basic-block fast path")
 	targetList := fs.String("target", "", "comma-separated target filter (default: all)")
-	deadline := fs.Duration("deadline", 0, "per-exec wall-clock backstop (0 = none; nonzero trades determinism)")
 	jsonPath := fs.String("json", "", "write the JSON report to this file (- = stdout)")
 	corpus := fs.Bool("corpus", false, "print the admitted corpus entries")
 	benchPath := fs.String("bench", "", "write throughput numbers (execs/sec, fork/exec breakdown) to this JSON file")
 	check := fs.Int("check", 0, "fail unless at least N scripted attack fingerprints were rediscovered")
+	ct := core.DefaultContainment()
+	ct.Deadline = 0 // per-exec wall deadlines trade determinism; opt in explicitly
+	ct.AddFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	attack.ForceContainment = &ct
+	defer func() { attack.ForceContainment = nil }()
+
+	// SIGINT/SIGTERM drain: stop admitting new generations, finish
+	// in-flight forks, and emit the partial report with its interrupted
+	// marker instead of dropping the run.
+	stop := make(chan struct{})
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
+	go func() {
+		if _, ok := <-sig; ok {
+			fmt.Fprintln(os.Stderr, "ptfuzz: interrupt — draining in-flight execs")
+			close(stop)
+			signal.Stop(sig)
+		}
+	}()
 
 	cfg := fuzz.Config{
 		Seed:      *seed,
@@ -60,7 +87,8 @@ func run(args []string, w io.Writer) error {
 		Batch:     *batch,
 		Workers:   *parallel,
 		Reference: !*fast,
-		Deadline:  *deadline,
+		Deadline:  ct.Deadline,
+		Stop:      stop,
 	}
 	if *targetList != "" {
 		cfg.Targets = strings.Split(*targetList, ",")
@@ -93,6 +121,9 @@ func run(args []string, w io.Writer) error {
 	fmt.Fprintf(w, "\n%d execs + %d trim execs x %d workers (%s engine, seed %d): prepare %v, fuzz %v, %.0f execs/sec\n",
 		totalExecs, totalTrims, *parallel, rep.Engine, rep.Seed,
 		prepElapsed.Round(time.Millisecond), elapsed.Round(time.Millisecond), execsPerSec)
+	if rep.Interrupted {
+		fmt.Fprintln(w, "interrupted: drained before the exec budget was spent; partial report above")
+	}
 
 	if *jsonPath != "" {
 		data, err := json.MarshalIndent(rep, "", "  ")

@@ -72,6 +72,8 @@ func run(args []string) (int, error) {
 	traceChrome := fs.String("trace-chrome", "", "write trace events as a Chrome trace_event document")
 	var files fileList
 	fs.Var(&files, "file", "seed guest file: guestpath:hostpath (repeatable)")
+	ct := core.DefaultContainment()
+	ct.AddFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return 0, err
 	}
@@ -90,14 +92,14 @@ func run(args []string) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	cfg := core.Config{
+	cfg := ct.Apply(core.Config{
 		Policy:     policy,
 		WithCache:  *withCache,
 		Args:       guestArgs,
 		ProgName:   progPath,
 		Reference:  !*fast,
 		Provenance: *prov,
-	}
+	})
 	if *traceEvents != "" || *traceChrome != "" {
 		cfg.TraceEvents = -1 // default ring capacity
 	}

@@ -1,0 +1,121 @@
+// ptserve is the hardened multi-tenant campaign service: a long-running
+// HTTP+JSON front door where tenants submit guest images and input
+// streams and receive campaign, fault-injection, and fuzzing results.
+// Admission control (per-tenant caps, bounded queue, image/step-budget
+// quotas), load shedding at a resident-memory high-water mark, and a
+// SIGTERM/SIGINT drain keep hostile or runaway guests a tenant-level
+// event, never a process-level one.
+//
+// Usage:
+//
+//	ptserve [-addr :8844] [-queue 64] [-tenant-cap 4] [-shards N]
+//	        [-high-water BYTES] [-scenario a,b] [-kinds run,campaign,...]
+//	        [-budget I] [-mem-limit B] [-deadline D] [-retries R] [-backoff D]
+//
+// Endpoints:
+//
+//	POST /v1/sessions  submit a session; the response embeds per-tenant stats
+//	GET  /metrics      machine-wide metrics snapshot (JSON)
+//	GET  /healthz      liveness + drain state
+//
+// SIGINT/SIGTERM drains: admission stops with 503, in-flight sessions
+// finish (interrupted campaigns flush partial results), then the process
+// exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/serve"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ptserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("ptserve", flag.ContinueOnError)
+	addr := fs.String("addr", ":8844", "listen address (host:port; :0 picks a free port)")
+	queue := fs.Int("queue", 64, "admission queue depth (backpressure bound)")
+	tenantCap := fs.Int("tenant-cap", 4, "concurrent sessions per tenant")
+	shards := fs.Int("shards", 0, "scheduler shard goroutines (0 = GOMAXPROCS)")
+	highWater := fs.Uint64("high-water", 1<<30, "resident-memory shed threshold in bytes")
+	scenarios := fs.String("scenario", "", "comma-separated scenarios to serve (default: all)")
+	kinds := fs.String("kinds", "", "comma-separated session kinds to enable (default: run,campaign,fault,fuzz)")
+	ct := core.DefaultContainment()
+	ct.AddFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := serve.Config{
+		Workers:      *shards,
+		QueueDepth:   *queue,
+		MaxPerTenant: *tenantCap,
+		HighWater:    *highWater,
+		Containment:  ct,
+		Logf: func(format string, a ...any) {
+			fmt.Fprintf(w, format+"\n", a...)
+		},
+	}
+	if *scenarios != "" {
+		cfg.Scenarios = strings.Split(*scenarios, ",")
+	}
+	if *kinds != "" {
+		cfg.Kinds = strings.Split(*kinds, ",")
+	}
+
+	srv, err := serve.New(cfg)
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "ptserve: listening on %s\n", ln.Addr())
+
+	hs := &http.Server{Handler: srv}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	stop()
+	fmt.Fprintf(w, "ptserve: signal — draining\n")
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		return err
+	}
+	if err := hs.Shutdown(drainCtx); err != nil {
+		return err
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	fmt.Fprintf(w, "ptserve: drained, bye\n")
+	return nil
+}

@@ -1,0 +1,121 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"regexp"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// syncBuffer is a goroutine-safe writer the server goroutine logs into
+// while the test polls it for the bound address.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+var listenRE = regexp.MustCompile(`listening on (\S+)`)
+
+// TestServeSmoke boots the full binary path on a random port, submits a
+// hostile run session over real HTTP, then drains it with SIGINT — the
+// end-to-end smoke the CI target replays.
+func TestServeSmoke(t *testing.T) {
+	out := &syncBuffer{}
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{
+			"-addr", "127.0.0.1:0",
+			"-kinds", "run",
+			"-budget", "100000",
+			"-mem-limit", fmt.Sprint(1 << 20),
+		}, out)
+	}()
+
+	// Wait for the listener line to learn the port.
+	var addr string
+	deadline := time.Now().Add(20 * time.Second)
+	for time.Now().Before(deadline) {
+		if m := listenRE.FindStringSubmatch(out.String()); m != nil {
+			addr = m[1]
+			break
+		}
+		select {
+		case err := <-done:
+			t.Fatalf("server exited early: %v\noutput:\n%s", err, out.String())
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+	if addr == "" {
+		t.Fatalf("no listen line in output:\n%s", out.String())
+	}
+	base := "http://" + addr
+
+	// A hostile runaway guest must come back as a structured timeout.
+	body := `{"tenant":"smoke","kind":"run","source":"main: j main\n"}`
+	resp, err := http.Post(base+"/v1/sessions", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST: %v", err)
+	}
+	var res struct {
+		Status   string         `json:"status"`
+		Outcomes map[string]int `json:"outcomes"`
+		Stats    struct {
+			Completed uint64 `json:"completed"`
+		} `json:"tenant_stats"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || res.Status != "ok" || res.Outcomes["timeout"] != 1 {
+		t.Fatalf("session: code %d, body %+v\noutput:\n%s", resp.StatusCode, res, out.String())
+	}
+	if res.Stats.Completed != 1 {
+		t.Errorf("tenant stats completed = %d, want 1", res.Stats.Completed)
+	}
+
+	// Metrics endpoint answers.
+	mresp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	mresp.Body.Close()
+	if mresp.StatusCode != http.StatusOK {
+		t.Errorf("/metrics: %d", mresp.StatusCode)
+	}
+
+	// SIGINT drains: the process-level signal path, not a direct Shutdown
+	// call. run's NotifyContext catches it before the test binary would.
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGINT); err != nil {
+		t.Fatalf("kill: %v", err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("drain: %v\noutput:\n%s", err, out.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatalf("server did not drain after SIGINT\noutput:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "drained, bye") {
+		t.Errorf("missing drain confirmation in output:\n%s", out.String())
+	}
+}

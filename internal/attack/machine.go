@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/asm"
 	"repro/internal/cache"
+	"repro/internal/core"
 	"repro/internal/cpu"
 	"repro/internal/kernel"
 	"repro/internal/mem"
@@ -23,13 +24,21 @@ import (
 	"repro/internal/taint"
 )
 
-// DefaultBudget bounds one victim run.
-const DefaultBudget = 200_000_000
+// DefaultBudget bounds one victim run. It is the same envelope every
+// entry point shares (core.DefaultContainment), not a per-package number.
+const DefaultBudget = core.DefaultBudget
 
 // DefaultMemLimit bounds one victim's resident guest memory (256 MiB —
 // far above any corpus program's footprint, low enough that a runaway
-// guest cannot exhaust the host).
-const DefaultMemLimit = 256 << 20
+// guest cannot exhaust the host). Shared via core.DefaultContainment.
+const DefaultMemLimit = core.DefaultMemLimit
+
+// ForceContainment, when non-nil, replaces the default budget and memory
+// limit for every machine booted with zero Options values — how a CLI's
+// -budget/-mem-limit flags reach scenario Prepare functions that boot
+// internally (the ForceReference pattern; set before booting, never while
+// a campaign boots concurrently).
+var ForceContainment *core.Containment
 
 // ForceReference disables the predecoded basic-block fast path for every
 // machine booted while it is set — the ptexperiments -fast=false escape
@@ -109,13 +118,22 @@ func BootImage(name string, im *asm.Image, opts Options) (machine *Machine, err 
 			machine, err = nil, fmt.Errorf("boot %s: %v", name, r)
 		}
 	}()
+	defBudget, defMem := uint64(DefaultBudget), DefaultMemLimit
+	if ForceContainment != nil {
+		if ForceContainment.Budget != 0 {
+			defBudget = ForceContainment.Budget
+		}
+		if ForceContainment.MemLimit != 0 {
+			defMem = ForceContainment.MemLimit
+		}
+	}
 	k := kernel.New()
 	m := mem.New()
 	switch {
 	case opts.MemLimit > 0:
 		m.SetResidentLimit(opts.MemLimit)
-	case opts.MemLimit == 0:
-		m.SetResidentLimit(DefaultMemLimit)
+	case opts.MemLimit == 0 && defMem > 0:
+		m.SetResidentLimit(defMem)
 	}
 	var bus cpu.Bus = m
 	var hier *cache.Hierarchy
@@ -165,7 +183,7 @@ func BootImage(name string, im *asm.Image, opts Options) (machine *Machine, err 
 	}
 	budget := opts.Budget
 	if budget == 0 {
-		budget = DefaultBudget
+		budget = defBudget
 	}
 	return &Machine{
 		Image: im, Kernel: k, CPU: c, Mem: m, Caches: hier,

@@ -38,19 +38,50 @@ func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
 // which worker runs which index is scheduling-dependent, but the output
 // placement is not.
 func ForEach[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
+	out, errs, _ := forEachStop(n, workers, nil, fn)
+	return out, errors.Join(errs...)
+}
+
+// ErrStopped marks a slot whose index was never handed out because the
+// pool's Stop channel closed first — admission stopped, in-flight work
+// finished, and the slot holds its zero value.
+var ErrStopped = errors.New("campaign: stopped before the slot was started")
+
+// forEachStop is the pool core behind ForEach and ForEachGuarded: results
+// and per-slot errors land in index order, and a closed stop channel makes
+// workers stop pulling new indices (in-flight indices still complete).
+// Because indices are handed out by a monotonic counter, the started
+// prefix is exactly [0, started): every unstarted slot holds the zero
+// value and ErrStopped.
+func forEachStop[T any](n, workers int, stop <-chan struct{}, fn func(i int) (T, error)) (out []T, errs []error, started int) {
 	if n <= 0 {
-		return nil, nil
+		return nil, nil, 0
 	}
-	out := make([]T, n)
-	errs := make([]error, n)
+	out = make([]T, n)
+	errs = make([]error, n)
 	if workers > n {
 		workers = n
 	}
+	stopped := func() bool {
+		if stop == nil {
+			return false
+		}
+		select {
+		case <-stop:
+			return true
+		default:
+			return false
+		}
+	}
 	if workers <= 1 {
-		for i := 0; i < n; i++ {
+		i := 0
+		for ; i < n && !stopped(); i++ {
 			out[i], errs[i] = fn(i)
 		}
-		return out, errors.Join(errs...)
+		for j := i; j < n; j++ {
+			errs[j] = ErrStopped
+		}
+		return out, errs, i
 	}
 	next := int64(-1)
 	var wg sync.WaitGroup
@@ -58,7 +89,7 @@ func ForEach[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for {
+			for !stopped() {
 				i := int(atomic.AddInt64(&next, 1))
 				if i >= n {
 					return
@@ -68,7 +99,14 @@ func ForEach[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
 		}()
 	}
 	wg.Wait()
-	return out, errors.Join(errs...)
+	started = int(atomic.LoadInt64(&next)) + 1
+	if started > n {
+		started = n
+	}
+	for j := started; j < n; j++ {
+		errs[j] = ErrStopped
+	}
+	return out, errs, started
 }
 
 // GuardOpts bounds one guarded session attempt (ForEachGuarded).
@@ -81,10 +119,76 @@ type GuardOpts struct {
 	// step budget trips — it is orphaned, not leaked forever.
 	Deadline time.Duration
 	// Retries is how many extra attempts an index gets after a panic or
-	// error (deadline expiries are not retried — a deterministic wedge
-	// would only wedge again). fn receives the attempt number so it can
-	// reseed per attempt.
+	// error (deadline expiries are not retried unless RetryDeadline is
+	// set — a deterministic wedge would only wedge again). fn receives
+	// the attempt number so it can reseed per attempt.
 	Retries int
+	// RetryDeadline also retries attempts abandoned by Deadline. The
+	// service layer sets it: a tenant session can time out on transient
+	// host contention, which — unlike a deterministic guest wedge — a
+	// retry can absorb. The final expiry still resolves to *DeadlineError.
+	RetryDeadline bool
+	// Backoff is the base delay inserted before retry k (k >= 1):
+	// Backoff << (k-1), capped at BackoffMax, plus up to 50% jitter drawn
+	// deterministically from Seed and the (index, attempt) pair. Zero
+	// disables backoff (retries are immediate, the pre-backoff behavior).
+	Backoff time.Duration
+	// BackoffMax caps one exponential backoff delay (0 = 32*Backoff).
+	BackoffMax time.Duration
+	// Seed drives the backoff jitter. The jitter depends only on
+	// (Seed, index, attempt), never on scheduling, so a retried campaign
+	// stays reproducible.
+	Seed int64
+	// Stop, when non-nil and closed, stops the pool from handing out new
+	// indices: in-flight attempts finish (and are not retried further),
+	// and every slot never started resolves to ErrStopped with the zero
+	// value — the drain path for SIGTERM and service shutdown.
+	Stop <-chan struct{}
+	// Sleep replaces time.Sleep for backoff delays (tests pin the
+	// schedule without waiting it out). Nil means time.Sleep.
+	Sleep func(time.Duration)
+}
+
+// GuardStats reports what the pool guard did across one ForEachGuarded
+// call — the retry/drain accounting campaign reports surface.
+type GuardStats struct {
+	// Retries counts extra attempts across all indices (first attempts
+	// are free).
+	Retries int
+	// Backoff is the total backoff delay scheduled before retries.
+	Backoff time.Duration
+	// Started is how many indices were handed out before Stop closed;
+	// slots [Started, n) were never run. Equal to n when not stopped.
+	Started int
+	// Stopped is n - Started: the slots abandoned unstarted by a drain.
+	Stopped int
+}
+
+// backoffFor computes the deterministic delay before retry `attempt+1` of
+// index i: exponential in the attempt number with seeded jitter in
+// [0, 50%) so retrying indices don't stampede in lockstep.
+func backoffFor(opts GuardOpts, i, attempt int) time.Duration {
+	if opts.Backoff <= 0 {
+		return 0
+	}
+	max := opts.BackoffMax
+	if max <= 0 {
+		max = 32 * opts.Backoff
+	}
+	d := opts.Backoff
+	for k := 0; k < attempt && d < max; k++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	// splitmix64 over (Seed, i, attempt): scheduling-independent jitter.
+	z := uint64(opts.Seed) + (uint64(i)<<16|uint64(attempt)+1)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	jitter := time.Duration(z % uint64(d/2+1))
+	return d + jitter
 }
 
 // DeadlineError reports that one session attempt outlived its wall-clock
@@ -99,11 +203,37 @@ func (e *DeadlineError) Error() string {
 // ForEachGuarded is ForEach hardened for fault campaigns: each attempt of
 // fn runs with a panic recover and an optional wall-clock deadline, and a
 // failed index is retried up to opts.Retries times with an incremented
-// attempt number (retry-with-reseed). One wedged or faulted index
-// therefore degrades to an error in its own slot while the rest of the
-// campaign completes.
-func ForEachGuarded[T any](n, workers int, opts GuardOpts, fn func(i, attempt int) (T, error)) ([]T, error) {
-	return ForEach(n, workers, func(i int) (T, error) {
+// attempt number (retry-with-reseed) after a seeded exponential backoff.
+// One wedged or faulted index therefore degrades to an error in its own
+// slot while the rest of the campaign completes. The joined error covers
+// every failed slot in index order.
+func ForEachGuarded[T any](n, workers int, opts GuardOpts, fn func(i, attempt int) (T, error)) ([]T, GuardStats, error) {
+	out, errs, gs := ForEachGuardedSlots(n, workers, opts, fn)
+	return out, gs, errors.Join(errs...)
+}
+
+// ForEachGuardedSlots is ForEachGuarded with per-slot errors instead of
+// one joined error — the form consumers that must attribute each slot's
+// failure (the service layer's per-session results) build on. Slots never
+// started because opts.Stop closed hold ErrStopped.
+func ForEachGuardedSlots[T any](n, workers int, opts GuardOpts, fn func(i, attempt int) (T, error)) ([]T, []error, GuardStats) {
+	sleep := opts.Sleep
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	stopped := func() bool {
+		if opts.Stop == nil {
+			return false
+		}
+		select {
+		case <-opts.Stop:
+			return true
+		default:
+			return false
+		}
+	}
+	var retries, backoff int64
+	out, errs, started := forEachStop(n, workers, opts.Stop, func(i int) (T, error) {
 		var zero T
 		for attempt := 0; ; attempt++ {
 			v, err := runGuarded(i, attempt, opts.Deadline, fn)
@@ -111,11 +241,28 @@ func ForEachGuarded[T any](n, workers int, opts GuardOpts, fn func(i, attempt in
 				return v, nil
 			}
 			var dl *DeadlineError
-			if errors.As(err, &dl) || attempt >= opts.Retries {
+			if errors.As(err, &dl) && !opts.RetryDeadline {
 				return zero, err
+			}
+			// A drain in progress makes retrying pointless — the pool is
+			// flushing partial results, not chasing completeness.
+			if attempt >= opts.Retries || stopped() {
+				return zero, err
+			}
+			atomic.AddInt64(&retries, 1)
+			if d := backoffFor(opts, i, attempt); d > 0 {
+				atomic.AddInt64(&backoff, int64(d))
+				sleep(d)
 			}
 		}
 	})
+	gs := GuardStats{
+		Retries: int(atomic.LoadInt64(&retries)),
+		Backoff: time.Duration(atomic.LoadInt64(&backoff)),
+		Started: started,
+		Stopped: len(out) - started,
+	}
+	return out, errs, gs
 }
 
 // runGuarded executes one attempt on its own goroutine so a deadline can
@@ -181,6 +328,33 @@ func Run(snap *attack.Snapshot, n, workers int, session func(i int, m *attack.Ma
 	return results
 }
 
+// RunGuarded is Run behind the full pool guard: each session attempt runs
+// with panic recovery, an optional wall-clock deadline, and bounded
+// retries with seeded exponential backoff; a closed opts.Stop drains the
+// pool, leaving unstarted slots holding ErrStopped. Results come back in
+// session-index order with per-slot errors folded into Result.Err, plus
+// the guard's retry/drain accounting. Slots [0, GuardStats.Started) were
+// executed; the rest were abandoned by a drain.
+func RunGuarded(snap *attack.Snapshot, n, workers int, opts GuardOpts, session func(i int, m *attack.Machine) (attack.Outcome, error)) ([]Result, GuardStats) {
+	out, errs, gs := ForEachGuardedSlots(n, workers, opts, func(i, attempt int) (Result, error) {
+		m := snap.Fork()
+		o, err := session(i, m)
+		if err != nil {
+			// Session errors are retryable like panics; the final failure
+			// surfaces through the slot's error below.
+			return Result{}, err
+		}
+		return Result{Outcome: o, Stats: m.CPU.Stats(), Metrics: m.Metrics()}, nil
+	})
+	for i := range out {
+		out[i].Index = i
+		if errs[i] != nil && out[i].Err == nil {
+			out[i].Err = errs[i]
+		}
+	}
+	return out, gs
+}
+
 // Summary aggregates a campaign's results.
 type Summary struct {
 	Sessions    int
@@ -191,6 +365,10 @@ type Summary struct {
 	// step-budget trips, guest memory-limit trips, recovered run panics.
 	TimedOut int
 	Errors   int
+	// Retries is the pool guard's extra-attempt count for the campaign
+	// (zero for unguarded runs). Summarize cannot see the guard, so the
+	// caller holding the GuardStats fills it in.
+	Retries int
 	// Outcomes maps each session's primary verdict label (detected /
 	// crashed / timeout / compromised / clean / error) to its count; the
 	// labels partition the sessions, so the values sum to Sessions.

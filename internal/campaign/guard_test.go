@@ -3,6 +3,7 @@ package campaign
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -14,7 +15,7 @@ import (
 // TestForEachGuardedRecoversPanics: a panicking index degrades to an
 // error in its own slot; the rest of the pool completes.
 func TestForEachGuardedRecoversPanics(t *testing.T) {
-	out, err := ForEachGuarded(8, 4, GuardOpts{}, func(i, attempt int) (int, error) {
+	out, _, err := ForEachGuarded(8, 4, GuardOpts{}, func(i, attempt int) (int, error) {
 		if i == 3 {
 			panic("wedged fork")
 		}
@@ -38,7 +39,7 @@ func TestForEachGuardedRecoversPanics(t *testing.T) {
 // incremented attempt number, and a retry that succeeds hides the earlier
 // failure.
 func TestForEachGuardedRetryWithReseed(t *testing.T) {
-	out, err := ForEachGuarded(4, 2, GuardOpts{Retries: 2}, func(i, attempt int) (string, error) {
+	out, _, err := ForEachGuarded(4, 2, GuardOpts{Retries: 2}, func(i, attempt int) (string, error) {
 		if i == 2 && attempt < 2 {
 			return "", fmt.Errorf("transient failure attempt %d", attempt)
 		}
@@ -64,7 +65,7 @@ func TestForEachGuardedRetryWithReseed(t *testing.T) {
 func TestForEachGuardedDeadline(t *testing.T) {
 	release := make(chan struct{})
 	defer close(release)
-	out, err := ForEachGuarded(3, 3, GuardOpts{Deadline: 20 * time.Millisecond, Retries: 3},
+	out, _, err := ForEachGuarded(3, 3, GuardOpts{Deadline: 20 * time.Millisecond, Retries: 3},
 		func(i, attempt int) (int, error) {
 			if i == 1 {
 				if attempt > 0 {
@@ -97,7 +98,7 @@ func TestForEachGuardedSlotAccountingUnderFuzzLoad(t *testing.T) {
 	kind := func(i int) int { return i % 4 } // 0 ok, 1 panic, 2 wedge, 3 error
 	run := func(workers int) []int {
 		var fills [n]int32
-		out, _ := ForEachGuarded(n, workers, GuardOpts{Deadline: 30 * time.Millisecond},
+		out, _, _ := ForEachGuarded(n, workers, GuardOpts{Deadline: 30 * time.Millisecond},
 			func(i, attempt int) (int, error) {
 				switch kind(i) {
 				case 1:
@@ -142,6 +143,139 @@ func TestForEachGuardedSlotAccountingUnderFuzzLoad(t *testing.T) {
 				t.Errorf("workers=%d: slot %d = %d, sequential run had %d",
 					workers, i, par[i], seq[i])
 			}
+		}
+	}
+}
+
+// TestForEachGuardedBackoffSchedule pins the retry backoff: delays grow
+// exponentially from Backoff, cap at BackoffMax, carry seeded jitter in
+// [0, 50%), and the whole schedule is a pure function of (Seed, index,
+// attempt) — two runs sleep the identical sequence without a wall clock
+// (the Sleep hook absorbs the delays).
+func TestForEachGuardedBackoffSchedule(t *testing.T) {
+	schedule := func() []time.Duration {
+		var mu sync.Mutex
+		var delays []time.Duration
+		opts := GuardOpts{
+			Retries: 4,
+			Backoff: 10 * time.Millisecond,
+			BackoffMax: 40 * time.Millisecond,
+			Seed:    42,
+			Sleep: func(d time.Duration) {
+				mu.Lock()
+				delays = append(delays, d)
+				mu.Unlock()
+			},
+		}
+		_, gs, err := ForEachGuarded(1, 1, opts, func(i, attempt int) (int, error) {
+			if attempt < 4 {
+				return 0, fmt.Errorf("transient %d", attempt)
+			}
+			return attempt, nil
+		})
+		if err != nil {
+			t.Fatalf("retries should have absorbed the failures: %v", err)
+		}
+		if gs.Retries != 4 {
+			t.Errorf("GuardStats.Retries = %d, want 4", gs.Retries)
+		}
+		var total time.Duration
+		for _, d := range delays {
+			total += d
+		}
+		if gs.Backoff != total {
+			t.Errorf("GuardStats.Backoff = %v, want the sum of delays %v", gs.Backoff, total)
+		}
+		return delays
+	}
+
+	first := schedule()
+	if len(first) != 4 {
+		t.Fatalf("got %d delays, want 4", len(first))
+	}
+	// Exponential envelope with jitter: base<<k clamped at max, plus [0, 50%).
+	for k, d := range first {
+		base := 10 * time.Millisecond << k
+		if base > 40*time.Millisecond {
+			base = 40 * time.Millisecond
+		}
+		if d < base || d > base+base/2 {
+			t.Errorf("delay %d = %v, want within [%v, %v]", k, d, base, base+base/2)
+		}
+	}
+	second := schedule()
+	for k := range first {
+		if first[k] != second[k] {
+			t.Errorf("backoff schedule not deterministic: run1[%d]=%v run2[%d]=%v",
+				k, first[k], k, second[k])
+		}
+	}
+}
+
+// TestForEachGuardedRetryDeadline: with RetryDeadline set, a deadline
+// expiry is retried like any failure; an attempt that then completes in
+// time hides the expiry.
+func TestForEachGuardedRetryDeadline(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	out, gs, err := ForEachGuarded(1, 1, GuardOpts{Deadline: 20 * time.Millisecond, Retries: 2, RetryDeadline: true},
+		func(i, attempt int) (int, error) {
+			if attempt == 0 {
+				<-release // wedge the first attempt past its deadline
+			}
+			return attempt, nil
+		})
+	if err != nil {
+		t.Fatalf("RetryDeadline should have absorbed the expiry: %v", err)
+	}
+	if out[0] != 1 {
+		t.Errorf("out[0] = %d, want the attempt-1 result", out[0])
+	}
+	if gs.Retries != 1 {
+		t.Errorf("GuardStats.Retries = %d, want 1", gs.Retries)
+	}
+}
+
+// TestForEachGuardedStopDrains pins the drain contract: a closed Stop
+// channel stops the pool from handing out new indices, in-flight work
+// completes, and every unstarted slot holds the zero value plus
+// ErrStopped, with GuardStats accounting for the split.
+func TestForEachGuardedStopDrains(t *testing.T) {
+	// Pre-closed stop: nothing starts at all.
+	stop := make(chan struct{})
+	close(stop)
+	out, errs, gs := ForEachGuardedSlots(5, 3, GuardOpts{Stop: stop},
+		func(i, attempt int) (int, error) { return i + 1, nil })
+	if gs.Started != 0 || gs.Stopped != 5 {
+		t.Fatalf("pre-closed stop: Started=%d Stopped=%d, want 0/5", gs.Started, gs.Stopped)
+	}
+	for i := range out {
+		if out[i] != 0 || !errors.Is(errs[i], ErrStopped) {
+			t.Errorf("slot %d = (%d, %v), want (0, ErrStopped)", i, out[i], errs[i])
+		}
+	}
+
+	// Stop closed mid-run (sequential, so the watermark is exact): the
+	// index that closes it still completes; later indices never start.
+	stop2 := make(chan struct{})
+	out2, errs2, gs2 := ForEachGuardedSlots(6, 1, GuardOpts{Stop: stop2},
+		func(i, attempt int) (int, error) {
+			if i == 2 {
+				close(stop2)
+			}
+			return i + 10, nil
+		})
+	if gs2.Started != 3 || gs2.Stopped != 3 {
+		t.Fatalf("mid-run stop: Started=%d Stopped=%d, want 3/3", gs2.Started, gs2.Stopped)
+	}
+	for i := 0; i < 3; i++ {
+		if out2[i] != i+10 || errs2[i] != nil {
+			t.Errorf("completed slot %d = (%d, %v)", i, out2[i], errs2[i])
+		}
+	}
+	for i := 3; i < 6; i++ {
+		if !errors.Is(errs2[i], ErrStopped) {
+			t.Errorf("drained slot %d err = %v, want ErrStopped", i, errs2[i])
 		}
 	}
 }

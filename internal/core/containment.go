@@ -1,0 +1,82 @@
+package core
+
+import (
+	"flag"
+	"time"
+)
+
+// The containment envelope: every limit that stops a hostile or runaway
+// guest from becoming a host-level event. The defaults live here — and
+// only here — so ptrun, ptattack, ptfault, ptfuzz, and ptserve contain
+// guests identically instead of each CLI hard-coding its own numbers.
+const (
+	// DefaultBudget bounds one Run call's retired instructions; the
+	// watchdog trips it into a *StepBudgetError.
+	DefaultBudget = 200_000_000
+	// DefaultMemLimit caps resident guest memory (256 MiB — far above any
+	// corpus program's footprint, low enough that a runaway guest cannot
+	// exhaust the host). Tripping it surfaces as *MemLimitError.
+	DefaultMemLimit = 256 << 20
+	// DefaultDeadline is the wall-clock backstop per session attempt,
+	// behind the deterministic budgets above.
+	DefaultDeadline = 30 * time.Second
+	// DefaultRetries is how many extra attempts a panicked or failed
+	// session gets before its error sticks.
+	DefaultRetries = 1
+	// DefaultBackoff is the base delay before a retry (exponential with
+	// seeded jitter).
+	DefaultBackoff = 100 * time.Millisecond
+	// DefaultBackoffMax caps one backoff delay.
+	DefaultBackoffMax = 2 * time.Second
+)
+
+// Containment is the shared guest-containment configuration. Budget and
+// MemLimit bound the machine deterministically (identical trip points on
+// every engine); Deadline is the nondeterministic wall-clock backstop
+// behind them; Retries/Backoff/BackoffMax shape the campaign pool guard's
+// retry policy for transient host-side failures.
+type Containment struct {
+	// Budget bounds retired guest instructions per Run (0 = DefaultBudget).
+	Budget uint64
+	// MemLimit caps resident guest memory in bytes (0 = DefaultMemLimit,
+	// negative disables the cap).
+	MemLimit int
+	// Deadline is the wall-clock bound per session attempt (0 = none).
+	Deadline time.Duration
+	// Retries is the extra attempts a failed session gets.
+	Retries int
+	// Backoff is the base retry delay (0 = immediate retries).
+	Backoff time.Duration
+	// BackoffMax caps one backoff delay (0 = 32*Backoff).
+	BackoffMax time.Duration
+}
+
+// DefaultContainment returns the one containment envelope the CLIs share.
+func DefaultContainment() Containment {
+	return Containment{
+		Budget:     DefaultBudget,
+		MemLimit:   DefaultMemLimit,
+		Deadline:   DefaultDeadline,
+		Retries:    DefaultRetries,
+		Backoff:    DefaultBackoff,
+		BackoffMax: DefaultBackoffMax,
+	}
+}
+
+// AddFlags registers the containment flags on fs, bound to c, with c's
+// current values as defaults — so every CLI exposes the same knobs with
+// the same names and semantics.
+func (c *Containment) AddFlags(fs *flag.FlagSet) {
+	fs.Uint64Var(&c.Budget, "budget", c.Budget, "guest instruction budget per run (watchdog trip)")
+	fs.IntVar(&c.MemLimit, "mem-limit", c.MemLimit, "resident guest memory cap in bytes (negative = uncapped)")
+	fs.DurationVar(&c.Deadline, "deadline", c.Deadline, "wall-clock backstop per session attempt (0 = none)")
+	fs.IntVar(&c.Retries, "retries", c.Retries, "extra attempts after a panicked or failed session")
+	fs.DurationVar(&c.Backoff, "backoff", c.Backoff, "base retry backoff, exponential with seeded jitter (0 = immediate)")
+}
+
+// Apply copies the machine-level limits onto a Config.
+func (c Containment) Apply(cfg Config) Config {
+	cfg.Budget = c.Budget
+	cfg.MemLimit = c.MemLimit
+	return cfg
+}

@@ -202,7 +202,7 @@ func BootImage(cfg Config, im *asm.Image) (machine *Machine, err error) {
 	case cfg.MemLimit > 0:
 		physical.SetResidentLimit(cfg.MemLimit)
 	case cfg.MemLimit == 0:
-		physical.SetResidentLimit(256 << 20)
+		physical.SetResidentLimit(DefaultMemLimit)
 	}
 	var bus cpu.Bus = physical
 	var hier *cache.Hierarchy
@@ -256,7 +256,7 @@ func BootImage(cfg Config, im *asm.Image) (machine *Machine, err error) {
 	}
 	budget := cfg.Budget
 	if budget == 0 {
-		budget = 200_000_000
+		budget = DefaultBudget
 	}
 	return &Machine{
 		image: im, kern: k, cpu: c, mem: physical, caches: hier,

@@ -171,6 +171,119 @@ func TestGuestFaultRecovery(t *testing.T) {
 	}
 }
 
+// sbRunaway is a runaway hot loop wide enough to fuse: the superblock
+// tier must engage on it, and the step budget must still trip at the
+// same deterministic point as the lower tiers.
+const sbRunaway = `
+main:
+	addiu $t0, $t0, 1
+	xor   $t1, $t0, $t2
+	addiu $t2, $t2, 3
+	j     main
+`
+
+// bootMatrix boots src three ways — the reference interpreter, the fast
+// path with the superblock tier (the default), and the fast path with
+// the tier disabled — so containment trips can be cross-checked across
+// every execution tier.
+func bootMatrix(t *testing.T, src string, opts attack.Options) (ref, sb, nosb *attack.Machine) {
+	t.Helper()
+	refOpts := opts
+	refOpts.Reference = true
+	ref = bootASM(t, src, refOpts)
+	sb = bootASM(t, src, opts)
+	nosb = bootASM(t, src, opts)
+	nosb.CPU.SetSuperblocks(false)
+	return ref, sb, nosb
+}
+
+// TestWatchdogSuperblockMatrix pins the step-budget trip across the full
+// tier matrix: reference, fast+superblocks, and fast with the tier off
+// must all return the identical *cpu.StepBudgetError — and the
+// superblock run must actually have engaged the tier, otherwise the
+// matrix silently collapses to two-way.
+func TestWatchdogSuperblockMatrix(t *testing.T) {
+	const budget = 100_000
+	ref, sb, nosb := bootMatrix(t, sbRunaway, attack.Options{Budget: budget})
+	refErr, sbErr, nosbErr := ref.Run(), sb.Run(), nosb.Run()
+
+	var want *cpu.StepBudgetError
+	if !errors.As(refErr, &want) {
+		t.Fatalf("reference: want StepBudgetError, got %v", refErr)
+	}
+	if want.Steps != budget {
+		t.Errorf("Steps = %d, want %d", want.Steps, budget)
+	}
+	for name, err := range map[string]error{"superblocks": sbErr, "no-superblocks": nosbErr} {
+		var got *cpu.StepBudgetError
+		if !errors.As(err, &got) {
+			t.Fatalf("%s: want StepBudgetError, got %v", name, err)
+		}
+		if *got != *want {
+			t.Errorf("%s trip differs: %+v, want %+v", name, *got, *want)
+		}
+	}
+	compareMachines(t, ref, sb, refErr, sbErr)
+	compareMachines(t, ref, nosb, refErr, nosbErr)
+
+	if n := sb.CPU.Stats().SuperblockInstrs; n == 0 {
+		t.Errorf("superblock tier never engaged on the runaway loop")
+	}
+	if n := nosb.CPU.Stats().SuperblockInstrs; n != 0 {
+		t.Errorf("disabled tier still retired %d superblock instructions", n)
+	}
+}
+
+// sbPagedGrower alternates a page-per-iteration stack grab with a hot
+// inner countdown: the inner loop heats the superblock tier past its
+// dispatch threshold while the outer loop marches toward the resident
+// memory cap.
+const sbPagedGrower = `
+main:
+	addiu $sp, $sp, -4096
+	sw    $zero, 0($sp)
+	addiu $t0, $zero, 400
+inner:
+	addiu $t0, $t0, -1
+	bne   $t0, $zero, inner
+	j     main
+`
+
+// TestMemLimitSuperblockMatrix pins the resident-memory cap across the
+// tier matrix: the identical *mem.LimitError under reference, compiled
+// superblocks, and the tier disabled. Only the error is compared —
+// the limit surfaces as a recovered panic, which loses in-flight batched
+// counters (documented best-effort).
+func TestMemLimitSuperblockMatrix(t *testing.T) {
+	const limit = 128 * 4096
+	opts := attack.Options{Budget: 10_000_000, MemLimit: limit}
+	ref, sb, nosb := bootMatrix(t, sbPagedGrower, opts)
+	refErr, sbErr, nosbErr := ref.Run(), sb.Run(), nosb.Run()
+
+	var want *mem.LimitError
+	if !errors.As(refErr, &want) {
+		t.Fatalf("reference: want LimitError, got %v", refErr)
+	}
+	if want.Resident != limit {
+		t.Errorf("Resident = %d, want %d (the trip fires exactly at the cap)", want.Resident, limit)
+	}
+	for name, err := range map[string]error{"superblocks": sbErr, "no-superblocks": nosbErr} {
+		var got *mem.LimitError
+		if !errors.As(err, &got) {
+			t.Fatalf("%s: want LimitError, got %v", name, err)
+		}
+		if *got != *want {
+			t.Errorf("%s trip differs: %+v, want %+v", name, *got, *want)
+		}
+	}
+	if n := sb.CPU.Stats().SuperblockInstrs; n == 0 {
+		t.Errorf("superblock tier never engaged on the paged grower")
+	}
+	if n := nosb.CPU.Stats().SuperblockInstrs; n != 0 {
+		t.Errorf("disabled tier still retired %d superblock instructions", n)
+	}
+}
+
 // TestInjectAtDifferential pins the injection trigger contract: arming
 // the same callback at the same retired count yields byte-identical
 // machine state under both engines — the callback fires at the same

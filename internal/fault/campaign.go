@@ -243,6 +243,16 @@ type Config struct {
 	// deadline only matters if the host-side harness itself wedges, and a
 	// run it reaps classifies as Timeout.
 	Deadline time.Duration
+	// Retries bounds the extra attempts a panicked or errored run gets
+	// (retry-with-reseed; 0 = the default of 1, negative = none).
+	Retries int
+	// Backoff is the base delay before each retry, growing exponentially
+	// with seeded jitter (0 = immediate retries).
+	Backoff time.Duration
+	// Stop, when closed, drains the campaign: no new runs are admitted,
+	// in-flight forks finish, and the report carries Interrupted with the
+	// skipped-slot count — the SIGINT path for ptfault.
+	Stop <-chan struct{}
 }
 
 // RunResult is one injected run's classified outcome.
@@ -288,8 +298,15 @@ type Report struct {
 	Policy   string                   `json:"policy"`
 	Engine   string                   `json:"engine"`
 	Runs     int                      `json:"runs"`
-	Outcomes map[string]int           `json:"outcomes"`
-	Targets  map[string]*TargetReport `json:"targets"`
+	// Retries is the pool guard's extra-attempt count across the campaign
+	// (panicked or abandoned runs that were re-seeded and re-run).
+	Retries int `json:"retries"`
+	// Interrupted marks a drained campaign (Stop closed mid-run): the
+	// report is the completed prefix, with Skipped slots never started.
+	Interrupted bool           `json:"interrupted,omitempty"`
+	Skipped     int            `json:"skipped,omitempty"`
+	Outcomes    map[string]int `json:"outcomes"`
+	Targets     map[string]*TargetReport `json:"targets"`
 	// SilentLosses lists, in run-index order, one line per SilentTaintLoss
 	// run explaining which cleared taint origins were lost (or that
 	// provenance was off and nobody can say).
@@ -353,8 +370,21 @@ func Campaign(cfg Config, targets []*Target, keepResults bool) (*Report, error) 
 		workers = campaign.DefaultWorkers()
 	}
 
-	opts := campaign.GuardOpts{Deadline: cfg.Deadline, Retries: 1}
-	results, err := campaign.ForEachGuarded(cfg.Runs, workers, opts,
+	retries := cfg.Retries
+	switch {
+	case retries == 0:
+		retries = 1
+	case retries < 0:
+		retries = 0
+	}
+	opts := campaign.GuardOpts{
+		Deadline: cfg.Deadline,
+		Retries:  retries,
+		Backoff:  cfg.Backoff,
+		Seed:     cfg.Seed,
+		Stop:     cfg.Stop,
+	}
+	results, gs, _ := campaign.ForEachGuarded(cfg.Runs, workers, opts,
 		func(i, attempt int) (RunResult, error) {
 			t := targets[i%len(targets)]
 			in := injectors[(i/len(targets))%len(injectors)]
@@ -362,12 +392,15 @@ func Campaign(cfg Config, targets []*Target, keepResults bool) (*Report, error) 
 		})
 
 	rep := &Report{
-		Seed:     cfg.Seed,
-		Policy:   policyName(cfg.Policy),
-		Engine:   engineName(cfg.Reference),
-		Runs:     cfg.Runs,
-		Outcomes: make(map[string]int),
-		Targets:  make(map[string]*TargetReport),
+		Seed:        cfg.Seed,
+		Policy:      policyName(cfg.Policy),
+		Engine:      engineName(cfg.Reference),
+		Runs:        gs.Started,
+		Retries:     gs.Retries,
+		Interrupted: gs.Stopped > 0,
+		Skipped:     gs.Stopped,
+		Outcomes:    make(map[string]int),
+		Targets:     make(map[string]*TargetReport),
 	}
 	for _, t := range targets {
 		rep.Targets[t.Name] = &TargetReport{
@@ -378,7 +411,13 @@ func Campaign(cfg Config, targets []*Target, keepResults bool) (*Report, error) 
 		}
 	}
 	for i, r := range results {
-		if err != nil && r.Target == "" {
+		if i >= gs.Started {
+			// Never started: the campaign was drained. These slots are
+			// skipped outright — they are accounted in Skipped, not in the
+			// outcome grid, so sum(outcomes) still equals Runs.
+			break
+		}
+		if r.Target == "" {
 			// The slot's attempts all failed (deadline or repeated panic):
 			// synthesize a Timeout record so the report stays complete.
 			t := targets[i%len(targets)]
@@ -409,7 +448,7 @@ func Campaign(cfg Config, targets []*Target, keepResults bool) (*Report, error) 
 		}
 	}
 	if keepResults {
-		rep.Results = results
+		rep.Results = results[:gs.Started]
 	}
 	return rep, nil
 }

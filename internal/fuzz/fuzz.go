@@ -62,6 +62,12 @@ type Config struct {
 	// TrimLimit bounds the minimization re-runs spent per admitted corpus
 	// entry (default 12; negative disables trimming).
 	TrimLimit int
+	// Stop, when closed, drains the session: no new generations are
+	// admitted, the in-flight batch's forks finish and fold, and the
+	// report covers the completed prefix with Interrupted set — the
+	// SIGINT path for ptfuzz. Determinism holds for the completed
+	// generations: they are a prefix of the uninterrupted schedule.
+	Stop <-chan struct{}
 }
 
 func (cfg *Config) setDefaults() {
@@ -251,6 +257,9 @@ type Report struct {
 	// Rediscovered counts the targets whose scripted attack fingerprint
 	// some mutated input re-found.
 	Rediscovered int `json:"rediscovered"`
+	// Interrupted marks a drained session (Config.Stop closed mid-run):
+	// per-target exec counts cover only the generations that completed.
+	Interrupted bool `json:"interrupted,omitempty"`
 }
 
 // execResult is one fork's classified run plus its coverage features.
@@ -382,7 +391,7 @@ func fuzzTarget(cfg Config, t *Target) (*TargetReport, error) {
 
 	opts := campaign.GuardOpts{Deadline: cfg.Deadline}
 	gen := 0
-	for tr.Execs < cfg.Execs {
+	for tr.Execs < cfg.Execs && !stopRequested(cfg.Stop) {
 		batch := cfg.Batch
 		if rem := cfg.Execs - tr.Execs; batch > rem {
 			batch = rem
@@ -404,7 +413,7 @@ func fuzzTarget(cfg Config, t *Target) (*TargetReport, error) {
 			}
 			cands[k] = mutate(rng, parents, t.Dict, t.MaxLen)
 		}
-		results, _ := campaign.ForEachGuarded(batch, cfg.Workers, opts,
+		results, _, _ := campaign.ForEachGuarded(batch, cfg.Workers, opts,
 			func(i, attempt int) (execResult, error) {
 				return runOne(t, cands[i]), nil
 			})
@@ -498,9 +507,24 @@ func fuzzTarget(cfg Config, t *Target) (*TargetReport, error) {
 	return tr, nil
 }
 
+// stopRequested reports whether the drain channel has closed.
+func stopRequested(stop <-chan struct{}) bool {
+	if stop == nil {
+		return false
+	}
+	select {
+	case <-stop:
+		return true
+	default:
+		return false
+	}
+}
+
 // Fuzz runs the configured budget over prepared targets and aggregates
 // the report. Targets run sequentially; the parallelism is inside each
-// generation.
+// generation. A closed Config.Stop drains the session: the in-flight
+// generation finishes and folds, remaining work is skipped, and the
+// partial report carries Interrupted.
 func Fuzz(cfg Config, targets []*Target) (*Report, error) {
 	cfg.setDefaults()
 	rep := &Report{
@@ -519,6 +543,9 @@ func Fuzz(cfg Config, targets []*Target) (*Report, error) {
 		rep.Targets[t.Scenario.Name] = tr
 		if tr.Rediscovered {
 			rep.Rediscovered++
+		}
+		if tr.Execs < cfg.Execs && stopRequested(cfg.Stop) {
+			rep.Interrupted = true
 		}
 	}
 	return rep, nil

@@ -1,0 +1,261 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"repro/internal/metrics"
+)
+
+// MalformedTenant is the pseudo-tenant charged for requests whose body
+// could not be parsed far enough to name a tenant — so even garbage
+// submissions are accounted for in the per-tenant metrics.
+const MalformedTenant = "_malformed"
+
+// tenantState is one tenant's book-keeping. The raw integers live under
+// Server.mu (metrics.Counter is not goroutine-safe); the registry bridge
+// in metricsSnapshot translates them per scrape.
+type tenantState struct {
+	submitted uint64 // every request attributed to the tenant
+	admitted  uint64 // passed admission and entered the queue
+	rejected  uint64 // failed validation or a quota (4xx)
+	shed      uint64 // refused by load-shedding or drain (503)
+	completed uint64 // resolved with a terminal result
+	retried   uint64 // pool-guard retries across the tenant's sessions
+	timedOut  uint64 // sessions resolved by the wall-clock deadline
+	errored   uint64 // sessions resolved with a structured error
+	active    int    // queued + running right now
+}
+
+// TenantStats is the embedded per-tenant observability block: a snapshot
+// of the tenant's counters at response time. Point-in-time, not part of
+// the deterministic session body.
+type TenantStats struct {
+	Tenant    string `json:"tenant"`
+	Submitted uint64 `json:"submitted"`
+	Admitted  uint64 `json:"admitted"`
+	Rejected  uint64 `json:"rejected"`
+	Shed      uint64 `json:"shed"`
+	Completed uint64 `json:"completed"`
+	Retried   uint64 `json:"retried"`
+	TimedOut  uint64 `json:"timed_out"`
+	Errors    uint64 `json:"errors"`
+	Active    int    `json:"active"`
+}
+
+func (t *tenantState) stats(name string) TenantStats {
+	return TenantStats{
+		Tenant: name, Submitted: t.submitted, Admitted: t.admitted,
+		Rejected: t.rejected, Shed: t.shed, Completed: t.completed,
+		Retried: t.retried, TimedOut: t.timedOut, Errors: t.errored,
+		Active: t.active,
+	}
+}
+
+// fill bridges the tenant's raw counters into a registry for /metrics.
+// Callers hold Server.mu.
+func (t *tenantState) fill(r *metrics.Registry, name string) {
+	p := "serve.tenant." + name + "."
+	r.Counter(p + "submitted").Add(t.submitted)
+	r.Counter(p + "admitted").Add(t.admitted)
+	r.Counter(p + "rejected").Add(t.rejected)
+	r.Counter(p + "shed").Add(t.shed)
+	r.Counter(p + "completed").Add(t.completed)
+	r.Counter(p + "retried").Add(t.retried)
+	r.Counter(p + "timed_out").Add(t.timedOut)
+	r.Counter(p + "errors").Add(t.errored)
+	r.Gauge(p + "active").Set(float64(t.active))
+}
+
+// admitError is a structured admission refusal: an HTTP status plus the
+// counter it charges.
+type admitError struct {
+	code   int
+	shed   bool // charged to shed (backpressure/degradation) vs rejected
+	reason string
+}
+
+func (e *admitError) Error() string { return e.reason }
+
+// handleSession is the front door: parse, validate, admit, enqueue, wait.
+func (s *Server) handleSession(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	var req SessionRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		// The body never parsed, so the tenant is unknowable; charge the
+		// malformed pseudo-tenant so the session is still accounted for.
+		s.charge(MalformedTenant, func(t *tenantState) { t.submitted++; t.rejected++ })
+		writeError(w, http.StatusBadRequest, "malformed request: "+err.Error())
+		return
+	}
+	tenant := req.Tenant
+	if tenant == "" {
+		tenant = MalformedTenant
+	}
+
+	j, aerr := s.admit(tenant, &req)
+	if aerr != nil {
+		if aerr.code == http.StatusTooManyRequests || aerr.code == http.StatusServiceUnavailable {
+			retryAfter(w)
+		}
+		writeError(w, aerr.code, aerr.reason)
+		return
+	}
+
+	// Synchronous contract: the scheduler always delivers exactly one
+	// result on done (the channel is buffered, so a vanished client never
+	// wedges a worker).
+	res := <-j.done
+	writeResult(w, res)
+}
+
+// admit applies the admission pipeline under one lock acquisition:
+// validation, quotas, drain, shedding, per-tenant cap, queue
+// backpressure. On success the session is queued and charged admitted.
+func (s *Server) admit(tenant string, req *SessionRequest) (*job, *admitError) {
+	verr := s.validate(req)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t := s.tenant(tenant)
+	t.submitted++
+
+	if verr != nil {
+		t.rejected++
+		return nil, verr
+	}
+	if s.draining {
+		t.shed++
+		return nil, &admitError{code: http.StatusServiceUnavailable, shed: true,
+			reason: "draining: not admitting new sessions"}
+	}
+	if gauge := s.cfg.MemGauge(); gauge >= s.cfg.HighWater {
+		t.shed++
+		return nil, &admitError{code: http.StatusServiceUnavailable, shed: true,
+			reason: fmt.Sprintf("shedding load: resident memory %d >= high water %d", gauge, s.cfg.HighWater)}
+	}
+	if t.active >= s.cfg.MaxPerTenant {
+		t.rejected++
+		return nil, &admitError{code: http.StatusTooManyRequests,
+			reason: fmt.Sprintf("tenant %q at concurrent-session cap (%d)", tenant, s.cfg.MaxPerTenant)}
+	}
+
+	s.nextID++
+	j := &job{id: s.nextID, tenant: tenant, req: *req, done: make(chan *SessionResult, 1)}
+	select {
+	case s.queue <- j:
+		t.admitted++
+		t.active++
+		s.queueLen++
+		s.inflight.Add(1)
+		return j, nil
+	default:
+		t.rejected++
+		return nil, &admitError{code: http.StatusTooManyRequests,
+			reason: fmt.Sprintf("queue full (%d deep): backpressure", s.cfg.QueueDepth)}
+	}
+}
+
+// validate applies the request-shape and quota checks that need no
+// server state. It returns the refusal to charge, or nil.
+func (s *Server) validate(req *SessionRequest) *admitError {
+	if req.Kind == "" {
+		req.Kind = KindCampaign
+	}
+	if !s.kinds[req.Kind] {
+		return &admitError{code: http.StatusBadRequest,
+			reason: fmt.Sprintf("unknown or disabled kind %q", req.Kind)}
+	}
+	switch req.Kind {
+	case KindRun:
+		if req.Source == "" {
+			return &admitError{code: http.StatusBadRequest, reason: "run: missing source"}
+		}
+		if len(req.Source) > s.cfg.MaxSourceBytes {
+			return &admitError{code: http.StatusRequestEntityTooLarge,
+				reason: fmt.Sprintf("source %d bytes over image quota %d", len(req.Source), s.cfg.MaxSourceBytes)}
+		}
+	case KindCampaign:
+		if _, ok := s.snaps[req.Scenario]; !ok {
+			return &admitError{code: http.StatusNotFound,
+				reason: fmt.Sprintf("unknown scenario %q", req.Scenario)}
+		}
+		if req.Sessions < 0 || req.Sessions > s.cfg.MaxSessions {
+			return &admitError{code: http.StatusUnprocessableEntity,
+				reason: fmt.Sprintf("sessions %d over quota %d", req.Sessions, s.cfg.MaxSessions)}
+		}
+	case KindFault:
+		if req.Runs < 0 || req.Runs > s.cfg.MaxRuns {
+			return &admitError{code: http.StatusUnprocessableEntity,
+				reason: fmt.Sprintf("runs %d over quota %d", req.Runs, s.cfg.MaxRuns)}
+		}
+	case KindFuzz:
+		if _, ok := s.fuzzTargets[req.Scenario]; !ok {
+			return &admitError{code: http.StatusNotFound,
+				reason: fmt.Sprintf("unknown fuzz target %q", req.Scenario)}
+		}
+		if req.Execs < 0 || req.Execs > s.cfg.MaxExecs {
+			return &admitError{code: http.StatusUnprocessableEntity,
+				reason: fmt.Sprintf("execs %d over quota %d", req.Execs, s.cfg.MaxExecs)}
+		}
+	}
+	if req.Budget > s.cfg.Containment.Budget {
+		return &admitError{code: http.StatusUnprocessableEntity,
+			reason: fmt.Sprintf("step budget %d over quota %d", req.Budget, s.cfg.Containment.Budget)}
+	}
+	return nil
+}
+
+// settle charges a resolved session to its tenant's outcome counters.
+func (s *Server) settle(tenant string, res *SessionResult) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t := s.tenant(tenant)
+	t.active--
+	t.completed++
+	t.retried += uint64(res.Retries)
+	switch res.Status {
+	case StatusTimeout:
+		t.timedOut++
+	case StatusError:
+		t.errored++
+	}
+	res.Stats = t.stats(tenant)
+}
+
+// tenant returns (creating on first touch) the tenant's state. Callers
+// hold s.mu.
+func (s *Server) tenant(name string) *tenantState {
+	t := s.tenants[name]
+	if t == nil {
+		t = &tenantState{}
+		s.tenants[name] = t
+	}
+	return t
+}
+
+// charge runs one accounting mutation under the lock.
+func (s *Server) charge(tenant string, f func(*tenantState)) {
+	s.mu.Lock()
+	f(s.tenant(tenant))
+	s.mu.Unlock()
+}
+
+// writeError emits the uniform JSON error envelope.
+func writeError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}
+
+// writeResult emits a terminal session result with its HTTP status.
+func writeResult(w http.ResponseWriter, res *SessionResult) {
+	w.Header().Set("Content-Type", "application/json")
+	code := res.code
+	if code == 0 {
+		code = http.StatusOK
+	}
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(res)
+}

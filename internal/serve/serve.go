@@ -1,0 +1,381 @@
+// Package serve is the hardened multi-tenant front door to the
+// pointer-taintedness engines: a long-running HTTP+JSON service where
+// tenants submit guest images and input streams and receive
+// campaign/fault/fuzz results. It is designed around failure — every
+// guest is assumed hostile until contained:
+//
+//   - Admission control: per-tenant concurrent-session caps, a bounded
+//     queue with 429 + Retry-After backpressure, and image-size /
+//     step-budget / run-count quotas, all riding the machine's own
+//     deterministic containment (cpu.StepBudgetError, mem.LimitError)
+//     plus the campaign pool guard's wall-clock deadlines.
+//   - A sharded scheduler: worker goroutines pull admitted sessions from
+//     the queue and fan each one over a per-session pool whose machines
+//     are forked copy-on-write from snapshots prepared once at startup.
+//     A wedged, crashing, or panicking guest yields a structured
+//     per-session error — never a dead server.
+//   - Graceful degradation: when the resident-memory gauge crosses the
+//     high-water mark new work is shed (503 + Retry-After) while
+//     in-flight sessions finish; Shutdown drains the same way and closes
+//     the pool guard's Stop channel so interrupted campaigns flush
+//     partial results.
+//   - Per-tenant observability: admitted/rejected/shed/retried/timed-out
+//     counters and queue-depth / resident-memory gauges, exposed at
+//     /metrics and embedded in every session response.
+//
+// Sessions are deterministic: the result body (outcomes, fingerprints,
+// retries) is a pure function of the request and its seed, independent
+// of scheduling, load, or worker count.
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+
+	"repro/internal/attack"
+	"repro/internal/campaign"
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/fuzz"
+	"repro/internal/metrics"
+	"repro/internal/taint"
+)
+
+// Config sizes the service. Zero values select the defaults.
+type Config struct {
+	// Workers is the scheduler shard count — goroutines pulling admitted
+	// sessions off the queue (default GOMAXPROCS, min 1).
+	Workers int
+	// SessionWorkers is the fan-out width inside one campaign session
+	// (default 2). Results are identical at any width; this only bounds
+	// how much host CPU one tenant session can grab.
+	SessionWorkers int
+	// QueueDepth bounds the admission queue (default 64). A full queue is
+	// backpressure: 429 + Retry-After, never an unbounded buffer.
+	QueueDepth int
+	// MaxPerTenant caps one tenant's queued+running sessions (default 4).
+	MaxPerTenant int
+	// MaxBodyBytes caps one request body (default 1 MiB).
+	MaxBodyBytes int64
+	// MaxSourceBytes is the image-size quota for submitted guest source
+	// (default 256 KiB); larger submissions are rejected with 413.
+	MaxSourceBytes int
+	// MaxSessions / MaxRuns / MaxExecs cap one request's campaign width,
+	// fault-run count, and fuzz exec budget (defaults 64 / 600 / 2000).
+	MaxSessions, MaxRuns, MaxExecs int
+	// Containment is the shared guest-containment envelope (zero value:
+	// core.DefaultContainment). Its Budget also bounds what a tenant may
+	// request: asking for more is rejected at admission.
+	Containment core.Containment
+	// HighWater is the resident-memory shed threshold in bytes (default
+	// 1 GiB): at or above it, new sessions get 503 while in-flight work
+	// finishes.
+	HighWater uint64
+	// MemGauge reads the resident-memory gauge (default: Go heap in use).
+	// Tests override it to force shedding deterministically.
+	MemGauge func() uint64
+	// Scenarios selects which attack scenarios to prepare (default all).
+	Scenarios []string
+	// Kinds enables engines: "run", "campaign", "fault", "fuzz" (default
+	// all four).
+	Kinds []string
+	// Logf receives operational log lines (nil = silent).
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) setDefaults() {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.SessionWorkers <= 0 {
+		c.SessionWorkers = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.MaxPerTenant <= 0 {
+		c.MaxPerTenant = 4
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.MaxSourceBytes <= 0 {
+		c.MaxSourceBytes = 256 << 10
+	}
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 64
+	}
+	if c.MaxRuns <= 0 {
+		c.MaxRuns = 600
+	}
+	if c.MaxExecs <= 0 {
+		c.MaxExecs = 2000
+	}
+	if c.Containment == (core.Containment{}) {
+		c.Containment = core.DefaultContainment()
+	}
+	if c.HighWater == 0 {
+		c.HighWater = 1 << 30
+	}
+	if c.MemGauge == nil {
+		c.MemGauge = heapInUse
+	}
+	if len(c.Kinds) == 0 {
+		c.Kinds = []string{"run", "campaign", "fault", "fuzz"}
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+}
+
+// heapInUse is the default resident-memory gauge: bytes of live Go heap,
+// which is where guest pages (the dominant allocation) live.
+func heapInUse() uint64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.HeapInuse
+}
+
+// snapEntry is one prepared scenario: its steady-state snapshot plus the
+// session script every campaign fork replays.
+type snapEntry struct {
+	scenario attack.Scenario
+	snap     *attack.Snapshot
+}
+
+// Server is the service: an http.Handler plus the scheduler behind it.
+type Server struct {
+	cfg   Config
+	mux   *http.ServeMux
+	kinds map[string]bool
+
+	// Prepared once before serving — scenario boots toggle process-wide
+	// attack.Force* globals, so no boot may race a running campaign.
+	snaps        map[string]*snapEntry
+	faultTargets []*fault.Target
+	fuzzTargets  map[string]*fuzz.Target
+
+	queue    chan *job
+	workers  sync.WaitGroup // scheduler goroutines
+	inflight sync.WaitGroup // admitted sessions not yet resolved
+	drain    chan struct{}  // closed by Shutdown; pool guard Stop channel
+
+	mu       sync.Mutex
+	tenants  map[string]*tenantState
+	queueLen int
+	draining bool
+	nextID   uint64
+}
+
+// job is one admitted session waiting for a scheduler shard.
+type job struct {
+	id     uint64
+	tenant string
+	req    SessionRequest
+	done   chan *SessionResult // buffered(1); the worker always delivers
+}
+
+// New prepares every enabled engine's targets (boots + snapshots, done
+// eagerly so no scenario boot ever races a running campaign) and starts
+// the scheduler shards. The returned Server serves until Shutdown.
+func New(cfg Config) (*Server, error) {
+	cfg.setDefaults()
+	s := &Server{
+		cfg:         cfg,
+		mux:         http.NewServeMux(),
+		kinds:       make(map[string]bool, len(cfg.Kinds)),
+		snaps:       make(map[string]*snapEntry),
+		fuzzTargets: make(map[string]*fuzz.Target),
+		queue:       make(chan *job, cfg.QueueDepth),
+		drain:       make(chan struct{}),
+		tenants:     make(map[string]*tenantState),
+	}
+	for _, k := range cfg.Kinds {
+		s.kinds[k] = true
+	}
+
+	if s.kinds["campaign"] {
+		want := make(map[string]bool, len(cfg.Scenarios))
+		for _, n := range cfg.Scenarios {
+			want[n] = true
+		}
+		for _, sc := range attack.Scenarios() {
+			if len(want) > 0 && !want[sc.Name] {
+				continue
+			}
+			m, err := sc.Prepare(taint.PolicyPointerTaintedness)
+			if err != nil {
+				return nil, fmt.Errorf("prepare %s: %w", sc.Name, err)
+			}
+			snap, err := m.Snapshot()
+			if err != nil {
+				return nil, fmt.Errorf("snapshot %s: %w", sc.Name, err)
+			}
+			s.snaps[sc.Name] = &snapEntry{scenario: sc, snap: snap}
+		}
+	}
+	if s.kinds["fault"] {
+		targets, err := fault.PrepareTargets(fault.Config{Targets: cfg.Scenarios}, nil)
+		if err != nil {
+			return nil, fmt.Errorf("prepare fault targets: %w", err)
+		}
+		s.faultTargets = targets
+	}
+	if s.kinds["fuzz"] {
+		targets, err := fuzz.PrepareTargets(fuzz.Config{Targets: cfg.Scenarios})
+		if err != nil {
+			return nil, fmt.Errorf("prepare fuzz targets: %w", err)
+		}
+		for _, t := range targets {
+			s.fuzzTargets[t.Scenario.Name] = t
+		}
+	}
+
+	s.mux.HandleFunc("POST /v1/sessions", s.handleSession)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+
+	for w := 0; w < cfg.Workers; w++ {
+		s.workers.Add(1)
+		go s.worker()
+	}
+	s.cfg.Logf("serve: %d shards, queue %d, %d scenarios prepared",
+		cfg.Workers, cfg.QueueDepth, len(s.snaps))
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Shutdown drains the service: admission stops (503), the pool guard's
+// Stop channel closes so in-flight campaigns flush partial results, and
+// the call waits for every admitted session to resolve (or ctx to end).
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	already := s.draining
+	s.draining = true
+	s.mu.Unlock()
+	if !already {
+		close(s.drain)
+		// Admission enqueues only under mu while !draining, so no producer
+		// can race this close.
+		close(s.queue)
+	}
+
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		s.workers.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		s.cfg.Logf("serve: drained")
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("shutdown: %w", ctx.Err())
+	}
+}
+
+// worker is one scheduler shard: it pulls admitted sessions and runs each
+// behind panic isolation, so a corrupted fork or a hostile guest that
+// defeats an engine's own recovery still resolves to a structured error.
+func (s *Server) worker() {
+	defer s.workers.Done()
+	for j := range s.queue {
+		s.mu.Lock()
+		s.queueLen--
+		s.mu.Unlock()
+		res := s.runIsolated(j)
+		s.settle(j.tenant, res)
+		j.done <- res
+		s.inflight.Done()
+	}
+}
+
+// runIsolated runs one session, converting any escaped panic into a
+// structured error result.
+func (s *Server) runIsolated(j *job) (res *SessionResult) {
+	defer func() {
+		if p := recover(); p != nil {
+			res = &SessionResult{
+				ID: j.id, Tenant: j.tenant, Kind: j.req.Kind,
+				Status: StatusError, Error: fmt.Sprintf("session panicked: %v", p),
+				code: http.StatusOK,
+			}
+		}
+	}()
+	return s.runSession(j)
+}
+
+// guardOpts is the one pool-guard policy every session kind shares,
+// derived from the containment envelope: wall deadline with retries (host
+// contention is transient; guest wedges are already contained by the
+// deterministic step budget), seeded backoff, and the server drain.
+func (s *Server) guardOpts(seed int64) campaign.GuardOpts {
+	ct := s.cfg.Containment
+	return campaign.GuardOpts{
+		Deadline:      ct.Deadline,
+		RetryDeadline: true,
+		Retries:       ct.Retries,
+		Backoff:       ct.Backoff,
+		BackoffMax:    ct.BackoffMax,
+		Seed:          seed,
+		Stop:          s.drain,
+	}
+}
+
+// handleMetrics renders the machine-wide service registry as JSON.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	snap := s.metricsSnapshot()
+	if err := snap.WriteJSON(w); err != nil {
+		s.cfg.Logf("serve: metrics write: %v", err)
+	}
+}
+
+// handleHealth reports liveness and the drain state.
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	status := "ok"
+	if s.draining {
+		status = "draining"
+	}
+	depth := s.queueLen
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, "{\"status\":%q,\"queue_depth\":%d,\"resident_bytes\":%d}\n",
+		status, depth, s.cfg.MemGauge())
+}
+
+// metricsSnapshot builds the service registry on demand. The raw tenant
+// counters live under the server mutex (metrics.Counter is not
+// goroutine-safe), so the bridge fills a fresh registry per scrape.
+func (s *Server) metricsSnapshot() metrics.Snapshot {
+	r := metrics.New()
+	s.mu.Lock()
+	for name, t := range s.tenants {
+		t.fill(r, name)
+	}
+	r.Gauge("serve.queue_depth").Set(float64(s.queueLen))
+	draining := 0.0
+	if s.draining {
+		draining = 1
+	}
+	r.Gauge("serve.draining").Set(draining)
+	s.mu.Unlock()
+	r.Gauge("serve.resident_bytes").Set(float64(s.cfg.MemGauge()))
+	r.Gauge("serve.high_water_bytes").Set(float64(s.cfg.HighWater))
+	return r.Snapshot()
+}
+
+// retryAfter stamps backpressure responses. One second is deliberate: the
+// queue turns over in well under that on any host that keeps up at all.
+func retryAfter(w http.ResponseWriter) {
+	w.Header().Set("Retry-After", "1")
+}

@@ -1,0 +1,364 @@
+// Admission, containment, shedding, and drain semantics of the service
+// front door, each pinned with a hermetic in-process server.
+package serve_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/serve"
+)
+
+// newServer boots a serve.Server and fronts it with an httptest server.
+func newServer(t *testing.T, cfg serve.Config) (*serve.Server, *httptest.Server) {
+	t.Helper()
+	srv, err := serve.New(cfg)
+	if err != nil {
+		t.Fatalf("serve.New: %v", err)
+	}
+	hs := httptest.NewServer(srv)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+		hs.Close()
+	})
+	return srv, hs
+}
+
+// runOnlyConfig is the cheap hermetic config: no scenario preparation,
+// tight deterministic containment.
+func runOnlyConfig() serve.Config {
+	return serve.Config{
+		Kinds: []string{"run"},
+		Containment: core.Containment{
+			Budget:   100_000,
+			MemLimit: 1 << 20,
+			Deadline: 30 * time.Second,
+			Retries:  1,
+		},
+	}
+}
+
+// post submits one session body and decodes the response envelope.
+func post(t *testing.T, url string, body string) (int, map[string]any) {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/sessions", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST: %v", err)
+	}
+	defer resp.Body.Close()
+	var m map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatalf("decode (%d): %v", resp.StatusCode, err)
+	}
+	return resp.StatusCode, m
+}
+
+func submit(t *testing.T, url string, req serve.SessionRequest) (int, serve.SessionResult) {
+	t.Helper()
+	b, _ := json.Marshal(req)
+	resp, err := http.Post(url+"/v1/sessions", "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatalf("POST: %v", err)
+	}
+	defer resp.Body.Close()
+	var res serve.SessionResult
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		t.Fatalf("decode (%d): %v", resp.StatusCode, err)
+	}
+	return resp.StatusCode, res
+}
+
+// TestAdmissionValidation pins the admission layer's refusal taxonomy:
+// malformed bodies, missing/oversized images, over-quota budgets, and
+// disabled kinds each map to their status code, and every refusal is
+// charged to a tenant (the malformed pseudo-tenant when unknowable).
+func TestAdmissionValidation(t *testing.T) {
+	cfg := runOnlyConfig()
+	cfg.MaxSourceBytes = 64
+	_, hs := newServer(t, cfg)
+
+	code, body := post(t, hs.URL, "{not json")
+	if code != http.StatusBadRequest {
+		t.Errorf("malformed body: code %d, want 400 (%v)", code, body)
+	}
+
+	code, _ = post(t, hs.URL, `{"tenant":"a","kind":"run"}`)
+	if code != http.StatusBadRequest {
+		t.Errorf("missing source: code %d, want 400", code)
+	}
+
+	big := strings.Repeat("# padding\n", 20) + "main: j main\n"
+	code, _ = post(t, hs.URL, fmt.Sprintf(`{"tenant":"a","kind":"run","source":%q}`, big))
+	if code != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized source: code %d, want 413", code)
+	}
+
+	code, _ = post(t, hs.URL, `{"tenant":"a","kind":"run","source":"main: j main\n","budget":999999999}`)
+	if code != http.StatusUnprocessableEntity {
+		t.Errorf("over-quota budget: code %d, want 422", code)
+	}
+
+	code, _ = post(t, hs.URL, `{"tenant":"a","kind":"campaign","scenario":"exp1-stack"}`)
+	if code != http.StatusBadRequest {
+		t.Errorf("disabled kind: code %d, want 400", code)
+	}
+
+	// Every refusal above must be accounted: tenant "a" submitted 4 and
+	// had 4 rejected; the unparseable body went to the malformed tenant.
+	snap := metricsJSON(t, hs.URL)
+	for _, want := range []struct {
+		name string
+		v    float64
+	}{
+		{"serve.tenant.a.submitted", 4},
+		{"serve.tenant.a.rejected", 4},
+		{"serve.tenant._malformed.submitted", 1},
+		{"serve.tenant._malformed.rejected", 1},
+	} {
+		if got := counter(snap, want.name); got != want.v {
+			t.Errorf("%s = %v, want %v", want.name, got, want.v)
+		}
+	}
+}
+
+// TestRunContainsHostileGuests: the bring-your-own-image surface must
+// resolve runaway loops, memory hogs, and crashers to structured 200
+// responses — containment verdicts, not server failures.
+func TestRunContainsHostileGuests(t *testing.T) {
+	_, hs := newServer(t, runOnlyConfig())
+
+	cases := []struct {
+		name, source, wantLabel string
+	}{
+		{"runaway-loop", "main: j main\n", "timeout"},
+		{"memory-hog", "main: addiu $sp, $sp, -4096\n sw $zero, 0($sp)\n j main\n", "timeout"},
+		{"bad-syscall", "main: addiu $v0, $zero, 99\n syscall\n", "crashed"},
+		{"benign-exit", "main: addiu $v0, $zero, 1\n syscall\n", "clean"},
+	}
+	for _, tc := range cases {
+		code, res := submit(t, hs.URL, serve.SessionRequest{
+			Tenant: "hostile", Kind: "run", Source: tc.source,
+		})
+		if code != http.StatusOK {
+			t.Errorf("%s: code %d, want 200 (%+v)", tc.name, code, res)
+			continue
+		}
+		if res.Status != serve.StatusOK {
+			t.Errorf("%s: status %q, want ok (%+v)", tc.name, res.Status, res)
+		}
+		if res.Outcomes[tc.wantLabel] != 1 {
+			t.Errorf("%s: outcomes %v, want {%s:1}", tc.name, res.Outcomes, tc.wantLabel)
+		}
+	}
+
+	snap := metricsJSON(t, hs.URL)
+	if got := counter(snap, "serve.tenant.hostile.completed"); got != float64(len(cases)) {
+		t.Errorf("completed = %v, want %d", got, len(cases))
+	}
+}
+
+// TestRunDeterministic: the same hostile submission yields a byte-equal
+// deterministic body (outcome, outcomes, retries) on repeat runs.
+func TestRunDeterministic(t *testing.T) {
+	_, hs := newServer(t, runOnlyConfig())
+	req := serve.SessionRequest{Tenant: "d", Kind: "run", Source: "main: j main\n", Seed: 9}
+	_, first := submit(t, hs.URL, req)
+	_, second := submit(t, hs.URL, req)
+	if first.Outcome != second.Outcome || first.Retries != second.Retries {
+		t.Errorf("nondeterministic run result:\n%+v\n%+v", first, second)
+	}
+	if !strings.Contains(first.Outcome, "instruction budget") {
+		t.Errorf("outcome %q should name the tripped instruction budget", first.Outcome)
+	}
+}
+
+// TestShedHighWater: at the resident-memory high-water mark new work is
+// shed with 503 + Retry-After while the gauge is visible at /metrics.
+func TestShedHighWater(t *testing.T) {
+	cfg := runOnlyConfig()
+	cfg.HighWater = 1000
+	cfg.MemGauge = func() uint64 { return 2000 }
+	_, hs := newServer(t, cfg)
+
+	resp, err := http.Post(hs.URL+"/v1/sessions", "application/json",
+		strings.NewReader(`{"tenant":"a","kind":"run","source":"main: j main\n"}`))
+	if err != nil {
+		t.Fatalf("POST: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("code %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Errorf("shed response missing Retry-After")
+	}
+	snap := metricsJSON(t, hs.URL)
+	if got := counter(snap, "serve.tenant.a.shed"); got != 1 {
+		t.Errorf("shed = %v, want 1", got)
+	}
+	if got := gauge(snap, "serve.resident_bytes"); got != 2000 {
+		t.Errorf("resident gauge = %v, want 2000", got)
+	}
+}
+
+// TestTenantCapAndQueueBackpressure: one slow tenant session holds the
+// single worker; the tenant's next submission trips the per-tenant cap
+// (429), and once the one-deep queue is full a third tenant gets queue
+// backpressure (429 + Retry-After). All admitted work still completes.
+func TestTenantCapAndQueueBackpressure(t *testing.T) {
+	cfg := runOnlyConfig()
+	cfg.Workers = 1
+	cfg.QueueDepth = 1
+	cfg.MaxPerTenant = 1
+	cfg.Containment.Budget = 60_000_000 // a runaway run long enough to hold the worker
+	_, hs := newServer(t, cfg)
+
+	slow := serve.SessionRequest{Tenant: "slow", Kind: "run", Source: "main: j main\n"}
+	firstDone := make(chan serve.SessionResult, 1)
+	go func() {
+		_, res := submit(t, hs.URL, slow)
+		firstDone <- res
+	}()
+
+	// Wait until the slow session occupies the worker (queue drained).
+	waitFor(t, func() bool {
+		snap := metricsJSON(t, hs.URL)
+		return counter(snap, "serve.tenant.slow.admitted") == 1 &&
+			gauge(snap, "serve.queue_depth") == 0
+	})
+
+	code, _ := submit(t, hs.URL, serve.SessionRequest{
+		Tenant: "slow", Kind: "run", Source: "main: j main\n", Budget: 1000,
+	})
+	if code != http.StatusTooManyRequests {
+		t.Errorf("tenant over cap: code %d, want 429", code)
+	}
+
+	// Fill the queue from a second tenant, then a third submission must
+	// bounce off the full queue.
+	queuedDone := make(chan int, 1)
+	go func() {
+		c, _ := submit(t, hs.URL, serve.SessionRequest{
+			Tenant: "fill", Kind: "run", Source: "main: j main\n", Budget: 1000,
+		})
+		queuedDone <- c
+	}()
+	waitFor(t, func() bool {
+		return gauge(metricsJSON(t, hs.URL), "serve.queue_depth") == 1
+	})
+	code, _ = submit(t, hs.URL, serve.SessionRequest{
+		Tenant: "bounced", Kind: "run", Source: "main: j main\n", Budget: 1000,
+	})
+	if code != http.StatusTooManyRequests {
+		t.Errorf("queue full: code %d, want 429", code)
+	}
+
+	if res := <-firstDone; res.Outcomes["timeout"] != 1 {
+		t.Errorf("slow session should contain to timeout, got %+v", res.Outcomes)
+	}
+	if c := <-queuedDone; c != http.StatusOK {
+		t.Errorf("queued session: code %d, want 200", c)
+	}
+}
+
+// TestDrainShutdown: Shutdown stops admission with 503, completes
+// in-flight sessions, and flips /healthz to draining.
+func TestDrainShutdown(t *testing.T) {
+	cfg := runOnlyConfig()
+	srv, err := serve.New(cfg)
+	if err != nil {
+		t.Fatalf("serve.New: %v", err)
+	}
+	hs := httptest.NewServer(srv)
+	defer hs.Close()
+
+	_, res := submit(t, hs.URL, serve.SessionRequest{
+		Tenant: "a", Kind: "run", Source: "main: j main\n", Budget: 1000,
+	})
+	if res.Status != serve.StatusOK {
+		t.Fatalf("warmup session: %+v", res)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+
+	code, _ := submit(t, hs.URL, serve.SessionRequest{
+		Tenant: "a", Kind: "run", Source: "main: j main\n", Budget: 1000,
+	})
+	if code != http.StatusServiceUnavailable {
+		t.Errorf("post-drain submission: code %d, want 503", code)
+	}
+
+	resp, err := http.Get(hs.URL + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	defer resp.Body.Close()
+	var h struct {
+		Status string `json:"status"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatalf("healthz decode: %v", err)
+	}
+	if h.Status != "draining" {
+		t.Errorf("healthz status %q, want draining", h.Status)
+	}
+
+	// Shutdown is idempotent.
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Errorf("second shutdown: %v", err)
+	}
+}
+
+// --- metrics helpers -------------------------------------------------
+
+// metricsSnap mirrors metrics.Snapshot's JSON shape.
+type metricsSnap struct {
+	Counters map[string]uint64  `json:"counters"`
+	Gauges   map[string]float64 `json:"gauges"`
+}
+
+func metricsJSON(t *testing.T, url string) metricsSnap {
+	t.Helper()
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	var m metricsSnap
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatalf("metrics decode: %v", err)
+	}
+	return m
+}
+
+func counter(m metricsSnap, name string) float64 { return float64(m.Counters[name]) }
+func gauge(m metricsSnap, name string) float64   { return m.Gauges[name] }
+
+// waitFor polls cond until true or the test deadline nears.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(20 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("condition never held")
+}
