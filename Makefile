@@ -6,7 +6,7 @@ FAULT_SEED ?= 1
 PTFUZZ_SEED ?= 1
 PTFUZZ_EXECS ?= 1500
 
-.PHONY: build vet lint test race race-campaign fault-campaign fuzz fuzz-smoke serve-smoke bench bench-json bench-fuzz bench-superblock trace-check ci
+.PHONY: build vet lint test race race-campaign fault-campaign fuzz fuzz-smoke serve-smoke obs-smoke bench bench-json bench-fuzz bench-superblock bench-obs trace-check ci
 
 build:
 	$(GO) build ./...
@@ -35,7 +35,7 @@ race:
 # up under races and ordering. internal/cpu rides along for the superblock
 # fork-isolation and invalidation tests.
 race-campaign:
-	$(GO) test -race -shuffle=on ./internal/mem/ ./internal/campaign/ ./internal/attack/ ./internal/kernel/ ./internal/netsim/ ./internal/fault/ ./internal/fuzz/ ./internal/cpu/ ./internal/serve/ ./cmd/ptcampaign/ ./cmd/ptfault/ ./cmd/ptfuzz/ ./cmd/ptserve/
+	$(GO) test -race -shuffle=on ./internal/mem/ ./internal/campaign/ ./internal/attack/ ./internal/kernel/ ./internal/netsim/ ./internal/fault/ ./internal/fuzz/ ./internal/cpu/ ./internal/serve/ ./internal/obs/ ./cmd/ptcampaign/ ./cmd/ptfault/ ./cmd/ptfuzz/ ./cmd/ptserve/
 
 # A small seeded fault-injection campaign with the invariants enforced:
 # zero SilentTaintLoss on the un-faulted control arm, every attack-arm
@@ -63,6 +63,19 @@ fuzz-smoke:
 serve-smoke:
 	$(GO) test -run 'TestChaos|TestServeSmoke' -v ./internal/serve/ ./cmd/ptserve/
 
+# Observability acceptance for the service: the span tracer / flight
+# recorder / Chrome-composition unit tests, a seeded ptserve run assert-
+# ing the deterministic span tree shape and that the flight recorder
+# fires exactly on an injected Timeout, the Prometheus exposition and
+# monotonic-scrape checks, the seeded fault-campaign flight determinism
+# (byte-identical minus durations at any worker count and across both
+# engines), and the committed BENCH_obs.json within its own ceilings.
+obs-smoke:
+	$(GO) test ./internal/obs/
+	$(GO) test -run 'TestObsSmoke|TestMetricsPrometheus|TestMetricsMonotonic|TestSessionEventsSSE' -v ./internal/serve/
+	$(GO) test -run 'TestFlightRecorder|TestWriteFlights|TestBenignRunsLeaveNoFlight' ./internal/fault/
+	$(GO) test -run TestObsBenchGuard .
+
 bench:
 	$(GO) test -run '^$$' -bench 'StepFastPath|SPEC' -benchmem .
 
@@ -82,6 +95,12 @@ bench-fuzz:
 bench-superblock:
 	PTBENCH_RECORD=1 $(GO) test -run TestSuperblockBenchGuard -v .
 
+# Re-record the observability-primitive baseline: span start/end pairs
+# and flight-recorder ring notes, written to BENCH_obs.json (ceilings in
+# bench_guard_test.go).
+bench-obs:
+	PTBENCH_RECORD=1 $(GO) test -run TestObsBenchGuard -v .
+
 # Observability acceptance: the provenance differential pass (chains
 # terminate at concrete input bytes, byte-identical across both engines
 # and across snapshot forks, perturbation-free when disabled), the event
@@ -93,4 +112,4 @@ trace-check:
 	$(GO) test -run 'TestEventSink|TestWrite|TestStream|TestDestReg|TestUsesRt|TestTracer' ./internal/cpu/
 	PTBENCH_GUARD=1 $(GO) test -run 'TestProvenanceBenchGuard|TestSuperblockBenchGuard' -v .
 
-ci: lint build race race-campaign fault-campaign fuzz fuzz-smoke serve-smoke trace-check
+ci: lint build race race-campaign fault-campaign fuzz fuzz-smoke serve-smoke obs-smoke trace-check

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/cpu"
+	"repro/internal/obs"
 )
 
 // provBaseline is the BENCH_provenance.json schema: the recorded fast-path
@@ -255,4 +256,127 @@ func TestSuperblockBenchGuard(t *testing.T) {
 	}
 	fmt.Printf("superblock bench guard: %.3f ns/instr live (recorded %.3f, block path %.3f, ceiling %.1f)\n",
 		best, base.SbNsPerInstr, base.NosbNsPerInstr, base.MaxNsPerInstr)
+}
+
+// obsBaseline is the BENCH_obs.json schema: the recorded per-operation
+// cost of the observability primitives the service puts on every session
+// (span start/end pairs, flight-recorder ring writes), and the absolute
+// ceilings the guard enforces. The guest fast path itself is covered by
+// the provenance and superblock guards above — obs never touches the
+// interpreter loops — so this guard holds the harness-side costs.
+type obsBaseline struct {
+	// SpanNsPerOp is one Tracer.Start + Span.End round trip (two
+	// monotonic clock reads, one derived ID, one record append).
+	SpanNsPerOp float64 `json:"span_ns_per_op"`
+	// NoteNsPerOp is one Recorder.Note into a full ring (the always-on
+	// benign-path cost of the flight recorder).
+	NoteNsPerOp float64 `json:"note_ns_per_op"`
+	// MaxSpanNs / MaxNoteNs are the absolute ceilings.
+	MaxSpanNs float64 `json:"max_span_ns"`
+	MaxNoteNs float64 `json:"max_note_ns"`
+	// Host documents where the baseline was taken.
+	Host string `json:"host"`
+}
+
+// Ceilings written into a fresh BENCH_obs.json: a span pair is a few
+// hundred nanoseconds of clock reads and hashing, a ring note is a
+// bounds check and a slot write. Sessions carry ~10 spans and a few
+// hundred notes, so even the ceilings are microseconds per session.
+const (
+	obsMaxSpanNs = 2000.0
+	obsMaxNoteNs = 1000.0
+)
+
+// measureObsNs returns the measured per-op cost of span pairs and ring
+// notes.
+func measureObsNs() (spanNs, noteNs float64) {
+	sr := testing.Benchmark(func(b *testing.B) {
+		tr := obs.NewTracer(1)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tr.Start(nil, "bench").End()
+		}
+	})
+	nr := testing.Benchmark(func(b *testing.B) {
+		rec := obs.NewRecorder(256)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rec.Note("bench", "", nil, nil)
+		}
+	})
+	return float64(sr.NsPerOp()), float64(nr.NsPerOp())
+}
+
+// TestObsBenchGuard enforces the observability layer's per-operation
+// budget. Always on: the committed BENCH_obs.json must record costs at
+// or under its own ceilings. Armed under PTBENCH_GUARD=1: the costs are
+// re-measured live, best of three. Under PTBENCH_RECORD=1 (`make
+// bench-obs`) it re-measures and rewrites the baseline instead.
+func TestObsBenchGuard(t *testing.T) {
+	if os.Getenv("PTBENCH_RECORD") == "1" {
+		spanNs, noteNs := measureObsNs()
+		base := obsBaseline{
+			SpanNsPerOp: spanNs,
+			NoteNsPerOp: noteNs,
+			MaxSpanNs:   obsMaxSpanNs,
+			MaxNoteNs:   obsMaxNoteNs,
+			Host:        fmt.Sprintf("%s/%s", runtime.GOOS, runtime.GOARCH),
+		}
+		data, err := json.MarshalIndent(base, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile("BENCH_obs.json", append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("recorded: span %.1f ns/op (ceiling %.0f), note %.1f ns/op (ceiling %.0f)",
+			spanNs, obsMaxSpanNs, noteNs, obsMaxNoteNs)
+		return
+	}
+
+	data, err := os.ReadFile("BENCH_obs.json")
+	if err != nil {
+		t.Fatalf("no recorded baseline (run `make bench-obs`): %v", err)
+	}
+	var base obsBaseline
+	if err := json.Unmarshal(data, &base); err != nil {
+		t.Fatalf("bad baseline: %v", err)
+	}
+	if base.SpanNsPerOp <= 0 || base.NoteNsPerOp <= 0 || base.MaxSpanNs <= 0 || base.MaxNoteNs <= 0 {
+		t.Fatalf("baseline not recorded: %+v", base)
+	}
+	if base.SpanNsPerOp > base.MaxSpanNs {
+		t.Errorf("recorded span cost %.1f ns/op exceeds the %.0f ceiling — re-record with `make bench-obs`",
+			base.SpanNsPerOp, base.MaxSpanNs)
+	}
+	if base.NoteNsPerOp > base.MaxNoteNs {
+		t.Errorf("recorded note cost %.1f ns/op exceeds the %.0f ceiling — re-record with `make bench-obs`",
+			base.NoteNsPerOp, base.MaxNoteNs)
+	}
+
+	if os.Getenv("PTBENCH_GUARD") != "1" {
+		t.Skip("set PTBENCH_GUARD=1 to arm the live obs bench guard")
+	}
+	bestSpan, bestNote := 0.0, 0.0
+	for attempt := 0; attempt < 3; attempt++ {
+		spanNs, noteNs := measureObsNs()
+		if bestSpan == 0 || spanNs < bestSpan {
+			bestSpan = spanNs
+		}
+		if bestNote == 0 || noteNs < bestNote {
+			bestNote = noteNs
+		}
+		t.Logf("attempt %d: span %.1f note %.1f (best %.1f/%.1f)", attempt+1, spanNs, noteNs, bestSpan, bestNote)
+		if bestSpan <= base.MaxSpanNs && bestNote <= base.MaxNoteNs {
+			break
+		}
+	}
+	if bestSpan > base.MaxSpanNs {
+		t.Errorf("span pair costs %.1f ns/op, over the %.0f ceiling", bestSpan, base.MaxSpanNs)
+	}
+	if bestNote > base.MaxNoteNs {
+		t.Errorf("ring note costs %.1f ns/op, over the %.0f ceiling", bestNote, base.MaxNoteNs)
+	}
+	fmt.Printf("obs bench guard: span %.1f ns/op (ceiling %.0f), note %.1f ns/op (ceiling %.0f)\n",
+		bestSpan, base.MaxSpanNs, bestNote, base.MaxNoteNs)
 }

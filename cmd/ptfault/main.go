@@ -11,7 +11,7 @@
 //	ptfault [-seed S] [-n RUNS] [-parallel N] [-fast=false] [-prov]
 //	        [-target a,b] [-injector x,y]
 //	        [-budget I] [-mem-limit B] [-deadline D] [-retries R] [-backoff D]
-//	        [-json FILE] [-runs] [-check]
+//	        [-json FILE] [-runs] [-check] [-flight-dir DIR]
 //
 // SIGINT/SIGTERM drains: new runs stop, in-flight forks finish, and the
 // partial report (marked "interrupted": true) is still printed/written.
@@ -58,6 +58,7 @@ func run(args []string, w io.Writer) error {
 	jsonPath := fs.String("json", "", "write the JSON coverage report to this file (- = stdout)")
 	keepRuns := fs.Bool("runs", false, "include every per-run record in the JSON report")
 	check := fs.Bool("check", false, "fail unless the campaign invariants hold (control detects, zero control SilentTaintLoss, injected attack arm still detects)")
+	flightDir := fs.String("flight-dir", "", "write each anomalous run's flight-recorder JSONL artifact into this directory")
 	ct := core.DefaultContainment()
 	ct.AddFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -126,6 +127,18 @@ func run(args []string, w io.Writer) error {
 	if rep.Interrupted {
 		fmt.Fprintf(w, "interrupted: drained after %d of %d runs (%d skipped)\n",
 			rep.Runs, rep.Runs+rep.Skipped, rep.Skipped)
+	}
+
+	if *flightDir != "" {
+		paths, err := rep.WriteFlights(*flightDir)
+		if err != nil {
+			return fmt.Errorf("write flights: %w", err)
+		}
+		fmt.Fprintf(w, "wrote %d anomaly flight artifacts to %s", len(paths), *flightDir)
+		if rep.FlightsDropped > 0 {
+			fmt.Fprintf(w, " (%d beyond the retention cap dropped)", rep.FlightsDropped)
+		}
+		fmt.Fprintln(w)
 	}
 
 	if *jsonPath != "" {

@@ -11,12 +11,15 @@
 //	ptserve [-addr :8844] [-queue 64] [-tenant-cap 4] [-shards N]
 //	        [-high-water BYTES] [-scenario a,b] [-kinds run,campaign,...]
 //	        [-budget I] [-mem-limit B] [-deadline D] [-retries R] [-backoff D]
+//	        [-flight-dir DIR] [-pprof]
 //
 // Endpoints:
 //
-//	POST /v1/sessions  submit a session; the response embeds per-tenant stats
-//	GET  /metrics      machine-wide metrics snapshot (JSON)
-//	GET  /healthz      liveness + drain state
+//	POST /v1/sessions              submit a session; the response embeds per-tenant stats
+//	GET  /v1/sessions/{id}/events  stream a session's guest events as SSE
+//	GET  /metrics                  fleet metrics: JSON, or Prometheus text with Accept: text/plain
+//	GET  /healthz                  liveness + drain state
+//	GET  /debug/pprof/             profiling (only with -pprof)
 //
 // SIGINT/SIGTERM drains: admission stops with 503, in-flight sessions
 // finish (interrupted campaigns flush partial results), then the process
@@ -57,6 +60,8 @@ func run(args []string, w io.Writer) error {
 	highWater := fs.Uint64("high-water", 1<<30, "resident-memory shed threshold in bytes")
 	scenarios := fs.String("scenario", "", "comma-separated scenarios to serve (default: all)")
 	kinds := fs.String("kinds", "", "comma-separated session kinds to enable (default: run,campaign,fault,fuzz)")
+	flightDir := fs.String("flight-dir", "", "directory for anomaly flight-recorder JSONL artifacts (empty: in-memory only)")
+	pprofOn := fs.Bool("pprof", false, "mount /debug/pprof profiling endpoints")
 	ct := core.DefaultContainment()
 	ct.AddFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -69,6 +74,8 @@ func run(args []string, w io.Writer) error {
 		MaxPerTenant: *tenantCap,
 		HighWater:    *highWater,
 		Containment:  ct,
+		FlightDir:    *flightDir,
+		Pprof:        *pprofOn,
 		Logf: func(format string, a ...any) {
 			fmt.Fprintf(w, format+"\n", a...)
 		},

@@ -28,6 +28,7 @@ import (
 
 	"repro/internal/attack"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/taint"
 )
 
@@ -140,12 +141,18 @@ func runProgram(w io.Writer, policy taint.Policy, format, outPath string, capN i
 			return -1
 		}(),
 	}
+	// Harness spans (build, guest-run) frame the guest's own event stream:
+	// the Chrome export nests the instruction-level instants under the
+	// guest-run span so the trace reads top-down from harness to guest.
+	tr := obs.NewTracer(0)
+	bs := tr.Start(nil, "build")
 	var m *core.Machine
 	if strings.HasSuffix(progPath, ".s") {
 		m, err = core.BuildASM(cfg, string(src))
 	} else {
 		m, err = core.BuildC(cfg, string(src))
 	}
+	bs.End()
 	if err != nil {
 		return err
 	}
@@ -157,7 +164,9 @@ func runProgram(w io.Writer, policy taint.Policy, format, outPath string, capN i
 		m.SetStdin(data)
 	}
 
+	gs := tr.Start(nil, "guest-run")
 	runErr := m.Run()
+	gs.End()
 	fmt.Fprint(w, m.Stdout())
 
 	if outPath != "" {
@@ -169,7 +178,9 @@ func runProgram(w io.Writer, policy taint.Policy, format, outPath string, capN i
 		switch format {
 		case "jsonl":
 		case "chrome":
-			export = m.ExportChromeTrace
+			export = func(w io.Writer) error {
+				return obs.ComposeChrome(w, tr.Records(), "guest-run", m.Events())
+			}
 		default:
 			f.Close()
 			return fmt.Errorf("unknown format %q (want jsonl or chrome)", format)
@@ -181,9 +192,12 @@ func runProgram(w io.Writer, policy taint.Policy, format, outPath string, capN i
 		if err := f.Close(); err != nil {
 			return err
 		}
-		if dropped := m.EventsDropped(); dropped > 0 {
-			fmt.Fprintf(os.Stderr, "pttrace: ring overwrote %d older events (raise -cap to keep more)\n", dropped)
-		}
+	}
+	// Truncation is loud regardless of whether anything was exported: a
+	// ring that silently overwrote events is exactly the failure mode a
+	// forensic trace must not hide.
+	if dropped := m.EventsDropped(); dropped > 0 {
+		fmt.Fprintf(os.Stderr, "pttrace: ring overwrote %d older events (raise -cap to keep more)\n", dropped)
 	}
 
 	var alert *core.SecurityAlert

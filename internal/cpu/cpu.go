@@ -129,6 +129,11 @@ type CPU struct {
 	sblocks []*superblock
 	sbHeat  []uint16
 	sbOff   bool
+	// sbInval remembers why compiled state was last invalidated so a
+	// later !live() discovery at dispatch can attribute the deopt to a
+	// reason (stats.go). Zero value = self-modify, the only cause that
+	// can fire without going through a tagged entry point.
+	sbInval uint8
 
 	// staticFacts holds per-text-word proof bits from the static analyzer
 	// (SetStaticFacts); nil when no analysis is installed. The slice is
@@ -219,6 +224,7 @@ func (c *CPU) invalidateText(addr uint32, width int) {
 	if c.decoded == nil || addr >= c.textEnd || addr+uint32(width) <= c.textBase {
 		return
 	}
+	c.sbInval = sbInvalSelfModify
 	if c.staticFacts != nil {
 		// Self-modifying text voids the whole-program analysis, not just
 		// the stored-to words; drop every fact and every block carrying
@@ -313,6 +319,7 @@ func (c *CPU) AddProbe(pc uint32, fn func(*CPU)) {
 	// A probe may rewrite registers or taint mid-run, invalidating the
 	// static analyzer's proofs; drop them for this machine.
 	c.staticFacts = nil
+	c.sbInval = sbInvalProbe
 	// A probed pc must be a block entry so StepBlock runs its probes;
 	// rebuilt blocks will stop short of it.
 	c.flushBlocks()

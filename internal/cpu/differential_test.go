@@ -128,6 +128,8 @@ func compareMachines(t *testing.T, ref, fast *attack.Machine, refErr, fastErr er
 		t.Errorf("fast: CleanSkips(%d) + TaintedSteps(%d) != Instructions(%d)",
 			fs.CleanSkips, fs.TaintedSteps, fs.Instructions)
 	}
+	checkDeoptBreakdown(t, "fast", fs)
+	checkDeoptBreakdown(t, "reference", rs)
 
 	// The pipeline timing model is part of the contract (alerts carry the
 	// retirement cycle). Only valid on flat memory: the block builder's
@@ -138,6 +140,21 @@ func compareMachines(t *testing.T, ref, fast *attack.Machine, refErr, fastErr er
 
 	if rf, ff := ref.Mem.Fingerprint(), fast.Mem.Fingerprint(); rf != ff {
 		t.Errorf("memory fingerprint: fast %#x, reference %#x", ff, rf)
+	}
+}
+
+// checkDeoptBreakdown asserts that the per-reason superblock deopt
+// counters partition the total — every deopt site must tag exactly one
+// reason, or the fleet exposition would silently misattribute exits.
+func checkDeoptBreakdown(t *testing.T, engine string, s cpu.Stats) {
+	t.Helper()
+	var sum uint64
+	for _, d := range s.DeoptReasons() {
+		sum += d.Count
+	}
+	if sum != s.SuperblockDeopts {
+		t.Errorf("%s: deopt reasons sum to %d, total SuperblockDeopts %d (breakdown %+v)",
+			engine, sum, s.SuperblockDeopts, s.DeoptReasons())
 	}
 }
 

@@ -225,6 +225,11 @@ func (e Event) wire() eventJSON {
 	return j
 }
 
+// MarshalJSON renders the event in its JSONL wire form, so embedding an
+// Event in any JSON document (the obs Chrome composer, flight records)
+// matches the exported trace format exactly.
+func (e Event) MarshalJSON() ([]byte, error) { return json.Marshal(e.wire()) }
+
 // StreamJSONL returns a Stream subscriber that writes each event to w as
 // one JSON line the moment it is emitted — the ptattack -trace hook.
 // Encoding errors are swallowed (a broken pipe must not fault the guest).

@@ -659,7 +659,17 @@ chain:
 				case !sb.live(c):
 					// A constituent block was rebuilt or invalidated
 					// (self-modifying store, probe flush, fact drop);
-					// recompile only after the entry re-heats.
+					// recompile only after the entry re-heats. Counted as
+					// a deopt under the cause that killed the trace.
+					c.stats.SuperblockDeopts++
+					switch c.sbInval {
+					case sbInvalProbe:
+						c.stats.SbDeoptProbe++
+					case sbInvalInject:
+						c.stats.SbDeoptInjectAt++
+					default:
+						c.stats.SbDeoptSelfModify++
+					}
 					c.sblocks[idx] = nil
 					c.sbHeat[idx] = 0
 				case (max == 0 || max-(c.stats.Instructions+done) >= uint64(len(sb.ops))) &&
@@ -683,7 +693,12 @@ chain:
 					continue chain
 				default:
 					// Entry guard failed (tainted live-in register) or
-					// the budget cannot fit one iteration.
+					// the budget cannot fit one iteration. Only the former
+					// is a specialization failure worth a deopt reason.
+					if max == 0 || max-(c.stats.Instructions+done) >= uint64(len(sb.ops)) {
+						c.stats.SuperblockDeopts++
+						c.stats.SbDeoptTaintedEntry++
+					}
 					if sb.badEntries++; sb.badEntries > sbMaxBadEntries {
 						c.sblocks[idx] = sbUnfusable
 					}

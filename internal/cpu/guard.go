@@ -70,6 +70,7 @@ func (c *CPU) recoverGuestFault(err *error) {
 func (c *CPU) InjectAt(n uint64, fn func(*CPU)) {
 	c.injectAt, c.injectFn = n, fn
 	c.staticFacts = nil
+	c.sbInval = sbInvalInject
 	c.flushBlocks()
 }
 

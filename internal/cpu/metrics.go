@@ -22,6 +22,13 @@ func (c *CPU) FillMetrics(r *metrics.Registry) {
 	r.Counter("cpu.static_clean_skips").Add(s.StaticCleanSkips)
 	r.Counter("cpu.tainted_steps").Add(s.TaintedSteps)
 
+	r.Counter("sb.runs").Add(s.SuperblockRuns)
+	r.Counter("sb.instructions").Add(s.SuperblockInstrs)
+	r.Counter("sb.deopts").Add(s.SuperblockDeopts)
+	for _, d := range s.DeoptReasons() {
+		r.Counter(metrics.Labeled("sb.deopts_by_reason", "reason", d.Reason)).Add(d.Count)
+	}
+
 	p := c.Pipe()
 	r.Counter("pipe.cycles").Add(p.Cycles)
 	r.Counter("pipe.stalls").Add(p.Stalls)

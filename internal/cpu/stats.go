@@ -65,13 +65,33 @@ type Stats struct {
 	// Superblock-tier counters (superblock.go). SuperblockRuns counts
 	// entries into a compiled trace, SuperblockInstrs the instructions
 	// retired inside one (a subset of Instructions), SuperblockDeopts
-	// the exits forced by a violated specialization assumption (tainted
-	// loaded value, dirty compare/branch home, store range guard) — as
-	// opposed to ordinary side exits on the unexpected branch direction
-	// or the budget boundary.
+	// every specialization failure: mid-trace exits forced by a violated
+	// assumption (tainted loaded value, dirty compare/branch home, store
+	// range guard, address fault), entry guards rejecting a tainted
+	// live-in register, and compiled traces found dead at dispatch after
+	// an invalidation — as opposed to ordinary side exits on the
+	// unexpected branch direction or the budget boundary.
 	SuperblockRuns   uint64
 	SuperblockInstrs uint64
 	SuperblockDeopts uint64
+
+	// Per-reason deopt breakdown. Always sums to SuperblockDeopts:
+	//   TaintedEntry — entry guard saw taint in a live-in register;
+	//   LoadedTaint  — a load pulled a tainted word mid-trace (the trace
+	//                  retires the load, then side-exits to track it);
+	//   Probe        — a compare/branch memory-home probe found a dirty
+	//                  home, or a probe registration invalidated the trace;
+	//   SelfModify   — the store range guard (addr below the text window)
+	//                  or a text-page invalidation dropped the trace;
+	//   MemFault     — misaligned/null address caught by the trace's
+	//                  address guard before the access;
+	//   InjectAt     — an armed fault injection flushed compiled state.
+	SbDeoptTaintedEntry uint64
+	SbDeoptLoadedTaint  uint64
+	SbDeoptProbe        uint64
+	SbDeoptSelfModify   uint64
+	SbDeoptMemFault     uint64
+	SbDeoptInjectAt     uint64
 
 	// StaticCleanSkips counts retirements whose runtime taint check was
 	// skipped on the strength of a static-analysis fact (SetStaticFacts)
@@ -81,6 +101,27 @@ type Stats struct {
 	// jump-register checks skipped statically have no CleanSkips
 	// counterpart (the reference path counts them as TaintedSteps too).
 	StaticCleanSkips uint64
+}
+
+// DeoptReason is one row of the superblock deopt breakdown.
+type DeoptReason struct {
+	Reason string
+	Count  uint64
+}
+
+// DeoptReasons returns the per-reason superblock deopt breakdown in a
+// fixed order. The counts always sum to SuperblockDeopts (asserted by
+// the differential tests); zero rows are included so consumers see a
+// stable shape.
+func (s Stats) DeoptReasons() []DeoptReason {
+	return []DeoptReason{
+		{"tainted-entry", s.SbDeoptTaintedEntry},
+		{"loaded-taint", s.SbDeoptLoadedTaint},
+		{"probe", s.SbDeoptProbe},
+		{"self-modify", s.SbDeoptSelfModify},
+		{"mem-fault", s.SbDeoptMemFault},
+		{"inject-at", s.SbDeoptInjectAt},
+	}
 }
 
 // CleanSkipRate returns the fraction of retired instructions that took the

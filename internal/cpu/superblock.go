@@ -44,6 +44,16 @@ const (
 	sbMaxBadEntries = 64
 )
 
+// Last-invalidation tags for CPU.sbInval: when dispatch finds a compiled
+// trace no longer live, the tag says which event killed it so the deopt
+// lands in the right Stats reason bucket. Self-modify is the zero value —
+// text stores and plain block rebuilds are the untagged default cause.
+const (
+	sbInvalSelfModify = iota
+	sbInvalProbe
+	sbInvalInject
+)
+
 // Specialized op codes. Each ALU form gets its own code so the exec loop
 // is a single dense switch (a jump table), not a dispatch through the
 // shared decIns datapath switch plus a second fop switch.
@@ -691,6 +701,7 @@ func (c *CPU) runSuperblock(sb *superblock, max uint64) (uint32, bool) {
 			// owns the instruction.
 			if op.homes&c.homesMask != 0 && c.sbHomesDirty(op.homes) {
 				c.stats.SuperblockDeopts++
+				c.stats.SbDeoptProbe++
 				return c.sbFinish(sb, iters, &sb.exits[op.exit], entryExtra)
 			}
 			var v uint32
@@ -717,6 +728,7 @@ func (c *CPU) runSuperblock(sb *superblock, max uint64) (uint32, bool) {
 			addr := c.regs[op.a] + op.imm
 			if addr < nullPage || addr&3 != 0 {
 				c.stats.SuperblockDeopts++
+				c.stats.SbDeoptMemFault++
 				return c.sbFinish(sb, iters, &sb.exits[op.exit], entryExtra)
 			}
 			w, wv := m.WordAt(addr)
@@ -725,6 +737,7 @@ func (c *CPU) runSuperblock(sb *superblock, max uint64) (uint32, bool) {
 				// Taint birth: retire this load with its full effects,
 				// then exit so the block path sees the tainted register.
 				c.stats.SuperblockDeopts++
+				c.stats.SbDeoptLoadedTaint++
 				c.SetReg(rd, w, wv)
 				e := &sb.exits[op.exitT]
 				if c.prov != nil {
@@ -739,6 +752,7 @@ func (c *CPU) runSuperblock(sb *superblock, max uint64) (uint32, bool) {
 			addr := c.regs[op.a] + op.imm
 			if addr < nullPage {
 				c.stats.SuperblockDeopts++
+				c.stats.SbDeoptMemFault++
 				return c.sbFinish(sb, iters, &sb.exits[op.exit], entryExtra)
 			}
 			bb, tt := m.LoadByte(addr)
@@ -759,6 +773,7 @@ func (c *CPU) runSuperblock(sb *superblock, max uint64) (uint32, bool) {
 			c.SetReg(rd, v, vec)
 			if vec != taint.None {
 				c.stats.SuperblockDeopts++
+				c.stats.SbDeoptLoadedTaint++
 				e := &sb.exits[op.exitT]
 				if c.prov != nil {
 					c.provLoad(rd, addr, op.pc, c.stats.Instructions+iters*sb.iter.done+e.done-1)
@@ -771,6 +786,7 @@ func (c *CPU) runSuperblock(sb *superblock, max uint64) (uint32, bool) {
 			addr := c.regs[op.a] + op.imm
 			if addr < nullPage || addr&1 != 0 {
 				c.stats.SuperblockDeopts++
+				c.stats.SbDeoptMemFault++
 				return c.sbFinish(sb, iters, &sb.exits[op.exit], entryExtra)
 			}
 			h, hv := m.HalfAt(addr)
@@ -788,6 +804,7 @@ func (c *CPU) runSuperblock(sb *superblock, max uint64) (uint32, bool) {
 			c.SetReg(rd, v, vec)
 			if vec != taint.None {
 				c.stats.SuperblockDeopts++
+				c.stats.SbDeoptLoadedTaint++
 				e := &sb.exits[op.exitT]
 				if c.prov != nil {
 					c.provLoad(rd, addr, op.pc, c.stats.Instructions+iters*sb.iter.done+e.done-1)
@@ -803,6 +820,7 @@ func (c *CPU) runSuperblock(sb *superblock, max uint64) (uint32, bool) {
 			addr := c.regs[op.a] + op.imm
 			if addr&3 != 0 || addr < c.textEnd {
 				c.stats.SuperblockDeopts++
+				c.stats.SbDeoptSelfModify++
 				return c.sbFinish(sb, iters, &sb.exits[op.exit], entryExtra)
 			}
 			m.PutWord(addr, c.regs[op.b], taint.None)
@@ -813,6 +831,7 @@ func (c *CPU) runSuperblock(sb *superblock, max uint64) (uint32, bool) {
 			addr := c.regs[op.a] + op.imm
 			if addr < c.textEnd {
 				c.stats.SuperblockDeopts++
+				c.stats.SbDeoptSelfModify++
 				return c.sbFinish(sb, iters, &sb.exits[op.exit], entryExtra)
 			}
 			m.StoreByte(addr, byte(c.regs[op.b]), false)
@@ -823,6 +842,7 @@ func (c *CPU) runSuperblock(sb *superblock, max uint64) (uint32, bool) {
 			addr := c.regs[op.a] + op.imm
 			if addr&1 != 0 || addr < c.textEnd {
 				c.stats.SuperblockDeopts++
+				c.stats.SbDeoptSelfModify++
 				return c.sbFinish(sb, iters, &sb.exits[op.exit], entryExtra)
 			}
 			m.PutHalf(addr, uint16(c.regs[op.b]), taint.None)
@@ -832,6 +852,7 @@ func (c *CPU) runSuperblock(sb *superblock, max uint64) (uint32, bool) {
 		case sbBEQ, sbBNE, sbBLEZ, sbBGTZ, sbBLTZ, sbBGEZ:
 			if sb.branchGuard && op.homes&c.homesMask != 0 && c.sbHomesDirty(op.homes) {
 				c.stats.SuperblockDeopts++
+				c.stats.SbDeoptProbe++
 				return c.sbFinish(sb, iters, &sb.exits[op.exit], entryExtra)
 			}
 			var taken bool

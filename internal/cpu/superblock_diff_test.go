@@ -85,4 +85,9 @@ func TestSuperblockCDifferentialTaintedLoad(t *testing.T) {
 	if s.SuperblockDeopts == 0 {
 		t.Errorf("tainted scan never forced a deopt")
 	}
+	if s.SbDeoptLoadedTaint == 0 {
+		t.Errorf("tainted scan deopted %d times but none attributed to loaded-taint: %+v",
+			s.SuperblockDeopts, s.DeoptReasons())
+	}
+	checkDeoptBreakdown(t, "fast", s)
 }

@@ -12,6 +12,7 @@ import (
 	"repro/internal/campaign"
 	"repro/internal/cpu"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/progs"
 	"repro/internal/taint"
 )
@@ -274,6 +275,11 @@ type RunResult struct {
 	// Metrics is the injected machine's full metrics snapshot; it feeds
 	// the report-level aggregate and is not serialized per run.
 	Metrics metrics.Snapshot `json:"-"`
+	// Flight is the run's flight record, captured only when the run
+	// classified as an anomaly (obs.Anomaly); nil otherwise. Its
+	// normalized form is a pure function of the run seed — identical at
+	// any worker count and under either engine.
+	Flight *obs.Flight `json:"-"`
 }
 
 // Cell aggregates one target × injector grid cell.
@@ -316,7 +322,15 @@ type Report struct {
 	// Results carries every per-run record in index order (omitted from
 	// compact reports).
 	Results []RunResult `json:"results,omitempty"`
+	// Flights holds the flight records of anomalous runs in index order,
+	// capped at MaxFlights (FlightsDropped counts the excess) — the
+	// forensic artifacts WriteFlights ships to disk.
+	Flights        []*obs.Flight `json:"-"`
+	FlightsDropped int           `json:"flights_dropped,omitempty"`
 }
+
+// MaxFlights bounds the flight records a report retains in memory.
+const MaxFlights = obs.MaxFlights
 
 // mix is splitmix64: it decorrelates per-run seeds derived from the
 // campaign seed and the run index, independent of execution order.
@@ -438,6 +452,16 @@ func Campaign(cfg Config, targets []*Target, keepResults bool) (*Report, error) 
 		cell.Outcomes[r.Class]++
 		rep.Outcomes[r.Class]++
 		rep.Metrics = rep.Metrics.Merge(r.Metrics)
+		if r.Flight != nil {
+			// The fold walks results in index order, so the retained
+			// flights are the first MaxFlights anomalies by run index
+			// regardless of worker count.
+			if len(rep.Flights) < MaxFlights {
+				rep.Flights = append(rep.Flights, r.Flight)
+			} else {
+				rep.FlightsDropped++
+			}
+		}
 		if r.Class == SilentTaintLoss.String() {
 			loss := strings.Join(r.LostTaint, "; ")
 			if loss == "" {
@@ -453,7 +477,11 @@ func Campaign(cfg Config, targets []*Target, keepResults bool) (*Report, error) 
 	return rep, nil
 }
 
-// runOne executes one injected session.
+// runOne executes one injected session with the always-on flight
+// recorder rolling: spans for the fork/run/classify phases plus the
+// injection and outcome milestones land in a bounded ring, and if the
+// run classifies as an anomaly the ring is frozen into a Flight whose
+// normalized form depends only on the run seed.
 func runOne(t *Target, in Injector, index int, seed int64) RunResult {
 	rng := newRng(seed)
 	trigger := 1 + uint64(rng.Int63n(int64(t.SessionLen)))
@@ -461,7 +489,10 @@ func runOne(t *Target, in Injector, index int, seed int64) RunResult {
 		Index: index, Target: t.Name, Arm: t.Arm,
 		Injector: in.Name, Trigger: trigger,
 	}
+	tr := obs.NewTracer(uint64(seed))
+	rec := obs.NewRecorder(0)
 
+	fork := tr.Start(nil, "snapshot-fork")
 	m := t.snap.Fork()
 	m.SetBudget(t.budgetFor())
 	if in.Name == "none" {
@@ -472,15 +503,69 @@ func runOne(t *Target, in Injector, index int, seed int64) RunResult {
 			r.Detail, r.Applied, r.LostTaint = eff.Detail, eff.Applied, eff.LostTaint
 		})
 	}
+	fork.End()
 
+	run := tr.Start(nil, "run")
 	out, err := t.session(m)
+	run.End()
+
+	cls := tr.Start(nil, "classify")
 	r.Class = classifyOutcome(t.Arm, out, err).String()
 	r.Evidence = out.Evidence
 	if err != nil && r.Evidence == "" {
 		r.Evidence = err.Error()
 	}
 	r.Metrics = m.Metrics()
+	cls.End()
+
+	rec.AddSpans(tr.Records())
+	rec.Note("inject", in.Name, map[string]string{
+		"trigger": fmt.Sprintf("%d", trigger),
+		"applied": fmt.Sprintf("%t", r.Applied),
+		"detail":  r.Detail,
+	}, nil)
+	s := m.CPU.Stats()
+	// Architectural counters are byte-identical across engines (the
+	// differential harness's contract); engine-private counters go in
+	// the volatile channel so Normalize strips them.
+	rec.Note("stats", "", map[string]string{
+		"instructions": fmt.Sprintf("%d", s.Instructions),
+		"loads":        fmt.Sprintf("%d", s.Loads),
+		"stores":       fmt.Sprintf("%d", s.Stores),
+		"branches":     fmt.Sprintf("%d", s.Branches),
+		"syscalls":     fmt.Sprintf("%d", s.Syscalls),
+		"alerts":       fmt.Sprintf("%d", s.Alerts),
+	}, map[string]any{
+		"clean_skips": s.CleanSkips,
+		"sb_runs":     s.SuperblockRuns,
+		"sb_deopts":   s.SuperblockDeopts,
+	})
+	rec.Note("outcome", r.Class, map[string]string{
+		"evidence":   r.Evidence,
+		"lost_taint": strings.Join(r.LostTaint, "; "),
+	}, nil)
+	if obs.Anomaly(r.Class) {
+		r.Flight = rec.Capture(
+			fmt.Sprintf("fault-%04d-%s-%s", index, t.Name, in.Name),
+			r.Class,
+			map[string]string{"target": t.Name, "arm": string(t.Arm), "injector": in.Name},
+		)
+	}
 	return r
+}
+
+// WriteFlights writes every retained flight record as a JSONL artifact
+// under dir, returning the paths written.
+func (rep *Report) WriteFlights(dir string) ([]string, error) {
+	var paths []string
+	for _, f := range rep.Flights {
+		p, err := f.WriteFile(dir)
+		if err != nil {
+			return paths, err
+		}
+		paths = append(paths, p)
+	}
+	return paths, nil
 }
 
 func policyName(p taint.Policy) string {

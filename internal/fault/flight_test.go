@@ -1,0 +1,116 @@
+package fault
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// flightDump renders every flight of a campaign in normalized form —
+// volatile fields (durations, engine-private counters) stripped, so the
+// dump must be byte-identical at any worker count and on both engines.
+func flightDump(t *testing.T, rep *Report) string {
+	t.Helper()
+	var buf bytes.Buffer
+	for _, f := range rep.Flights {
+		if err := f.Normalized().WriteJSONL(&buf); err != nil {
+			t.Fatalf("render flight %s: %v", f.Name, err)
+		}
+	}
+	return buf.String()
+}
+
+// TestFlightRecorderDeterminism: the seeded campaign below is known to
+// produce anomalies (reg-flip GuestCrashes), and their flight-recorder
+// artifacts must be byte-identical (minus durations) across -parallel
+// settings and across the fast/reference engines — the acceptance
+// criterion for the anomaly forensics.
+func TestFlightRecorderDeterminism(t *testing.T) {
+	cfg := Config{Seed: 42, Runs: 72}
+	targets := prepare(t, false)
+
+	cfg.Workers = 1
+	seq, err := Campaign(cfg, targets, false)
+	if err != nil {
+		t.Fatalf("sequential campaign: %v", err)
+	}
+	if len(seq.Flights) == 0 {
+		t.Fatal("seeded campaign produced no anomaly flights; pick a new seed")
+	}
+	for _, f := range seq.Flights {
+		if !obs.Anomaly(f.Class) {
+			t.Errorf("flight %s captured for non-anomaly class %s", f.Name, f.Class)
+		}
+		if len(f.Entries) == 0 {
+			t.Errorf("flight %s has no entries", f.Name)
+		}
+	}
+	base := flightDump(t, seq)
+
+	cfg.Workers = 4
+	par, err := Campaign(cfg, targets, false)
+	if err != nil {
+		t.Fatalf("parallel campaign: %v", err)
+	}
+	if got := flightDump(t, par); got != base {
+		t.Errorf("flights differ between 1 and 4 workers:\n--- workers=1\n%s\n--- workers=4\n%s", base, got)
+	}
+
+	if !testing.Short() {
+		refT := prepare(t, true)
+		cfg.Reference = true
+		ref, err := Campaign(cfg, refT, false)
+		if err != nil {
+			t.Fatalf("reference campaign: %v", err)
+		}
+		if got := flightDump(t, ref); got != base {
+			t.Errorf("flights differ between engines:\n--- fast\n%s\n--- reference\n%s", base, got)
+		}
+	}
+}
+
+// TestWriteFlights: the JSONL artifacts land on disk under the flight
+// dir, one per anomaly, named by run index/target/injector.
+func TestWriteFlights(t *testing.T) {
+	targets := prepare(t, false)
+	rep, err := Campaign(Config{Seed: 42, Runs: 72, Workers: 4}, targets, false)
+	if err != nil {
+		t.Fatalf("campaign: %v", err)
+	}
+	dir := t.TempDir()
+	paths, err := rep.WriteFlights(dir)
+	if err != nil {
+		t.Fatalf("write flights: %v", err)
+	}
+	if len(paths) != len(rep.Flights) {
+		t.Fatalf("wrote %d artifacts for %d flights", len(paths), len(rep.Flights))
+	}
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.HasSuffix(p, ".jsonl") || len(data) == 0 {
+			t.Errorf("artifact %s empty or misnamed", filepath.Base(p))
+		}
+	}
+}
+
+// TestBenignRunsLeaveNoFlight: a campaign of control-only runs (the
+// "none" injector) must ship zero artifacts — the recorder is always on
+// but only anomalies dump it.
+func TestBenignRunsLeaveNoFlight(t *testing.T) {
+	targets := prepare(t, false)
+	rep, err := Campaign(Config{Seed: 5, Runs: 24, Workers: 2,
+		InjectorNames: []string{"none"}}, targets, false)
+	if err != nil {
+		t.Fatalf("campaign: %v", err)
+	}
+	if len(rep.Flights) != 0 {
+		t.Errorf("control-only campaign captured %d flights", len(rep.Flights))
+	}
+}

@@ -31,6 +31,7 @@ import (
 	"repro/internal/campaign"
 	"repro/internal/cpu"
 	"repro/internal/fault"
+	"repro/internal/obs"
 	"repro/internal/taint"
 )
 
@@ -239,6 +240,10 @@ type TargetReport struct {
 	// index that first did (-1 otherwise).
 	Rediscovered    bool   `json:"rediscovered"`
 	RediscoveredExec int   `json:"rediscovered_exec"`
+	// Flights holds one flight record per newly discovered anomalous
+	// finding (GuestCrash / Timeout / SilentTaintLoss — expected alerts
+	// are findings, not anomalies), in first-exec order.
+	Flights []*obs.Flight `json:"-"`
 	// Instructions is the total guest work across all execs, measured
 	// from the snapshot — identical on both engines.
 	Instructions uint64 `json:"instructions"`
@@ -260,6 +265,24 @@ type Report struct {
 	// Interrupted marks a drained session (Config.Stop closed mid-run):
 	// per-target exec counts cover only the generations that completed.
 	Interrupted bool `json:"interrupted,omitempty"`
+	// Flights aggregates the per-target anomaly flight records in target
+	// order, capped at obs.MaxFlights with the excess counted.
+	Flights        []*obs.Flight `json:"-"`
+	FlightsDropped int           `json:"flights_dropped,omitempty"`
+}
+
+// WriteFlights writes every retained flight record as a JSONL artifact
+// under dir, returning the paths written.
+func (rep *Report) WriteFlights(dir string) ([]string, error) {
+	var paths []string
+	for _, f := range rep.Flights {
+		p, err := f.WriteFile(dir)
+		if err != nil {
+			return paths, err
+		}
+		paths = append(paths, p)
+	}
+	return paths, nil
 }
 
 // execResult is one fork's classified run plus its coverage features.
@@ -448,6 +471,27 @@ func fuzzTarget(cfg Config, t *Target) (*TargetReport, error) {
 						tr.Rediscovered = true
 						tr.RediscoveredExec = execIdx
 					}
+					if obs.Anomaly(label) {
+						// A freshly discovered anomaly ships its own
+						// forensic record: the witness, the evidence, and
+						// the exec that found it. Built only here, so the
+						// benign fuzzing hot path never touches obs.
+						rec := obs.NewRecorder(0)
+						rec.Note("finding", fp, map[string]string{
+							"class":    label,
+							"input":    f.Input,
+							"evidence": f.Evidence,
+							"exec":     fmt.Sprintf("%d", execIdx),
+						}, nil)
+						rec.Note("stats", "", map[string]string{
+							"instructions": fmt.Sprintf("%d", r.instrs),
+						}, nil)
+						tr.Flights = append(tr.Flights, rec.Capture(
+							fmt.Sprintf("fuzz-%s-%06d", name, execIdx),
+							label,
+							map[string]string{"target": name, "fingerprint": fp},
+						))
+					}
 				}
 				f.Count++
 				if hexLen(f.Input) > len(cands[k]) {
@@ -543,6 +587,13 @@ func Fuzz(cfg Config, targets []*Target) (*Report, error) {
 		rep.Targets[t.Scenario.Name] = tr
 		if tr.Rediscovered {
 			rep.Rediscovered++
+		}
+		for _, f := range tr.Flights {
+			if len(rep.Flights) < obs.MaxFlights {
+				rep.Flights = append(rep.Flights, f)
+			} else {
+				rep.FlightsDropped++
+			}
 		}
 		if tr.Execs < cfg.Execs && stopRequested(cfg.Stop) {
 			rep.Interrupted = true

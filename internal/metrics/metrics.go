@@ -18,8 +18,180 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 	"sync"
 )
+
+// Labeled encodes labels into a metric name: Labeled("x", "a", "1", "b",
+// "2") returns `x{a="1",b="2"}`. Labels are sorted by key so the same
+// label set always produces the same registry key, which is what keeps
+// Snapshot.Merge and the JSON exposition deterministic. WritePrometheus
+// decodes the embedded labels back into real Prometheus labels; the JSON
+// and text expositions carry them verbatim inside the flat name.
+func Labeled(name string, kv ...string) string {
+	if len(kv) == 0 {
+		return name
+	}
+	if len(kv)%2 != 0 {
+		kv = append(kv, "")
+	}
+	type pair struct{ k, v string }
+	pairs := make([]pair, 0, len(kv)/2)
+	for i := 0; i < len(kv); i += 2 {
+		pairs = append(pairs, pair{kv[i], kv[i+1]})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, p := range pairs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(p.k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(p.v))
+		b.WriteString(`"`)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabel escapes a label value per the Prometheus text format.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// splitLabels splits a registry key produced by Labeled into its base
+// name and the raw label body (without braces). A plain name returns an
+// empty label body.
+func splitLabels(key string) (base, labels string) {
+	i := strings.IndexByte(key, '{')
+	if i < 0 || !strings.HasSuffix(key, "}") {
+		return key, ""
+	}
+	return key[:i], key[i+1 : len(key)-1]
+}
+
+// splitLabelFrags splits a raw label body into its `k="v"` fragments,
+// respecting commas inside quoted values.
+func splitLabelFrags(labels string) []string {
+	if labels == "" {
+		return nil
+	}
+	var out []string
+	start, inq := 0, false
+	for i := 0; i < len(labels); i++ {
+		switch labels[i] {
+		case '\\':
+			if inq {
+				i++
+			}
+		case '"':
+			inq = !inq
+		case ',':
+			if !inq {
+				out = append(out, labels[start:i])
+				start = i + 1
+			}
+		}
+	}
+	return append(out, labels[start:])
+}
+
+// AddLabels merges extra label pairs into a registry key that may already
+// carry labels from Labeled. The combined label set stays sorted by key;
+// on a duplicate key the new value wins.
+func AddLabels(key string, kv ...string) string {
+	if len(kv) == 0 {
+		return key
+	}
+	base, labels := splitLabels(key)
+	frags := splitLabelFrags(labels)
+	byKey := make(map[string]string, len(frags)+len(kv)/2)
+	keys := make([]string, 0, len(frags)+len(kv)/2)
+	add := func(k, frag string) {
+		if _, ok := byKey[k]; !ok {
+			keys = append(keys, k)
+		}
+		byKey[k] = frag
+	}
+	for _, f := range frags {
+		k := f
+		if i := strings.IndexByte(f, '='); i >= 0 {
+			k = f[:i]
+		}
+		add(k, f)
+	}
+	if len(kv)%2 != 0 {
+		kv = append(kv, "")
+	}
+	for i := 0; i < len(kv); i += 2 {
+		add(kv[i], kv[i]+`="`+escapeLabel(kv[i+1])+`"`)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(base)
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(byKey[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Relabel returns a copy of the snapshot with the given label pairs
+// merged into every key — how a service scopes one session's machine
+// metrics by tenant and engine before folding them into a fleet view.
+// Keys that collide after relabeling sum (counters/histograms) or keep
+// the last value (gauges), mirroring Merge.
+func (s Snapshot) Relabel(kv ...string) Snapshot {
+	out := Snapshot{}
+	if len(s.Counters) > 0 {
+		out.Counters = make(map[string]uint64, len(s.Counters))
+		for k, v := range s.Counters {
+			out.Counters[AddLabels(k, kv...)] += v
+		}
+	}
+	if len(s.Gauges) > 0 {
+		out.Gauges = make(map[string]float64, len(s.Gauges))
+		for k, v := range s.Gauges {
+			out.Gauges[AddLabels(k, kv...)] = v
+		}
+	}
+	if len(s.Histograms) > 0 {
+		out.Histograms = make(map[string]HistogramSnapshot, len(s.Histograms))
+		for k, h := range s.Histograms {
+			nk := AddLabels(k, kv...)
+			base, ok := out.Histograms[nk]
+			if !ok {
+				out.Histograms[nk] = HistogramSnapshot{
+					Bounds: append([]float64(nil), h.Bounds...),
+					Counts: append([]uint64(nil), h.Counts...),
+					Sum:    h.Sum,
+					Count:  h.Count,
+				}
+				continue
+			}
+			base.Sum += h.Sum
+			base.Count += h.Count
+			if boundsEqual(base.Bounds, h.Bounds) {
+				for i := range base.Counts {
+					base.Counts[i] += h.Counts[i]
+				}
+			}
+			out.Histograms[nk] = base
+		}
+	}
+	return out
+}
 
 // Counter is a monotonically increasing uint64.
 type Counter struct{ v uint64 }
@@ -277,6 +449,106 @@ func (s Snapshot) WriteText(w io.Writer) error {
 		if _, err := fmt.Fprintf(w, "%s{le=+Inf} %d\n%s_sum %g\n%s_count %d\n",
 			k, h.Counts[len(h.Bounds)], k, h.Sum, k, h.Count); err != nil {
 			return err
+		}
+	}
+	return nil
+}
+
+// promName sanitizes a metric base name into the Prometheus grammar
+// [a-zA-Z_:][a-zA-Z0-9_:]*. The registry convention uses dots as
+// namespace separators; they become underscores.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promKey renders one sample's name part: the sanitized base plus any
+// labels (the ones embedded by Labeled merged with extra, which must
+// already be rendered as `k="v"` fragments).
+func promKey(base, labels string, extra ...string) string {
+	parts := make([]string, 0, 1+len(extra))
+	if labels != "" {
+		parts = append(parts, labels)
+	}
+	parts = append(parts, extra...)
+	if len(parts) == 0 {
+		return base
+	}
+	return base + "{" + strings.Join(parts, ",") + "}"
+}
+
+// WritePrometheus renders the snapshot in the Prometheus text exposition
+// format (version 0.0.4): one `# TYPE` header per metric family, dots in
+// names folded to underscores, labels embedded via Labeled decoded into
+// real label sets, and histograms converted to cumulative `_bucket`
+// series with `le` labels plus `_sum`/`_count`. Output is sorted, so a
+// given snapshot always renders byte-identically.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	// Group samples by sanitized family name so each family gets exactly
+	// one TYPE header even when label sets split it across registry keys.
+	type sample struct{ key, value string }
+	families := make(map[string][]sample)
+	types := make(map[string]string)
+	add := func(famKind, key, value string) {
+		base, labels := splitLabels(key)
+		fam := promName(base)
+		types[fam] = famKind
+		families[fam] = append(families[fam], sample{promKey(fam, labels), value})
+	}
+	for k, v := range s.Counters {
+		add("counter", k, fmt.Sprintf("%d", v))
+	}
+	for k, v := range s.Gauges {
+		add("gauge", k, fmt.Sprintf("%g", v))
+	}
+	for k, h := range s.Histograms {
+		base, labels := splitLabels(k)
+		fam := promName(base)
+		types[fam] = "histogram"
+		var cum uint64
+		for i, b := range h.Bounds {
+			cum += h.Counts[i]
+			families[fam] = append(families[fam], sample{
+				promKey(fam+"_bucket", labels, fmt.Sprintf(`le="%g"`, b)),
+				fmt.Sprintf("%d", cum),
+			})
+		}
+		families[fam] = append(families[fam],
+			sample{promKey(fam+"_bucket", labels, `le="+Inf"`), fmt.Sprintf("%d", h.Count)},
+			sample{promKey(fam+"_sum", labels), fmt.Sprintf("%g", h.Sum)},
+			sample{promKey(fam+"_count", labels), fmt.Sprintf("%d", h.Count)},
+		)
+	}
+	names := make([]string, 0, len(families))
+	for fam := range families {
+		names = append(names, fam)
+	}
+	sort.Strings(names)
+	for _, fam := range names {
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", fam, types[fam]); err != nil {
+			return err
+		}
+		samples := families[fam]
+		sort.Slice(samples, func(i, j int) bool { return samples[i].key < samples[j].key })
+		for _, sm := range samples {
+			if _, err := fmt.Fprintf(w, "%s %s\n", sm.key, sm.value); err != nil {
+				return err
+			}
 		}
 	}
 	return nil

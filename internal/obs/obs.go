@@ -1,0 +1,37 @@
+// Package obs is the fleet observability layer: hierarchical wall-clock
+// spans with seeded-deterministic IDs, a bounded per-session flight
+// recorder whose JSONL artifacts ship the forensic timeline of every
+// anomalous run, and a Chrome-trace composer that nests guest-level
+// event streams inside service-level spans.
+//
+// Determinism is the design constraint everything bends around: the
+// simulator's standing oracle is byte-identical output across engines
+// and worker counts, and observability must not weaken it. Span IDs are
+// derived from the run's seed (never from clocks or randomness), span
+// and flight-record *shape* is a pure function of request + seed, and
+// everything wall-clock- or engine-dependent lives in an explicitly
+// volatile side channel that Normalize strips before any byte
+// comparison.
+package obs
+
+// splitmix64 is the finalizer from Vigna's SplitMix64 generator — the
+// same mixer the fault campaign uses for per-run seeds. It is the only
+// source of ID entropy here: IDs must be a pure function of seed and
+// span topology so two engines replaying one request mint identical
+// trace trees.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// deriveID folds a parent ID, a span name, and a per-tracer sequence
+// number into a child span ID.
+func deriveID(parent uint64, name string, seq uint64) uint64 {
+	h := parent
+	for i := 0; i < len(name); i++ {
+		h = splitmix64(h ^ uint64(name[i]))
+	}
+	return splitmix64(h ^ seq)
+}

@@ -6,6 +6,7 @@ import (
 	"net/http"
 
 	"repro/internal/metrics"
+	"repro/internal/obs"
 )
 
 // MalformedTenant is the pseudo-tenant charged for requests whose body
@@ -53,19 +54,14 @@ func (t *tenantState) stats(name string) TenantStats {
 	}
 }
 
-// fill bridges the tenant's raw counters into a registry for /metrics.
-// Callers hold Server.mu.
-func (t *tenantState) fill(r *metrics.Registry, name string) {
-	p := "serve.tenant." + name + "."
-	r.Counter(p + "submitted").Add(t.submitted)
-	r.Counter(p + "admitted").Add(t.admitted)
-	r.Counter(p + "rejected").Add(t.rejected)
-	r.Counter(p + "shed").Add(t.shed)
-	r.Counter(p + "completed").Add(t.completed)
-	r.Counter(p + "retried").Add(t.retried)
-	r.Counter(p + "timed_out").Add(t.timedOut)
-	r.Counter(p + "errors").Add(t.errored)
-	r.Gauge(p + "active").Set(float64(t.active))
+// bump mirrors one tenant-counter increment into the live registry as a
+// labeled counter — the incremental bridge that keeps /metrics scrapes
+// monotonic without rebuilding anything per scrape. Safe to call with
+// Server.mu held (lock order is mu before regMu).
+func (s *Server) bump(tenant, counter string, n uint64) {
+	s.regMu.Lock()
+	s.reg.Counter(metrics.Labeled("serve.tenant."+counter, "tenant", tenant)).Add(n)
+	s.regMu.Unlock()
 }
 
 // admitError is a structured admission refusal: an HTTP status plus the
@@ -86,6 +82,8 @@ func (s *Server) handleSession(w http.ResponseWriter, r *http.Request) {
 		// The body never parsed, so the tenant is unknowable; charge the
 		// malformed pseudo-tenant so the session is still accounted for.
 		s.charge(MalformedTenant, func(t *tenantState) { t.submitted++; t.rejected++ })
+		s.bump(MalformedTenant, "submitted", 1)
+		s.bump(MalformedTenant, "rejected", 1)
 		writeError(w, http.StatusBadRequest, "malformed request: "+err.Error())
 		return
 	}
@@ -94,7 +92,14 @@ func (s *Server) handleSession(w http.ResponseWriter, r *http.Request) {
 		tenant = MalformedTenant
 	}
 
-	j, aerr := s.admit(tenant, &req)
+	// The session's span tracer and flight recorder are seeded from the
+	// request, so their deterministic identity (IDs, sequence, entries) is
+	// a pure function of the submission — only durations vary.
+	tr := obs.NewTracer(uint64(req.Seed))
+	tr.Observe = s.observeSpan
+	adm := tr.Start(nil, "admit")
+	j, aerr := s.admit(tenant, &req, tr)
+	adm.End()
 	if aerr != nil {
 		if aerr.code == http.StatusTooManyRequests || aerr.code == http.StatusServiceUnavailable {
 			retryAfter(w)
@@ -113,45 +118,59 @@ func (s *Server) handleSession(w http.ResponseWriter, r *http.Request) {
 // admit applies the admission pipeline under one lock acquisition:
 // validation, quotas, drain, shedding, per-tenant cap, queue
 // backpressure. On success the session is queued and charged admitted.
-func (s *Server) admit(tenant string, req *SessionRequest) (*job, *admitError) {
+func (s *Server) admit(tenant string, req *SessionRequest, tr *obs.Tracer) (*job, *admitError) {
 	verr := s.validate(req)
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	t := s.tenant(tenant)
 	t.submitted++
+	s.bump(tenant, "submitted", 1)
 
 	if verr != nil {
 		t.rejected++
+		s.bump(tenant, "rejected", 1)
 		return nil, verr
 	}
 	if s.draining {
 		t.shed++
+		s.bump(tenant, "shed", 1)
 		return nil, &admitError{code: http.StatusServiceUnavailable, shed: true,
 			reason: "draining: not admitting new sessions"}
 	}
 	if gauge := s.cfg.MemGauge(); gauge >= s.cfg.HighWater {
 		t.shed++
+		s.bump(tenant, "shed", 1)
 		return nil, &admitError{code: http.StatusServiceUnavailable, shed: true,
 			reason: fmt.Sprintf("shedding load: resident memory %d >= high water %d", gauge, s.cfg.HighWater)}
 	}
 	if t.active >= s.cfg.MaxPerTenant {
 		t.rejected++
+		s.bump(tenant, "rejected", 1)
 		return nil, &admitError{code: http.StatusTooManyRequests,
 			reason: fmt.Sprintf("tenant %q at concurrent-session cap (%d)", tenant, s.cfg.MaxPerTenant)}
 	}
 
 	s.nextID++
-	j := &job{id: s.nextID, tenant: tenant, req: *req, done: make(chan *SessionResult, 1)}
+	j := &job{id: s.nextID, tenant: tenant, req: *req, done: make(chan *SessionResult, 1),
+		tr: tr, rec: obs.NewRecorder(0)}
+	// The queue span and event stream must exist before the job is visible
+	// to a worker; on a full queue both are discarded (the span is simply
+	// never ended, so it records nothing).
+	j.queued = tr.Start(nil, "queue")
+	s.hub.open(j.id)
 	select {
 	case s.queue <- j:
 		t.admitted++
 		t.active++
 		s.queueLen++
 		s.inflight.Add(1)
+		s.bump(tenant, "admitted", 1)
 		return j, nil
 	default:
+		s.hub.discard(j.id)
 		t.rejected++
+		s.bump(tenant, "rejected", 1)
 		return nil, &admitError{code: http.StatusTooManyRequests,
 			reason: fmt.Sprintf("queue full (%d deep): backpressure", s.cfg.QueueDepth)}
 	}
@@ -215,11 +234,15 @@ func (s *Server) settle(tenant string, res *SessionResult) {
 	t.active--
 	t.completed++
 	t.retried += uint64(res.Retries)
+	s.bump(tenant, "completed", 1)
+	s.bump(tenant, "retried", uint64(res.Retries))
 	switch res.Status {
 	case StatusTimeout:
 		t.timedOut++
+		s.bump(tenant, "timed_out", 1)
 	case StatusError:
 		t.errored++
+		s.bump(tenant, "errors", 1)
 	}
 	res.Stats = t.stats(tenant)
 }

@@ -260,15 +260,15 @@ func TestChaosHostileTenants(t *testing.T) {
 	var totSubmitted, totAdmitted, totRejected, totShed, totCompleted float64
 	for name, v := range snap.Counters {
 		switch {
-		case strings.HasSuffix(name, ".submitted"):
+		case strings.HasPrefix(name, "serve.tenant.submitted{"):
 			totSubmitted += float64(v)
-		case strings.HasSuffix(name, ".admitted"):
+		case strings.HasPrefix(name, "serve.tenant.admitted{"):
 			totAdmitted += float64(v)
-		case strings.HasSuffix(name, ".rejected"):
+		case strings.HasPrefix(name, "serve.tenant.rejected{"):
 			totRejected += float64(v)
-		case strings.HasSuffix(name, ".shed"):
+		case strings.HasPrefix(name, "serve.tenant.shed{"):
 			totShed += float64(v)
-		case strings.HasSuffix(name, ".completed"):
+		case strings.HasPrefix(name, "serve.tenant.completed{"):
 			totCompleted += float64(v)
 		}
 	}
@@ -286,7 +286,7 @@ func TestChaosHostileTenants(t *testing.T) {
 		t.Errorf("admitted %v != completed %v: a session vanished", totAdmitted, totCompleted)
 	}
 	for name, v := range snap.Gauges {
-		if strings.HasSuffix(name, ".active") && v != 0 {
+		if strings.HasPrefix(name, "serve.tenant.active{") && v != 0 {
 			t.Errorf("gauge %s = %v after quiesce, want 0", name, v)
 		}
 	}
@@ -303,7 +303,7 @@ func TestChaosHostileTenants(t *testing.T) {
 		drainRes <- res
 	}()
 	waitFor(t, func() bool {
-		return counter(metricsJSON(t, hs.URL), "serve.tenant.good.admitted") == 7
+		return counter(metricsJSON(t, hs.URL), `serve.tenant.admitted{tenant="good"}`) == 7
 	})
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()

@@ -1,0 +1,211 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"repro/internal/cpu"
+)
+
+// eventBacklog bounds the per-session replay buffer: a subscriber that
+// connects after the guest ran still sees the first eventBacklog events,
+// and the stream announces how many more were truncated. Live
+// subscribers receive every published event regardless.
+const eventBacklog = 1024
+
+// retainStreams bounds how many completed sessions keep their replay
+// buffer before the oldest is evicted — enough for "run it, then curl
+// the events" workflows without unbounded growth.
+const retainStreams = 64
+
+// eventHub fans guest events out to SSE subscribers, keyed by session id.
+// A session's stream opens at admission, receives the guest's event-sink
+// stream while the session runs, and stays replayable for a while after
+// completion.
+type eventHub struct {
+	mu      sync.Mutex
+	streams map[uint64]*sessionStream
+	done    []uint64 // completed session ids, oldest first
+}
+
+type sessionStream struct {
+	mu      sync.Mutex
+	lines   []string // wire-JSON event lines, bounded at eventBacklog
+	dropped uint64   // events beyond the replay buffer
+	subs    map[chan string]struct{}
+	closed  bool
+}
+
+func newEventHub() *eventHub {
+	return &eventHub{streams: make(map[uint64]*sessionStream)}
+}
+
+// open registers a session's stream at admission.
+func (h *eventHub) open(id uint64) {
+	h.mu.Lock()
+	h.streams[id] = &sessionStream{subs: make(map[chan string]struct{})}
+	h.mu.Unlock()
+}
+
+// discard removes a stream whose job never entered the queue.
+func (h *eventHub) discard(id uint64) {
+	h.mu.Lock()
+	delete(h.streams, id)
+	h.mu.Unlock()
+}
+
+func (h *eventHub) get(id uint64) *sessionStream {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.streams[id]
+}
+
+// publish appends one guest event to the session's stream: into the
+// bounded replay buffer (loudly counting overflow) and to every live
+// subscriber (a slow subscriber's full channel drops rather than
+// wedging the guest).
+func (h *eventHub) publish(id uint64, e cpu.Event) {
+	st := h.get(id)
+	if st == nil {
+		return
+	}
+	b, err := json.Marshal(e)
+	if err != nil {
+		return
+	}
+	line := string(b)
+	st.mu.Lock()
+	if len(st.lines) < eventBacklog {
+		st.lines = append(st.lines, line)
+	} else {
+		st.dropped++
+	}
+	for ch := range st.subs {
+		select {
+		case ch <- line:
+		default:
+		}
+	}
+	st.mu.Unlock()
+}
+
+// complete marks a session's stream finished: live subscribers see their
+// channel close, the replay buffer is retained, and the oldest retained
+// stream past the cap is evicted.
+func (h *eventHub) complete(id uint64) {
+	h.mu.Lock()
+	st := h.streams[id]
+	if st != nil {
+		h.done = append(h.done, id)
+		if len(h.done) > retainStreams {
+			old := h.done[0]
+			h.done = h.done[1:]
+			delete(h.streams, old)
+		}
+	}
+	h.mu.Unlock()
+	if st == nil {
+		return
+	}
+	st.mu.Lock()
+	st.closed = true
+	for ch := range st.subs {
+		close(ch)
+		delete(st.subs, ch)
+	}
+	st.mu.Unlock()
+}
+
+// subscribe returns the replay buffer and, for a still-running session, a
+// live channel. ok is false for unknown (or evicted) sessions.
+func (h *eventHub) subscribe(id uint64) (lines []string, dropped uint64, ch chan string, ok bool) {
+	st := h.get(id)
+	if st == nil {
+		return nil, 0, nil, false
+	}
+	st.mu.Lock()
+	lines = append([]string(nil), st.lines...)
+	dropped = st.dropped
+	if !st.closed {
+		ch = make(chan string, 256)
+		st.subs[ch] = struct{}{}
+	}
+	st.mu.Unlock()
+	return lines, dropped, ch, true
+}
+
+func (h *eventHub) unsubscribe(id uint64, ch chan string) {
+	if ch == nil {
+		return
+	}
+	st := h.get(id)
+	if st == nil {
+		return
+	}
+	st.mu.Lock()
+	delete(st.subs, ch)
+	st.mu.Unlock()
+}
+
+// handleEvents streams a session's guest events as server-sent events:
+// the bounded replay first (with a loud truncation marker if the guest
+// outran it), then the live tail until the session completes or the
+// client goes away, then a done marker.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad session id")
+		return
+	}
+	lines, dropped, ch, ok := s.hub.subscribe(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown or expired session")
+		return
+	}
+	defer s.hub.unsubscribe(id, ch)
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	fl, _ := w.(http.Flusher)
+	send := func(line string) bool {
+		if _, err := fmt.Fprintf(w, "data: %s\n\n", line); err != nil {
+			return false
+		}
+		if fl != nil {
+			fl.Flush()
+		}
+		return true
+	}
+	for _, ln := range lines {
+		if !send(ln) {
+			return
+		}
+	}
+	if dropped > 0 {
+		if !send(fmt.Sprintf(`{"truncated":%d}`, dropped)) {
+			return
+		}
+	}
+	if ch == nil {
+		send(`{"done":true}`)
+		return
+	}
+	ctx := r.Context()
+	for {
+		select {
+		case ln, open := <-ch:
+			if !open {
+				send(`{"done":true}`)
+				return
+			}
+			if !send(ln) {
+				return
+			}
+		case <-ctx.Done():
+			return
+		}
+	}
+}

@@ -32,7 +32,10 @@ import (
 	"context"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
+	"path/filepath"
 	"runtime"
+	"strings"
 	"sync"
 
 	"repro/internal/attack"
@@ -41,6 +44,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/fuzz"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/taint"
 )
 
@@ -82,6 +86,17 @@ type Config struct {
 	// Kinds enables engines: "run", "campaign", "fault", "fuzz" (default
 	// all four).
 	Kinds []string
+	// FlightDir, when set, is where anomalous sessions dump their
+	// flight-recorder JSONL artifacts (one subdirectory per session).
+	// Empty keeps the recorder in memory only.
+	FlightDir string
+	// Pprof mounts net/http/pprof under /debug/pprof — off by default,
+	// since the profile endpoints expose host internals to any tenant
+	// that can reach the listener.
+	Pprof bool
+	// EventCap is the per-session event-sink ring capacity for run-kind
+	// sessions streaming over SSE (default cpu.DefaultEventCap).
+	EventCap int
 	// Logf receives operational log lines (nil = silent).
 	Logf func(format string, args ...any)
 }
@@ -146,11 +161,28 @@ type snapEntry struct {
 	snap     *attack.Snapshot
 }
 
+// spanBuckets are the serve.span_seconds histogram bounds: sub-millisecond
+// admission spans up through multi-second campaign runs.
+var spanBuckets = []float64{1e-4, 1e-3, 1e-2, 0.1, 1, 10}
+
 // Server is the service: an http.Handler plus the scheduler behind it.
 type Server struct {
 	cfg   Config
 	mux   *http.ServeMux
 	kinds map[string]bool
+
+	// reg is the one live service registry: tenant counters and span
+	// histograms are bridged into it incrementally as they change, so
+	// consecutive scrapes are monotonic — nothing is rebuilt per scrape.
+	// machSnap accumulates per-session machine metrics (relabeled by
+	// tenant and kind) as sessions settle. Both under regMu; the lock
+	// order is mu before regMu, never the reverse.
+	reg      *metrics.Registry
+	machSnap metrics.Snapshot
+	regMu    sync.Mutex
+
+	// hub fans guest events out to SSE subscribers per session.
+	hub *eventHub
 
 	// Prepared once before serving — scenario boots toggle process-wide
 	// attack.Force* globals, so no boot may race a running campaign.
@@ -176,6 +208,14 @@ type job struct {
 	tenant string
 	req    SessionRequest
 	done   chan *SessionResult // buffered(1); the worker always delivers
+
+	// tr/rec are the session's span tracer and flight recorder, seeded
+	// from the request so their deterministic identity is independent of
+	// scheduling. queued is the in-flight queue-wait span: started at
+	// admission, ended when a shard dequeues the job.
+	tr     *obs.Tracer
+	rec    *obs.Recorder
+	queued *obs.Span
 }
 
 // New prepares every enabled engine's targets (boots + snapshots, done
@@ -192,6 +232,8 @@ func New(cfg Config) (*Server, error) {
 		queue:       make(chan *job, cfg.QueueDepth),
 		drain:       make(chan struct{}),
 		tenants:     make(map[string]*tenantState),
+		reg:         metrics.New(),
+		hub:         newEventHub(),
 	}
 	for _, k := range cfg.Kinds {
 		s.kinds[k] = true
@@ -235,8 +277,16 @@ func New(cfg Config) (*Server, error) {
 	}
 
 	s.mux.HandleFunc("POST /v1/sessions", s.handleSession)
+	s.mux.HandleFunc("GET /v1/sessions/{id}/events", s.handleEvents)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	if cfg.Pprof {
+		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 
 	for w := 0; w < cfg.Workers; w++ {
 		s.workers.Add(1)
@@ -291,10 +341,121 @@ func (s *Server) worker() {
 		s.mu.Lock()
 		s.queueLen--
 		s.mu.Unlock()
+		j.queued.End()
+		run := j.tr.Start(nil, "run")
 		res := s.runIsolated(j)
+		run.End()
+		st := j.tr.Start(nil, "settle")
 		s.settle(j.tenant, res)
+		st.End()
+		s.absorb(j.tenant, j.req.Kind, res)
+		s.finishFlight(j, res)
+		s.hub.complete(j.id)
 		j.done <- res
 		s.inflight.Done()
+	}
+}
+
+// observeSpan is the tracer's bridge into the live registry: every
+// completed span lands in a per-span-name latency histogram, which is
+// where queue-wait latency becomes scrapeable.
+func (s *Server) observeSpan(name string, durNs float64) {
+	s.regMu.Lock()
+	s.reg.Histogram(metrics.Labeled("serve.span_seconds", "span", name), spanBuckets).
+		Observe(durNs / 1e9)
+	s.regMu.Unlock()
+}
+
+// absorb folds one settled session's machine-metrics snapshot into the
+// fleet aggregate, scoped by tenant and engine kind — this is what makes
+// superblock deopt reasons, COW fault rates, and taint-alert counters
+// visible per tenant at /metrics.
+func (s *Server) absorb(tenant, kind string, res *SessionResult) {
+	m := res.mach
+	if len(m.Counters) == 0 && len(m.Gauges) == 0 && len(m.Histograms) == 0 {
+		return
+	}
+	scoped := m.Relabel("tenant", tenant, "kind", kind)
+	s.regMu.Lock()
+	s.machSnap = s.machSnap.Merge(scoped)
+	s.regMu.Unlock()
+}
+
+// sessionAnomaly maps a settled result to its anomaly class, or "" for a
+// benign session. Run-kind verdict labels map onto the fault taxonomy;
+// fault/fuzz outcome maps already speak it, and any anomalous run inside
+// those campaigns flags the whole session (its per-run flight records
+// ride along as artifacts).
+func sessionAnomaly(res *SessionResult) string {
+	if res.Status == StatusTimeout {
+		return "Timeout"
+	}
+	switch {
+	case res.Outcomes["crashed"] > 0:
+		return "GuestCrash"
+	case res.Outcomes["timeout"] > 0:
+		return "Timeout"
+	case res.Outcomes["compromised"] > 0:
+		return "SilentTaintLoss"
+	}
+	for _, c := range []string{"GuestCrash", "Timeout", "SilentTaintLoss", "SpuriousAlert"} {
+		if res.Outcomes[c] > 0 {
+			return c
+		}
+	}
+	return ""
+}
+
+// finishFlight folds the session's spans and verdict into its flight
+// recorder, then — only for anomalous sessions — counts the flight and
+// dumps the JSONL artifacts under FlightDir/session-<id>/. The session id
+// appears only in the directory name, never inside the record, so the
+// artifact body stays a pure function of the request and seed.
+func (s *Server) finishFlight(j *job, res *SessionResult) {
+	rec := j.rec
+	if rec == nil {
+		return
+	}
+	rec.AddSpans(j.tr.Records())
+	reqAttrs := map[string]string{
+		"tenant": j.tenant,
+		"kind":   j.req.Kind,
+		"seed":   fmt.Sprintf("%d", j.req.Seed),
+	}
+	if j.req.Scenario != "" {
+		reqAttrs["scenario"] = j.req.Scenario
+	}
+	rec.Note("request", j.req.Kind, reqAttrs, nil)
+	outAttrs := map[string]string{"status": res.Status}
+	if res.Outcome != "" {
+		outAttrs["outcome"] = res.Outcome
+	}
+	if res.Error != "" {
+		outAttrs["error"] = res.Error
+	}
+	class := sessionAnomaly(res)
+	rec.Note("outcome", class, outAttrs, nil)
+	if class == "" {
+		return
+	}
+	s.regMu.Lock()
+	s.reg.Counter(metrics.Labeled("serve.flights", "class", class, "tenant", j.tenant)).Inc()
+	s.regMu.Unlock()
+	if s.cfg.FlightDir == "" {
+		return
+	}
+	dir := filepath.Join(s.cfg.FlightDir, fmt.Sprintf("session-%06d", j.id))
+	flight := rec.Capture(fmt.Sprintf("%s-%s", j.req.Kind, class), class,
+		map[string]string{"tenant": j.tenant, "kind": j.req.Kind})
+	if p, err := flight.WriteFile(dir); err != nil {
+		s.cfg.Logf("serve: flight write: %v", err)
+	} else {
+		s.cfg.Logf("serve: anomaly flight %s", p)
+	}
+	for _, sub := range res.flights {
+		if _, err := sub.WriteFile(dir); err != nil {
+			s.cfg.Logf("serve: sub-flight write: %v", err)
+		}
 	}
 }
 
@@ -330,10 +491,21 @@ func (s *Server) guardOpts(seed int64) campaign.GuardOpts {
 	}
 }
 
-// handleMetrics renders the machine-wide service registry as JSON.
+// handleMetrics renders the service registry. Content negotiation: an
+// Accept header naming text/plain or OpenMetrics selects the Prometheus
+// text exposition; everything else (including no Accept) keeps the JSON
+// body existing clients parse.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "application/json")
 	snap := s.metricsSnapshot()
+	accept := r.Header.Get("Accept")
+	if strings.Contains(accept, "text/plain") || strings.Contains(accept, "openmetrics") {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := snap.WritePrometheus(w); err != nil {
+			s.cfg.Logf("serve: metrics write: %v", err)
+		}
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
 	if err := snap.WriteJSON(w); err != nil {
 		s.cfg.Logf("serve: metrics write: %v", err)
 	}
@@ -353,25 +525,40 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		status, depth, s.cfg.MemGauge())
 }
 
-// metricsSnapshot builds the service registry on demand. The raw tenant
-// counters live under the server mutex (metrics.Counter is not
-// goroutine-safe), so the bridge fills a fresh registry per scrape.
+// metricsSnapshot renders the scrape view: the live registry (tenant
+// counters, span histograms, flight counts — bridged incrementally, so
+// consecutive scrapes are monotonic), the accumulated per-session machine
+// metrics, and a point-in-time overlay of gauges plus the process-wide
+// static-fact cache (whose counters are cumulative at their source, so
+// re-reading them per scrape stays monotonic too).
 func (s *Server) metricsSnapshot() metrics.Snapshot {
-	r := metrics.New()
 	s.mu.Lock()
-	for name, t := range s.tenants {
-		t.fill(r, name)
-	}
-	r.Gauge("serve.queue_depth").Set(float64(s.queueLen))
+	depth := s.queueLen
 	draining := 0.0
 	if s.draining {
 		draining = 1
 	}
-	r.Gauge("serve.draining").Set(draining)
+	actives := make(map[string]int, len(s.tenants))
+	for name, t := range s.tenants {
+		actives[name] = t.active
+	}
 	s.mu.Unlock()
-	r.Gauge("serve.resident_bytes").Set(float64(s.cfg.MemGauge()))
-	r.Gauge("serve.high_water_bytes").Set(float64(s.cfg.HighWater))
-	return r.Snapshot()
+
+	point := metrics.New()
+	for name, a := range actives {
+		point.Gauge(metrics.Labeled("serve.tenant.active", "tenant", name)).Set(float64(a))
+	}
+	point.Gauge("serve.queue_depth").Set(float64(depth))
+	point.Gauge("serve.draining").Set(draining)
+	point.Gauge("serve.resident_bytes").Set(float64(s.cfg.MemGauge()))
+	point.Gauge("serve.high_water_bytes").Set(float64(s.cfg.HighWater))
+	attack.FillStaticCacheMetrics(point)
+
+	s.regMu.Lock()
+	live := s.reg.Snapshot()
+	mach := s.machSnap
+	s.regMu.Unlock()
+	return live.Merge(mach).Merge(point.Snapshot())
 }
 
 // retryAfter stamps backpressure responses. One second is deliberate: the

@@ -122,10 +122,10 @@ func TestAdmissionValidation(t *testing.T) {
 		name string
 		v    float64
 	}{
-		{"serve.tenant.a.submitted", 4},
-		{"serve.tenant.a.rejected", 4},
-		{"serve.tenant._malformed.submitted", 1},
-		{"serve.tenant._malformed.rejected", 1},
+		{`serve.tenant.submitted{tenant="a"}`, 4},
+		{`serve.tenant.rejected{tenant="a"}`, 4},
+		{`serve.tenant.submitted{tenant="_malformed"}`, 1},
+		{`serve.tenant.rejected{tenant="_malformed"}`, 1},
 	} {
 		if got := counter(snap, want.name); got != want.v {
 			t.Errorf("%s = %v, want %v", want.name, got, want.v)
@@ -164,7 +164,7 @@ func TestRunContainsHostileGuests(t *testing.T) {
 	}
 
 	snap := metricsJSON(t, hs.URL)
-	if got := counter(snap, "serve.tenant.hostile.completed"); got != float64(len(cases)) {
+	if got := counter(snap, `serve.tenant.completed{tenant="hostile"}`); got != float64(len(cases)) {
 		t.Errorf("completed = %v, want %d", got, len(cases))
 	}
 }
@@ -205,7 +205,7 @@ func TestShedHighWater(t *testing.T) {
 		t.Errorf("shed response missing Retry-After")
 	}
 	snap := metricsJSON(t, hs.URL)
-	if got := counter(snap, "serve.tenant.a.shed"); got != 1 {
+	if got := counter(snap, `serve.tenant.shed{tenant="a"}`); got != 1 {
 		t.Errorf("shed = %v, want 1", got)
 	}
 	if got := gauge(snap, "serve.resident_bytes"); got != 2000 {
@@ -235,7 +235,7 @@ func TestTenantCapAndQueueBackpressure(t *testing.T) {
 	// Wait until the slow session occupies the worker (queue drained).
 	waitFor(t, func() bool {
 		snap := metricsJSON(t, hs.URL)
-		return counter(snap, "serve.tenant.slow.admitted") == 1 &&
+		return counter(snap, `serve.tenant.admitted{tenant="slow"}`) == 1 &&
 			gauge(snap, "serve.queue_depth") == 0
 	})
 

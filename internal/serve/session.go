@@ -9,8 +9,11 @@ import (
 	"repro/internal/asm"
 	"repro/internal/attack"
 	"repro/internal/campaign"
+	"repro/internal/cpu"
 	"repro/internal/fault"
 	"repro/internal/fuzz"
+	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/taint"
 )
 
@@ -99,6 +102,13 @@ type SessionResult struct {
 	Stats TenantStats `json:"tenant_stats"`
 
 	code int // HTTP status; 0 = 200
+
+	// mach is the session machine's metrics snapshot (merged across runs
+	// for campaign kinds), absorbed into the fleet registry at settle.
+	// flights carries the engine's per-run anomaly flight records for the
+	// artifact dump. Neither is part of the JSON response body.
+	mach    metrics.Snapshot
+	flights []*obs.Flight
 }
 
 // runSession dispatches one admitted session to its engine.
@@ -106,13 +116,13 @@ func (s *Server) runSession(j *job) *SessionResult {
 	res := &SessionResult{ID: j.id, Tenant: j.tenant, Kind: j.req.Kind, Status: StatusOK}
 	switch j.req.Kind {
 	case KindRun:
-		s.runOne(&j.req, res)
+		s.runOne(j, res)
 	case KindCampaign:
-		s.runCampaign(&j.req, res)
+		s.runCampaign(j, res)
 	case KindFault:
-		s.runFault(&j.req, res)
+		s.runFault(j, res)
 	case KindFuzz:
-		s.runFuzz(&j.req, res)
+		s.runFuzz(j, res)
 	default: // admission already filtered; defensive
 		res.Status, res.Error, res.code = StatusError, "unknown kind", http.StatusBadRequest
 	}
@@ -132,8 +142,11 @@ func (s *Server) budgetFor(req *SessionRequest) uint64 {
 // is the hostile surface: the guest is contained by the step budget, the
 // resident-memory cap, and the wall deadline, in that order of
 // preference — the first two are deterministic.
-func (s *Server) runOne(req *SessionRequest, res *SessionResult) {
+func (s *Server) runOne(j *job, res *SessionResult) {
+	req := &j.req
+	bs := j.tr.Start(nil, "build")
 	im, err := asm.AssembleString(req.Source)
+	bs.End()
 	if err != nil {
 		res.Status = StatusError
 		res.Error = "build: " + err.Error()
@@ -146,15 +159,31 @@ func (s *Server) runOne(req *SessionRequest, res *SessionResult) {
 		Budget:   s.budgetFor(req),
 		MemLimit: s.cfg.Containment.MemLimit,
 	}
+	// The single slot runs attempts sequentially, so the hoisted machine
+	// snapshot is the last completed attempt's — the one whose outcome the
+	// session reports.
+	var mach metrics.Snapshot
 	out, errs, gs := campaign.ForEachGuardedSlots(1, 1, s.guardOpts(req.Seed),
 		func(i, attempt int) (attack.Outcome, error) {
+			sp := j.tr.Start(nil, "boot")
 			m, err := attack.BootImage("tenant-guest", im, opts)
+			sp.End()
 			if err != nil {
 				return attack.Outcome{}, fmt.Errorf("boot: %w", err)
 			}
-			return attack.Classify(m.Run()), nil
+			sink := m.CPU.EnableEvents(s.cfg.EventCap)
+			sink.Stream(func(e cpu.Event) { s.hub.publish(j.id, e) })
+			gsp := j.tr.Start(nil, "guest-run")
+			tr := m.Run()
+			gsp.End()
+			csp := j.tr.Start(nil, "classify")
+			o := attack.Classify(tr)
+			csp.End()
+			mach = m.Metrics()
+			return o, nil
 		})
 	res.Retries = gs.Retries
+	res.mach = mach
 	if s.resolveSlotErr(errs[0], res) {
 		return
 	}
@@ -163,25 +192,34 @@ func (s *Server) runOne(req *SessionRequest, res *SessionResult) {
 }
 
 // runCampaign replays a prepared scenario over snapshot forks.
-func (s *Server) runCampaign(req *SessionRequest, res *SessionResult) {
+func (s *Server) runCampaign(j *job, res *SessionResult) {
+	req := &j.req
 	entry := s.snaps[req.Scenario]
 	n := req.Sessions
 	if n == 0 {
 		n = 4
 	}
+	// Per-slot work is scheduled by the pool, so child spans would be
+	// ordered by worker timing; only the deterministic sequential stages
+	// (the fork fan-out as a whole, then the merge) get spans.
+	fsp := j.tr.Start(nil, "snapshot-fork")
 	results, gs := campaign.RunGuarded(entry.snap, n, s.cfg.SessionWorkers,
 		s.guardOpts(req.Seed),
 		func(i int, m *attack.Machine) (attack.Outcome, error) {
 			return entry.scenario.Session(m)
 		})
+	fsp.End()
 	res.Retries = gs.Retries
 	if gs.Stopped > 0 {
 		res.Interrupted = true
 		results = results[:gs.Started]
 	}
+	msp := j.tr.Start(nil, "merge")
 	sum := campaign.Summarize(results, entry.snap.Stats())
 	res.Outcomes = sum.Outcomes
 	res.Fingerprints = campaign.Fingerprints(results)
+	res.mach = sum.Metrics
+	msp.End()
 	// One uniform deadline verdict beats N per-slot ones: if the whole
 	// pool was reaped by wall-clock expiry, the session is a Timeout.
 	if n > 0 && sum.Errors == len(results) && len(results) > 0 {
@@ -194,7 +232,8 @@ func (s *Server) runCampaign(req *SessionRequest, res *SessionResult) {
 
 // runFault runs a seeded fault-injection campaign over the prepared
 // targets (optionally filtered to one scenario).
-func (s *Server) runFault(req *SessionRequest, res *SessionResult) {
+func (s *Server) runFault(j *job, res *SessionResult) {
+	req := &j.req
 	runs := req.Runs
 	if runs == 0 {
 		runs = 60
@@ -221,11 +260,14 @@ func (s *Server) runFault(req *SessionRequest, res *SessionResult) {
 	res.Retries = rep.Retries
 	res.Interrupted = rep.Interrupted
 	res.Outcomes = rep.Outcomes
+	res.mach = rep.Metrics
+	res.flights = rep.Flights
 }
 
 // runFuzz runs a seeded coverage-guided session against one prepared
 // target.
-func (s *Server) runFuzz(req *SessionRequest, res *SessionResult) {
+func (s *Server) runFuzz(j *job, res *SessionResult) {
+	req := &j.req
 	t := s.fuzzTargets[req.Scenario]
 	execs := req.Execs
 	if execs == 0 {
@@ -246,6 +288,7 @@ func (s *Server) runFuzz(req *SessionRequest, res *SessionResult) {
 		return
 	}
 	res.Interrupted = rep.Interrupted
+	res.flights = rep.Flights
 	res.Outcomes = make(map[string]int)
 	for _, tr := range rep.Targets {
 		keys := make([]string, 0, len(tr.Outcomes))
